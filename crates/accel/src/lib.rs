@@ -1,0 +1,22 @@
+//! `omega-accel` — complete accelerated selective sweep detection.
+//!
+//! Integrates the core OmegaPlus engine with the simulated accelerator
+//! substrates, reproducing the paper's end-to-end systems:
+//!
+//! * **CPU** reference (measured);
+//! * **GPU-accelerated OmegaPlus** — GEMM LD + dynamic two-kernel ω with
+//!   all host preparation and PCIe movement charged (§IV, Fig. 3);
+//! * **FPGA-accelerated system** — the ω pipeline cycle model plus the
+//!   Bozikas et al. LD accelerator throughput model (§V, §VI-D).
+//!
+//! Every backend produces identical functional results; they differ in
+//! the time attributed to the LD and ω stages, which is what the
+//! paper's Fig. 14 / Table III compare.
+
+pub mod backend;
+pub mod power;
+pub mod workload;
+
+pub use backend::{Backend, DetectionOutcome, SweepDetector, FPGA_LD_SAMPLE_SCORES_PER_SEC};
+pub use power::{calibrate_threshold, detection_power, false_positive_rate, OmegaThreshold};
+pub use workload::WorkloadClass;

@@ -1,0 +1,210 @@
+//! Method-agnostic detection-power comparison: the experimental design
+//! of Crisci et al. that the paper cites when picking OmegaPlus.
+//!
+//! Each method is reduced to a scalar "sweep evidence" statistic per
+//! replicate; thresholds are the high quantile of the statistic on
+//! matched neutral replicates; power is the exceedance rate on sweep
+//! replicates at that threshold.
+
+use omega_core::{OmegaScanner, Report, ScanParams};
+use omega_genome::Alignment;
+
+use crate::ihs::{ihs_scan, IhsParams};
+use crate::tajima::{min_d, tajima_scan};
+
+/// A sweep-detection method reduced to one evidence score per dataset
+/// (larger = more sweep-like).
+pub trait SweepStatistic {
+    /// Method name for reports.
+    fn name(&self) -> &str;
+    /// Evidence score of one replicate.
+    fn score(&self, a: &Alignment) -> f64;
+}
+
+/// The ω statistic: maximum ω over the scan grid.
+pub struct OmegaStat {
+    scanner: OmegaScanner,
+}
+
+impl OmegaStat {
+    /// Builds the statistic from scan parameters.
+    pub fn new(params: ScanParams) -> Result<Self, omega_core::ParamError> {
+        Ok(OmegaStat { scanner: OmegaScanner::new(params)? })
+    }
+}
+
+impl SweepStatistic for OmegaStat {
+    fn name(&self) -> &str {
+        "omega (OmegaPlus)"
+    }
+
+    fn score(&self, a: &Alignment) -> f64 {
+        let outcome = self.scanner.scan(a);
+        Report::new(&outcome).peak().map_or(0.0, |p| p.omega as f64)
+    }
+}
+
+/// The iHS statistic: the largest |standardised iHS| observed.
+pub struct IhsStat {
+    params: IhsParams,
+}
+
+impl IhsStat {
+    /// Builds the statistic.
+    pub fn new(params: IhsParams) -> Self {
+        IhsStat { params }
+    }
+}
+
+impl SweepStatistic for IhsStat {
+    fn name(&self) -> &str {
+        "iHS (Voight et al.)"
+    }
+
+    fn score(&self, a: &Alignment) -> f64 {
+        ihs_scan(a, &self.params).iter().map(|s| s.ihs.abs()).fold(0.0, f64::max)
+    }
+}
+
+/// The SFS statistic: negated minimum windowed Tajima's D.
+pub struct TajimaStat {
+    /// Window width (bp).
+    pub window_bp: u64,
+    /// Window step (bp).
+    pub step_bp: u64,
+}
+
+impl SweepStatistic for TajimaStat {
+    fn name(&self) -> &str {
+        "Tajima's D (SFS)"
+    }
+
+    fn score(&self, a: &Alignment) -> f64 {
+        min_d(&tajima_scan(a, self.window_bp, self.step_bp)).map_or(0.0, |d| -d)
+    }
+}
+
+/// One row of a power comparison.
+#[derive(Debug, Clone)]
+pub struct MethodPower {
+    /// Method name.
+    pub method: String,
+    /// Calibrated threshold (the neutral `quantile`).
+    pub threshold: f64,
+    /// Fraction of sweep replicates above the threshold.
+    pub power: f64,
+}
+
+/// Calibrates each method on `neutral` replicates at `quantile` and
+/// measures power on `sweeps`.
+pub fn power_table(
+    methods: &[&dyn SweepStatistic],
+    neutral: &[Alignment],
+    sweeps: &[Alignment],
+    quantile: f64,
+) -> Vec<MethodPower> {
+    assert!((0.0..1.0).contains(&quantile), "quantile must be in [0,1)");
+    assert!(!neutral.is_empty() && !sweeps.is_empty(), "need replicates");
+    methods
+        .iter()
+        .map(|m| {
+            let mut null: Vec<f64> = neutral.iter().map(|a| m.score(a)).collect();
+            null.sort_by(f64::total_cmp);
+            let idx = ((null.len() as f64 * quantile).floor() as usize).min(null.len() - 1);
+            let threshold = null[idx];
+            let hits = sweeps.iter().filter(|a| m.score(a) > threshold).count();
+            MethodPower {
+                method: m.name().to_string(),
+                threshold,
+                power: hits as f64 / sweeps.len() as f64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_mssim::{overlay_sweep, simulate_neutral, NeutralParams, SweepParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn replicates(reps: usize, seed: u64) -> (Vec<Alignment>, Vec<Alignment>) {
+        let neutral =
+            NeutralParams { n_samples: 50, theta: 200.0, rho: 60.0, region_len_bp: 200_000 };
+        // Nearly-complete sweep so the haplotype-based iHS has signal too.
+        let sweep = SweepParams { position: 0.5, alpha: 5.0, swept_fraction: 0.9 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Vec::new();
+        let mut s = Vec::new();
+        for _ in 0..reps {
+            let a = simulate_neutral(&neutral, &mut rng).unwrap();
+            let b = simulate_neutral(&neutral, &mut rng).unwrap();
+            s.push(overlay_sweep(&b, &sweep, &mut rng));
+            n.push(a);
+        }
+        (n, s)
+    }
+
+    fn omega_stat() -> OmegaStat {
+        OmegaStat::new(ScanParams {
+            grid: 40,
+            min_win: 1_000,
+            max_win: 50_000,
+            min_snps_per_side: 6,
+            threads: 1,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn all_methods_produce_finite_scores() {
+        let (neutral, sweeps) = replicates(2, 1);
+        let omega = omega_stat();
+        let ihs = IhsStat::new(IhsParams::default());
+        let tajima = TajimaStat { window_bp: 25_000, step_bp: 12_500 };
+        let methods: Vec<&dyn SweepStatistic> = vec![&omega, &ihs, &tajima];
+        for m in methods {
+            for a in neutral.iter().chain(&sweeps) {
+                let s = m.score(a);
+                assert!(s.is_finite(), "{} produced {s}", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn methods_have_power_on_strong_sweeps() {
+        let (neutral, sweeps) = replicates(8, 2);
+        let omega = omega_stat();
+        let tajima = TajimaStat { window_bp: 25_000, step_bp: 12_500 };
+        let methods: Vec<&dyn SweepStatistic> = vec![&omega, &tajima];
+        let table = power_table(&methods, &neutral, &sweeps, 0.75);
+        for row in &table {
+            assert!(
+                row.power >= 0.25,
+                "{} power {} too low at a 75% threshold",
+                row.method,
+                row.power
+            );
+        }
+    }
+
+    #[test]
+    fn power_table_shape() {
+        let (neutral, sweeps) = replicates(3, 3);
+        let ihs = IhsStat::new(IhsParams::default());
+        let methods: Vec<&dyn SweepStatistic> = vec![&ihs];
+        let table = power_table(&methods, &neutral, &sweeps, 0.5);
+        assert_eq!(table.len(), 1);
+        assert!((0.0..=1.0).contains(&table[0].power));
+        assert!(table[0].threshold.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn bad_quantile_panics() {
+        let (neutral, sweeps) = replicates(1, 4);
+        let tajima = TajimaStat { window_bp: 25_000, step_bp: 12_500 };
+        let methods: Vec<&dyn SweepStatistic> = vec![&tajima];
+        let _ = power_table(&methods, &neutral, &sweeps, 1.0);
+    }
+}

@@ -1,0 +1,358 @@
+//! The integrated haplotype score (iHS) of Voight et al. 2006.
+//!
+//! For a core SNP, the carriers of each allele form a haplotype class.
+//! Extended haplotype homozygosity (EHH) at distance `x` is the
+//! probability that two random class members are identical at every SNP
+//! between the core and `x`; it decays from 1 as recombination and
+//! mutation break haplotypes up. An ongoing sweep drags long identical
+//! haplotypes with the beneficial (derived) allele, so EHH decays much
+//! more slowly in the derived class: `iHS = ln(iHH_A / iHH_D)` (the
+//! log-ratio of the integrals of the two decay curves) is strongly
+//! negative. Scores are standardised within derived-allele-frequency
+//! bins, as in the original method.
+
+use omega_genome::{Alignment, Allele, SnpVec};
+
+/// Parameters of an iHS scan.
+#[derive(Debug, Clone, Copy)]
+pub struct IhsParams {
+    /// EHH level below which integration stops (0.05 in Voight et al.).
+    pub ehh_cutoff: f64,
+    /// Minimum carriers per allele class for a core SNP to be scored.
+    pub min_class: usize,
+    /// Minimum minor allele frequency of scored core SNPs.
+    pub min_maf: f64,
+    /// Number of derived-allele-frequency bins for standardisation.
+    pub bins: usize,
+}
+
+impl Default for IhsParams {
+    fn default() -> Self {
+        IhsParams { ehh_cutoff: 0.05, min_class: 3, min_maf: 0.05, bins: 20 }
+    }
+}
+
+/// iHS result for one core SNP.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IhsScore {
+    /// Core SNP index in the alignment.
+    pub site: usize,
+    /// Core SNP position (bp).
+    pub pos_bp: u64,
+    /// Derived allele frequency of the core SNP.
+    pub daf: f64,
+    /// Unstandardised `ln(iHH_A / iHH_D)`.
+    pub raw: f64,
+    /// Frequency-bin standardised score.
+    pub ihs: f64,
+}
+
+/// A haplotype-identity partition of one allele class, refined site by
+/// site as the haplotypes extend away from the core.
+struct Partition {
+    groups: Vec<Vec<u32>>,
+    class_pairs: f64,
+}
+
+impl Partition {
+    fn new(members: Vec<u32>) -> Self {
+        let n = members.len() as f64;
+        Partition { groups: vec![members], class_pairs: n * (n - 1.0) / 2.0 }
+    }
+
+    /// Splits every group by the allele each member carries at `site`;
+    /// missing calls become singleton groups (conservative: they match
+    /// nobody). Returns the updated EHH.
+    fn refine(&mut self, site: &SnpVec) -> f64 {
+        let mut next: Vec<Vec<u32>> = Vec::with_capacity(self.groups.len());
+        for g in self.groups.drain(..) {
+            if g.len() == 1 {
+                next.push(g);
+                continue;
+            }
+            let mut zeros = Vec::new();
+            let mut ones = Vec::new();
+            for m in g {
+                match site.get(m as usize) {
+                    Allele::Zero => zeros.push(m),
+                    Allele::One => ones.push(m),
+                    Allele::Missing => next.push(vec![m]),
+                }
+            }
+            if !zeros.is_empty() {
+                next.push(zeros);
+            }
+            if !ones.is_empty() {
+                next.push(ones);
+            }
+        }
+        self.groups = next;
+        self.ehh()
+    }
+
+    fn ehh(&self) -> f64 {
+        if self.class_pairs == 0.0 {
+            return 0.0;
+        }
+        let same: f64 =
+            self.groups.iter().map(|g| (g.len() * (g.len() - 1) / 2) as f64).sum();
+        same / self.class_pairs
+    }
+}
+
+/// EHH decay curve for the carriers of `allele` at core site `core`,
+/// walking outward in `direction` (+1 right, -1 left). Returns
+/// `(distance_bp, ehh)` points starting at the core (distance 0, EHH 1).
+pub fn ehh_curve(a: &Alignment, core: usize, allele: Allele, direction: i64) -> Vec<(u64, f64)> {
+    assert!(direction == 1 || direction == -1, "direction must be +1 or -1");
+    let members: Vec<u32> = (0..a.n_samples() as u32)
+        .filter(|&i| a.site(core).get(i as usize) == allele)
+        .collect();
+    let mut out = vec![(0u64, 1.0f64)];
+    if members.len() < 2 {
+        return out;
+    }
+    let mut partition = Partition::new(members);
+    let core_pos = a.position(core);
+    let mut idx = core as i64 + direction;
+    while idx >= 0 && (idx as usize) < a.n_sites() {
+        let site = idx as usize;
+        let ehh = partition.refine(a.site(site));
+        out.push((a.position(site).abs_diff(core_pos), ehh));
+        if ehh == 0.0 {
+            break;
+        }
+        idx += direction;
+    }
+    out
+}
+
+/// Trapezoid integral of an EHH curve down to the cutoff (the iHH of
+/// Voight et al.); the last segment is linearly interpolated to the
+/// cutoff crossing.
+fn integrate_ehh(curve: &[(u64, f64)], cutoff: f64) -> f64 {
+    let mut total = 0.0;
+    for w in curve.windows(2) {
+        let (x0, y0) = (w[0].0 as f64, w[0].1);
+        let (x1, y1) = (w[1].0 as f64, w[1].1);
+        if y1 >= cutoff {
+            total += 0.5 * (y0 + y1) * (x1 - x0);
+        } else {
+            // Interpolate the crossing point.
+            if y0 > cutoff && y0 > y1 {
+                let frac = (y0 - cutoff) / (y0 - y1);
+                total += 0.5 * (y0 + cutoff) * (x1 - x0) * frac;
+            }
+            break;
+        }
+    }
+    total
+}
+
+/// Integrated EHH for one allele class at a core SNP (both directions).
+fn ihh(a: &Alignment, core: usize, allele: Allele, cutoff: f64) -> f64 {
+    let left = ehh_curve(a, core, allele, -1);
+    let right = ehh_curve(a, core, allele, 1);
+    integrate_ehh(&left, cutoff) + integrate_ehh(&right, cutoff)
+}
+
+/// Scans every eligible core SNP and returns standardised iHS scores.
+pub fn ihs_scan(a: &Alignment, params: &IhsParams) -> Vec<IhsScore> {
+    let mut raw_scores = Vec::new();
+    for core in 0..a.n_sites() {
+        let site = a.site(core);
+        let Some(maf) = site.minor_allele_freq() else { continue };
+        if maf < params.min_maf {
+            continue;
+        }
+        let derived = site.derived_count() as usize;
+        let ancestral = site.valid_count() as usize - derived;
+        if derived < params.min_class || ancestral < params.min_class {
+            continue;
+        }
+        let ihh_a = ihh(a, core, Allele::Zero, params.ehh_cutoff);
+        let ihh_d = ihh(a, core, Allele::One, params.ehh_cutoff);
+        if ihh_a <= 0.0 || ihh_d <= 0.0 {
+            continue;
+        }
+        let daf = site.derived_freq().expect("valid_count checked above");
+        raw_scores.push(IhsScore {
+            site: core,
+            pos_bp: a.position(core),
+            daf,
+            raw: (ihh_a / ihh_d).ln(),
+            ihs: 0.0,
+        });
+    }
+    standardize(&mut raw_scores, params.bins);
+    raw_scores
+}
+
+/// Standardises raw scores within derived-allele-frequency bins:
+/// `ihs = (raw − mean_bin) / sd_bin` (bins with fewer than two scores
+/// keep the raw value centred on zero).
+fn standardize(scores: &mut [IhsScore], bins: usize) {
+    let bins = bins.max(1);
+    let bin_of = |daf: f64| ((daf * bins as f64) as usize).min(bins - 1);
+    let mut sums = vec![(0.0f64, 0.0f64, 0usize); bins];
+    for s in scores.iter() {
+        let b = bin_of(s.daf);
+        sums[b].0 += s.raw;
+        sums[b].1 += s.raw * s.raw;
+        sums[b].2 += 1;
+    }
+    let stats: Vec<(f64, f64)> = sums
+        .iter()
+        .map(|&(sum, sq, n)| {
+            if n < 2 {
+                return (0.0, 1.0);
+            }
+            let mean = sum / n as f64;
+            let var = (sq / n as f64 - mean * mean).max(0.0);
+            (mean, var.sqrt().max(1e-9))
+        })
+        .collect();
+    for s in scores.iter_mut() {
+        let (mean, sd) = stats[bin_of(s.daf)];
+        s.ihs = (s.raw - mean) / sd;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_genome::SnpVec;
+    use omega_mssim::{overlay_sweep, simulate_neutral, NeutralParams, SweepParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn toy_alignment(columns: &[&[u8]], positions: &[u64]) -> Alignment {
+        let sites: Vec<SnpVec> = columns.iter().map(|c| SnpVec::from_bits(c)).collect();
+        Alignment::new(positions.to_vec(), sites, *positions.last().unwrap() + 10).unwrap()
+    }
+
+    #[test]
+    fn ehh_starts_at_one_and_decays() {
+        // 6 samples; derived carriers of the core (index 1) = {0,1,2}.
+        let a = toy_alignment(
+            &[
+                &[0, 1, 0, 1, 0, 1], // splits {0,1,2} into {1},{0,2}
+                &[1, 1, 1, 0, 0, 0], // core
+                &[0, 0, 1, 0, 1, 1], // splits {0,1,2} into {0,1},{2}
+            ],
+            &[100, 200, 300],
+        );
+        let right = ehh_curve(&a, 1, Allele::One, 1);
+        assert_eq!(right[0], (0, 1.0));
+        // After site 2: groups {0,1},{2} -> 1 pair of 3 = 1/3.
+        assert!((right[1].1 - 1.0 / 3.0).abs() < 1e-12);
+        let left = ehh_curve(&a, 1, Allele::One, -1);
+        // After site 0: groups {1},{0,2} -> 1/3 as well.
+        assert!((left[1].1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_haplotypes_keep_ehh_at_one() {
+        let a = toy_alignment(
+            &[&[1, 1, 0, 0], &[1, 1, 0, 0], &[1, 1, 0, 0], &[1, 1, 0, 0]],
+            &[10, 20, 30, 40],
+        );
+        let curve = ehh_curve(&a, 1, Allele::One, 1);
+        assert!(curve.iter().all(|&(_, e)| (e - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn missing_data_breaks_identity() {
+        use omega_genome::Allele::*;
+        let sites = vec![
+            SnpVec::from_bits(&[1, 1, 1, 0]),
+            SnpVec::from_calls(&[Zero, Missing, Zero, Zero]),
+        ];
+        let a = Alignment::new(vec![10, 20], sites, 30).unwrap();
+        let curve = ehh_curve(&a, 0, Allele::One, 1);
+        // Carriers {0,1,2}: sample 1 missing at the next site -> singleton.
+        // Groups {0,2},{1} -> EHH = 1/3.
+        assert!((curve[1].1 - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn integral_respects_cutoff() {
+        let curve = vec![(0u64, 1.0), (100, 0.5), (200, 0.01)];
+        // First segment: 0.75*100 = 75. Second crosses 0.05 at
+        // frac = (0.5-0.05)/(0.5-0.01) ≈ 0.918: 0.5*(0.5+0.05)*100*0.918.
+        let got = integrate_ehh(&curve, 0.05);
+        let expect = 75.0 + 0.5 * 0.55 * 100.0 * (0.45 / 0.49);
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn scan_skips_rare_and_tiny_classes() {
+        let a = toy_alignment(
+            &[&[1, 0, 0, 0, 0, 0], &[1, 1, 1, 0, 0, 0], &[0, 1, 0, 1, 0, 1]],
+            &[10, 20, 30],
+        );
+        let params = IhsParams { min_class: 3, min_maf: 0.2, ..IhsParams::default() };
+        let scores = ihs_scan(&a, &params);
+        // Site 0 fails MAF (1/6) and class size; sites 1 and 2 have a
+        // 3/3 split and qualify.
+        assert!(scores.iter().all(|s| s.site != 0));
+    }
+
+    #[test]
+    fn ongoing_sweep_elevates_abs_ihs_at_center() {
+        // Incomplete sweep (70% swept): one allele class at each core SNP
+        // near the sweep carries long shared haplotypes, so |iHS| is
+        // elevated. (The star-like overlay does not preserve the
+        // derived-allele polarity of hitchhikers, so the *sign* of iHS is
+        // indeterminate here — the magnitude is the signal, as in the
+        // |iHS| outlier usage of Voight et al.)
+        let neutral =
+            NeutralParams { n_samples: 40, theta: 150.0, rho: 50.0, region_len_bp: 150_000 };
+        let sweep = SweepParams { position: 0.5, alpha: 6.0, swept_fraction: 0.7 };
+        let mut center_mean = 0.0f64;
+        let mut edge_mean = 0.0f64;
+        let mut center_n = 0usize;
+        let mut edge_n = 0usize;
+        for seed in 0..6 {
+            let mut rng = StdRng::seed_from_u64(900 + seed);
+            let bg = simulate_neutral(&neutral, &mut rng).unwrap();
+            let a = overlay_sweep(&bg, &sweep, &mut rng);
+            let scores = ihs_scan(&a, &IhsParams::default());
+            let len = a.region_len() as f64;
+            for s in &scores {
+                let rel = s.pos_bp as f64 / len;
+                if (rel - 0.5).abs() < 0.12 {
+                    center_mean += s.ihs.abs();
+                    center_n += 1;
+                } else if (rel - 0.5).abs() > 0.3 {
+                    edge_mean += s.ihs.abs();
+                    edge_n += 1;
+                }
+            }
+        }
+        center_mean /= center_n.max(1) as f64;
+        edge_mean /= edge_n.max(1) as f64;
+        assert!(
+            center_mean > edge_mean + 0.2,
+            "center |iHS| {center_mean:.3} must exceed edges {edge_mean:.3}"
+        );
+    }
+
+    #[test]
+    fn standardized_scores_have_zero_mean_per_bin() {
+        let neutral =
+            NeutralParams { n_samples: 30, theta: 120.0, rho: 40.0, region_len_bp: 100_000 };
+        let mut rng = StdRng::seed_from_u64(55);
+        let a = simulate_neutral(&neutral, &mut rng).unwrap();
+        let scores = ihs_scan(&a, &IhsParams { bins: 5, ..IhsParams::default() });
+        assert!(!scores.is_empty());
+        // Global mean of standardized scores is near zero.
+        let mean: f64 = scores.iter().map(|s| s.ihs).sum::<f64>() / scores.len() as f64;
+        assert!(mean.abs() < 0.3, "mean {mean}");
+    }
+
+    #[test]
+    fn empty_alignment_scans_cleanly() {
+        let a = Alignment::new(vec![], vec![], 100).unwrap();
+        assert!(ihs_scan(&a, &IhsParams::default()).is_empty());
+    }
+}

@@ -1,0 +1,27 @@
+//! `omega-baselines` — the comparison methods behind the paper's choice
+//! of OmegaPlus.
+//!
+//! The paper justifies accelerating an LD-based method by the Crisci et
+//! al. comparisons of four sweep-detection tools: the LD-based OmegaPlus
+//! and **iHS** (Voight et al. 2006) and the SFS-based SweepFinder and
+//! **SweeD**. This crate implements representative baselines of both
+//! families from scratch so that the reproduction can stage the same
+//! method comparison:
+//!
+//! * [`ihs`] — the integrated haplotype score: extended haplotype
+//!   homozygosity (EHH) decay around each core SNP, integrated and
+//!   log-ratioed between ancestral- and derived-allele carriers, then
+//!   standardised within derived-allele-frequency bins;
+//! * [`tajima`] — a sliding-window Tajima's D scan, the classic
+//!   SFS-based signal (strongly negative in swept regions) standing in
+//!   for the CLR family (SweeD/SweepFinder);
+//! * [`comparison`] — a method-agnostic detection-power harness that
+//!   scores any statistic against matched neutral/sweep replicates.
+
+pub mod comparison;
+pub mod ihs;
+pub mod tajima;
+
+pub use comparison::{power_table, MethodPower, SweepStatistic};
+pub use ihs::{ehh_curve, ihs_scan, IhsParams, IhsScore};
+pub use tajima::{tajima_scan, TajimaWindow};

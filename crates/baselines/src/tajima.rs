@@ -1,0 +1,138 @@
+//! Sliding-window Tajima's D: the SFS-based baseline (the signal family
+//! of SweeD/SweepFinder in the paper's method comparison).
+//!
+//! A sweep leaves an excess of rare variants around the swept site, which
+//! drives Tajima's D strongly negative there; a neutral equilibrium
+//! region fluctuates around zero.
+
+use omega_genome::{Alignment, SiteFrequencySpectrum};
+
+/// One window of a Tajima's D scan.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TajimaWindow {
+    /// Window centre (bp).
+    pub center_bp: u64,
+    /// Tajima's D (`None` when undefined: too few sites/samples).
+    pub d: Option<f64>,
+    /// Segregating sites in the window.
+    pub n_sites: usize,
+}
+
+/// Scans the region with windows of `window_bp` advancing by `step_bp`.
+pub fn tajima_scan(a: &Alignment, window_bp: u64, step_bp: u64) -> Vec<TajimaWindow> {
+    assert!(window_bp > 0 && step_bp > 0, "window and step must be positive");
+    let mut out = Vec::new();
+    if a.n_sites() == 0 {
+        return out;
+    }
+    let region = a.region_len();
+    let mut start = 0u64;
+    loop {
+        let end = (start + window_bp).min(region);
+        let range = a.sites_in_range(start, end);
+        let n_sites = range.len();
+        let d = if n_sites >= 3 {
+            let sub = a.retain_sites(|i, _| range.contains(&i));
+            SiteFrequencySpectrum::from_alignment(&sub).tajimas_d()
+        } else {
+            None
+        };
+        out.push(TajimaWindow { center_bp: start + (end - start) / 2, d, n_sites });
+        if end >= region {
+            break;
+        }
+        start += step_bp;
+    }
+    out
+}
+
+/// The most negative D in a scan (the sweep-candidate signal); `None`
+/// when no window was defined.
+pub fn min_d(windows: &[TajimaWindow]) -> Option<f64> {
+    windows.iter().filter_map(|w| w.d).min_by(f64::total_cmp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_mssim::{overlay_sweep, simulate_neutral, NeutralParams, SweepParams};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn neutral() -> NeutralParams {
+        NeutralParams { n_samples: 30, theta: 100.0, rho: 30.0, region_len_bp: 100_000 }
+    }
+
+    #[test]
+    fn windows_tile_the_region() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = simulate_neutral(&neutral(), &mut rng).unwrap();
+        let windows = tajima_scan(&a, 20_000, 10_000);
+        assert!(windows.len() >= 9, "expected ~10 windows, got {}", windows.len());
+        assert!(windows.windows(2).all(|w| w[0].center_bp < w[1].center_bp));
+        assert!(windows.iter().any(|w| w.d.is_some()));
+    }
+
+    #[test]
+    fn neutral_d_hovers_near_zero() {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(10 + seed);
+            let a = simulate_neutral(&neutral(), &mut rng).unwrap();
+            for w in tajima_scan(&a, 25_000, 12_500) {
+                if let Some(d) = w.d {
+                    sum += d;
+                    n += 1;
+                }
+            }
+        }
+        let mean = sum / n as f64;
+        assert!(mean.abs() < 0.7, "neutral mean D {mean}");
+    }
+
+    #[test]
+    fn sweep_center_goes_negative() {
+        let sweep = SweepParams { position: 0.5, alpha: 5.0, swept_fraction: 1.0 };
+        let mut center = 0.0;
+        let mut edges = 0.0;
+        let mut nc = 0usize;
+        let mut ne = 0usize;
+        for seed in 0..8 {
+            let mut rng = StdRng::seed_from_u64(30 + seed);
+            let bg = simulate_neutral(&neutral(), &mut rng).unwrap();
+            let a = overlay_sweep(&bg, &sweep, &mut rng);
+            for w in tajima_scan(&a, 25_000, 12_500) {
+                let Some(d) = w.d else { continue };
+                let rel = w.center_bp as f64 / a.region_len() as f64;
+                if (rel - 0.5).abs() < 0.15 {
+                    center += d;
+                    nc += 1;
+                } else if (rel - 0.5).abs() > 0.3 {
+                    edges += d;
+                    ne += 1;
+                }
+            }
+        }
+        let center = center / nc.max(1) as f64;
+        let edges = edges / ne.max(1) as f64;
+        assert!(center < edges - 0.3, "sweep center D {center} vs edges {edges}");
+    }
+
+    #[test]
+    fn min_d_selects_most_negative() {
+        let windows = vec![
+            TajimaWindow { center_bp: 1, d: Some(-0.5), n_sites: 10 },
+            TajimaWindow { center_bp: 2, d: None, n_sites: 1 },
+            TajimaWindow { center_bp: 3, d: Some(-2.5), n_sites: 12 },
+            TajimaWindow { center_bp: 4, d: Some(1.0), n_sites: 9 },
+        ];
+        assert_eq!(min_d(&windows), Some(-2.5));
+        assert_eq!(min_d(&[]), None);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let a = Alignment::new(vec![], vec![], 100).unwrap();
+        assert!(tajima_scan(&a, 1000, 500).is_empty());
+    }
+}

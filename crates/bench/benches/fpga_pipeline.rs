@@ -1,0 +1,42 @@
+//! Simulated-FPGA benchmarks: the cycle-level pipeline stream and the
+//! per-position scheduler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine, OmegaPipeline, PipeInput};
+use std::hint::black_box;
+
+fn bench_pipeline_stream(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_pipeline_stream");
+    group.sample_size(10);
+    for n in [1_000usize, 10_000] {
+        let inputs: Vec<PipeInput> = (0..n)
+            .map(|i| PipeInput {
+                ls: 1.0 + i as f32 * 0.01,
+                rs: 2.0,
+                ts: 4.0 + i as f32 * 0.02,
+                l: 3 + (i % 7) as u32,
+                r: 4 + (i % 5) as u32,
+            })
+            .collect();
+        let p = OmegaPipeline::new();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &inputs, |b, inputs| {
+            b.iter(|| black_box(p.process(inputs).1))
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_estimate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fpga_estimate");
+    let engine = FpgaOmegaEngine::new(FpgaDevice::alveo_u200());
+    let counts: Vec<u64> = (0..1_000u64).map(|i| 500 + i % 300).collect();
+    group.throughput(Throughput::Elements(counts.len() as u64));
+    group.bench_function("1000_positions", |b| {
+        b.iter(|| black_box(engine.estimate(counts.iter().copied()).cycles))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline_stream, bench_schedule_estimate);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! ω maximisation loop benchmarks: the CPU baseline whose throughput the
+//! paper's Table III/IV "ω" columns measure.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use omega_bench::dataset;
+use omega_core::{omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams};
+use std::hint::black_box;
+
+fn bench_omega_score(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_score");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("single", |b| {
+        b.iter(|| black_box(omega_score(black_box(3.2), black_box(2.1), black_box(7.9), 40, 55)))
+    });
+    group.finish();
+}
+
+fn bench_omega_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_max_position");
+    group.sample_size(10);
+    for snps in [256usize, 1_024] {
+        let a = dataset(snps, 50, 44);
+        let params = ScanParams {
+            grid: 1,
+            min_win: 0,
+            max_win: 1_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let plan = GridPlan::build(&a, &params).positions()[0];
+        // Use the midpoint plan for a balanced window.
+        let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(snps - 1)) / 2, &params);
+        let plan = if mid.is_scorable(2) { mid } else { plan };
+        let borders = BorderSet::build(&a, &plan, &params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        group.throughput(Throughput::Elements(borders.n_combinations()));
+        group.bench_with_input(BenchmarkId::from_parameter(snps), &(m, borders), |b, (m, bo)| {
+            b.iter(|| black_box(omega_max(m, bo).unwrap().omega))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omega_score, bench_omega_max);
+criterion_main!(benches);

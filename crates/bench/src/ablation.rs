@@ -1,0 +1,282 @@
+//! Ablation studies for the design choices DESIGN.md calls out:
+//!
+//! * the matrix-M data-reuse optimization (CPU, measured);
+//! * the dynamic two-kernel threshold `Nthr = NCU·Ws·32` (Eq. 4) — swept
+//!   across multipliers to show the paper's choice sits at the plateau;
+//! * memory coalescing (the §IV-B order-switch optimization) — emulated
+//!   by derating effective device bandwidth for scattered access;
+//! * the FPGA unroll factor (§V's "resize the accelerator" design-space
+//!   exploration) against the resource model and the throughput ceiling.
+
+use std::time::Instant;
+
+use omega_core::{omega_max, BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams};
+use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine, ResourceReport};
+use omega_gpu_sim::{GpuDevice, GpuOmegaEngine, KernelKind, TaskDims};
+
+use crate::{dataset, fmt_rate, gpu_scan_params, scan_geometry, TableWriter};
+
+/// Data-reuse ablation: scan the same grid with relocation enabled vs a
+/// fresh matrix per position (measured on the CPU engine).
+pub fn reuse_ablation() -> String {
+    let mut out = String::new();
+    out.push_str("Ablation - matrix M data-reuse (Fig. 3 optimization), CPU measured\n\n");
+    let a = dataset(800, 200, 2_024);
+    let p = ScanParams { grid: 40, min_win: 0, max_win: 120_000, min_snps_per_side: 2, threads: 1 };
+    let plan = GridPlan::build(&a, &p);
+
+    let run = |reuse: bool| -> (f64, u64, u64) {
+        let mut matrix = RegionMatrix::new();
+        let mut timing = MatrixBuildTiming::default();
+        let mut pairs = 0u64;
+        let mut reused = 0u64;
+        let start = Instant::now();
+        for pp in plan.positions() {
+            let Some(b) = BorderSet::build(&a, pp, &p) else { continue };
+            if b.n_combinations() == 0 {
+                continue;
+            }
+            let stats = if reuse {
+                matrix.advance(&a, pp.lo, pp.hi, &mut timing)
+            } else {
+                matrix.rebuild(&a, pp.lo, pp.hi, &mut timing)
+            };
+            pairs += stats.new_pairs;
+            reused += stats.reused_cells;
+            let _ = omega_max(&matrix, &b);
+        }
+        (start.elapsed().as_secs_f64(), pairs, reused)
+    };
+
+    let (t_with, pairs_with, reused_with) = run(true);
+    let (t_without, pairs_without, _) = run(false);
+    let t = TableWriter::new(&[14, 12, 14, 14]);
+    out.push_str(&t.row(&["mode".into(), "time (ms)".into(), "r2 pairs".into(), "cells reused".into()]));
+    out.push('\n');
+    out.push_str(&t.rule());
+    out.push('\n');
+    out.push_str(&t.row(&[
+        "with reuse".into(),
+        format!("{:.1}", t_with * 1e3),
+        pairs_with.to_string(),
+        reused_with.to_string(),
+    ]));
+    out.push('\n');
+    out.push_str(&t.row(&[
+        "without".into(),
+        format!("{:.1}", t_without * 1e3),
+        pairs_without.to_string(),
+        "0".into(),
+    ]));
+    out.push('\n');
+    out.push_str(&format!(
+        "\nreuse avoids {:.1}% of r2 pair computations ({:.2}x end-to-end)\n",
+        100.0 * (1.0 - pairs_with as f64 / pairs_without as f64),
+        t_without / t_with
+    ));
+    out
+}
+
+/// Dynamic-dispatch threshold sweep: total kernel time of the two-kernel
+/// scheme when the Eq. 4 threshold is scaled by various multipliers.
+pub fn threshold_ablation() -> String {
+    let mut out = String::new();
+    out.push_str("Ablation - dynamic two-kernel threshold (Eq. 4 multiplier sweep)\n\n");
+    let a = dataset(1_200, 50, 2_025);
+    let geo = scan_geometry(&a, &gpu_scan_params(300));
+    let device = GpuDevice::tesla_k80();
+    let engine = GpuOmegaEngine::new(device.clone());
+    let scores: u64 = geo.iter().map(|g| g.n_valid).sum();
+
+    let t = TableWriter::new(&[12, 14, 12, 12]);
+    out.push_str(&t.row(&["Nthr mult".into(), "kernel time".into(), "K1 share".into(), "rate".into()]));
+    out.push('\n');
+    out.push_str(&t.rule());
+    out.push('\n');
+    for mult in [0.0f64, 0.25, 1.0, 4.0, f64::INFINITY] {
+        let threshold = if mult.is_infinite() {
+            u64::MAX
+        } else {
+            (device.n_thr() as f64 * mult) as u64
+        };
+        let mut time = 0.0f64;
+        let mut k1_positions = 0usize;
+        for g in &geo {
+            let dims = TaskDims { n_lb: g.n_lb, n_rb: g.n_rb, n_valid: g.n_valid };
+            let kind = if g.n_valid < threshold { KernelKind::One } else { KernelKind::Two };
+            if kind == KernelKind::One {
+                k1_positions += 1;
+            }
+            time += engine.estimate(&dims, kind).cost.kernel;
+        }
+        let label = if mult.is_infinite() {
+            "all K1".to_string()
+        } else if mult == 0.0 {
+            "all K2".to_string()
+        } else {
+            format!("{mult}x")
+        };
+        out.push_str(&t.row(&[
+            label,
+            format!("{:.3} ms", time * 1e3),
+            format!("{}/{}", k1_positions, geo.len()),
+            fmt_rate(scores as f64 / time),
+        ]));
+        out.push('\n');
+    }
+    out.push_str("\nthe paper's 1x threshold (32 warps/CU occupancy bound) sits at the optimum\n");
+    out
+}
+
+/// Coalescing ablation: the §IV-B order-switch keeps TS accesses
+/// coalesced; scattered access is emulated by derating the effective
+/// memory bandwidth 4× (one transaction per lane instead of per warp
+/// segment on these devices).
+pub fn coalescing_ablation() -> String {
+    let mut out = String::new();
+    out.push_str("Ablation - memory coalescing (sub-region order-switch, Kernel I)\n\n");
+    let a = dataset(1_000, 50, 2_026);
+    let geo = scan_geometry(&a, &gpu_scan_params(300));
+    let scores: u64 = geo.iter().map(|g| g.n_valid).sum();
+
+    let t = TableWriter::new(&[26, 14, 12]);
+    out.push_str(&t.row(&["configuration".into(), "kernel time".into(), "rate".into()]));
+    out.push('\n');
+    out.push_str(&t.rule());
+    out.push('\n');
+    for (label, bw_factor) in [("coalesced (order-switch)", 1.0f64), ("uncoalesced", 0.25)] {
+        let mut device = GpuDevice::tesla_k80();
+        device.mem_bandwidth_gbs *= bw_factor;
+        let engine = GpuOmegaEngine::new(device);
+        let time: f64 = geo
+            .iter()
+            .map(|g| {
+                let dims = TaskDims { n_lb: g.n_lb, n_rb: g.n_rb, n_valid: g.n_valid };
+                engine.estimate(&dims, KernelKind::One).cost.kernel
+            })
+            .sum();
+        out.push_str(&t.row(&[
+            label.into(),
+            format!("{:.3} ms", time * 1e3),
+            fmt_rate(scores as f64 / time),
+        ]));
+        out.push('\n');
+    }
+    out
+}
+
+/// FPGA design-space exploration: unroll factor vs resources and
+/// throughput (§V: the accelerator is "resized" by the unroll factor).
+pub fn fpga_dse() -> String {
+    let mut out = String::new();
+    out.push_str("FPGA design-space exploration - unroll factor sweep\n\n");
+    let t = TableWriter::new(&[12, 8, 10, 10, 10, 8, 12, 14, 12]);
+    for base in FpgaDevice::paper_targets() {
+        out.push_str(&format!(
+            "{} @ {} MHz, {} GB/s external bandwidth (paper's unroll: {})\n",
+            base.name, base.clock_mhz, base.mem_bandwidth_gbs, base.unroll
+        ));
+        out.push_str(&t.row(&[
+            "unroll".into(),
+            "fits".into(),
+            "DSP %".into(),
+            "LUT %".into(),
+            "bw GB/s".into(),
+            "fed".into(),
+            "peak Gw/s".into(),
+            "90% point".into(),
+            "iter=4500".into(),
+        ]));
+        out.push('\n');
+        out.push_str(&t.rule());
+        out.push('\n');
+        let max_fit = ResourceReport::max_unroll(&base);
+        for unroll in [1u32, 2, 4, 8, 16, 32, 64, 128, 256] {
+            let mut device = base.clone();
+            device.unroll = unroll;
+            let report = ResourceReport::for_device(&device);
+            let fits = unroll <= max_fit;
+            let n90 = omega_fpga_sim::iterations_for_efficiency(&device, 0.9);
+            let engine = FpgaOmegaEngine::new(device.clone());
+            let n = 4_500u64 - 4_500 % u64::from(unroll);
+            let run = engine.estimate(std::iter::once(n));
+            let rate_4500 = run.hw_scores as f64 / run.seconds;
+            out.push_str(&t.row(&[
+                unroll.to_string(),
+                if fits { "yes".into() } else { "NO".to_string() },
+                format!("{:.1}%", 100.0 * report.dsp_frac()),
+                format!("{:.1}%", 100.0 * report.lut_frac()),
+                format!("{:.1}", device.bandwidth_required_gbs()),
+                if device.bandwidth_feasible() { "yes".into() } else { "NO".to_string() },
+                format!("{:.2}", device.peak_scores_per_sec() / 1e9),
+                n90.to_string(),
+                fmt_rate(rate_4500),
+            ]));
+            out.push('\n');
+        }
+        let max_fed = (base.mem_bandwidth_gbs * 1e9 / (base.clock_hz() * 4.0)) as u32;
+        out.push_str(&format!(
+            "largest unroll that fits the fabric: {max_fit}; largest the memory can feed: {max_fed}\n\n"
+        ));
+    }
+    out.push_str(
+        "peak throughput scales linearly with unroll, but the 90%-efficiency point\n\
+         recedes linearly too: larger factors only pay off when right-side loops are\n\
+         long enough, and external bandwidth must feed one TS value per pipeline per\n\
+         cycle - the constraint that fixed the paper's factors at 4 and 32\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_ablation_reports_savings() {
+        let text = reuse_ablation();
+        assert!(text.contains("with reuse"));
+        // Reuse must eliminate a majority of pair computations on an
+        // overlapping-window scan.
+        let pct: f64 = text
+            .lines()
+            .find(|l| l.contains("reuse avoids"))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|w| w.trim_end_matches('%').parse().ok())
+            .expect("summary line present");
+        assert!(pct > 30.0, "only {pct}% saved");
+    }
+
+    #[test]
+    fn threshold_one_x_is_no_worse_than_extremes() {
+        let text = threshold_ablation();
+        let rate = |label: &str| -> f64 {
+            let line = text.lines().find(|l| l.trim_start().starts_with(label)).unwrap();
+            let toks: Vec<&str> = line.split_whitespace().collect();
+            // "... <rate> G/s" — take the second-to-last token.
+            toks[toks.len() - 2].parse().unwrap()
+        };
+        let one_x = rate("1x");
+        assert!(one_x >= rate("all K1") * 0.99, "1x {one_x} vs all-K1");
+    }
+
+    #[test]
+    fn uncoalesced_is_slower() {
+        let text = coalescing_ablation();
+        let lines: Vec<&str> = text.lines().filter(|l| l.contains("ms")).collect();
+        assert_eq!(lines.len(), 2);
+        let ms = |l: &str| -> f64 {
+            let toks: Vec<&str> = l.split_whitespace().collect();
+            toks[toks.iter().position(|&t| t == "ms").unwrap() - 1].parse().unwrap()
+        };
+        assert!(ms(lines[1]) > ms(lines[0]), "uncoalesced must cost more");
+    }
+
+    #[test]
+    fn dse_flags_oversized_unrolls() {
+        let text = fpga_dse();
+        assert!(text.contains("largest unroll that fits"));
+        assert!(text.contains("256"));
+        assert!(text.contains("NO"), "some unroll must not fit");
+    }
+}

@@ -1,0 +1,102 @@
+//! `repro` — regenerates every table and figure of the paper's
+//! evaluation section (§VI).
+//!
+//! ```text
+//! repro <experiment> [--full]
+//!
+//! experiments:
+//!   table1    FPGA resource utilisation
+//!   table2    GPU platform specifications
+//!   fig10     ZCU102 throughput vs right-side loop iterations
+//!   fig11     Alveo U200 throughput vs right-side loop iterations
+//!   fig12     GPU kernel throughput vs SNP count
+//!   fig13     complete GPU omega throughput vs SNP count
+//!   fig14     LD/omega time distribution, 3 workloads x 3 platforms
+//!   table3    throughput + speedups for the 3 workloads
+//!   table4    multithreaded omega throughput
+//!   profile   the >98% kernel-time profiling claim
+//!   fpga      FPGA engines on real scan geometry
+//!   dse       FPGA unroll-factor design-space exploration
+//!   ablation  data-reuse / dispatch-threshold / coalescing ablations
+//!   all       everything above
+//! ```
+//!
+//! `--full` runs the fig12/fig13 SNP sweep at the paper's full range
+//! (1,000–20,000 SNPs with a 1,000-position grid); the default is a
+//! scaled range sized for quick runs (see EXPERIMENTS.md for the
+//! mapping).
+
+use std::process::ExitCode;
+
+use omega_bench::ablation;
+use omega_bench::experiments as exp;
+use omega_fpga_sim::FpgaDevice;
+
+fn snp_sweep(full: bool) -> Vec<usize> {
+    if full {
+        vec![1_000, 2_000, 4_000, 7_000, 10_000, 14_000, 20_000]
+    } else {
+        vec![250, 500, 1_000, 2_000, 3_500, 5_000, 7_000, 10_000]
+    }
+}
+
+fn grid(full: bool) -> usize {
+    if full {
+        1_000
+    } else {
+        250
+    }
+}
+
+fn run(name: &str, full: bool) -> Result<(), String> {
+    match name {
+        "table1" => print!("{}", exp::table1()),
+        "table2" => print!("{}", exp::table2()),
+        "fig10" => print!("{}", exp::fig10_11(&FpgaDevice::zcu102(), 4_500)),
+        "fig11" => print!("{}", exp::fig10_11(&FpgaDevice::alveo_u200(), 30_500)),
+        "fig12" => print!("{}", exp::fig12(&snp_sweep(full), grid(full))),
+        "fig13" => print!("{}", exp::fig13(&snp_sweep(full), grid(full))),
+        "fig14" => print!("{}", exp::fig14()),
+        "table3" => print!("{}", exp::table3()),
+        "table4" => print!("{}", exp::table4(&[1, 2, 3, 4, 8])),
+        "profile" => print!("{}", exp::profile()),
+        "fpga" => print!("{}", exp::fpga_workload(if full { 2_000 } else { 800 }, grid(full))),
+        "dse" => print!("{}", ablation::fpga_dse()),
+        "ablation" => {
+            print!("{}", ablation::reuse_ablation());
+            println!();
+            print!("{}", ablation::threshold_ablation());
+            println!();
+            print!("{}", ablation::coalescing_ablation());
+        }
+        "all" => {
+            for e in [
+                "table1", "table2", "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+                "table4", "profile", "fpga", "dse", "ablation",
+            ] {
+                println!("==================== {e} ====================");
+                run(e, full)?;
+                println!();
+            }
+        }
+        other => return Err(format!("unknown experiment '{other}' (try 'all')")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let name = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
+    if name.is_empty() {
+        eprintln!("usage: repro <table1|table2|fig10|fig11|fig12|fig13|fig14|table3|table4|profile|fpga|dse|ablation|all> [--full]");
+        return ExitCode::FAILURE;
+    }
+    match run(&name, full) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("repro: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,298 @@
+//! Placement of ω positions along the region and the per-position window
+//! geometry (Fig. 2 of the paper).
+
+use omega_genome::Alignment;
+
+use crate::params::ScanParams;
+
+/// One ω evaluation position and the site window around it.
+///
+/// All indices are *absolute* site indices into the alignment. The window
+/// covers sites `lo..hi` (half-open); `split` is the index of the first
+/// site strictly right of the ω position, so the left subregion is
+/// `lo..split` and the right subregion is `split..hi`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PositionPlan {
+    /// Physical ω position in bp.
+    pub pos_bp: u64,
+    /// First site index of the window.
+    pub lo: usize,
+    /// One past the last site index of the window.
+    pub hi: usize,
+    /// First site index strictly right of the ω position, clamped to
+    /// `lo..=hi`.
+    pub split: usize,
+}
+
+impl PositionPlan {
+    /// Number of sites in the window.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.hi - self.lo
+    }
+
+    /// Number of sites in the left subregion.
+    #[inline]
+    pub fn left_len(&self) -> usize {
+        self.split - self.lo
+    }
+
+    /// Number of sites in the right subregion.
+    #[inline]
+    pub fn right_len(&self) -> usize {
+        self.hi - self.split
+    }
+
+    /// `true` if both subregions have at least `min_snps` sites.
+    #[inline]
+    pub fn is_scorable(&self, min_snps: usize) -> bool {
+        self.left_len() >= min_snps && self.right_len() >= min_snps
+    }
+}
+
+/// The full scan plan: ω positions in ascending bp order.
+#[derive(Debug, Clone)]
+pub struct GridPlan {
+    positions: Vec<PositionPlan>,
+}
+
+impl GridPlan {
+    /// Places `params.grid` equidistant ω positions between the first and
+    /// last SNP (inclusive), as OmegaPlus does, and resolves each window.
+    pub fn build(alignment: &Alignment, params: &ScanParams) -> GridPlan {
+        let n = alignment.n_sites();
+        if n == 0 {
+            return GridPlan { positions: Vec::new() };
+        }
+        let first = alignment.position(0);
+        let last = alignment.position(n - 1);
+        let g = params.grid;
+        let positions = (0..g)
+            .map(|i| {
+                let pos_bp = if g == 1 {
+                    (first + last) / 2
+                } else {
+                    first + ((last - first) as u128 * i as u128 / (g - 1) as u128) as u64
+                };
+                Self::plan_at(alignment, pos_bp, params)
+            })
+            .collect();
+        GridPlan { positions }
+    }
+
+    /// Resolves the window around one ω position.
+    pub fn plan_at(alignment: &Alignment, pos_bp: u64, params: &ScanParams) -> PositionPlan {
+        let win_lo = pos_bp.saturating_sub(params.max_win);
+        let win_hi = pos_bp.saturating_add(params.max_win);
+        let range = alignment.sites_in_range(win_lo, win_hi);
+        let split = alignment.first_site_after(pos_bp).clamp(range.start, range.end);
+        PositionPlan { pos_bp, lo: range.start, hi: range.end, split }
+    }
+
+    /// The planned positions, ascending by bp.
+    pub fn positions(&self) -> &[PositionPlan] {
+        &self.positions
+    }
+
+    /// Number of grid positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// `true` if the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+}
+
+/// Enumerates the valid subwindow borders at one position.
+///
+/// Borders are *window-relative* indices (relative to `plan.lo`). Left
+/// borders are ascending site indices `0 ..= split_rel-min_snps`; right
+/// borders are `split_rel+min_snps-1 ..= width-1`. The pair `(lb, rb)` is
+/// valid when the spanned distance `pos[rb] - pos[lb] >= min_win`; since
+/// positions are sorted, for each `lb` the valid right borders form a
+/// suffix `first_valid_rb[lb]..` of the right-border list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorderSet {
+    /// Window-relative index of the last left-side site (the paper's `k`):
+    /// the left subregion of a combination `(lb, rb)` is `lb..=k_rel` and
+    /// the right subregion is `k_rel+1..=rb`.
+    pub k_rel: usize,
+    /// Window-relative left borders, ascending.
+    pub left_borders: Vec<u32>,
+    /// Window-relative right borders, ascending.
+    pub right_borders: Vec<u32>,
+    /// For each left border (by list index), the first index into
+    /// `right_borders` whose pairing satisfies the `min_win` constraint.
+    pub first_valid_rb: Vec<u32>,
+}
+
+impl BorderSet {
+    /// Builds the border set for a planned position; returns `None` when
+    /// the position cannot be scored (too few SNPs on either side).
+    pub fn build(alignment: &Alignment, plan: &PositionPlan, params: &ScanParams) -> Option<BorderSet> {
+        let min_snps = params.min_snps_per_side;
+        if !plan.is_scorable(min_snps) {
+            return None;
+        }
+        let k_rel = plan.split - 1 - plan.lo;
+        let width = plan.width();
+        let left_borders: Vec<u32> = (0..=(k_rel + 1 - min_snps) as u32).collect();
+        let right_borders: Vec<u32> = ((k_rel + min_snps) as u32..width as u32).collect();
+
+        // Two-pointer over the min_win constraint: as lb moves right its
+        // position grows, the spanned distance shrinks, and the first valid
+        // rb can only move right as well.
+        let mut first_valid_rb = Vec::with_capacity(left_borders.len());
+        let mut p = 0usize;
+        for &lb in &left_borders {
+            let lb_pos = alignment.position(plan.lo + lb as usize);
+            while p < right_borders.len() {
+                let rb_pos = alignment.position(plan.lo + right_borders[p] as usize);
+                if rb_pos - lb_pos >= params.min_win {
+                    break;
+                }
+                p += 1;
+            }
+            first_valid_rb.push(p as u32);
+        }
+        Some(BorderSet { k_rel, left_borders, right_borders, first_valid_rb })
+    }
+
+    /// Total number of (lb, rb) combinations that will be scored — the
+    /// per-position workload that drives the GPU two-kernel dispatch.
+    pub fn n_combinations(&self) -> u64 {
+        let n_rb = self.right_borders.len() as u64;
+        self.first_valid_rb.iter().map(|&f| n_rb - u64::from(f)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_genome::{Alignment, SnpVec};
+
+    fn toy_alignment(positions: &[u64]) -> Alignment {
+        let sites: Vec<SnpVec> = (0..positions.len())
+            .map(|i| SnpVec::from_bits(&[(i % 2) as u8, ((i + 1) % 2) as u8, 1, 0]))
+            .collect();
+        Alignment::new(positions.to_vec(), sites, *positions.last().unwrap() + 100).unwrap()
+    }
+
+    fn params(min_win: u64, max_win: u64) -> ScanParams {
+        ScanParams { grid: 3, min_win, max_win, min_snps_per_side: 2, threads: 1 }
+    }
+
+    #[test]
+    fn grid_spans_first_to_last_snp() {
+        let a = toy_alignment(&[100, 200, 300, 400, 500]);
+        let g = GridPlan::build(&a, &params(0, 1000));
+        let pos: Vec<u64> = g.positions().iter().map(|p| p.pos_bp).collect();
+        assert_eq!(pos, vec![100, 300, 500]);
+    }
+
+    #[test]
+    fn single_grid_position_centers() {
+        let a = toy_alignment(&[100, 500]);
+        let p = ScanParams { grid: 1, ..params(0, 1000) };
+        let g = GridPlan::build(&a, &p);
+        assert_eq!(g.positions()[0].pos_bp, 300);
+    }
+
+    #[test]
+    fn window_clipped_by_max_win() {
+        let a = toy_alignment(&[100, 200, 300, 400, 500]);
+        let plan = GridPlan::plan_at(&a, 300, &params(0, 150));
+        // Window [150, 450] -> sites 200,300,400 (indices 1..4).
+        assert_eq!((plan.lo, plan.hi), (1, 4));
+        assert_eq!(plan.split, 3); // site at 300 is the last left site
+        assert_eq!(plan.left_len(), 2);
+        assert_eq!(plan.right_len(), 1);
+    }
+
+    #[test]
+    fn center_site_belongs_to_left() {
+        let a = toy_alignment(&[100, 200, 300]);
+        let plan = GridPlan::plan_at(&a, 200, &params(0, 1000));
+        assert_eq!(plan.split, 2);
+        assert_eq!(plan.left_len(), 2);
+        assert_eq!(plan.right_len(), 1);
+    }
+
+    #[test]
+    fn position_before_all_sites_has_empty_left() {
+        let a = toy_alignment(&[100, 200, 300]);
+        let plan = GridPlan::plan_at(&a, 50, &params(0, 1000));
+        assert_eq!(plan.left_len(), 0);
+        assert_eq!(plan.right_len(), 3);
+        assert!(!plan.is_scorable(2));
+    }
+
+    #[test]
+    fn position_after_all_sites_has_empty_right() {
+        let a = toy_alignment(&[100, 200, 300]);
+        let plan = GridPlan::plan_at(&a, 400, &params(0, 1000));
+        assert_eq!(plan.left_len(), 3);
+        assert_eq!(plan.right_len(), 0);
+        assert!(!plan.is_scorable(2));
+    }
+
+    #[test]
+    fn borders_for_symmetric_window() {
+        let a = toy_alignment(&[100, 200, 300, 400, 500, 600]);
+        let plan = GridPlan::plan_at(&a, 350, &params(0, 1000));
+        let b = BorderSet::build(&a, &plan, &params(0, 1000)).unwrap();
+        assert_eq!(b.k_rel, 2);
+        assert_eq!(b.left_borders, vec![0, 1]);
+        assert_eq!(b.right_borders, vec![4, 5]);
+        assert_eq!(b.first_valid_rb, vec![0, 0]);
+        assert_eq!(b.n_combinations(), 4);
+    }
+
+    #[test]
+    fn min_win_excludes_narrow_combinations() {
+        let a = toy_alignment(&[100, 200, 300, 400, 500, 600]);
+        let plan = GridPlan::plan_at(&a, 350, &params(350, 1000));
+        let b = BorderSet::build(&a, &plan, &params(350, 1000)).unwrap();
+        // lb=0 (100): rb=4 (500) spans 400 >= 350 ok -> first valid 0.
+        // lb=1 (200): rb=4 spans 300 < 350; rb=5 (600) spans 400 -> first 1.
+        assert_eq!(b.first_valid_rb, vec![0, 1]);
+        assert_eq!(b.n_combinations(), 3);
+    }
+
+    #[test]
+    fn unscorable_position_returns_none() {
+        let a = toy_alignment(&[100, 200, 300]);
+        let plan = GridPlan::plan_at(&a, 150, &params(0, 1000));
+        assert!(BorderSet::build(&a, &plan, &params(0, 1000)).is_none());
+    }
+
+    #[test]
+    fn min_snps_shrinks_border_lists() {
+        let a = toy_alignment(&[100, 200, 300, 400, 500, 600]);
+        let p = ScanParams { min_snps_per_side: 3, ..params(0, 1000) };
+        let plan = GridPlan::plan_at(&a, 350, &p);
+        let b = BorderSet::build(&a, &plan, &p).unwrap();
+        assert_eq!(b.left_borders, vec![0]);
+        assert_eq!(b.right_borders, vec![5]);
+        assert_eq!(b.n_combinations(), 1);
+    }
+
+    #[test]
+    fn empty_alignment_gives_empty_plan() {
+        let sites: Vec<SnpVec> = vec![];
+        let a = Alignment::new(vec![], sites, 100).unwrap();
+        let g = GridPlan::build(&a, &ScanParams::default());
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn min_win_can_eliminate_all_combinations() {
+        let a = toy_alignment(&[100, 200, 300, 400]);
+        let p = params(10_000, 20_000);
+        let plan = GridPlan::plan_at(&a, 250, &p);
+        let b = BorderSet::build(&a, &plan, &p).unwrap();
+        assert_eq!(b.n_combinations(), 0);
+    }
+}

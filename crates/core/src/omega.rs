@@ -1,0 +1,383 @@
+//! The ω statistic (Eq. 2) and its maximisation over all subwindow
+//! combinations at one grid position, plus the flat "task" form consumed
+//! by the accelerator backends.
+//!
+//! For a combination with left border `lb` and right border `rb` around the
+//! split point `k` (all window-relative), with `l = k - lb + 1` left SNPs
+//! and `r = rb - k` right SNPs:
+//!
+//! ```text
+//!         (C(l,2) + C(r,2))⁻¹ · (LS + RS)
+//! ω = ──────────────────────────────────────
+//!        (l·r)⁻¹ · (TS − LS − RS) + ε
+//! ```
+//!
+//! where `LS = M(k, lb)`, `RS = M(rb, k+1)`, `TS = M(rb, lb)` and ε is
+//! OmegaPlus' `DENOMINATOR_OFFSET` guard against a vanishing cross-region
+//! LD sum.
+
+use crate::grid::{BorderSet, PositionPlan};
+use crate::matrix::RegionMatrix;
+use crate::params::DENOMINATOR_OFFSET;
+
+/// The ω score of a single subwindow combination — the scalar datapath
+/// every backend (CPU loop, GPU kernels, FPGA pipeline) implements.
+#[inline(always)]
+pub fn omega_score(ls: f32, rs: f32, ts: f32, l: u32, r: u32) -> f32 {
+    let lf = l as f32;
+    let rf = r as f32;
+    let combinations = lf * (lf - 1.0) * 0.5 + rf * (rf - 1.0) * 0.5;
+    let cross = (ts - ls - rs).max(0.0);
+    let num = (ls + rs) / combinations;
+    let den = cross / (lf * rf) + DENOMINATOR_OFFSET;
+    num / den
+}
+
+/// Best ω found at one grid position.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OmegaMax {
+    /// The maximised ω statistic.
+    pub omega: f32,
+    /// Window-relative left border of the maximising combination.
+    pub left_border: usize,
+    /// Window-relative right border of the maximising combination.
+    pub right_border: usize,
+    /// Number of combinations evaluated.
+    pub evaluated: u64,
+}
+
+/// Evaluates every valid combination at a position directly from the
+/// matrix M — the CPU hot loop of OmegaPlus (Fig. 6 of the paper).
+/// Returns `None` when the border set admits no combination.
+pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
+    let k = b.k_rel;
+    let mut best: Option<OmegaMax> = None;
+    let mut evaluated = 0u64;
+    for (ai, &lb) in b.left_borders.iter().enumerate() {
+        let lb = lb as usize;
+        let ls = m.sum(lb, k);
+        let l = (k - lb + 1) as u32;
+        for &rb in &b.right_borders[b.first_valid_rb[ai] as usize..] {
+            let rb = rb as usize;
+            let rs = m.sum(k + 1, rb);
+            let ts = m.sum(lb, rb);
+            let r = (rb - k) as u32;
+            let omega = omega_score(ls, rs, ts, l, r);
+            evaluated += 1;
+            if best.is_none_or(|cur| omega > cur.omega) {
+                best = Some(OmegaMax { omega, left_border: lb, right_border: rb, evaluated: 0 });
+            }
+        }
+    }
+    best.map(|mut r| {
+        r.evaluated = evaluated;
+        r
+    })
+}
+
+/// The flattened per-position workload shipped to an accelerator: the
+/// paper's `LR`, `km` and `TS` buffers (Figs. 4, 5, 8).
+///
+/// * `ls[a]` / `l_snps[a]` — left-region LD sum and SNP count per left
+///   border (ascending window-relative order);
+/// * `rs[b]` / `r_snps[b]` — same for right borders;
+/// * `ts[a * rs.len() + b]` — total LD sum `M(rb_b, lb_a)` per combination;
+/// * `first_valid_rb[a]` — combinations `(a, b)` are valid for
+///   `b >= first_valid_rb[a]` (min-window constraint).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OmegaTask {
+    /// ω position in bp (for reporting).
+    pub pos_bp: u64,
+    /// Absolute site index of the window start (for border mapping).
+    pub window_lo: usize,
+    /// Window-relative split index `k`.
+    pub k_rel: usize,
+    /// Left-region LD sums per left border.
+    pub ls: Vec<f32>,
+    /// Left-region SNP counts per left border.
+    pub l_snps: Vec<u32>,
+    /// Right-region LD sums per right border.
+    pub rs: Vec<f32>,
+    /// Right-region SNP counts per right border.
+    pub r_snps: Vec<u32>,
+    /// Total sums per (left, right) combination, row-major by left border.
+    pub ts: Vec<f32>,
+    /// First valid right-border list index per left border.
+    pub first_valid_rb: Vec<u32>,
+    /// Window-relative site index per left border.
+    pub left_borders: Vec<u32>,
+    /// Window-relative site index per right border.
+    pub right_borders: Vec<u32>,
+}
+
+impl OmegaTask {
+    /// Extracts the flat buffers for a position from the matrix M. This is
+    /// the host-side "data packing per grid position" step of Fig. 3.
+    pub fn extract(m: &RegionMatrix, b: &BorderSet, plan: &PositionPlan) -> OmegaTask {
+        let k = b.k_rel;
+        let n_lb = b.left_borders.len();
+        let n_rb = b.right_borders.len();
+        let mut ls = Vec::with_capacity(n_lb);
+        let mut l_snps = Vec::with_capacity(n_lb);
+        for &lb in &b.left_borders {
+            ls.push(m.sum(lb as usize, k));
+            l_snps.push((k - lb as usize + 1) as u32);
+        }
+        let mut rs = Vec::with_capacity(n_rb);
+        let mut r_snps = Vec::with_capacity(n_rb);
+        for &rb in &b.right_borders {
+            rs.push(m.sum(k + 1, rb as usize));
+            r_snps.push((rb as usize - k) as u32);
+        }
+        let mut ts = Vec::with_capacity(n_lb * n_rb);
+        for &lb in &b.left_borders {
+            for &rb in &b.right_borders {
+                ts.push(m.sum(lb as usize, rb as usize));
+            }
+        }
+        OmegaTask {
+            pos_bp: plan.pos_bp,
+            window_lo: plan.lo,
+            k_rel: k,
+            ls,
+            l_snps,
+            rs,
+            r_snps,
+            ts,
+            first_valid_rb: b.first_valid_rb.clone(),
+            left_borders: b.left_borders.clone(),
+            right_borders: b.right_borders.clone(),
+        }
+    }
+
+    /// Number of valid combinations in the task.
+    pub fn n_combinations(&self) -> u64 {
+        let n_rb = self.rs.len() as u64;
+        self.first_valid_rb.iter().map(|&f| n_rb - u64::from(f)).sum()
+    }
+
+    /// `true` when the min-window constraint admits combination `(a, b)`.
+    #[inline]
+    pub fn is_valid(&self, a: usize, b: usize) -> bool {
+        b as u32 >= self.first_valid_rb[a]
+    }
+
+    /// ω of combination `(a, b)` (indices into the border lists).
+    #[inline]
+    pub fn score(&self, a: usize, b: usize) -> f32 {
+        omega_score(
+            self.ls[a],
+            self.rs[b],
+            self.ts[a * self.rs.len() + b],
+            self.l_snps[a],
+            self.r_snps[b],
+        )
+    }
+
+    /// Reference sequential evaluation of the task — used to validate the
+    /// accelerator backends, which must agree exactly.
+    pub fn max_reference(&self) -> Option<OmegaMax> {
+        let n_rb = self.rs.len();
+        let mut best: Option<OmegaMax> = None;
+        let mut evaluated = 0u64;
+        for a in 0..self.ls.len() {
+            for b in self.first_valid_rb[a] as usize..n_rb {
+                let omega = self.score(a, b);
+                evaluated += 1;
+                if best.is_none_or(|cur| omega > cur.omega) {
+                    best = Some(OmegaMax {
+                        omega,
+                        left_border: self.left_borders[a] as usize,
+                        right_border: self.right_borders[b] as usize,
+                        evaluated: 0,
+                    });
+                }
+            }
+        }
+        best.map(|mut r| {
+            r.evaluated = evaluated;
+            r
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridPlan;
+    use crate::matrix::MatrixBuildTiming;
+    use crate::params::ScanParams;
+    use omega_genome::{Alignment, SnpVec};
+    use omega_ld::r2_sites;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_alignment(n_sites: usize, n_samples: usize, seed: u64) -> Alignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
+        Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap()
+    }
+
+    /// Brute-force ω max straight from Eq. 2 over raw pairwise r² sums.
+    fn brute_force_max(a: &Alignment, plan: &crate::grid::PositionPlan, p: &ScanParams) -> Option<f32> {
+        let k = plan.split - 1; // absolute
+        let mut best: Option<f32> = None;
+        for lb in plan.lo..=k + 1 - p.min_snps_per_side {
+            for rb in k + p.min_snps_per_side..plan.hi {
+                if a.position(rb) - a.position(lb) < p.min_win {
+                    continue;
+                }
+                let sum = |from: usize, to: usize| -> f32 {
+                    let mut t = 0.0f64;
+                    for x in from..=to {
+                        for y in x + 1..=to {
+                            t += r2_sites(a.site(x), a.site(y)) as f64;
+                        }
+                    }
+                    t as f32
+                };
+                let ls = sum(lb, k);
+                let rs = sum(k + 1, rb);
+                let ts = sum(lb, rb);
+                let l = (k - lb + 1) as u32;
+                let r = (rb - k) as u32;
+                let w = omega_score(ls, rs, ts, l, r);
+                best = Some(best.map_or(w, |b: f32| b.max(w)));
+            }
+        }
+        best
+    }
+
+    fn setup(
+        seed: u64,
+        n_sites: usize,
+        pos_bp: u64,
+        params: &ScanParams,
+    ) -> (Alignment, RegionMatrix, BorderSet, crate::grid::PositionPlan) {
+        let a = random_alignment(n_sites, 24, seed);
+        let plan = GridPlan::plan_at(&a, pos_bp, params);
+        let b = BorderSet::build(&a, &plan, params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        (a, m, b, plan)
+    }
+
+    #[test]
+    fn omega_score_hand_example() {
+        // l = r = 2, LS = RS = 1 (perfect LD inside), TS = 2 (no cross LD).
+        // num = 2 / (1 + 1) = 1; den = 0 / 4 + eps = eps -> omega = 1/eps.
+        let w = omega_score(1.0, 1.0, 2.0, 2, 2);
+        assert!((w - 1.0 / DENOMINATOR_OFFSET).abs() / w < 1e-5);
+    }
+
+    #[test]
+    fn omega_score_with_cross_ld() {
+        // l = 2, r = 3: comb = 1 + 3 = 4. LS+RS = 2.0, cross = 1.2.
+        // num = 0.5; den = 1.2/6 + eps = 0.20001; omega ≈ 2.49988.
+        let w = omega_score(0.8, 1.2, 3.2, 2, 3);
+        assert!((w - 0.5 / (0.2 + DENOMINATOR_OFFSET)).abs() < 1e-5);
+    }
+
+    #[test]
+    fn negative_cross_clamped() {
+        // Floating cancellation can make TS slightly below LS+RS.
+        let w = omega_score(1.0, 1.0, 1.999_999_9, 2, 2);
+        assert!(w > 0.0 && w.is_finite());
+    }
+
+    #[test]
+    fn loop_matches_brute_force() {
+        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let (a, m, b, plan) = setup(11, 14, 700, &params);
+        let got = omega_max(&m, &b).unwrap();
+        let want = brute_force_max(&a, &plan, &params).unwrap();
+        assert!(
+            (got.omega - want).abs() <= 1e-3 * want.abs().max(1.0),
+            "loop {} vs brute {want}",
+            got.omega
+        );
+    }
+
+    #[test]
+    fn loop_respects_min_win() {
+        let params = ScanParams { grid: 1, min_win: 600, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let (a, m, b, plan) = setup(12, 14, 700, &params);
+        let got = omega_max(&m, &b).unwrap();
+        let want = brute_force_max(&a, &plan, &params).unwrap();
+        assert!((got.omega - want).abs() <= 1e-3 * want.abs().max(1.0));
+        assert_eq!(got.evaluated, b.n_combinations());
+    }
+
+    #[test]
+    fn task_reference_agrees_with_matrix_loop() {
+        let params = ScanParams { grid: 1, min_win: 300, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let (_a, m, b, plan) = setup(13, 16, 800, &params);
+        let direct = omega_max(&m, &b).unwrap();
+        let task = OmegaTask::extract(&m, &b, &plan);
+        let via_task = task.max_reference().unwrap();
+        assert_eq!(direct.omega, via_task.omega);
+        assert_eq!(direct.left_border, via_task.left_border);
+        assert_eq!(direct.right_border, via_task.right_border);
+        assert_eq!(direct.evaluated, via_task.evaluated);
+        assert_eq!(task.n_combinations(), b.n_combinations());
+    }
+
+    #[test]
+    fn task_buffers_have_consistent_shapes() {
+        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 3, threads: 1 };
+        let (_a, m, b, plan) = setup(14, 18, 900, &params);
+        let task = OmegaTask::extract(&m, &b, &plan);
+        assert_eq!(task.ls.len(), task.l_snps.len());
+        assert_eq!(task.rs.len(), task.r_snps.len());
+        assert_eq!(task.ts.len(), task.ls.len() * task.rs.len());
+        assert_eq!(task.first_valid_rb.len(), task.ls.len());
+        assert!(task.l_snps.iter().all(|&l| l >= 3));
+        assert!(task.r_snps.iter().all(|&r| r >= 3));
+    }
+
+    #[test]
+    fn higher_intra_ld_raises_omega() {
+        // A window with perfect LD on both sides and none across scores
+        // higher than a fully-uncorrelated window.
+        let hot_sites = vec![
+            SnpVec::from_bits(&[1, 1, 0, 0, 1, 0]),
+            SnpVec::from_bits(&[1, 1, 0, 0, 1, 0]),
+            SnpVec::from_bits(&[1, 0, 1, 0, 0, 1]),
+            SnpVec::from_bits(&[1, 0, 1, 0, 0, 1]),
+        ];
+        let cold_sites = vec![
+            SnpVec::from_bits(&[1, 1, 0, 0, 1, 0]),
+            SnpVec::from_bits(&[1, 0, 1, 0, 1, 0]),
+            SnpVec::from_bits(&[1, 1, 1, 0, 0, 0]),
+            SnpVec::from_bits(&[0, 1, 0, 1, 0, 1]),
+        ];
+        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let score = |sites: Vec<SnpVec>| {
+            let a = Alignment::new(vec![100, 200, 300, 400], sites, 500).unwrap();
+            let plan = GridPlan::plan_at(&a, 250, &params);
+            let b = BorderSet::build(&a, &plan, &params).unwrap();
+            let mut m = RegionMatrix::new();
+            let mut t = MatrixBuildTiming::default();
+            m.rebuild(&a, plan.lo, plan.hi, &mut t);
+            omega_max(&m, &b).unwrap().omega
+        };
+        assert!(score(hot_sites) > score(cold_sites));
+    }
+
+    #[test]
+    fn empty_combination_set_returns_none() {
+        let params = ScanParams { grid: 1, min_win: 1_000_000, max_win: 2_000_000, min_snps_per_side: 2, threads: 1 };
+        let (_a, m, b, _plan) = setup(15, 10, 500, &params);
+        assert_eq!(b.n_combinations(), 0);
+        assert!(omega_max(&m, &b).is_none());
+    }
+}

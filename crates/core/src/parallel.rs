@@ -1,0 +1,140 @@
+//! Multithreaded scan: the "generic multithreaded OmegaPlus" the paper
+//! benchmarks in Table IV.
+//!
+//! Grid positions are partitioned into contiguous chunks, one per worker,
+//! so each worker keeps the matrix data-reuse optimization within its own
+//! chunk (the same decomposition OmegaPlus' generic multithreaded mode
+//! uses: consecutive positions share window content, so splitting
+//! contiguously preserves most relocation opportunities).
+
+use std::time::Instant;
+
+use omega_genome::Alignment;
+use rayon::prelude::*;
+
+use crate::grid::GridPlan;
+use crate::profile::{ScanStats, Timings};
+use crate::scan::{scan_positions, OmegaScanner, ScanOutcome};
+
+impl OmegaScanner {
+    /// Parallel scan using `params.threads` workers (0 = one per core).
+    ///
+    /// `timings.total` is wall time; the per-bucket timings (`r2`, `dp`,
+    /// `omega`) are summed across workers, i.e. CPU time, so
+    /// `kernel_fraction` can exceed 1 on a multicore run.
+    pub fn scan_parallel(&self, alignment: &Alignment) -> ScanOutcome {
+        let start = Instant::now();
+        let threads = if self.params().threads == 0 {
+            rayon::current_num_threads()
+        } else {
+            self.params().threads
+        };
+        let plan = GridPlan::build(alignment, self.params());
+        if plan.is_empty() {
+            return ScanOutcome {
+                results: Vec::new(),
+                timings: Timings { total: start.elapsed(), ..Timings::default() },
+                stats: ScanStats::default(),
+            };
+        }
+
+        let chunk_len = plan.len().div_ceil(threads);
+        let chunks: Vec<_> = plan.positions().chunks(chunk_len).collect();
+
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("failed to build scan thread pool");
+        let per_chunk: Vec<_> = pool.install(|| {
+            chunks
+                .par_iter()
+                .map(|chunk| scan_positions(alignment, self.params(), chunk))
+                .collect()
+        });
+
+        let mut results = Vec::with_capacity(plan.len());
+        let mut timings = Timings::default();
+        let mut stats = ScanStats::default();
+        for (chunk_results, chunk_timings, chunk_stats) in per_chunk {
+            results.extend(chunk_results);
+            timings.accumulate(&chunk_timings);
+            stats.accumulate(&chunk_stats);
+        }
+        timings.total = start.elapsed();
+        ScanOutcome { results, timings, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::ScanParams;
+    use omega_genome::SnpVec;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_alignment(n_sites: usize, n_samples: usize, seed: u64) -> Alignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 50 * (i + 1)).collect();
+        Alignment::new(positions, sites, 50 * n_sites as u64 + 50).unwrap()
+    }
+
+    fn params(grid: usize, threads: usize) -> ScanParams {
+        ScanParams { grid, min_win: 0, max_win: 2_000, min_snps_per_side: 2, threads }
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = random_alignment(80, 16, 1);
+        let seq = OmegaScanner::new(params(20, 1)).unwrap().scan(&a);
+        let par = OmegaScanner::new(params(20, 4)).unwrap().scan_parallel(&a);
+        assert_eq!(seq.results.len(), par.results.len());
+        for (s, p) in seq.results.iter().zip(&par.results) {
+            assert_eq!(s.pos_bp, p.pos_bp);
+            assert_eq!(s.n_combinations, p.n_combinations);
+            let tol = 1e-3 * s.omega.abs().max(1.0);
+            assert!((s.omega - p.omega).abs() <= tol);
+        }
+        assert_eq!(seq.stats.omega_evaluations, par.stats.omega_evaluations);
+        assert_eq!(seq.stats.positions, par.stats.positions);
+    }
+
+    #[test]
+    fn more_threads_than_positions() {
+        let a = random_alignment(30, 12, 2);
+        let par = OmegaScanner::new(params(3, 16)).unwrap().scan_parallel(&a);
+        assert_eq!(par.results.len(), 3);
+    }
+
+    #[test]
+    fn single_thread_parallel_equals_sequential_exactly() {
+        let a = random_alignment(50, 12, 3);
+        let seq = OmegaScanner::new(params(10, 1)).unwrap().scan(&a);
+        let par = OmegaScanner::new(params(10, 1)).unwrap().scan_parallel(&a);
+        for (s, p) in seq.results.iter().zip(&par.results) {
+            assert_eq!(s.omega, p.omega, "identical chunking must be bitwise equal");
+        }
+    }
+
+    #[test]
+    fn zero_threads_uses_default_pool() {
+        let a = random_alignment(30, 12, 4);
+        let par = OmegaScanner::new(params(5, 0)).unwrap().scan_parallel(&a);
+        assert_eq!(par.results.len(), 5);
+    }
+
+    #[test]
+    fn empty_alignment() {
+        let a = Alignment::new(vec![], vec![], 10).unwrap();
+        let par = OmegaScanner::new(params(5, 2)).unwrap().scan_parallel(&a);
+        assert!(par.results.is_empty());
+    }
+}

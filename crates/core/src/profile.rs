@@ -1,0 +1,144 @@
+//! Timing and workload accounting for a scan.
+//!
+//! The paper's evaluation hinges on how total runtime splits between "LD
+//! computation" (building matrix M: r² popcounts plus the Eq. 3 DP) and
+//! "ω computation" (the nested maximisation loop); §I reports the two
+//! collectively consume over 98 % of OmegaPlus runtime. These structures
+//! capture that breakdown for every backend.
+
+use std::time::Duration;
+
+/// Wall-clock breakdown of one scan.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timings {
+    /// Time in r² computation (popcount kernels; scales with samples).
+    pub r2: Duration,
+    /// Time in the Eq. 3 recurrence and matrix relocation.
+    pub dp: Duration,
+    /// Time in the ω maximisation loop (scales with SNP density).
+    pub omega: Duration,
+    /// End-to-end wall time of the scan.
+    pub total: Duration,
+}
+
+impl Timings {
+    /// The paper's "LD computation" bucket: everything spent building M.
+    pub fn ld(&self) -> Duration {
+        self.r2 + self.dp
+    }
+
+    /// Runtime not attributed to LD or ω (I/O, planning, reporting).
+    pub fn other(&self) -> Duration {
+        self.total.saturating_sub(self.ld() + self.omega)
+    }
+
+    /// Fraction of total runtime spent in LD + ω (the §I ≥98 % claim).
+    pub fn kernel_fraction(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        (self.ld() + self.omega).as_secs_f64() / self.total.as_secs_f64()
+    }
+
+    /// Fraction of the LD+ω kernel time spent on LD.
+    pub fn ld_share(&self) -> f64 {
+        let k = (self.ld() + self.omega).as_secs_f64();
+        if k == 0.0 {
+            return 0.0;
+        }
+        self.ld().as_secs_f64() / k
+    }
+
+    /// Element-wise accumulation (for merging per-thread timings).
+    pub fn accumulate(&mut self, other: &Timings) {
+        self.r2 += other.r2;
+        self.dp += other.dp;
+        self.omega += other.omega;
+        self.total += other.total;
+    }
+}
+
+/// Workload counters of one scan.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Grid positions planned.
+    pub positions: usize,
+    /// Positions with at least one scorable combination.
+    pub scorable_positions: usize,
+    /// ω scores evaluated (the unit of the paper's Gω/s throughput).
+    pub omega_evaluations: u64,
+    /// Fresh r² pairs computed (the unit of LD throughput).
+    pub r2_pairs: u64,
+    /// Matrix cells relocated instead of recomputed (data-reuse savings).
+    pub cells_reused: u64,
+}
+
+impl ScanStats {
+    /// Element-wise accumulation (for merging per-thread stats).
+    pub fn accumulate(&mut self, other: &ScanStats) {
+        self.positions += other.positions;
+        self.scorable_positions += other.scorable_positions;
+        self.omega_evaluations += other.omega_evaluations;
+        self.r2_pairs += other.r2_pairs;
+        self.cells_reused += other.cells_reused;
+    }
+}
+
+/// ω-score throughput in scores/second given evaluations and elapsed time.
+pub fn throughput(evaluations: u64, elapsed: Duration) -> f64 {
+    if elapsed.is_zero() {
+        return 0.0;
+    }
+    evaluations as f64 / elapsed.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> Duration {
+        Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn buckets_sum_correctly() {
+        let timings = Timings { r2: t(30), dp: t(10), omega: t(50), total: t(100) };
+        assert_eq!(timings.ld(), t(40));
+        assert_eq!(timings.other(), t(10));
+        assert!((timings.kernel_fraction() - 0.9).abs() < 1e-9);
+        assert!((timings.ld_share() - 40.0 / 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn other_saturates() {
+        let timings = Timings { r2: t(80), dp: t(40), omega: t(50), total: t(100) };
+        assert_eq!(timings.other(), Duration::ZERO);
+    }
+
+    #[test]
+    fn zero_total_is_safe() {
+        let timings = Timings::default();
+        assert_eq!(timings.kernel_fraction(), 0.0);
+        assert_eq!(timings.ld_share(), 0.0);
+    }
+
+    #[test]
+    fn accumulate_merges() {
+        let mut a = Timings { r2: t(1), dp: t(2), omega: t(3), total: t(6) };
+        a.accumulate(&Timings { r2: t(10), dp: t(20), omega: t(30), total: t(60) });
+        assert_eq!(a.r2, t(11));
+        assert_eq!(a.total, t(66));
+
+        let mut s = ScanStats { positions: 1, scorable_positions: 1, omega_evaluations: 5, r2_pairs: 7, cells_reused: 2 };
+        s.accumulate(&ScanStats { positions: 2, scorable_positions: 1, omega_evaluations: 10, r2_pairs: 3, cells_reused: 8 });
+        assert_eq!(s.positions, 3);
+        assert_eq!(s.omega_evaluations, 15);
+        assert_eq!(s.cells_reused, 10);
+    }
+
+    #[test]
+    fn throughput_computation() {
+        assert_eq!(throughput(1000, Duration::from_secs(2)), 500.0);
+        assert_eq!(throughput(1000, Duration::ZERO), 0.0);
+    }
+}

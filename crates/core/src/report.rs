@@ -1,0 +1,176 @@
+//! OmegaPlus-style report generation and sweep calling.
+
+use std::io::Write;
+
+use crate::scan::{PositionResult, ScanOutcome};
+
+/// A candidate selective sweep called from the ω profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepCall {
+    /// ω position of the peak.
+    pub pos_bp: u64,
+    /// Peak ω value.
+    pub omega: f32,
+    /// Left edge (bp) of the maximising window.
+    pub left_bp: u64,
+    /// Right edge (bp) of the maximising window.
+    pub right_bp: u64,
+}
+
+/// Report over a completed scan.
+#[derive(Debug, Clone)]
+pub struct Report<'a> {
+    results: &'a [PositionResult],
+}
+
+impl<'a> Report<'a> {
+    /// Wraps scan results.
+    pub fn new(outcome: &'a ScanOutcome) -> Self {
+        Report { results: &outcome.results }
+    }
+
+    /// Wraps a raw result slice.
+    pub fn from_results(results: &'a [PositionResult]) -> Self {
+        Report { results }
+    }
+
+    /// Writes the OmegaPlus `*_Report`-style table: one line per position
+    /// with `position  omega  left_border  right_border`.
+    pub fn write_tsv<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        writeln!(w, "# position\tomega\tleft_border\tright_border\tcombinations")?;
+        for r in self.results {
+            writeln!(
+                w,
+                "{}\t{:.6}\t{}\t{}\t{}",
+                r.pos_bp, r.omega, r.left_bp, r.right_bp, r.n_combinations
+            )?;
+        }
+        Ok(())
+    }
+
+    /// The highest-ω scorable position.
+    pub fn peak(&self) -> Option<&PositionResult> {
+        self.results
+            .iter()
+            .filter(|r| r.n_combinations > 0)
+            .max_by(|a, b| a.omega.total_cmp(&b.omega))
+    }
+
+    /// Mean ω over scorable positions (0 when none).
+    pub fn mean_omega(&self) -> f64 {
+        let scorable: Vec<f64> = self
+            .results
+            .iter()
+            .filter(|r| r.n_combinations > 0)
+            .map(|r| r.omega as f64)
+            .collect();
+        if scorable.is_empty() {
+            0.0
+        } else {
+            scorable.iter().sum::<f64>() / scorable.len() as f64
+        }
+    }
+
+    /// Calls a sweep when the peak ω exceeds `factor` times the mean ω —
+    /// the simple outlier heuristic used in OmegaPlus-based workflows
+    /// (formal significance requires neutral-simulation calibration).
+    pub fn call_sweep(&self, factor: f64) -> Option<SweepCall> {
+        let peak = self.peak()?;
+        let mean = self.mean_omega();
+        if mean > 0.0 && (peak.omega as f64) >= factor * mean {
+            Some(SweepCall {
+                pos_bp: peak.pos_bp,
+                omega: peak.omega,
+                left_bp: peak.left_bp,
+                right_bp: peak.right_bp,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// The `n` highest-ω scorable positions, descending.
+    pub fn top_n(&self, n: usize) -> Vec<&PositionResult> {
+        let mut scorable: Vec<&PositionResult> =
+            self.results.iter().filter(|r| r.n_combinations > 0).collect();
+        scorable.sort_by(|a, b| b.omega.total_cmp(&a.omega));
+        scorable.truncate(n);
+        scorable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(pos: u64, omega: f32, combos: u64) -> PositionResult {
+        PositionResult {
+            pos_bp: pos,
+            omega,
+            left_bp: pos.saturating_sub(100),
+            right_bp: pos + 100,
+            n_combinations: combos,
+        }
+    }
+
+    #[test]
+    fn peak_ignores_unscorable() {
+        let results = vec![result(10, 99.0, 0), result(20, 2.0, 5), result(30, 8.0, 5)];
+        let report = Report::from_results(&results);
+        assert_eq!(report.peak().unwrap().pos_bp, 30);
+    }
+
+    #[test]
+    fn mean_over_scorable_only() {
+        let results = vec![result(10, 99.0, 0), result(20, 2.0, 5), result(30, 8.0, 5)];
+        let report = Report::from_results(&results);
+        assert!((report.mean_omega() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_called_on_strong_peak() {
+        let mut results: Vec<PositionResult> = (0..20).map(|i| result(i * 100, 1.0, 4)).collect();
+        results[10].omega = 50.0;
+        let report = Report::from_results(&results);
+        let call = report.call_sweep(5.0).expect("peak 50 vs mean ~3.45");
+        assert_eq!(call.pos_bp, 1000);
+    }
+
+    #[test]
+    fn no_sweep_on_flat_profile() {
+        let results: Vec<PositionResult> = (0..20).map(|i| result(i * 100, 1.0, 4)).collect();
+        let report = Report::from_results(&results);
+        assert!(report.call_sweep(5.0).is_none());
+    }
+
+    #[test]
+    fn tsv_format() {
+        let results = vec![result(100, 1.5, 3)];
+        let report = Report::from_results(&results);
+        let mut out = Vec::new();
+        report.write_tsv(&mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("# position"));
+        assert!(text.contains("100\t1.500000\t0\t200\t3"));
+    }
+
+    #[test]
+    fn top_n_sorted_descending() {
+        let results = vec![result(10, 1.0, 2), result(20, 5.0, 2), result(30, 3.0, 2)];
+        let report = Report::from_results(&results);
+        let top = report.top_n(2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].pos_bp, 20);
+        assert_eq!(top[1].pos_bp, 30);
+    }
+
+    #[test]
+    fn empty_report() {
+        let results: Vec<PositionResult> = vec![];
+        let report = Report::from_results(&results);
+        assert!(report.peak().is_none());
+        assert_eq!(report.mean_omega(), 0.0);
+        assert!(report.call_sweep(2.0).is_none());
+        assert!(report.top_n(3).is_empty());
+    }
+}

@@ -1,0 +1,147 @@
+//! FPGA platform descriptions (the paper's two targets).
+
+/// Available resources and operating point of an FPGA platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaDevice {
+    /// Board / part name.
+    pub name: &'static str,
+    /// Device family description used in Table I.
+    pub family: &'static str,
+    /// Logic cells, thousands (Table I "Logic Cells (k)").
+    pub logic_cells_k: u32,
+    /// Achievable clock for this design, MHz.
+    pub clock_mhz: f64,
+    /// Unroll factor: number of ω pipeline instances placed.
+    pub unroll: u32,
+    /// Total BRAM (36 Kb blocks).
+    pub bram_total: u32,
+    /// Total DSP48E slices.
+    pub dsp_total: u32,
+    /// Total flip-flops.
+    pub ff_total: u64,
+    /// Total LUTs.
+    pub lut_total: u64,
+    /// Usable external memory bandwidth, GB/s (DDR on the ZCU102, one
+    /// DDR4 channel as provisioned for the design on the U200).
+    pub mem_bandwidth_gbs: f64,
+}
+
+impl FpgaDevice {
+    /// The Zynq UltraScale+ ZCU102 embedded evaluation board
+    /// (unroll 4 @ 100 MHz in the paper).
+    pub fn zcu102() -> Self {
+        FpgaDevice {
+            name: "ZCU102",
+            family: "Zynq UltraScale+",
+            logic_cells_k: 600,
+            clock_mhz: 100.0,
+            unroll: 4,
+            bram_total: 1824,
+            dsp_total: 2520,
+            ff_total: 550_000,
+            lut_total: 270_000,
+            mem_bandwidth_gbs: 2.1,
+        }
+    }
+
+    /// The Alveo U200 datacenter accelerator card
+    /// (unroll 32 @ 250 MHz in the paper).
+    pub fn alveo_u200() -> Self {
+        FpgaDevice {
+            name: "Alveo U200",
+            family: "Alveo U200",
+            logic_cells_k: 892,
+            clock_mhz: 250.0,
+            unroll: 32,
+            bram_total: 4320,
+            dsp_total: 6840,
+            ff_total: 2_400_000,
+            lut_total: 1_200_000,
+            mem_bandwidth_gbs: 34.1,
+        }
+    }
+
+    /// Clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// Peak ω throughput: one score per pipeline per cycle
+    /// (`unroll × clock`), the dashed-line ceiling of Figs. 10–11.
+    pub fn peak_scores_per_sec(&self) -> f64 {
+        f64::from(self.unroll) * self.clock_hz()
+    }
+
+    /// Bytes per second the ω pipelines demand at full rate: each
+    /// instance consumes one fresh 4-byte TS value per cycle (LS/RS/km
+    /// are prefetched and reused, §V).
+    pub fn bandwidth_required_gbs(&self) -> f64 {
+        f64::from(self.unroll) * self.clock_hz() * 4.0 / 1e9
+    }
+
+    /// `true` when external memory can feed every pipeline each cycle —
+    /// the constraint that sized the paper's unroll factors ("the unroll
+    /// factors that allow the accelerators to utilize the available
+    /// bandwidth of each target platform are 4 ... and 32").
+    pub fn bandwidth_feasible(&self) -> bool {
+        self.bandwidth_required_gbs() <= self.mem_bandwidth_gbs
+    }
+
+    /// Both paper targets, embedded board first.
+    pub fn paper_targets() -> [FpgaDevice; 2] {
+        [Self::zcu102(), Self::alveo_u200()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu102_operating_point() {
+        let d = FpgaDevice::zcu102();
+        assert_eq!(d.unroll, 4);
+        assert_eq!(d.clock_mhz, 100.0);
+        // 4 pipelines @ 100 MHz = 0.4 Gω/s ceiling.
+        assert!((d.peak_scores_per_sec() - 0.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn alveo_operating_point() {
+        let d = FpgaDevice::alveo_u200();
+        assert_eq!(d.unroll, 32);
+        // 32 pipelines @ 250 MHz = 8 Gω/s ceiling.
+        assert!((d.peak_scores_per_sec() - 8.0e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn paper_unrolls_saturate_available_bandwidth() {
+        // The paper's chosen factors are the largest power-of-two
+        // configurations the platforms can feed.
+        let z = FpgaDevice::zcu102();
+        assert!(z.bandwidth_feasible());
+        let mut z2 = z.clone();
+        z2.unroll = 8;
+        assert!(!z2.bandwidth_feasible(), "unroll 8 must exceed ZCU102 bandwidth");
+        let a = FpgaDevice::alveo_u200();
+        assert!(a.bandwidth_feasible());
+        let mut a2 = a.clone();
+        a2.unroll = 64;
+        assert!(!a2.bandwidth_feasible(), "unroll 64 must exceed U200 bandwidth");
+    }
+
+    #[test]
+    fn bandwidth_requirement_formula() {
+        let z = FpgaDevice::zcu102();
+        // 4 pipelines * 100 MHz * 4 B = 1.6 GB/s.
+        assert!((z.bandwidth_required_gbs() - 1.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table1_totals() {
+        let z = FpgaDevice::zcu102();
+        assert_eq!((z.bram_total, z.dsp_total), (1824, 2520));
+        let a = FpgaDevice::alveo_u200();
+        assert_eq!((a.bram_total, a.dsp_total), (4320, 6840));
+    }
+}

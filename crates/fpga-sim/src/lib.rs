@@ -1,0 +1,31 @@
+//! `omega-fpga-sim` — a stage-accurate FPGA substrate for the ω statistic.
+//!
+//! The paper maps a custom single-precision ω pipeline (Fig. 8) onto a
+//! ZCU102 and an Alveo U200 via Vivado HLS, with the innermost loop
+//! unrolled into parallel pipeline instances, and reports throughput
+//! "extracted from post-place-and-route cycle accurate simulations". No
+//! FPGA is available here, so this crate substitutes the equivalent
+//! model (see DESIGN.md):
+//!
+//! * [`stages`] — the Fig. 8 datapath as a DAG of HLS-typical operator
+//!   stages; the pipeline latency is its longest path;
+//! * [`pipeline`] — a cycle-level II=1 pipeline simulation producing real
+//!   ω values (validated bit-for-bit against the CPU engine);
+//! * [`schedule`] — host scheduling per §V: unroll-way instance
+//!   replication, round-robin right-side iterations, software remainder,
+//!   one-time RS prefetch per position;
+//! * [`resources`] — the Table I utilisation model;
+//! * [`throughput`] — the Fig. 10/11 throughput-vs-iterations curves.
+
+pub mod device;
+pub mod pipeline;
+pub mod resources;
+pub mod schedule;
+pub mod stages;
+pub mod throughput;
+
+pub use device::FpgaDevice;
+pub use pipeline::{OmegaPipeline, PipeInput};
+pub use resources::ResourceReport;
+pub use schedule::{FpgaOmegaEngine, FpgaRun, HOST_SW_RATE, PREFETCH_INIT_CYCLES};
+pub use throughput::{iterations_for_efficiency, throughput_curve, ThroughputPoint};

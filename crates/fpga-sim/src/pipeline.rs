@@ -1,0 +1,160 @@
+//! Cycle-level simulation of one ω pipeline instance.
+//!
+//! The pipeline accepts one input per clock (initiation interval 1) and
+//! emits one ω score per clock after an initial fill of
+//! [`OmegaPipeline::latency`] cycles — the behaviour extracted from the
+//! paper's post-place-and-route simulations. Values are computed with
+//! the same `omega_score` datapath as every other backend, so functional
+//! equivalence is exact.
+
+use std::collections::VecDeque;
+
+use omega_core::omega_score;
+
+use crate::stages::{omega_datapath, pipeline_latency};
+
+/// One input tuple for the datapath (the TS/LS/RS fetch of Fig. 8 plus
+/// the subregion SNP counts from the `km` layout).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipeInput {
+    /// Left-region LD sum.
+    pub ls: f32,
+    /// Right-region LD sum.
+    pub rs: f32,
+    /// Total LD sum.
+    pub ts: f32,
+    /// Left-region SNP count.
+    pub l: u32,
+    /// Right-region SNP count.
+    pub r: u32,
+}
+
+/// A single ω pipeline instance.
+#[derive(Debug, Clone)]
+pub struct OmegaPipeline {
+    latency: u32,
+}
+
+impl Default for OmegaPipeline {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OmegaPipeline {
+    /// Builds the pipeline from the Fig. 8 stage graph.
+    pub fn new() -> Self {
+        OmegaPipeline { latency: pipeline_latency(omega_datapath()) }
+    }
+
+    /// Pipeline fill latency in cycles.
+    pub fn latency(&self) -> u32 {
+        self.latency
+    }
+
+    /// Streams `inputs` through the pipeline cycle by cycle: input `i`
+    /// enters at cycle `i` and its score retires at cycle `i + latency`.
+    /// Returns the scores in order and the total cycles until the last
+    /// retirement.
+    pub fn process(&self, inputs: &[PipeInput]) -> (Vec<f32>, u64) {
+        if inputs.is_empty() {
+            return (Vec::new(), 0);
+        }
+        let mut in_flight: VecDeque<(u64, f32)> = VecDeque::new();
+        let mut out = Vec::with_capacity(inputs.len());
+        let mut cycle = 0u64;
+        let mut next_in = 0usize;
+        loop {
+            // Retire whatever completes this cycle.
+            while in_flight.front().is_some_and(|&(ready, _)| ready == cycle) {
+                let (_, v) = in_flight.pop_front().expect("front checked above");
+                out.push(v);
+            }
+            // Issue one input per cycle (II = 1).
+            if next_in < inputs.len() {
+                let x = inputs[next_in];
+                let v = omega_score(x.ls, x.rs, x.ts, x.l, x.r);
+                in_flight.push_back((cycle + u64::from(self.latency), v));
+                next_in += 1;
+            }
+            if next_in == inputs.len() && in_flight.is_empty() {
+                break;
+            }
+            cycle += 1;
+        }
+        // `cycle` is the index of the last retirement; total cycles
+        // consumed is one more.
+        (out, cycle + 1)
+    }
+
+    /// Closed-form cycle count for a stream of `n` inputs (what
+    /// [`Self::process`] measures): `latency + n` for `n > 0`.
+    pub fn stream_cycles(&self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            u64::from(self.latency) + n
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn input(i: u32) -> PipeInput {
+        PipeInput { ls: 1.0 + i as f32, rs: 2.0, ts: 4.0 + i as f32, l: 3, r: 4 }
+    }
+
+    #[test]
+    fn latency_comes_from_stage_graph() {
+        assert_eq!(OmegaPipeline::new().latency(), 72);
+    }
+
+    #[test]
+    fn scores_match_reference_datapath() {
+        let p = OmegaPipeline::new();
+        let inputs: Vec<PipeInput> = (0..40).map(input).collect();
+        let (scores, _) = p.process(&inputs);
+        for (x, got) in inputs.iter().zip(&scores) {
+            assert_eq!(*got, omega_score(x.ls, x.rs, x.ts, x.l, x.r));
+        }
+    }
+
+    #[test]
+    fn cycle_count_is_latency_plus_n() {
+        let p = OmegaPipeline::new();
+        let inputs: Vec<PipeInput> = (0..100).map(input).collect();
+        let (scores, cycles) = p.process(&inputs);
+        assert_eq!(scores.len(), 100);
+        assert_eq!(cycles, p.stream_cycles(100));
+        assert_eq!(cycles, 72 + 100);
+    }
+
+    #[test]
+    fn single_input() {
+        let p = OmegaPipeline::new();
+        let (scores, cycles) = p.process(&[input(5)]);
+        assert_eq!(scores.len(), 1);
+        assert_eq!(cycles, 73);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let p = OmegaPipeline::new();
+        let (scores, cycles) = p.process(&[]);
+        assert!(scores.is_empty());
+        assert_eq!(cycles, 0);
+        assert_eq!(p.stream_cycles(0), 0);
+    }
+
+    #[test]
+    fn output_order_preserved() {
+        let p = OmegaPipeline::new();
+        let inputs: Vec<PipeInput> = (0..10).map(input).collect();
+        let (scores, _) = p.process(&inputs);
+        let direct: Vec<f32> =
+            inputs.iter().map(|x| omega_score(x.ls, x.rs, x.ts, x.l, x.r)).collect();
+        assert_eq!(scores, direct);
+    }
+}

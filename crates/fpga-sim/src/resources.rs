@@ -1,0 +1,130 @@
+//! The FPGA resource model behind Table I.
+//!
+//! Resource usage is modelled as a platform-independent per-pipeline cost
+//! times the unroll factor, plus a fixed infrastructure base (control
+//! FSM, AXI interfaces, prefetch unit). The constants are calibrated so
+//! the model reproduces the paper's post-synthesis utilisation for both
+//! targets (ZCU102 @ unroll 4 and Alveo U200 @ unroll 32) to within a
+//! fraction of a percent.
+
+use crate::device::FpgaDevice;
+
+/// DSP48E slices per pipeline instance (integer multipliers + fp cores).
+pub const DSP_PER_PIPE: f64 = 6.0;
+/// Fixed DSP infrastructure cost.
+pub const DSP_BASE: f64 = 24.0;
+/// Flip-flops per pipeline instance.
+pub const FF_PER_PIPE: f64 = 1387.0;
+/// Fixed flip-flop infrastructure cost.
+pub const FF_BASE: f64 = 6455.0;
+/// LUTs per pipeline instance.
+pub const LUT_PER_PIPE: f64 = 1348.0;
+/// Fixed LUT infrastructure cost.
+pub const LUT_BASE: f64 = 7455.0;
+/// BRAM blocks per pipeline instance (RS prefetch partitions).
+pub const BRAM_PER_PIPE: f64 = 0.143;
+/// Fixed BRAM infrastructure cost (RS/TS staging buffers).
+pub const BRAM_BASE: f64 = 35.0;
+
+/// Modelled utilisation of one accelerator build (one Table I column).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReport {
+    /// Target device.
+    pub device: FpgaDevice,
+    /// BRAM 36Kb blocks used.
+    pub bram: u32,
+    /// DSP48E slices used.
+    pub dsp: u32,
+    /// Flip-flops used.
+    pub ff: u64,
+    /// LUTs used.
+    pub lut: u64,
+}
+
+impl ResourceReport {
+    /// Runs the model for a device at its configured unroll factor.
+    pub fn for_device(device: &FpgaDevice) -> ResourceReport {
+        let u = f64::from(device.unroll);
+        ResourceReport {
+            device: device.clone(),
+            bram: (BRAM_BASE + BRAM_PER_PIPE * u).round() as u32,
+            dsp: (DSP_BASE + DSP_PER_PIPE * u).round() as u32,
+            ff: (FF_BASE + FF_PER_PIPE * u).round() as u64,
+            lut: (LUT_BASE + LUT_PER_PIPE * u).round() as u64,
+        }
+    }
+
+    /// Fraction of the device's BRAM consumed.
+    pub fn bram_frac(&self) -> f64 {
+        f64::from(self.bram) / f64::from(self.device.bram_total)
+    }
+
+    /// Fraction of the device's DSP slices consumed.
+    pub fn dsp_frac(&self) -> f64 {
+        f64::from(self.dsp) / f64::from(self.device.dsp_total)
+    }
+
+    /// Fraction of the device's flip-flops consumed.
+    pub fn ff_frac(&self) -> f64 {
+        self.ff as f64 / self.device.ff_total as f64
+    }
+
+    /// Fraction of the device's LUTs consumed.
+    pub fn lut_frac(&self) -> f64 {
+        self.lut as f64 / self.device.lut_total as f64
+    }
+
+    /// Largest unroll factor that fits the device under this model —
+    /// the design-space-exploration question §V's resizing answers.
+    pub fn max_unroll(device: &FpgaDevice) -> u32 {
+        let by_dsp = (f64::from(device.dsp_total) - DSP_BASE) / DSP_PER_PIPE;
+        let by_ff = (device.ff_total as f64 - FF_BASE) / FF_PER_PIPE;
+        let by_lut = (device.lut_total as f64 - LUT_BASE) / LUT_PER_PIPE;
+        let by_bram = (f64::from(device.bram_total) - BRAM_BASE) / BRAM_PER_PIPE;
+        by_dsp.min(by_ff).min(by_lut).min(by_bram).floor().max(0.0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zcu102_matches_table1() {
+        let r = ResourceReport::for_device(&FpgaDevice::zcu102());
+        assert_eq!(r.dsp, 48); // Table I: 48/2520
+        assert_eq!(r.bram, 36); // Table I: 36/1824
+        assert!((r.ff as i64 - 12_003).abs() < 60, "ff {}", r.ff); // 12003
+        assert!((r.lut as i64 - 12_847).abs() < 60, "lut {}", r.lut); // 12847
+    }
+
+    #[test]
+    fn alveo_matches_table1() {
+        let r = ResourceReport::for_device(&FpgaDevice::alveo_u200());
+        assert!((i64::from(r.dsp) - 215).abs() <= 2, "dsp {}", r.dsp); // 215/6840
+        assert!((i64::from(r.bram) - 40).abs() <= 1, "bram {}", r.bram); // 40/4320
+        assert!((r.ff as i64 - 50_841).abs() < 200, "ff {}", r.ff);
+        assert!((r.lut as i64 - 50_584).abs() < 200, "lut {}", r.lut);
+    }
+
+    #[test]
+    fn fractions_match_paper_percentages() {
+        let z = ResourceReport::for_device(&FpgaDevice::zcu102());
+        assert!((z.bram_frac() - 0.0197).abs() < 0.002);
+        assert!((z.dsp_frac() - 0.0190).abs() < 0.002);
+        assert!((z.ff_frac() - 0.0219).abs() < 0.003);
+        assert!((z.lut_frac() - 0.0469).abs() < 0.004);
+        let a = ResourceReport::for_device(&FpgaDevice::alveo_u200());
+        assert!((a.dsp_frac() - 0.0314).abs() < 0.003);
+        assert!((a.lut_frac() - 0.0428).abs() < 0.004);
+    }
+
+    #[test]
+    fn max_unroll_far_exceeds_paper_configs() {
+        // The paper's unroll factors are bandwidth-limited, not
+        // resource-limited; the model must agree that much larger
+        // factors fit.
+        assert!(ResourceReport::max_unroll(&FpgaDevice::zcu102()) > 100);
+        assert!(ResourceReport::max_unroll(&FpgaDevice::alveo_u200()) > 400);
+    }
+}

@@ -1,0 +1,299 @@
+//! Host scheduling of ω positions onto the FPGA accelerator.
+//!
+//! Per the paper (§V): the innermost (right-side) loop is unrolled by the
+//! device's unroll factor, placing that many pipeline instances; right-side
+//! iterations are distributed round-robin across instances; iterations
+//! left over when the unroll factor does not divide the right-side trip
+//! count are executed in software on the host; the RS column is
+//! prefetched once per position and reused across all left-border
+//! iterations.
+
+use omega_core::{omega_score, OmegaMax, OmegaTask};
+
+use crate::device::FpgaDevice;
+use crate::pipeline::{OmegaPipeline, PipeInput};
+
+/// Cycles to warm the RS prefetch buffer before the pipelines can stream
+/// (double-buffered afterwards, so only the initial burst is exposed).
+pub const PREFETCH_INIT_CYCLES: u64 = 28;
+
+/// Host software fallback rate for remainder iterations, ω scores/s
+/// (a single CPU core running the scalar loop).
+pub const HOST_SW_RATE: f64 = 180.0e6;
+
+/// Result of executing one grid position on the FPGA system.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaRun {
+    /// Best combination (reference tie-breaking), if any was valid.
+    pub best: Option<OmegaMax>,
+    /// Scores computed by the hardware pipelines.
+    pub hw_scores: u64,
+    /// Remainder scores computed in host software.
+    pub sw_scores: u64,
+    /// Accelerator cycles consumed.
+    pub cycles: u64,
+    /// Wall seconds: accelerator cycles at the device clock plus host
+    /// software remainder time.
+    pub seconds: f64,
+}
+
+/// The FPGA-accelerated ω engine.
+#[derive(Debug, Clone)]
+pub struct FpgaOmegaEngine {
+    device: FpgaDevice,
+    pipeline: OmegaPipeline,
+}
+
+impl FpgaOmegaEngine {
+    /// Creates an engine for a device.
+    pub fn new(device: FpgaDevice) -> Self {
+        FpgaOmegaEngine { device, pipeline: OmegaPipeline::new() }
+    }
+
+    /// The device.
+    pub fn device(&self) -> &FpgaDevice {
+        &self.device
+    }
+
+    /// The pipeline instance model.
+    pub fn pipeline(&self) -> &OmegaPipeline {
+        &self.pipeline
+    }
+
+    /// Executes one position functionally and charges cycles.
+    ///
+    /// For each left border, the valid right-side iterations are split:
+    /// the largest multiple of the unroll factor runs on the pipelines
+    /// (all instances in lockstep, `hw/unroll` steady-state cycles; the
+    /// position pays one pipeline fill plus the RS prefetch burst), the
+    /// remainder runs in host software.
+    pub fn run_task(&self, task: &OmegaTask) -> FpgaRun {
+        let unroll = self.device.unroll as u64;
+        let n_rb = task.rs.len();
+        let mut scores: Vec<f32> = vec![f32::NEG_INFINITY; task.ls.len() * n_rb];
+        let mut hw_scores = 0u64;
+        let mut sw_scores = 0u64;
+        let any_work = task.n_combinations() > 0;
+        let mut cycles = if any_work { PREFETCH_INIT_CYCLES } else { 0 };
+
+        for a in 0..task.ls.len() {
+            let first = task.first_valid_rb[a] as usize;
+            let valid = (n_rb - first) as u64;
+            if valid == 0 {
+                continue;
+            }
+            let hw = valid - valid % unroll;
+            // Hardware slice: per instance `hw/unroll` inputs; instances run
+            // in lockstep so the position pays one fill plus the per-instance
+            // trip count.
+            if hw > 0 {
+                let per_instance = hw / unroll;
+                for inst in 0..unroll as usize {
+                    let inputs: Vec<PipeInput> = (0..per_instance as usize)
+                        .map(|step| {
+                            let b = first + step * unroll as usize + inst;
+                            PipeInput {
+                                ls: task.ls[a],
+                                rs: task.rs[b],
+                                ts: task.ts[a * n_rb + b],
+                                l: task.l_snps[a],
+                                r: task.r_snps[b],
+                            }
+                        })
+                        .collect();
+                    let (vals, c) = self.pipeline.process(&inputs);
+                    // The pipeline streams across left-border iterations
+                    // without draining (II = 1 throughout the position), so
+                    // only the steady-state trip count accrues here; the
+                    // single fill is charged once per position below.
+                    debug_assert_eq!(c, per_instance + u64::from(self.pipeline.latency()));
+                    let _ = c;
+                    for (step, v) in vals.into_iter().enumerate() {
+                        let b = first + step * unroll as usize + inst;
+                        scores[a * n_rb + b] = v;
+                    }
+                }
+                cycles += per_instance;
+                hw_scores += hw;
+            }
+            // Software remainder.
+            for b in first + hw as usize..n_rb {
+                scores[a * n_rb + b] = omega_score(
+                    task.ls[a],
+                    task.rs[b],
+                    task.ts[a * n_rb + b],
+                    task.l_snps[a],
+                    task.r_snps[b],
+                );
+                sw_scores += 1;
+            }
+        }
+
+        if hw_scores > 0 {
+            cycles += u64::from(self.pipeline.latency());
+        }
+
+        // Reference-order reduction over the score buffer.
+        let mut best: Option<OmegaMax> = None;
+        for a in 0..task.ls.len() {
+            for b in task.first_valid_rb[a] as usize..n_rb {
+                let w = scores[a * n_rb + b];
+                if best.is_none_or(|cur| w > cur.omega) {
+                    best = Some(OmegaMax {
+                        omega: w,
+                        left_border: task.left_borders[a] as usize,
+                        right_border: task.right_borders[b] as usize,
+                        evaluated: 0,
+                    });
+                }
+            }
+        }
+        if let Some(b) = &mut best {
+            b.evaluated = hw_scores + sw_scores;
+        }
+        let seconds = cycles as f64 / self.device.clock_hz() + sw_scores as f64 / HOST_SW_RATE;
+        FpgaRun { best, hw_scores, sw_scores, cycles, seconds }
+    }
+
+    /// Analytic cycle/time estimate for a position given the valid
+    /// right-side trip count of every left-border iteration — usable at
+    /// paper-scale workloads without functional execution.
+    pub fn estimate(&self, rb_counts: impl IntoIterator<Item = u64>) -> FpgaRun {
+        let unroll = self.device.unroll as u64;
+        let latency = u64::from(self.pipeline.latency());
+        let mut cycles = 0u64;
+        let mut hw_scores = 0u64;
+        let mut sw_scores = 0u64;
+        let mut any = false;
+        for valid in rb_counts {
+            if valid == 0 {
+                continue;
+            }
+            any = true;
+            let hw = valid - valid % unroll;
+            if hw > 0 {
+                cycles += hw / unroll;
+                hw_scores += hw;
+            }
+            sw_scores += valid % unroll;
+        }
+        if any {
+            cycles += PREFETCH_INIT_CYCLES;
+        }
+        if hw_scores > 0 {
+            cycles += latency;
+        }
+        let seconds = cycles as f64 / self.device.clock_hz() + sw_scores as f64 / HOST_SW_RATE;
+        FpgaRun { best: None, hw_scores, sw_scores, cycles, seconds }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::{BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams};
+    use omega_genome::{Alignment, SnpVec};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_task(seed: u64, n_sites: usize, min_win: u64) -> OmegaTask {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..20).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
+        let a = Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap();
+        let params =
+            ScanParams { grid: 1, min_win, max_win: 1_000_000, min_snps_per_side: 2, threads: 1 };
+        let plan = GridPlan::plan_at(&a, 100 * (n_sites as u64 / 2) + 50, &params);
+        let b = BorderSet::build(&a, &plan, &params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        OmegaTask::extract(&m, &b, &plan)
+    }
+
+    #[test]
+    fn functional_matches_cpu_reference() {
+        for seed in 0..6 {
+            let task = random_task(seed, 18, 0);
+            for device in FpgaDevice::paper_targets() {
+                let engine = FpgaOmegaEngine::new(device);
+                let run = engine.run_task(&task);
+                let r = task.max_reference().unwrap();
+                let g = run.best.unwrap();
+                assert_eq!(g.omega, r.omega, "seed {seed}");
+                assert_eq!(g.left_border, r.left_border, "seed {seed}");
+                assert_eq!(g.right_border, r.right_border, "seed {seed}");
+                assert_eq!(g.evaluated, r.evaluated, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn hw_sw_split_respects_unroll() {
+        let task = random_task(10, 19, 0);
+        let engine = FpgaOmegaEngine::new(FpgaDevice::zcu102());
+        let run = engine.run_task(&task);
+        // Per-lb remainders are < unroll each.
+        assert_eq!(run.hw_scores % 4, 0);
+        assert_eq!(run.hw_scores + run.sw_scores, task.n_combinations());
+        assert!(run.sw_scores < 4 * task.ls.len() as u64);
+    }
+
+    #[test]
+    fn min_win_holes_handled() {
+        let task = random_task(11, 18, 800);
+        assert!(task.first_valid_rb.iter().any(|&f| f > 0));
+        let engine = FpgaOmegaEngine::new(FpgaDevice::alveo_u200());
+        let run = engine.run_task(&task);
+        let r = task.max_reference().unwrap();
+        assert_eq!(run.best.unwrap().omega, r.omega);
+        assert_eq!(run.hw_scores + run.sw_scores, task.n_combinations());
+    }
+
+    #[test]
+    fn estimate_matches_run_cycles() {
+        let task = random_task(12, 20, 0);
+        let engine = FpgaOmegaEngine::new(FpgaDevice::zcu102());
+        let run = engine.run_task(&task);
+        let n_rb = task.rs.len() as u64;
+        let est = engine.estimate(task.first_valid_rb.iter().map(|&f| n_rb - u64::from(f)));
+        assert_eq!(run.cycles, est.cycles);
+        assert_eq!(run.hw_scores, est.hw_scores);
+        assert_eq!(run.sw_scores, est.sw_scores);
+        assert!((run.seconds - est.seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bigger_unroll_fewer_cycles() {
+        let counts = vec![3200u64; 10];
+        let z = FpgaOmegaEngine::new(FpgaDevice::zcu102()).estimate(counts.clone());
+        let a = FpgaOmegaEngine::new(FpgaDevice::alveo_u200()).estimate(counts);
+        assert!(a.cycles < z.cycles);
+        assert!(a.seconds < z.seconds);
+    }
+
+    #[test]
+    fn empty_position_costs_nothing() {
+        let engine = FpgaOmegaEngine::new(FpgaDevice::zcu102());
+        let est = engine.estimate(std::iter::empty());
+        assert_eq!(est.cycles, 0);
+        assert_eq!(est.seconds, 0.0);
+    }
+
+    #[test]
+    fn throughput_approaches_peak_with_long_streams() {
+        let engine = FpgaOmegaEngine::new(FpgaDevice::alveo_u200());
+        let n = 1_000_000u64;
+        let est = engine.estimate(std::iter::once(n - n % 32));
+        let thr = est.hw_scores as f64 / est.seconds;
+        let peak = engine.device().peak_scores_per_sec();
+        assert!(thr > 0.99 * peak, "thr {thr:e} vs peak {peak:e}");
+    }
+}

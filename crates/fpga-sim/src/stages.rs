@@ -1,0 +1,127 @@
+//! The ω datapath as a DAG of floating-point/integer operator stages
+//! (Fig. 8 of the paper) with HLS-typical latencies.
+//!
+//! The pipeline is fully pipelined at initiation interval 1, so its
+//! *latency* is the longest path through the operator graph; that number
+//! is what keeps measured throughput below the one-score-per-cycle
+//! ceiling for short right-side loops (Figs. 10–11).
+
+/// One operator stage of the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stage {
+    /// Stage label (for reports and debugging).
+    pub name: &'static str,
+    /// Latency in cycles at the design clock.
+    pub latency: u32,
+    /// Indices of predecessor stages within [`omega_datapath`].
+    pub deps: &'static [usize],
+}
+
+/// HLS-typical single-precision operator latencies (Vivado HLS defaults
+/// at moderate clocks).
+pub mod latency {
+    /// Floating add/sub.
+    pub const FADD: u32 = 8;
+    /// Floating multiply.
+    pub const FMUL: u32 = 6;
+    /// Floating divide.
+    pub const FDIV: u32 = 24;
+    /// Integer multiply (DSP).
+    pub const IMUL: u32 = 4;
+    /// Integer→float conversion.
+    pub const I2F: u32 = 5;
+}
+
+/// The Fig. 8 datapath: inputs TS, LS, RS and the subregion SNP counts
+/// `l`, `m`; output one ω score.
+///
+/// Stage graph (indices are positions in the returned slice):
+/// ```text
+/// 0 sumLR   = LS + RS            (fadd)
+/// 1 cross   = TS - sumLR         (fadd, deps 0)
+/// 2 combL   = l*(l-1)>>1         (imul)
+/// 3 combR   = m*(m-1)>>1         (imul)
+/// 4 combLf  = i2f(combL)         (deps 2)
+/// 5 combRf  = i2f(combR)         (deps 3)
+/// 6 comb    = combLf + combRf    (fadd, deps 4,5)
+/// 7 lm      = l*m                (imul)
+/// 8 lmf     = i2f(lm)            (deps 7)
+/// 9 num     = sumLR / comb       (fdiv, deps 0,6)
+/// 10 denRaw = cross / lmf        (fdiv, deps 1,8)
+/// 11 den    = denRaw + eps       (fadd, deps 10)
+/// 12 omega  = num / den          (fdiv, deps 9,11)
+/// ```
+pub fn omega_datapath() -> &'static [Stage] {
+    use latency::*;
+    const STAGES: &[Stage] = &[
+        Stage { name: "sumLR", latency: FADD, deps: &[] },
+        Stage { name: "cross", latency: FADD, deps: &[0] },
+        Stage { name: "combL", latency: IMUL, deps: &[] },
+        Stage { name: "combR", latency: IMUL, deps: &[] },
+        Stage { name: "combLf", latency: I2F, deps: &[2] },
+        Stage { name: "combRf", latency: I2F, deps: &[3] },
+        Stage { name: "comb", latency: FADD, deps: &[4, 5] },
+        Stage { name: "lm", latency: IMUL, deps: &[] },
+        Stage { name: "lmf", latency: I2F, deps: &[7] },
+        Stage { name: "num", latency: FDIV, deps: &[0, 6] },
+        Stage { name: "denRaw", latency: FDIV, deps: &[1, 8] },
+        Stage { name: "den", latency: FADD, deps: &[10] },
+        Stage { name: "omega", latency: FDIV, deps: &[9, 11] },
+    ];
+    STAGES
+}
+
+/// Longest-path latency of a stage DAG (the pipeline depth).
+pub fn pipeline_latency(stages: &[Stage]) -> u32 {
+    let mut finish = vec![0u32; stages.len()];
+    for (i, s) in stages.iter().enumerate() {
+        let start = s.deps.iter().map(|&d| {
+            assert!(d < i, "stage DAG must be topologically ordered");
+            finish[d]
+        });
+        finish[i] = start.max().unwrap_or(0) + s.latency;
+    }
+    finish.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn datapath_latency_hand_check() {
+        // Critical path: sumLR(8) -> cross(16) -> denRaw(40) -> den(48)
+        // -> omega(72); the num branch finishes at
+        // max(sumLR 8, comb 4+5+8=17) + 24 = 41 < 48.
+        assert_eq!(pipeline_latency(omega_datapath()), 72);
+    }
+
+    #[test]
+    fn single_stage_latency() {
+        let s = [Stage { name: "x", latency: 7, deps: &[] }];
+        assert_eq!(pipeline_latency(&s), 7);
+    }
+
+    #[test]
+    fn diamond_takes_longest_branch() {
+        const D: &[Stage] = &[
+            Stage { name: "a", latency: 2, deps: &[] },
+            Stage { name: "b", latency: 10, deps: &[0] },
+            Stage { name: "c", latency: 3, deps: &[0] },
+            Stage { name: "d", latency: 1, deps: &[1, 2] },
+        ];
+        assert_eq!(pipeline_latency(D), 13);
+    }
+
+    #[test]
+    fn empty_dag_is_zero() {
+        assert_eq!(pipeline_latency(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "topologically ordered")]
+    fn forward_dependency_rejected() {
+        const BAD: &[Stage] = &[Stage { name: "a", latency: 1, deps: &[0] }];
+        pipeline_latency(BAD);
+    }
+}

@@ -1,0 +1,96 @@
+//! Throughput-vs-iterations curves (Figs. 10 and 11).
+//!
+//! The paper's FPGA experiment varies only the total number of right-side
+//! loop iterations and measures ω throughput; throughput approaches the
+//! device ceiling (`unroll × clock`) as the pipeline fill and the RS
+//! prefetch burst amortise.
+
+use crate::device::FpgaDevice;
+use crate::schedule::{FpgaOmegaEngine, PREFETCH_INIT_CYCLES};
+
+/// One point of a Fig. 10/11 curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThroughputPoint {
+    /// Right-side loop iterations in the run.
+    pub iterations: u64,
+    /// Measured ω throughput, scores/second.
+    pub scores_per_sec: f64,
+    /// Fraction of the theoretical ceiling achieved.
+    pub efficiency: f64,
+}
+
+/// Computes the throughput curve for a device over the given iteration
+/// counts (hardware path only, matching the paper's setup where the
+/// trip counts are multiples of the unroll factor).
+pub fn throughput_curve(device: &FpgaDevice, iterations: &[u64]) -> Vec<ThroughputPoint> {
+    let engine = FpgaOmegaEngine::new(device.clone());
+    let peak = device.peak_scores_per_sec();
+    iterations
+        .iter()
+        .map(|&n| {
+            let hw_n = n - n % u64::from(device.unroll);
+            let run = engine.estimate(std::iter::once(hw_n));
+            let scores_per_sec = if run.seconds > 0.0 { hw_n as f64 / run.seconds } else { 0.0 };
+            ThroughputPoint { iterations: n, scores_per_sec, efficiency: scores_per_sec / peak }
+        })
+        .collect()
+}
+
+/// The iteration count at which the device first reaches the given
+/// fraction of its ceiling (the 90 % dashed line of Figs. 10–11).
+pub fn iterations_for_efficiency(device: &FpgaDevice, target: f64) -> u64 {
+    assert!((0.0..1.0).contains(&target), "target efficiency must be in [0,1)");
+    // cycles = prefetch + latency + n/U; efficiency = n / (U * cycles).
+    // Solve n/U / (overhead + n/U) = target.
+    let engine = FpgaOmegaEngine::new(device.clone());
+    let overhead = PREFETCH_INIT_CYCLES + u64::from(engine.pipeline().latency());
+    let trips = (target / (1.0 - target) * overhead as f64).ceil() as u64;
+    trips * u64::from(device.unroll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curve_is_monotonically_increasing() {
+        let iters: Vec<u64> = (1..=20).map(|i| i * 200).collect();
+        let curve = throughput_curve(&FpgaDevice::zcu102(), &iters);
+        for w in curve.windows(2) {
+            assert!(w[1].scores_per_sec >= w[0].scores_per_sec);
+        }
+    }
+
+    #[test]
+    fn zcu102_reaches_90_percent_within_paper_range() {
+        // The paper evaluates the ZCU102 up to 4,500 iterations and shows
+        // it reaching the 90 % line.
+        let n90 = iterations_for_efficiency(&FpgaDevice::zcu102(), 0.9);
+        assert!(n90 <= 4_500, "90% point {n90} beyond paper's measured range");
+        let curve = throughput_curve(&FpgaDevice::zcu102(), &[n90]);
+        assert!(curve[0].efficiency >= 0.9);
+    }
+
+    #[test]
+    fn alveo_reaches_90_percent_within_paper_range() {
+        // Alveo U200 measured up to 30,500 iterations in Fig. 11.
+        let n90 = iterations_for_efficiency(&FpgaDevice::alveo_u200(), 0.9);
+        assert!(n90 <= 30_500, "90% point {n90} beyond paper's measured range");
+        let curve = throughput_curve(&FpgaDevice::alveo_u200(), &[n90]);
+        assert!(curve[0].efficiency >= 0.9);
+    }
+
+    #[test]
+    fn ceiling_is_unroll_times_clock() {
+        let d = FpgaDevice::alveo_u200();
+        let curve = throughput_curve(&d, &[100_000_000]);
+        assert!(curve[0].efficiency > 0.999);
+        assert!(curve[0].scores_per_sec <= d.peak_scores_per_sec());
+    }
+
+    #[test]
+    fn small_runs_are_inefficient() {
+        let curve = throughput_curve(&FpgaDevice::alveo_u200(), &[64]);
+        assert!(curve[0].efficiency < 0.1);
+    }
+}

@@ -1,0 +1,288 @@
+//! The alignment: an ordered collection of bit-packed polymorphic sites.
+
+use crate::bitvec::{Allele, SnpVec};
+use crate::error::GenomeError;
+
+/// A haplotype alignment: `n_samples` sequences observed at a sorted list of
+/// polymorphic positions along one chromosome / genomic region.
+///
+/// Positions are physical coordinates in base pairs (1-based, like
+/// OmegaPlus); ties are allowed (ms datasets with many sites can collide
+/// after scaling to an integer coordinate space).
+#[derive(Debug, Clone)]
+pub struct Alignment {
+    positions: Vec<u64>,
+    sites: Vec<SnpVec>,
+    n_samples: usize,
+    region_len: u64,
+}
+
+impl Alignment {
+    /// Assembles an alignment from parallel position/site vectors.
+    ///
+    /// `region_len` is the physical length of the scanned region in bp; it
+    /// must be at least the largest position.
+    pub fn new(
+        positions: Vec<u64>,
+        sites: Vec<SnpVec>,
+        region_len: u64,
+    ) -> Result<Self, GenomeError> {
+        assert_eq!(
+            positions.len(),
+            sites.len(),
+            "positions and sites must be parallel vectors"
+        );
+        let n_samples = sites.first().map_or(0, SnpVec::n_samples);
+        for s in &sites {
+            if s.n_samples() != n_samples {
+                return Err(GenomeError::SampleCountMismatch {
+                    expected: n_samples,
+                    found: s.n_samples(),
+                });
+            }
+        }
+        for i in 1..positions.len() {
+            if positions[i] < positions[i - 1] {
+                return Err(GenomeError::UnsortedPositions { index: i });
+            }
+        }
+        let max_pos = positions.last().copied().unwrap_or(0);
+        let region_len = region_len.max(max_pos);
+        Ok(Alignment { positions, sites, n_samples, region_len })
+    }
+
+    /// Number of polymorphic sites.
+    #[inline]
+    pub fn n_sites(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// Number of haplotypes (samples).
+    #[inline]
+    pub fn n_samples(&self) -> usize {
+        self.n_samples
+    }
+
+    /// Physical length of the region in bp.
+    #[inline]
+    pub fn region_len(&self) -> u64 {
+        self.region_len
+    }
+
+    /// Physical position (bp) of site `i`.
+    #[inline]
+    pub fn position(&self, i: usize) -> u64 {
+        self.positions[i]
+    }
+
+    /// All site positions, sorted ascending.
+    #[inline]
+    pub fn positions(&self) -> &[u64] {
+        &self.positions
+    }
+
+    /// The packed site at index `i`.
+    #[inline]
+    pub fn site(&self, i: usize) -> &SnpVec {
+        &self.sites[i]
+    }
+
+    /// All packed sites in position order.
+    #[inline]
+    pub fn sites(&self) -> &[SnpVec] {
+        &self.sites
+    }
+
+    /// Index of the first site with position `>= pos`.
+    pub fn first_site_at_or_after(&self, pos: u64) -> usize {
+        self.positions.partition_point(|&p| p < pos)
+    }
+
+    /// Index one past the last site with position `<= pos`.
+    pub fn first_site_after(&self, pos: u64) -> usize {
+        self.positions.partition_point(|&p| p <= pos)
+    }
+
+    /// Sites whose positions fall in the inclusive bp range `[lo, hi]`,
+    /// returned as a half-open index range.
+    pub fn sites_in_range(&self, lo: u64, hi: u64) -> std::ops::Range<usize> {
+        self.first_site_at_or_after(lo)..self.first_site_after(hi)
+    }
+
+    /// Builds a new alignment keeping only the sites selected by `keep`.
+    pub fn retain_sites(&self, keep: impl Fn(usize, &SnpVec) -> bool) -> Alignment {
+        let mut positions = Vec::new();
+        let mut sites = Vec::new();
+        for (i, s) in self.sites.iter().enumerate() {
+            if keep(i, s) {
+                positions.push(self.positions[i]);
+                sites.push(s.clone());
+            }
+        }
+        Alignment { positions, sites, n_samples: self.n_samples, region_len: self.region_len }
+    }
+
+    /// Extracts the haplotype of sample `s` as a vector of calls.
+    pub fn haplotype(&self, s: usize) -> Vec<Allele> {
+        self.sites.iter().map(|site| site.get(s)).collect()
+    }
+
+    /// Proportion of (site, sample) calls that are missing.
+    pub fn missingness(&self) -> f64 {
+        if self.sites.is_empty() || self.n_samples == 0 {
+            return 0.0;
+        }
+        let total = (self.sites.len() * self.n_samples) as f64;
+        let missing: u64 = self
+            .sites
+            .iter()
+            .map(|s| (self.n_samples as u64) - u64::from(s.valid_count()))
+            .sum();
+        missing as f64 / total
+    }
+}
+
+/// Incremental constructor used by the parsers and the simulator.
+#[derive(Debug, Default)]
+pub struct AlignmentBuilder {
+    positions: Vec<u64>,
+    sites: Vec<SnpVec>,
+    region_len: u64,
+}
+
+impl AlignmentBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declares the physical region length in bp.
+    pub fn region_len(mut self, len: u64) -> Self {
+        self.region_len = len;
+        self
+    }
+
+    /// Appends a site; positions must be pushed in non-decreasing order
+    /// (validated when `build` is called).
+    pub fn push_site(&mut self, position: u64, site: SnpVec) -> &mut Self {
+        self.positions.push(position);
+        self.sites.push(site);
+        self
+    }
+
+    /// Number of sites pushed so far.
+    pub fn len(&self) -> usize {
+        self.sites.len()
+    }
+
+    /// `true` if no sites have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.sites.is_empty()
+    }
+
+    /// Validates invariants and produces the [`Alignment`].
+    pub fn build(self) -> Result<Alignment, GenomeError> {
+        Alignment::new(self.positions, self.sites, self.region_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Alignment {
+        let sites = vec![
+            SnpVec::from_bits(&[0, 1, 1, 0]),
+            SnpVec::from_bits(&[1, 1, 0, 0]),
+            SnpVec::from_bits(&[0, 0, 1, 1]),
+        ];
+        Alignment::new(vec![100, 250, 900], sites, 1000).unwrap()
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let a = toy();
+        assert_eq!(a.n_sites(), 3);
+        assert_eq!(a.n_samples(), 4);
+        assert_eq!(a.region_len(), 1000);
+        assert_eq!(a.position(1), 250);
+    }
+
+    #[test]
+    fn region_len_clamped_to_max_position() {
+        let sites = vec![SnpVec::from_bits(&[0, 1])];
+        let a = Alignment::new(vec![5000], sites, 10).unwrap();
+        assert_eq!(a.region_len(), 5000);
+    }
+
+    #[test]
+    fn range_queries() {
+        let a = toy();
+        assert_eq!(a.sites_in_range(0, 1000), 0..3);
+        assert_eq!(a.sites_in_range(100, 250), 0..2);
+        assert_eq!(a.sites_in_range(101, 899), 1..2);
+        assert_eq!(a.sites_in_range(901, 1000), 3..3);
+        assert_eq!(a.first_site_at_or_after(250), 1);
+        assert_eq!(a.first_site_after(250), 2);
+    }
+
+    #[test]
+    fn unsorted_positions_rejected() {
+        let sites = vec![SnpVec::from_bits(&[0, 1]), SnpVec::from_bits(&[1, 0])];
+        let err = Alignment::new(vec![10, 5], sites, 100).unwrap_err();
+        assert!(matches!(err, GenomeError::UnsortedPositions { index: 1 }));
+    }
+
+    #[test]
+    fn mismatched_sample_counts_rejected() {
+        let sites = vec![SnpVec::from_bits(&[0, 1]), SnpVec::from_bits(&[1, 0, 1])];
+        let err = Alignment::new(vec![10, 20], sites, 100).unwrap_err();
+        assert!(matches!(err, GenomeError::SampleCountMismatch { expected: 2, found: 3 }));
+    }
+
+    #[test]
+    fn ties_in_positions_allowed() {
+        let sites = vec![SnpVec::from_bits(&[0, 1]), SnpVec::from_bits(&[1, 0])];
+        assert!(Alignment::new(vec![10, 10], sites, 100).is_ok());
+    }
+
+    #[test]
+    fn haplotype_extraction() {
+        let a = toy();
+        let h1 = a.haplotype(1);
+        assert_eq!(h1, vec![Allele::One, Allele::One, Allele::Zero]);
+    }
+
+    #[test]
+    fn retain_sites_filters() {
+        let a = toy();
+        let b = a.retain_sites(|_, s| s.derived_count() == 2);
+        assert_eq!(b.n_sites(), 3); // all toy sites have two derived alleles
+        let c = a.retain_sites(|i, _| i != 1);
+        assert_eq!(c.n_sites(), 2);
+        assert_eq!(c.positions(), &[100, 900]);
+    }
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = AlignmentBuilder::new().region_len(500);
+        assert!(b.is_empty());
+        b.push_site(10, SnpVec::from_bits(&[0, 1]));
+        b.push_site(20, SnpVec::from_bits(&[1, 1]));
+        assert_eq!(b.len(), 2);
+        let a = b.build().unwrap();
+        assert_eq!(a.n_sites(), 2);
+        assert_eq!(a.region_len(), 500);
+    }
+
+    #[test]
+    fn missingness_fraction() {
+        use crate::bitvec::Allele::*;
+        let sites = vec![
+            SnpVec::from_calls(&[One, Missing, Zero, Zero]),
+            SnpVec::from_calls(&[One, One, Zero, Missing]),
+        ];
+        let a = Alignment::new(vec![1, 2], sites, 10).unwrap();
+        assert!((a.missingness() - 0.25).abs() < 1e-12);
+    }
+}

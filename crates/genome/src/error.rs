@@ -1,0 +1,103 @@
+//! Error type shared by the parsers and builders in this crate.
+
+use std::fmt;
+
+/// Errors produced while building or parsing genomic data.
+#[derive(Debug)]
+pub enum GenomeError {
+    /// Input could not be parsed; the message names the offending construct.
+    Parse {
+        /// Format being parsed ("ms", "fasta", "vcf", ...).
+        format: &'static str,
+        /// 1-based line number where the problem was found, if known.
+        line: Option<usize>,
+        /// Human-readable description of the problem.
+        msg: String,
+    },
+    /// A site had a different number of samples than the alignment.
+    SampleCountMismatch {
+        /// Samples expected by the alignment.
+        expected: usize,
+        /// Samples found at the offending site.
+        found: usize,
+    },
+    /// Site positions must be non-decreasing along the chromosome.
+    UnsortedPositions {
+        /// Index of the site that broke the ordering.
+        index: usize,
+    },
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::Parse { format, line, msg } => match line {
+                Some(l) => write!(f, "{format} parse error at line {l}: {msg}"),
+                None => write!(f, "{format} parse error: {msg}"),
+            },
+            GenomeError::SampleCountMismatch { expected, found } => {
+                write!(f, "sample count mismatch: expected {expected}, found {found}")
+            }
+            GenomeError::UnsortedPositions { index } => {
+                write!(f, "site positions not sorted at index {index}")
+            }
+            GenomeError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GenomeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenomeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GenomeError {
+    fn from(e: std::io::Error) -> Self {
+        GenomeError::Io(e)
+    }
+}
+
+impl GenomeError {
+    /// Convenience constructor for parse errors.
+    pub fn parse(format: &'static str, line: Option<usize>, msg: impl Into<String>) -> Self {
+        GenomeError::Parse { format, line, msg: msg.into() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_number() {
+        let e = GenomeError::parse("ms", Some(3), "bad segsites");
+        assert_eq!(e.to_string(), "ms parse error at line 3: bad segsites");
+    }
+
+    #[test]
+    fn display_without_line_number() {
+        let e = GenomeError::parse("vcf", None, "truncated");
+        assert_eq!(e.to_string(), "vcf parse error: truncated");
+    }
+
+    #[test]
+    fn io_error_is_wrapped_with_source() {
+        use std::error::Error;
+        let e: GenomeError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn mismatch_display() {
+        let e = GenomeError::SampleCountMismatch { expected: 10, found: 9 };
+        assert!(e.to_string().contains("expected 10"));
+        assert!(e.to_string().contains("found 9"));
+    }
+}

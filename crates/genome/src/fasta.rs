@@ -1,0 +1,184 @@
+//! FASTA input: aligned DNA sequences converted to a binary alignment.
+//!
+//! OmegaPlus accepts DNA alignments and reduces each polymorphic column to
+//! a binary site by majority state: the most frequent nucleotide becomes
+//! allele 0, every other nucleotide becomes allele 1, and ambiguity codes
+//! and gaps become missing data. We reproduce that reduction here.
+
+use std::io::BufRead;
+
+use crate::alignment::{Alignment, AlignmentBuilder};
+use crate::bitvec::{Allele, SnpVec};
+use crate::error::GenomeError;
+
+/// Parses an aligned FASTA file into a binary alignment.
+///
+/// Columns with fewer than two observed nucleotide states are dropped
+/// (they are monomorphic and carry no LD signal). Positions are the
+/// 1-based column indices of the retained sites.
+pub fn read_fasta<R: BufRead>(reader: R) -> Result<Alignment, GenomeError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut seqs: Vec<Vec<u8>> = Vec::new();
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(name) = trimmed.strip_prefix('>') {
+            names.push(name.to_string());
+            seqs.push(Vec::new());
+        } else {
+            let seq = seqs
+                .last_mut()
+                .ok_or_else(|| GenomeError::parse("fasta", Some(ln + 1), "sequence before header"))?;
+            seq.extend(trimmed.bytes().map(|b| b.to_ascii_uppercase()));
+        }
+    }
+    if seqs.is_empty() {
+        return Err(GenomeError::parse("fasta", None, "no sequences found"));
+    }
+    let len = seqs[0].len();
+    for (i, s) in seqs.iter().enumerate() {
+        if s.len() != len {
+            return Err(GenomeError::parse(
+                "fasta",
+                None,
+                format!("sequence '{}' has length {} but expected {len}", names[i], s.len()),
+            ));
+        }
+    }
+
+    let n_samples = seqs.len();
+    let mut builder = AlignmentBuilder::new().region_len(len as u64);
+    let mut calls = vec![Allele::Missing; n_samples];
+    for col in 0..len {
+        if let Some(site) = binarize_column(&seqs, col, &mut calls) {
+            builder.push_site(col as u64 + 1, site);
+        }
+    }
+    builder.build()
+}
+
+/// Reduces one DNA column to a binary site; returns `None` for columns that
+/// are monomorphic or all-missing.
+fn binarize_column(seqs: &[Vec<u8>], col: usize, calls: &mut [Allele]) -> Option<SnpVec> {
+    let mut counts = [0u32; 4]; // A C G T
+    for s in seqs {
+        if let Some(k) = nucleotide_index(s[col]) {
+            counts[k] += 1;
+        }
+    }
+    let observed_states = counts.iter().filter(|&&c| c > 0).count();
+    if observed_states < 2 {
+        return None;
+    }
+    // Majority nucleotide becomes allele 0.
+    let major = counts
+        .iter()
+        .enumerate()
+        .max_by_key(|&(_, c)| *c)
+        .map(|(i, _)| i)
+        .expect("counts is non-empty");
+    for (i, s) in seqs.iter().enumerate() {
+        calls[i] = match nucleotide_index(s[col]) {
+            None => Allele::Missing,
+            Some(k) if k == major => Allele::Zero,
+            Some(_) => Allele::One,
+        };
+    }
+    Some(SnpVec::from_calls(calls))
+}
+
+fn nucleotide_index(b: u8) -> Option<usize> {
+    match b {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None, // gaps, N, ambiguity codes -> missing
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const FASTA: &str = "\
+>s1
+ACGTA
+>s2
+ACGAA
+>s3
+AGGTC
+";
+
+    #[test]
+    fn polymorphic_columns_extracted() {
+        let a = read_fasta(Cursor::new(FASTA)).unwrap();
+        // Columns (1-based): 1 AAA mono, 2 CCG poly, 3 GGG mono, 4 TAT poly,
+        // 5 AAC poly.
+        assert_eq!(a.positions(), &[2, 4, 5]);
+        assert_eq!(a.n_samples(), 3);
+        assert_eq!(a.region_len(), 5);
+    }
+
+    #[test]
+    fn majority_is_allele_zero() {
+        let a = read_fasta(Cursor::new(FASTA)).unwrap();
+        // Column 2 = C,C,G -> C is major; s3 carries the derived allele.
+        let site = a.site(0);
+        assert_eq!(site.derived_count(), 1);
+        assert_eq!(site.get(2), Allele::One);
+    }
+
+    #[test]
+    fn gaps_and_n_become_missing() {
+        let text = ">a\nAC-\n>b\nANT\n>c\nACT\n";
+        let a = read_fasta(Cursor::new(text)).unwrap();
+        // Column 3: -, T, T -> only one observed state (T) => dropped.
+        // Column 2: C, N, C -> one observed state => dropped.
+        assert_eq!(a.n_sites(), 0);
+    }
+
+    #[test]
+    fn missing_in_polymorphic_column() {
+        let text = ">a\nA\n>b\nC\n>c\nN\n";
+        let a = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(a.n_sites(), 1);
+        assert_eq!(a.site(0).valid_count(), 2);
+    }
+
+    #[test]
+    fn lowercase_sequences_accepted() {
+        let text = ">a\nacgt\n>b\nacga\n";
+        let a = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(a.n_sites(), 1);
+        assert_eq!(a.positions(), &[4]);
+    }
+
+    #[test]
+    fn multiline_sequences_concatenated() {
+        let text = ">a\nAC\nGT\n>b\nAC\nGA\n";
+        let a = read_fasta(Cursor::new(text)).unwrap();
+        assert_eq!(a.region_len(), 4);
+        assert_eq!(a.n_sites(), 1);
+    }
+
+    #[test]
+    fn ragged_lengths_rejected() {
+        let text = ">a\nACGT\n>b\nAC\n";
+        assert!(read_fasta(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert!(read_fasta(Cursor::new("")).is_err());
+    }
+
+    #[test]
+    fn sequence_before_header_rejected() {
+        assert!(read_fasta(Cursor::new("ACGT\n>a\nACGT\n")).is_err());
+    }
+}

@@ -1,0 +1,105 @@
+//! Site filters applied before scanning, mirroring OmegaPlus preprocessing:
+//! monomorphic sites carry no LD information and are dropped; optional
+//! minor-allele-frequency and missingness thresholds prune noisy sites.
+
+use crate::alignment::Alignment;
+
+/// Configuration for site filtering.
+#[derive(Debug, Clone, Copy)]
+pub struct SiteFilter {
+    /// Drop sites monomorphic among valid calls (always wanted for ω scans).
+    pub drop_monomorphic: bool,
+    /// Minimum minor allele frequency (0.0 disables).
+    pub min_maf: f64,
+    /// Maximum fraction of missing calls tolerated per site (1.0 disables).
+    pub max_missing: f64,
+}
+
+impl Default for SiteFilter {
+    fn default() -> Self {
+        SiteFilter { drop_monomorphic: true, min_maf: 0.0, max_missing: 1.0 }
+    }
+}
+
+impl SiteFilter {
+    /// A filter that keeps everything (useful for tests).
+    pub fn keep_all() -> Self {
+        SiteFilter { drop_monomorphic: false, min_maf: 0.0, max_missing: 1.0 }
+    }
+
+    /// Applies the filter, returning a new alignment.
+    pub fn apply(&self, a: &Alignment) -> Alignment {
+        let n = a.n_samples() as f64;
+        a.retain_sites(|_, s| {
+            if self.drop_monomorphic && s.is_monomorphic() {
+                return false;
+            }
+            if self.min_maf > 0.0 {
+                match s.minor_allele_freq() {
+                    Some(maf) if maf >= self.min_maf => {}
+                    _ => return false,
+                }
+            }
+            if self.max_missing < 1.0 && n > 0.0 {
+                let missing = (n - f64::from(s.valid_count())) / n;
+                if missing > self.max_missing {
+                    return false;
+                }
+            }
+            true
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::{Allele, SnpVec};
+
+    fn toy() -> Alignment {
+        use Allele::*;
+        let sites = vec![
+            SnpVec::from_bits(&[0, 0, 0, 0]),                    // monomorphic
+            SnpVec::from_bits(&[1, 0, 0, 0]),                    // MAF 0.25
+            SnpVec::from_bits(&[1, 1, 0, 0]),                    // MAF 0.5
+            SnpVec::from_calls(&[One, Missing, Missing, Zero]),  // 50% missing
+            SnpVec::from_bits(&[1, 1, 1, 1]),                    // monomorphic derived
+        ];
+        Alignment::new(vec![10, 20, 30, 40, 50], sites, 100).unwrap()
+    }
+
+    #[test]
+    fn default_drops_monomorphic_only() {
+        let f = SiteFilter::default();
+        let out = f.apply(&toy());
+        assert_eq!(out.positions(), &[20, 30, 40]);
+    }
+
+    #[test]
+    fn maf_threshold() {
+        let f = SiteFilter { min_maf: 0.3, ..SiteFilter::default() };
+        let out = f.apply(&toy());
+        assert_eq!(out.positions(), &[30, 40]);
+    }
+
+    #[test]
+    fn missingness_threshold() {
+        let f = SiteFilter { max_missing: 0.25, ..SiteFilter::default() };
+        let out = f.apply(&toy());
+        assert_eq!(out.positions(), &[20, 30]);
+    }
+
+    #[test]
+    fn keep_all_is_identity() {
+        let a = toy();
+        let out = SiteFilter::keep_all().apply(&a);
+        assert_eq!(out.n_sites(), a.n_sites());
+    }
+
+    #[test]
+    fn combined_filters_intersect() {
+        let f = SiteFilter { min_maf: 0.3, max_missing: 0.25, drop_monomorphic: true };
+        let out = f.apply(&toy());
+        assert_eq!(out.positions(), &[30]);
+    }
+}

@@ -1,0 +1,183 @@
+//! Allele-frequency summaries: the site frequency spectrum (SFS).
+//!
+//! The ω statistic is an LD-based signal, but the SFS is the standard
+//! companion diagnostic for sweep datasets (a sweep shifts the spectrum
+//! toward low- and high-frequency derived variants), so the simulator tests
+//! and examples use it to sanity-check generated data.
+
+use crate::alignment::Alignment;
+
+/// Unfolded site frequency spectrum: `counts[k]` is the number of sites at
+/// which exactly `k` samples carry the derived allele (k = 1..n-1 for
+/// polymorphic sites; monomorphic classes 0 and n are retained so the
+/// spectrum always sums to the number of sites it was built from).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SiteFrequencySpectrum {
+    counts: Vec<u64>,
+}
+
+impl SiteFrequencySpectrum {
+    /// Computes the unfolded SFS of an alignment. Sites with missing data
+    /// are projected by their observed derived count (no imputation).
+    pub fn from_alignment(a: &Alignment) -> Self {
+        let n = a.n_samples();
+        let mut counts = vec![0u64; n + 1];
+        for s in a.sites() {
+            counts[s.derived_count() as usize] += 1;
+        }
+        SiteFrequencySpectrum { counts }
+    }
+
+    /// Per-class counts, length `n_samples + 1`.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of segregating (polymorphic) sites.
+    pub fn segregating_sites(&self) -> u64 {
+        if self.counts.len() < 2 {
+            return 0;
+        }
+        self.counts[1..self.counts.len() - 1].iter().sum()
+    }
+
+    /// Watterson's estimator of θ per dataset: S / a_n with
+    /// a_n = Σ_{i=1}^{n-1} 1/i.
+    pub fn watterson_theta(&self) -> f64 {
+        let n = self.counts.len().saturating_sub(1);
+        if n < 2 {
+            return 0.0;
+        }
+        let a_n: f64 = (1..n).map(|i| 1.0 / i as f64).sum();
+        self.segregating_sites() as f64 / a_n
+    }
+
+    /// Mean pairwise difference π (Tajima's estimator of θ).
+    pub fn pi(&self) -> f64 {
+        let n = self.counts.len().saturating_sub(1);
+        if n < 2 {
+            return 0.0;
+        }
+        let pairs = (n * (n - 1) / 2) as f64;
+        let mut total = 0.0;
+        for (k, &c) in self.counts.iter().enumerate() {
+            let k = k as f64;
+            total += c as f64 * k * (n as f64 - k) / pairs;
+        }
+        total
+    }
+
+    /// Tajima's D (0 under the neutral equilibrium expectation; strongly
+    /// negative right after a sweep). Returns `None` when undefined
+    /// (fewer than 4 samples or no segregating sites).
+    pub fn tajimas_d(&self) -> Option<f64> {
+        let n = self.counts.len().saturating_sub(1);
+        let s = self.segregating_sites() as f64;
+        if n < 4 || s == 0.0 {
+            return None;
+        }
+        let nf = n as f64;
+        let a1: f64 = (1..n).map(|i| 1.0 / i as f64).sum();
+        let a2: f64 = (1..n).map(|i| 1.0 / (i * i) as f64).sum();
+        let b1 = (nf + 1.0) / (3.0 * (nf - 1.0));
+        let b2 = 2.0 * (nf * nf + nf + 3.0) / (9.0 * nf * (nf - 1.0));
+        let c1 = b1 - 1.0 / a1;
+        let c2 = b2 - (nf + 2.0) / (a1 * nf) + a2 / (a1 * a1);
+        let e1 = c1 / a1;
+        let e2 = c2 / (a1 * a1 + a2);
+        let var = e1 * s + e2 * s * (s - 1.0);
+        if var <= 0.0 {
+            return None;
+        }
+        Some((self.pi() - s / a1) / var.sqrt())
+    }
+
+    /// Fraction of segregating sites in the lowest and highest frequency
+    /// classes (singletons and (n-1)-tons) — elevated after a sweep.
+    pub fn extreme_class_fraction(&self) -> f64 {
+        let s = self.segregating_sites();
+        if s == 0 {
+            return 0.0;
+        }
+        let n = self.counts.len() - 1;
+        (self.counts[1] + self.counts[n - 1]) as f64 / s as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bitvec::SnpVec;
+
+    fn align(sites: Vec<Vec<u8>>) -> Alignment {
+        let n = sites.len();
+        let packed: Vec<SnpVec> = sites.iter().map(|s| SnpVec::from_bits(s)).collect();
+        Alignment::new((1..=n as u64).collect(), packed, n as u64 + 1).unwrap()
+    }
+
+    #[test]
+    fn sfs_counts_by_derived_count() {
+        let a = align(vec![
+            vec![1, 0, 0, 0], // singleton
+            vec![1, 1, 0, 0], // doubleton
+            vec![1, 1, 1, 0], // tripleton
+            vec![1, 0, 0, 0], // singleton
+            vec![0, 0, 0, 0], // monomorphic ancestral
+        ]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        assert_eq!(sfs.counts(), &[1, 2, 1, 1, 0]);
+        assert_eq!(sfs.segregating_sites(), 4);
+    }
+
+    #[test]
+    fn watterson_theta_matches_hand_computation() {
+        let a = align(vec![vec![1, 0, 0], vec![1, 1, 0]]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        // n = 3 => a_n = 1 + 1/2 = 1.5; S = 2 => theta_W = 4/3.
+        assert!((sfs.watterson_theta() - 2.0 / 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pi_matches_hand_computation() {
+        // Two sites over 3 samples: derived counts 1 and 2.
+        // pairs = 3; pi = 1*2/3 + 2*1/3 = 4/3.
+        let a = align(vec![vec![1, 0, 0], vec![1, 1, 0]]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        assert!((sfs.pi() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tajimas_d_zeroish_when_pi_equals_watterson() {
+        // Construct a spectrum where pi == S/a1 so D == 0.
+        let a = align(vec![
+            vec![1, 0, 0, 0],
+            vec![1, 1, 0, 0],
+            vec![1, 1, 1, 0],
+            vec![1, 0, 0, 0],
+            vec![0, 1, 0, 0],
+            vec![0, 0, 1, 1],
+        ]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        // Not exactly zero, but defined and finite.
+        let d = sfs.tajimas_d().unwrap();
+        assert!(d.is_finite());
+    }
+
+    #[test]
+    fn tajimas_d_undefined_for_tiny_samples() {
+        let a = align(vec![vec![1, 0, 0]]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        assert!(sfs.tajimas_d().is_none());
+    }
+
+    #[test]
+    fn extreme_class_fraction() {
+        let a = align(vec![
+            vec![1, 0, 0, 0], // class 1
+            vec![1, 1, 1, 0], // class n-1
+            vec![1, 1, 0, 0], // middle
+        ]);
+        let sfs = SiteFrequencySpectrum::from_alignment(&a);
+        assert!((sfs.extreme_class_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Missing-data handling, mirroring OmegaPlus' `-impute` option: missing
+//! calls can be filled with the site's major allele or drawn from its
+//! allele frequency, so downstream kernels can take the faster
+//! missing-free path.
+
+use rand::Rng;
+
+use crate::alignment::Alignment;
+use crate::bitvec::{Allele, SnpVec};
+
+/// Imputation policy for missing calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImputeMode {
+    /// Replace missing calls with the site's most frequent allele.
+    MajorAllele,
+    /// Draw each missing call from the site's derived-allele frequency.
+    FrequencyDraw,
+}
+
+/// Imputes every missing call in the alignment; sites without missing
+/// data are shared untouched.
+pub fn impute<R: Rng>(a: &Alignment, mode: ImputeMode, rng: &mut R) -> Alignment {
+    let sites: Vec<SnpVec> = a
+        .sites()
+        .iter()
+        .map(|site| {
+            if !site.has_missing() {
+                return site.clone();
+            }
+            let freq = site.derived_freq().unwrap_or(0.0);
+            let major = if freq > 0.5 { Allele::One } else { Allele::Zero };
+            let calls: Vec<Allele> = site
+                .iter()
+                .map(|c| match c {
+                    Allele::Missing => match mode {
+                        ImputeMode::MajorAllele => major,
+                        ImputeMode::FrequencyDraw => {
+                            if rng.gen::<f64>() < freq {
+                                Allele::One
+                            } else {
+                                Allele::Zero
+                            }
+                        }
+                    },
+                    present => present,
+                })
+                .collect();
+            SnpVec::from_calls(&calls)
+        })
+        .collect();
+    Alignment::new(a.positions().to_vec(), sites, a.region_len())
+        .expect("imputation preserves alignment invariants")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn with_missing() -> Alignment {
+        use Allele::*;
+        let sites = vec![
+            SnpVec::from_calls(&[One, One, Missing, Zero]),     // major = 1 (2/3)
+            SnpVec::from_calls(&[Zero, Missing, Missing, One]), // major = 0 (tie->0)
+            SnpVec::from_bits(&[1, 0, 1, 0]),                   // untouched
+        ];
+        Alignment::new(vec![10, 20, 30], sites, 100).unwrap()
+    }
+
+    #[test]
+    fn major_allele_fills_deterministically() {
+        let a = with_missing();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = impute(&a, ImputeMode::MajorAllele, &mut rng);
+        assert_eq!(out.missingness(), 0.0);
+        assert_eq!(out.site(0).get(2), Allele::One);
+        assert_eq!(out.site(1).get(1), Allele::Zero);
+        assert_eq!(out.site(1).get(2), Allele::Zero);
+    }
+
+    #[test]
+    fn present_calls_never_change() {
+        let a = with_missing();
+        let mut rng = StdRng::seed_from_u64(2);
+        for mode in [ImputeMode::MajorAllele, ImputeMode::FrequencyDraw] {
+            let out = impute(&a, mode, &mut rng);
+            for s in 0..a.n_sites() {
+                for i in 0..a.n_samples() {
+                    let before = a.site(s).get(i);
+                    if before != Allele::Missing {
+                        assert_eq!(out.site(s).get(i), before);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_draw_tracks_frequency() {
+        use Allele::*;
+        // One site, frequency 0.8 among valid, many missing samples.
+        let mut calls = vec![Missing; 500];
+        for c in calls.iter_mut().take(8) {
+            *c = One;
+        }
+        calls[8] = Zero;
+        calls[9] = Zero;
+        let a = Alignment::new(vec![5], vec![SnpVec::from_calls(&calls)], 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = impute(&a, ImputeMode::FrequencyDraw, &mut rng);
+        let freq = out.site(0).derived_freq().unwrap();
+        assert!((freq - 0.8).abs() < 0.08, "imputed frequency {freq}");
+        assert!(!out.site(0).has_missing());
+    }
+
+    #[test]
+    fn clean_alignment_is_unchanged() {
+        let sites = vec![SnpVec::from_bits(&[1, 0, 1]), SnpVec::from_bits(&[0, 0, 1])];
+        let a = Alignment::new(vec![1, 2], sites, 10).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = impute(&a, ImputeMode::MajorAllele, &mut rng);
+        for s in 0..a.n_sites() {
+            assert_eq!(out.site(s), a.site(s));
+        }
+    }
+}

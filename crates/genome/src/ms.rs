@@ -1,0 +1,312 @@
+//! Reader/writer for Hudson's `ms` output format, the dataset format used
+//! throughout the paper's evaluation (§VI-A: "We generated simulated
+//! datasets using Hudson's ms").
+//!
+//! The format, per replicate:
+//!
+//! ```text
+//! //
+//! segsites: 3
+//! positions: 0.1234 0.3456 0.7890
+//! 0011
+//! 1100
+//! ...
+//! ```
+//!
+//! Positions are fractions of the simulated region; we scale them to
+//! integer bp coordinates against a caller-supplied region length.
+
+use std::io::{BufRead, Write};
+
+use crate::alignment::{Alignment, AlignmentBuilder};
+use crate::bitvec::{Allele, SnpVec};
+use crate::error::GenomeError;
+
+/// Options controlling how `ms` text is mapped to [`Alignment`]s.
+#[derive(Debug, Clone, Copy)]
+pub struct MsReadOptions {
+    /// Physical length (bp) the unit interval of positions is scaled to.
+    pub region_len: u64,
+}
+
+impl Default for MsReadOptions {
+    fn default() -> Self {
+        // OmegaPlus' conventional default when ms input carries no length.
+        MsReadOptions { region_len: 100_000 }
+    }
+}
+
+/// Parses every replicate in an `ms` stream.
+pub fn read_ms<R: BufRead>(reader: R, opts: MsReadOptions) -> Result<Vec<Alignment>, GenomeError> {
+    let mut replicates = Vec::new();
+    let mut lines = reader.lines().enumerate();
+
+    // Scan for replicate markers; everything before the first `//` is the
+    // command-line echo and the seeds, which we skip.
+    while let Some((_, line)) = lines.next() {
+        let line = line?;
+        if !line.starts_with("//") {
+            continue;
+        }
+        replicates.push(read_replicate(&mut lines, opts)?);
+    }
+    Ok(replicates)
+}
+
+fn read_replicate(
+    lines: &mut impl Iterator<Item = (usize, std::io::Result<String>)>,
+    opts: MsReadOptions,
+) -> Result<Alignment, GenomeError> {
+    let (ln, segsites_line) = next_nonempty(lines, "ms")?;
+    let segsites: usize = segsites_line
+        .strip_prefix("segsites:")
+        .map(str::trim)
+        .ok_or_else(|| GenomeError::parse("ms", Some(ln + 1), "expected 'segsites:' line"))?
+        .parse()
+        .map_err(|_| GenomeError::parse("ms", Some(ln + 1), "invalid segsites count"))?;
+
+    if segsites == 0 {
+        return AlignmentBuilder::new().region_len(opts.region_len).build();
+    }
+
+    let (ln, positions_line) = next_nonempty(lines, "ms")?;
+    let rest = positions_line
+        .strip_prefix("positions:")
+        .ok_or_else(|| GenomeError::parse("ms", Some(ln + 1), "expected 'positions:' line"))?;
+    let mut fractions = Vec::with_capacity(segsites);
+    for tok in rest.split_whitespace() {
+        let p: f64 = tok
+            .parse()
+            .map_err(|_| GenomeError::parse("ms", Some(ln + 1), format!("bad position '{tok}'")))?;
+        fractions.push(p);
+    }
+    if fractions.len() != segsites {
+        return Err(GenomeError::parse(
+            "ms",
+            Some(ln + 1),
+            format!("expected {segsites} positions, found {}", fractions.len()),
+        ));
+    }
+
+    // Haplotype rows: one 0/1 string per sample until a blank line, a new
+    // replicate marker, or EOF.
+    let mut rows: Vec<Vec<Allele>> = Vec::new();
+    for (ln, line) in lines.by_ref() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with("//") {
+            break;
+        }
+        let mut row = Vec::with_capacity(segsites);
+        for ch in trimmed.chars() {
+            row.push(match ch {
+                '0' => Allele::Zero,
+                '1' => Allele::One,
+                'N' | 'n' | '?' | '-' => Allele::Missing,
+                other => {
+                    return Err(GenomeError::parse(
+                        "ms",
+                        Some(ln + 1),
+                        format!("unexpected haplotype character '{other}'"),
+                    ))
+                }
+            });
+        }
+        if row.len() != segsites {
+            return Err(GenomeError::parse(
+                "ms",
+                Some(ln + 1),
+                format!("haplotype has {} calls, expected {segsites}", row.len()),
+            ));
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(GenomeError::parse("ms", None, "replicate has no haplotype rows"));
+    }
+
+    // Transpose sample-major rows into packed site-major columns.
+    let n_samples = rows.len();
+    let mut builder = AlignmentBuilder::new().region_len(opts.region_len);
+    let mut prev_bp = 0u64;
+    let mut calls = vec![Allele::Zero; n_samples];
+    for (j, &frac) in fractions.iter().enumerate() {
+        for (s, row) in rows.iter().enumerate() {
+            calls[s] = row[j];
+        }
+        let bp = fraction_to_bp(frac, opts.region_len).max(prev_bp);
+        prev_bp = bp;
+        builder.push_site(bp, SnpVec::from_calls(&calls));
+    }
+    builder.build()
+}
+
+fn next_nonempty(
+    lines: &mut impl Iterator<Item = (usize, std::io::Result<String>)>,
+    format: &'static str,
+) -> Result<(usize, String), GenomeError> {
+    for (ln, line) in lines.by_ref() {
+        let line = line?;
+        if !line.trim().is_empty() {
+            return Ok((ln, line));
+        }
+    }
+    Err(GenomeError::parse(format, None, "unexpected end of input"))
+}
+
+/// Maps a unit-interval position to a 1-based bp coordinate.
+pub fn fraction_to_bp(frac: f64, region_len: u64) -> u64 {
+    let bp = (frac * region_len as f64).round() as u64;
+    bp.clamp(1, region_len.max(1))
+}
+
+/// Writes one alignment as an `ms` replicate block (with header) so that
+/// generated datasets round-trip through [`read_ms`].
+pub fn write_ms<W: Write>(w: &mut W, alignments: &[Alignment]) -> Result<(), GenomeError> {
+    let n_samples = alignments.first().map_or(0, Alignment::n_samples);
+    writeln!(w, "ms {} {} (omegaplus-rs writer)", n_samples, alignments.len())?;
+    writeln!(w, "0 0 0")?;
+    for a in alignments {
+        writeln!(w)?;
+        writeln!(w, "//")?;
+        writeln!(w, "segsites: {}", a.n_sites())?;
+        if a.n_sites() == 0 {
+            continue;
+        }
+        let len = a.region_len().max(1) as f64;
+        let mut line = String::from("positions:");
+        for &p in a.positions() {
+            line.push_str(&format!(" {:.6}", p as f64 / len));
+        }
+        writeln!(w, "{line}")?;
+        let mut row = String::with_capacity(a.n_sites());
+        for s in 0..a.n_samples() {
+            row.clear();
+            for j in 0..a.n_sites() {
+                row.push(match a.site(j).get(s) {
+                    Allele::Zero => '0',
+                    Allele::One => '1',
+                    Allele::Missing => 'N',
+                });
+            }
+            writeln!(w, "{row}")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "\
+ms 3 2 -t 5
+1 2 3
+
+//
+segsites: 3
+positions: 0.10 0.50 0.90
+010
+110
+001
+
+//
+segsites: 2
+positions: 0.25 0.75
+01
+10
+11
+";
+
+    #[test]
+    fn parses_two_replicates() {
+        let reps = read_ms(Cursor::new(SAMPLE), MsReadOptions { region_len: 1000 }).unwrap();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].n_sites(), 3);
+        assert_eq!(reps[0].n_samples(), 3);
+        assert_eq!(reps[1].n_sites(), 2);
+        assert_eq!(reps[1].n_samples(), 3);
+    }
+
+    #[test]
+    fn positions_scaled_to_bp() {
+        let reps = read_ms(Cursor::new(SAMPLE), MsReadOptions { region_len: 1000 }).unwrap();
+        assert_eq!(reps[0].positions(), &[100, 500, 900]);
+    }
+
+    #[test]
+    fn haplotypes_transposed_correctly() {
+        let reps = read_ms(Cursor::new(SAMPLE), MsReadOptions { region_len: 1000 }).unwrap();
+        let a = &reps[0];
+        // Site 0 column is [0,1,0] over the three samples.
+        assert_eq!(a.site(0).derived_count(), 1);
+        assert_eq!(a.site(0).get(1), Allele::One);
+        // Site 2 column is [0,0,1].
+        assert_eq!(a.site(2).get(2), Allele::One);
+    }
+
+    #[test]
+    fn missing_characters_accepted() {
+        let text = "//\nsegsites: 2\npositions: 0.1 0.2\n0N\n11\n";
+        let reps = read_ms(Cursor::new(text), MsReadOptions::default()).unwrap();
+        assert_eq!(reps[0].site(1).valid_count(), 1);
+    }
+
+    #[test]
+    fn zero_segsites_replicate() {
+        let text = "//\nsegsites: 0\n";
+        let reps = read_ms(Cursor::new(text), MsReadOptions::default()).unwrap();
+        assert_eq!(reps[0].n_sites(), 0);
+    }
+
+    #[test]
+    fn bad_segsites_rejected() {
+        let text = "//\nsegsites: xyz\n";
+        assert!(read_ms(Cursor::new(text), MsReadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn ragged_haplotypes_rejected() {
+        let text = "//\nsegsites: 2\npositions: 0.1 0.2\n01\n0\n";
+        assert!(read_ms(Cursor::new(text), MsReadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn position_count_mismatch_rejected() {
+        let text = "//\nsegsites: 3\npositions: 0.1 0.2\n010\n";
+        assert!(read_ms(Cursor::new(text), MsReadOptions::default()).is_err());
+    }
+
+    #[test]
+    fn fraction_to_bp_clamps() {
+        assert_eq!(fraction_to_bp(0.0, 100), 1);
+        assert_eq!(fraction_to_bp(1.0, 100), 100);
+        assert_eq!(fraction_to_bp(0.5, 100), 50);
+    }
+
+    #[test]
+    fn rounding_never_decreases_positions() {
+        let text = "//\nsegsites: 3\npositions: 0.10001 0.10002 0.10003\n010\n110\n";
+        let reps = read_ms(Cursor::new(text), MsReadOptions { region_len: 1000 }).unwrap();
+        let p = reps[0].positions();
+        assert!(p.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let reps = read_ms(Cursor::new(SAMPLE), MsReadOptions { region_len: 1000 }).unwrap();
+        let mut out = Vec::new();
+        write_ms(&mut out, &reps).unwrap();
+        let back = read_ms(Cursor::new(out), MsReadOptions { region_len: 1000 }).unwrap();
+        assert_eq!(back.len(), reps.len());
+        for (a, b) in reps.iter().zip(&back) {
+            assert_eq!(a.n_sites(), b.n_sites());
+            assert_eq!(a.n_samples(), b.n_samples());
+            assert_eq!(a.positions(), b.positions());
+            for j in 0..a.n_sites() {
+                assert_eq!(a.site(j), b.site(j), "site {j} differs");
+            }
+        }
+    }
+}

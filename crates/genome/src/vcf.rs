@@ -1,0 +1,179 @@
+//! Pragmatic VCF reader: biallelic SNP records with GT genotype fields.
+//!
+//! Haploid or phased diploid genotypes are accepted; a diploid sample
+//! contributes two haplotypes. Multi-allelic records, indels, and records
+//! without a GT field are skipped (counted, so callers can report them).
+
+use std::io::BufRead;
+
+use crate::alignment::{Alignment, AlignmentBuilder};
+use crate::bitvec::{Allele, SnpVec};
+use crate::error::GenomeError;
+
+/// Result of parsing a VCF stream.
+#[derive(Debug)]
+pub struct VcfOutcome {
+    /// The parsed alignment (haplotypes in sample-column order).
+    pub alignment: Alignment,
+    /// Records skipped because they were not biallelic SNPs with GT data.
+    pub skipped_records: usize,
+    /// Name of the contig that was parsed.
+    pub contig: Option<String>,
+}
+
+/// Parses the first contig found in a VCF stream into a binary alignment.
+pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfOutcome, GenomeError> {
+    let mut builder = AlignmentBuilder::new();
+    let mut skipped = 0usize;
+    let mut contig: Option<String> = None;
+    let mut n_haplotypes: Option<usize> = None;
+    let mut max_pos = 0u64;
+
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.starts_with('#') || line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split('\t').collect();
+        if fields.len() < 10 {
+            return Err(GenomeError::parse(
+                "vcf",
+                Some(ln + 1),
+                "record has fewer than 10 tab-separated fields",
+            ));
+        }
+        let chrom = fields[0];
+        match &contig {
+            None => contig = Some(chrom.to_string()),
+            Some(c) if c != chrom => break, // single-contig reader: stop at next contig
+            _ => {}
+        }
+        let pos: u64 = fields[1]
+            .parse()
+            .map_err(|_| GenomeError::parse("vcf", Some(ln + 1), "invalid POS"))?;
+        let (reference, alt) = (fields[3], fields[4]);
+        if reference.len() != 1 || alt.len() != 1 || alt == "." {
+            skipped += 1;
+            continue;
+        }
+        let format: Vec<&str> = fields[8].split(':').collect();
+        let Some(gt_idx) = format.iter().position(|&f| f == "GT") else {
+            skipped += 1;
+            continue;
+        };
+
+        let mut calls = Vec::new();
+        for sample in &fields[9..] {
+            let gt = sample.split(':').nth(gt_idx).unwrap_or(".");
+            for hap in gt.split(['|', '/']) {
+                calls.push(match hap {
+                    "0" => Allele::Zero,
+                    "1" => Allele::One,
+                    _ => Allele::Missing,
+                });
+            }
+        }
+        match n_haplotypes {
+            None => n_haplotypes = Some(calls.len()),
+            Some(n) if n != calls.len() => {
+                return Err(GenomeError::SampleCountMismatch { expected: n, found: calls.len() })
+            }
+            _ => {}
+        }
+        max_pos = max_pos.max(pos);
+        builder.push_site(pos, SnpVec::from_calls(&calls));
+    }
+
+    let alignment = builder.region_len(max_pos).build()?;
+    Ok(VcfOutcome { alignment, skipped_records: skipped, contig })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const VCF: &str = "\
+##fileformat=VCFv4.2
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1\ts2
+chr1\t100\t.\tA\tG\t.\tPASS\t.\tGT\t0|1\t1|1
+chr1\t200\t.\tC\tT\t.\tPASS\t.\tGT:DP\t0|0:12\t0|1:9
+chr1\t300\t.\tG\tGA\t.\tPASS\t.\tGT\t0|1\t0|0
+chr1\t400\t.\tT\tC\t.\tPASS\t.\tDP\t12\t9
+chr1\t500\t.\tT\tA\t.\tPASS\t.\tGT\t.|1\t0|0
+";
+
+    #[test]
+    fn parses_biallelic_snps_with_gt() {
+        let out = read_vcf(Cursor::new(VCF)).unwrap();
+        // 100, 200, 500 kept; 300 (indel) and 400 (no GT) skipped.
+        assert_eq!(out.alignment.positions(), &[100, 200, 500]);
+        assert_eq!(out.skipped_records, 2);
+        assert_eq!(out.contig.as_deref(), Some("chr1"));
+    }
+
+    #[test]
+    fn diploid_samples_become_two_haplotypes() {
+        let out = read_vcf(Cursor::new(VCF)).unwrap();
+        assert_eq!(out.alignment.n_samples(), 4);
+        // Site at 100: GTs 0|1 and 1|1 -> derived count 3.
+        assert_eq!(out.alignment.site(0).derived_count(), 3);
+    }
+
+    #[test]
+    fn missing_genotype_handled() {
+        let out = read_vcf(Cursor::new(VCF)).unwrap();
+        let site = out.alignment.site(2); // position 500, GTs .|1 and 0|0
+        assert_eq!(site.valid_count(), 3);
+        assert_eq!(site.derived_count(), 1);
+        assert_eq!(site.get(0), Allele::Missing);
+    }
+
+    #[test]
+    fn gt_field_located_by_format() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tDP:GT\t7:1|0
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.site(0).derived_count(), 1);
+    }
+
+    #[test]
+    fn stops_at_second_contig() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tGT\t1|0
+chr2\t20\t.\tA\tG\t.\t.\t.\tGT\t1|1
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.n_sites(), 1);
+        assert_eq!(out.contig.as_deref(), Some("chr1"));
+    }
+
+    #[test]
+    fn unphased_separator_accepted() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tGT\t1/0
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.n_samples(), 2);
+    }
+
+    #[test]
+    fn haplotype_count_mismatch_rejected() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tGT\t1|0
+chr1\t20\t.\tA\tG\t.\t.\t.\tGT\t1
+";
+        assert!(read_vcf(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let text = "chr1\t10\t.\tA\tG\n";
+        assert!(read_vcf(Cursor::new(text)).is_err());
+    }
+}

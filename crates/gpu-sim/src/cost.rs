@@ -1,0 +1,251 @@
+//! The GPU timing model.
+//!
+//! Kernel time is the maximum of three ceilings, each of which the paper's
+//! analysis identifies explicitly:
+//!
+//! * **arithmetic** — ω's float datapath (two combination products, three
+//!   divisions) costs `ALU_CYCLES_*` cycles per score, spread over the
+//!   device's stream processors;
+//! * **scheduling** — Kernel I runs one work-item per ω score, so the
+//!   global work-item dispatch rate bounds it (the plateau of Fig. 12);
+//!   Kernel II amortises dispatch over `WILD` scores per item;
+//! * **memory** — per-score DRAM traffic over the device bandwidth;
+//!   Kernel I touches more bytes per score because nothing is reused
+//!   across items, while Kernel II's multi-score items reuse `LR`/`km`
+//!   (and its padded buffers make every access coalesced, §IV-C).
+//!
+//! The *complete* ω path (Fig. 13) adds host-side buffer preparation and
+//! PCIe transfers; host preparation throughput degrades as the per-call
+//! working set falls out of successive cache levels, which is what makes
+//! the complete-pipeline throughput decline for large SNP counts while
+//! kernel-only throughput keeps rising.
+
+use crate::device::GpuDevice;
+
+/// ALU cycles per ω score in Kernel I (plain loop body).
+pub const ALU_CYCLES_K1: f64 = 160.0;
+/// ALU cycles per ω score in Kernel II (4× unrolled loop body).
+pub const ALU_CYCLES_K2: f64 = 126.0;
+/// DRAM bytes per ω score, Kernel I (TS stream + poorly-reused LR/km).
+pub const BYTES_PER_SCORE_K1: f64 = 16.0;
+/// DRAM bytes per ω score, Kernel II (TS stream, LR/km amortised).
+pub const BYTES_PER_SCORE_K2: f64 = 6.0;
+/// Work-group size used for padding (the `Ls` of Figs. 4–5).
+pub const WORK_GROUP_SIZE: u64 = 256;
+/// Host reduce rate over the returned ω buffer, elements/s.
+pub const HOST_REDUCE_RATE: f64 = 1.5e9;
+/// Fixed host-side cost per grid position (buffer mgmt, kernel args).
+pub const HOST_FIXED_PER_CALL_S: f64 = 25e-6;
+
+/// Seconds spent in each stage of a GPU-accelerated step.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GpuCost {
+    /// Host-side data preparation and packing.
+    pub host_prep: f64,
+    /// Host→device transfers.
+    pub h2d: f64,
+    /// Kernel execution.
+    pub kernel: f64,
+    /// Device→host transfers.
+    pub d2h: f64,
+    /// Host-side reduction over kernel output.
+    pub host_reduce: f64,
+}
+
+impl GpuCost {
+    /// End-to-end seconds.
+    pub fn total(&self) -> f64 {
+        self.host_prep + self.h2d + self.kernel + self.d2h + self.host_reduce
+    }
+
+    /// Seconds excluding host work and transfers (kernel-only, the
+    /// quantity plotted in Fig. 12).
+    pub fn kernel_only(&self) -> f64 {
+        self.kernel
+    }
+
+    /// Element-wise accumulation.
+    pub fn accumulate(&mut self, other: &GpuCost) {
+        self.host_prep += other.host_prep;
+        self.h2d += other.h2d;
+        self.kernel += other.kernel;
+        self.d2h += other.d2h;
+        self.host_reduce += other.host_reduce;
+    }
+}
+
+/// Host memory-preparation throughput (bytes/s) for a working set of the
+/// given size: a staircase over cache levels. Calibrated so the complete
+/// GPU ω pipeline peaks at mid-size workloads and declines beyond, as in
+/// Fig. 13.
+pub fn host_prep_rate(working_set_bytes: u64) -> f64 {
+    match working_set_bytes {
+        0..=52_428_800 => 8.0e9,            // cache-friendly streaming
+        52_428_801..=134_217_728 => 4.0e9,  // partially cache-resident
+        _ => 1.6e9,                         // DRAM-bound packing
+    }
+}
+
+/// The per-device analytic cost model.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    device: GpuDevice,
+}
+
+impl CostModel {
+    /// Builds a model for one device.
+    pub fn new(device: GpuDevice) -> Self {
+        CostModel { device }
+    }
+
+    /// The device being modelled.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    /// Kernel-launch overhead in seconds.
+    fn launch(&self) -> f64 {
+        self.device.kernel_launch_us * 1e-6
+    }
+
+    /// Kernel I execution time for `items` scheduled work-items (one ω
+    /// score each, including padding items).
+    pub fn kernel1_time(&self, items: u64) -> f64 {
+        let items = items as f64;
+        let alu = items * ALU_CYCLES_K1 / (self.device.total_sps() as f64 * self.device.clock_hz());
+        let sched = items / (self.device.sched_gitems * 1e9);
+        let mem = items * BYTES_PER_SCORE_K1 / (self.device.mem_bandwidth_gbs * 1e9);
+        self.launch() + alu.max(sched).max(mem)
+    }
+
+    /// Kernel II execution time for `scores` ω computations distributed
+    /// over `items` work-items (`WILD = scores / items` each).
+    pub fn kernel2_time(&self, scores: u64, items: u64) -> f64 {
+        let scores = scores as f64;
+        let alu =
+            scores * ALU_CYCLES_K2 / (self.device.total_sps() as f64 * self.device.clock_hz());
+        let sched = items as f64 / (self.device.sched_gitems * 1e9);
+        let mem = scores * BYTES_PER_SCORE_K2 / (self.device.mem_bandwidth_gbs * 1e9);
+        // Kernel II carries a heavier fixed cost (extra buffers, the
+        // work-item-load table, padded-layout setup) — the §VI-C
+        // observation that Kernel I is ~10 % faster on small workloads.
+        self.launch() * 3.0 + alu.max(sched).max(mem)
+    }
+
+    /// One host→device or device→host transfer of `bytes`.
+    pub fn transfer_time(&self, bytes: u64) -> f64 {
+        self.device.pcie_latency_us * 1e-6 + bytes as f64 / (self.device.pcie_bandwidth_gbs * 1e9)
+    }
+
+    /// Host-side packing/padding of `bytes` (cache-tiered).
+    pub fn host_prep_time(&self, bytes: u64) -> f64 {
+        HOST_FIXED_PER_CALL_S + bytes as f64 / host_prep_rate(bytes)
+    }
+
+    /// Host-side max-reduction over `elements` returned scores.
+    pub fn host_reduce_time(&self, elements: u64) -> f64 {
+        elements as f64 / HOST_REDUCE_RATE
+    }
+
+    /// GEMM (popcount dense-matrix-multiply) time for the LD path:
+    /// `pair_count` SNP pairs, each needing `words` 64-bit AND+popcount
+    /// accumulations. Efficiency grows with problem size the way GEMM
+    /// does on real devices (small multiplies cannot fill the machine).
+    pub fn gemm_time(&self, pair_count: u64, words_per_pair: u64) -> f64 {
+        let word_ops = (pair_count * words_per_pair) as f64;
+        // A 64-bit AND+popcount+accumulate costs ~4 32-bit SP operations.
+        let peak = self.device.total_sps() as f64 * self.device.clock_hz() / 4.0;
+        let eff = 0.85 * word_ops / (word_ops + 2.0e6);
+        self.launch() + word_ops / (peak * eff.max(0.02))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::GpuDevice;
+
+    fn k80() -> CostModel {
+        CostModel::new(GpuDevice::tesla_k80())
+    }
+
+    #[test]
+    fn kernel1_plateaus_at_sched_rate() {
+        let m = k80();
+        let big = 1_000_000_000u64;
+        let t = m.kernel1_time(big);
+        let rate = big as f64 / t;
+        // Asymptotic Kernel I rate must approach the dispatch bound
+        // (7.2 Gitems/s), not the ALU bound (~17 G/s).
+        assert!((rate - 7.2e9).abs() / 7.2e9 < 0.05, "rate {rate:e}");
+    }
+
+    #[test]
+    fn kernel2_asymptote_is_alu_bound() {
+        let m = k80();
+        let scores = 10_000_000_000u64;
+        let items = scores / 1000;
+        let t = m.kernel2_time(scores, items);
+        let rate = scores as f64 / t;
+        // 2496 SPs * 875 MHz / 126 cycles ≈ 17.3 Gω/s — the paper's peak.
+        assert!((rate - 17.3e9).abs() / 17.3e9 < 0.05, "rate {rate:e}");
+    }
+
+    #[test]
+    fn kernel1_faster_for_tiny_loads() {
+        let m = k80();
+        let scores = 10_000u64;
+        let t1 = m.kernel1_time(scores);
+        let t2 = m.kernel2_time(scores, scores / 8);
+        assert!(t1 < t2, "kernel I must win small workloads: {t1} vs {t2}");
+    }
+
+    #[test]
+    fn kernel2_faster_for_huge_loads() {
+        let m = k80();
+        let scores = 500_000_000u64;
+        let t1 = m.kernel1_time(scores);
+        let t2 = m.kernel2_time(scores, scores / 1000);
+        assert!(t2 < t1, "kernel II must win large workloads: {t2} vs {t1}");
+    }
+
+    #[test]
+    fn transfer_has_latency_floor() {
+        let m = k80();
+        assert!(m.transfer_time(0) > 0.0);
+        let small = m.transfer_time(1_000);
+        let big = m.transfer_time(1_000_000_000);
+        assert!(big > small * 100.0);
+    }
+
+    #[test]
+    fn prep_rate_declines_with_working_set() {
+        assert_eq!(host_prep_rate(1_000_000), host_prep_rate(10_000_000));
+        assert!(host_prep_rate(10_000_000) > host_prep_rate(100_000_000));
+        assert!(host_prep_rate(100_000_000) > host_prep_rate(1_000_000_000));
+    }
+
+    #[test]
+    fn gemm_efficiency_grows() {
+        let m = k80();
+        let small_rate = 1e6 / m.gemm_time(1_000, 1_000);
+        let big_rate = 1e10 / m.gemm_time(10_000_000, 1_000);
+        assert!(big_rate > 5.0 * small_rate);
+    }
+
+    #[test]
+    fn cost_accumulates() {
+        let mut a = GpuCost { host_prep: 1.0, h2d: 2.0, kernel: 3.0, d2h: 4.0, host_reduce: 5.0 };
+        a.accumulate(&GpuCost { host_prep: 0.5, ..GpuCost::default() });
+        assert!((a.total() - 15.5).abs() < 1e-12);
+        assert_eq!(a.kernel_only(), 3.0);
+    }
+
+    #[test]
+    fn radeon_slower_than_k80() {
+        let r = CostModel::new(GpuDevice::radeon_hd8750m());
+        let k = k80();
+        let scores = 100_000_000u64;
+        assert!(r.kernel2_time(scores, scores / 500) > k.kernel2_time(scores, scores / 500));
+    }
+}

@@ -1,0 +1,165 @@
+//! GPU device specifications (the paper's Table II platforms).
+//!
+//! The simulator does not execute OpenCL; it executes the kernels
+//! functionally on the host while charging time according to these specs
+//! and the cost model in [`crate::cost`]. Specs carry exactly the
+//! quantities the paper's analysis reasons about: compute units,
+//! stream-processor counts, warp/wavefront width, clocks, memory and
+//! PCIe bandwidths.
+
+/// A simulated GPU device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuDevice {
+    /// Marketing name (Table II "GPU Model").
+    pub name: &'static str,
+    /// Compute units (AMD CUs / NVIDIA SMs).
+    pub compute_units: u32,
+    /// Stream processors (CUDA cores) per compute unit.
+    pub sp_per_cu: u32,
+    /// Wavefront/warp width `Ws`.
+    pub warp_size: u32,
+    /// Shader clock in MHz (boost).
+    pub clock_mhz: f64,
+    /// Device memory bandwidth in GB/s.
+    pub mem_bandwidth_gbs: f64,
+    /// Host↔device bandwidth in GB/s.
+    pub pcie_bandwidth_gbs: f64,
+    /// Fixed latency per host↔device transfer, µs.
+    pub pcie_latency_us: f64,
+    /// Fixed kernel-launch overhead, µs.
+    pub kernel_launch_us: f64,
+    /// Global work-item dispatch rate bound in Gitems/s — the scheduling
+    /// ceiling that caps Kernel I (one ω per work-item) regardless of
+    /// arithmetic throughput.
+    pub sched_gitems: f64,
+}
+
+impl GpuDevice {
+    /// Total stream processors.
+    pub fn total_sps(&self) -> u64 {
+        u64::from(self.compute_units) * u64::from(self.sp_per_cu)
+    }
+
+    /// Clock in Hz.
+    pub fn clock_hz(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
+    /// The paper's dynamic two-kernel dispatch threshold (Eq. 4):
+    /// `Nthr = NCU · Ws · 32` — 32 wavefronts/warps per CU is the optimal
+    /// occupancy ceiling both vendors document.
+    pub fn n_thr(&self) -> u64 {
+        u64::from(self.compute_units) * u64::from(self.warp_size) * 32
+    }
+
+    /// System I: the desktop-class AMD Radeon HD8750M of the paper's
+    /// off-the-shelf laptop (6 CUs × 64 SPs, GCN).
+    pub fn radeon_hd8750m() -> Self {
+        GpuDevice {
+            name: "AMD Radeon HD8750M",
+            compute_units: 6,
+            sp_per_cu: 64,
+            warp_size: 64,
+            clock_mhz: 775.0,
+            mem_bandwidth_gbs: 32.0,
+            pcie_bandwidth_gbs: 6.0,
+            pcie_latency_us: 20.0,
+            kernel_launch_us: 8.0,
+            sched_gitems: 3.3,
+        }
+    }
+
+    /// System II: the datacenter NVIDIA Tesla K80 of the paper's Google
+    /// Colab setup (13 SMs × 192 CUDA cores per GK210 die).
+    pub fn tesla_k80() -> Self {
+        GpuDevice {
+            name: "NVIDIA Tesla K80",
+            compute_units: 13,
+            sp_per_cu: 192,
+            warp_size: 32,
+            clock_mhz: 875.0,
+            mem_bandwidth_gbs: 240.0,
+            pcie_bandwidth_gbs: 10.0,
+            pcie_latency_us: 15.0,
+            kernel_launch_us: 6.0,
+            sched_gitems: 7.2,
+        }
+    }
+
+    /// Both evaluation platforms, System I first.
+    pub fn paper_systems() -> [GpuDevice; 2] {
+        [Self::radeon_hd8750m(), Self::tesla_k80()]
+    }
+}
+
+/// Host CPU description paired with each GPU system in Table II.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HostCpu {
+    /// CPU model string.
+    pub model: &'static str,
+    /// Base frequency, GHz string as reported.
+    pub base_freq_ghz: &'static str,
+    /// Cores per processor (as visible in the evaluation environment).
+    pub cores: u32,
+    /// Hardware threads per core exposed.
+    pub threads_per_core: u32,
+}
+
+/// Table II rows: each evaluation system's host CPU + GPU.
+pub fn table2_rows() -> [(HostCpu, GpuDevice); 2] {
+    [
+        (
+            HostCpu {
+                model: "AMD A10-5757M",
+                base_freq_ghz: "2.5",
+                cores: 4,
+                threads_per_core: 1,
+            },
+            GpuDevice::radeon_hd8750m(),
+        ),
+        (
+            HostCpu {
+                model: "Intel Xeon E5-2699 v3",
+                base_freq_ghz: "2.3",
+                cores: 2,
+                threads_per_core: 1,
+            },
+            GpuDevice::tesla_k80(),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k80_core_counts() {
+        let d = GpuDevice::tesla_k80();
+        assert_eq!(d.compute_units, 13);
+        assert_eq!(d.total_sps(), 2496);
+    }
+
+    #[test]
+    fn radeon_core_counts() {
+        let d = GpuDevice::radeon_hd8750m();
+        assert_eq!(d.total_sps(), 384);
+        assert_eq!(d.warp_size, 64);
+    }
+
+    #[test]
+    fn nthr_formula() {
+        // Eq. 4: NCU * Ws * 32.
+        assert_eq!(GpuDevice::tesla_k80().n_thr(), 13 * 32 * 32);
+        assert_eq!(GpuDevice::radeon_hd8750m().n_thr(), 6 * 64 * 32);
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        let rows = table2_rows();
+        assert_eq!(rows[0].0.model, "AMD A10-5757M");
+        assert_eq!(rows[0].1.compute_units, 6);
+        assert_eq!(rows[1].0.model, "Intel Xeon E5-2699 v3");
+        assert_eq!(rows[1].1.total_sps(), 2496);
+    }
+}

@@ -1,0 +1,278 @@
+//! Batch LD as dense linear algebra: the popcount GEMM.
+//!
+//! For missing-free data the joint count `n11` of every (row, col) pair is
+//! one element of the binary matrix product X·Xᵀ, which is how the BLIS
+//! mapping of Binder et al. computes LD on the GPU. We implement the same
+//! formulation on the CPU: a cache-blocked popcount GEMM with a rayon
+//! parallel outer loop, plus a fallback path that honours per-sample
+//! missing-data masks.
+
+use omega_genome::SnpVec;
+use rayon::prelude::*;
+
+use crate::r2::{r2_from_counts, PairCounts};
+
+/// Number of column sites per cache tile in the blocked kernel. Sized so a
+/// tile of packed words plus the output slab stays L1-resident for typical
+/// sample counts.
+const COL_TILE: usize = 64;
+
+/// Rows per parallel work unit, balancing rayon scheduling overhead
+/// against load balance on narrow blocks.
+const ROW_CHUNK: usize = 8;
+
+/// Computes `out[j] = r²(sites[i], cols[j])` for one row site against a
+/// slice of column sites. `out.len()` must equal `cols.len()`.
+pub fn r2_row(row: &SnpVec, cols: &[SnpVec], out: &mut [f32]) {
+    assert_eq!(cols.len(), out.len(), "output length must match column count");
+    if cols.is_empty() {
+        return;
+    }
+    let fast = !row.has_missing() && cols.iter().all(|c| !c.has_missing());
+    if fast {
+        r2_row_fast(row, cols, out);
+    } else {
+        for (c, o) in cols.iter().zip(out.iter_mut()) {
+            *o = r2_from_counts(PairCounts::from_sites(row, c));
+        }
+    }
+}
+
+/// Missing-free inner kernel: only the AND-popcount per pair is data
+/// dependent; marginal counts come from the per-site caches.
+fn r2_row_fast(row: &SnpVec, cols: &[SnpVec], out: &mut [f32]) {
+    let rw = row.words();
+    let n = row.n_samples() as u32;
+    let ni = row.derived_count();
+    for (c, o) in cols.iter().zip(out.iter_mut()) {
+        let cw = c.words();
+        debug_assert_eq!(rw.len(), cw.len());
+        let mut n11 = 0u32;
+        for (a, b) in rw.iter().zip(cw) {
+            n11 += (a & b).count_ones();
+        }
+        *o = r2_from_counts(PairCounts { n11, ni, nj: c.derived_count(), n_valid: n });
+    }
+}
+
+/// Computes the full r² block `rows × cols` (row-major output), tiling the
+/// column dimension for cache locality and parallelising over row chunks.
+///
+/// This is the CPU realisation of the GEMM-based LD computation the paper's
+/// GPU path performs (§IV: "computes LD based on a general matrix
+/// multiplication operation").
+pub fn r2_block(rows: &[SnpVec], cols: &[SnpVec]) -> Vec<f32> {
+    let mut out = vec![0.0f32; rows.len() * cols.len()];
+    r2_block_into(rows, cols, &mut out);
+    out
+}
+
+/// Like [`r2_block`], writing into a caller-provided row-major buffer of
+/// length `rows.len() * cols.len()`.
+pub fn r2_block_into(rows: &[SnpVec], cols: &[SnpVec], out: &mut [f32]) {
+    let nc = cols.len();
+    assert_eq!(out.len(), rows.len() * nc, "output buffer has wrong size");
+    if rows.is_empty() || cols.is_empty() {
+        return;
+    }
+    out.par_chunks_mut(nc * ROW_CHUNK)
+        .zip(rows.par_chunks(ROW_CHUNK))
+        .for_each(|(out_chunk, row_chunk)| {
+            for (r, row) in row_chunk.iter().enumerate() {
+                let out_row = &mut out_chunk[r * nc..(r + 1) * nc];
+                let mut j = 0;
+                while j < nc {
+                    let hi = (j + COL_TILE).min(nc);
+                    r2_row(row, &cols[j..hi], &mut out_row[j..hi]);
+                    j = hi;
+                }
+            }
+        });
+}
+
+/// Raw pair-count GEMM: `out[i*cols.len()+j] = popcount(rows[i] & cols[j])`
+/// over jointly-valid samples. Exposed for the accelerator models, whose
+/// LD cost accounting is expressed in these GEMM terms.
+pub fn pair_count_block(rows: &[SnpVec], cols: &[SnpVec]) -> Vec<u32> {
+    let nc = cols.len();
+    let mut out = vec![0u32; rows.len() * nc];
+    out.par_chunks_mut(nc)
+        .zip(rows.par_iter())
+        .for_each(|(out_row, row)| {
+            for (c, o) in cols.iter().zip(out_row.iter_mut()) {
+                let (n11, _, _, _) = row.joint_counts(c);
+                *o = n11;
+            }
+        });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r2::r2_sites;
+    use omega_genome::Allele;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_sites(n_sites: usize, n_samples: usize, missing: bool, seed: u64) -> Vec<SnpVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_sites)
+            .map(|_| {
+                let calls: Vec<Allele> = (0..n_samples)
+                    .map(|_| {
+                        if missing && rng.gen_bool(0.05) {
+                            Allele::Missing
+                        } else if rng.gen_bool(0.3) {
+                            Allele::One
+                        } else {
+                            Allele::Zero
+                        }
+                    })
+                    .collect();
+                SnpVec::from_calls(&calls)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn row_matches_scalar_reference() {
+        let sites = random_sites(20, 130, false, 1);
+        let mut out = vec![0.0; 19];
+        r2_row(&sites[0], &sites[1..], &mut out);
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!(v, r2_sites(&sites[0], &sites[j + 1]));
+        }
+    }
+
+    #[test]
+    fn row_with_missing_matches_scalar_reference() {
+        let sites = random_sites(20, 70, true, 2);
+        let mut out = vec![0.0; 19];
+        r2_row(&sites[0], &sites[1..], &mut out);
+        for (j, &v) in out.iter().enumerate() {
+            assert_eq!(v, r2_sites(&sites[0], &sites[j + 1]));
+        }
+    }
+
+    #[test]
+    fn block_matches_scalar_reference() {
+        let rows = random_sites(13, 50, false, 3);
+        let cols = random_sites(130, 50, false, 4); // spans multiple col tiles
+        let out = r2_block(&rows, &cols);
+        for i in 0..rows.len() {
+            for j in 0..cols.len() {
+                assert_eq!(
+                    out[i * cols.len() + j],
+                    r2_sites(&rows[i], &cols[j]),
+                    "mismatch at ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_with_missing_matches_scalar_reference() {
+        let rows = random_sites(9, 40, true, 5);
+        let cols = random_sites(17, 40, true, 6);
+        let out = r2_block(&rows, &cols);
+        for i in 0..rows.len() {
+            for j in 0..cols.len() {
+                assert_eq!(out[i * cols.len() + j], r2_sites(&rows[i], &cols[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn block_row_count_exercises_parallel_chunking() {
+        // More rows than ROW_CHUNK so the rayon split path runs.
+        let rows = random_sites(35, 64, false, 7);
+        let cols = random_sites(10, 64, false, 8);
+        let out = r2_block(&rows, &cols);
+        for i in [0, 7, 8, 16, 34] {
+            for j in 0..cols.len() {
+                assert_eq!(out[i * cols.len() + j], r2_sites(&rows[i], &cols[j]));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(r2_block(&[], &random_sites(3, 10, false, 9)).is_empty());
+        assert!(r2_block(&random_sites(3, 10, false, 10), &[]).is_empty());
+        let mut out: Vec<f32> = vec![];
+        r2_row(&random_sites(1, 10, false, 11)[0], &[], &mut out);
+    }
+
+    #[test]
+    fn pair_count_block_matches_joint_counts() {
+        let rows = random_sites(6, 90, true, 12);
+        let cols = random_sites(11, 90, true, 13);
+        let out = pair_count_block(&rows, &cols);
+        for i in 0..rows.len() {
+            for j in 0..cols.len() {
+                let (n11, _, _, _) = rows[i].joint_counts(&cols[j]);
+                assert_eq!(out[i * cols.len() + j], n11);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong size")]
+    fn block_into_validates_buffer() {
+        let rows = random_sites(2, 10, false, 14);
+        let cols = random_sites(2, 10, false, 15);
+        let mut out = vec![0.0; 3];
+        r2_block_into(&rows, &cols, &mut out);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::r2::r2_sites;
+    use omega_genome::Allele;
+    use proptest::prelude::*;
+
+    fn site_strategy(n_samples: usize) -> impl Strategy<Value = SnpVec> {
+        proptest::collection::vec(0u8..3, n_samples).prop_map(|v| {
+            let calls: Vec<Allele> = v
+                .iter()
+                .map(|&b| match b {
+                    0 => Allele::Zero,
+                    1 => Allele::One,
+                    _ => Allele::Missing,
+                })
+                .collect();
+            SnpVec::from_calls(&calls)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn batch_always_matches_scalar(
+            rows in proptest::collection::vec(site_strategy(33), 1..6),
+            cols in proptest::collection::vec(site_strategy(33), 1..6),
+        ) {
+            let out = r2_block(&rows, &cols);
+            for i in 0..rows.len() {
+                for j in 0..cols.len() {
+                    prop_assert_eq!(out[i * cols.len() + j], r2_sites(&rows[i], &cols[j]));
+                }
+            }
+        }
+
+        #[test]
+        fn r2_bounded_and_symmetric(a in site_strategy(48), b in site_strategy(48)) {
+            let r = r2_sites(&a, &b);
+            prop_assert!((0.0..=1.0 + 1e-6).contains(&r));
+            prop_assert_eq!(r, r2_sites(&b, &a));
+        }
+
+        #[test]
+        fn self_ld_is_one_for_polymorphic(bits in proptest::collection::vec(0u8..2, 48)) {
+            let a = SnpVec::from_bits(&bits);
+            prop_assume!(!a.is_monomorphic());
+            prop_assert!((r2_sites(&a, &a) - 1.0).abs() < 1e-6);
+        }
+    }
+}

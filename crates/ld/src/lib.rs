@@ -1,0 +1,31 @@
+//! Linkage disequilibrium kernels.
+//!
+//! LD between two SNPs is measured by Pearson's squared correlation
+//! coefficient r² (Eq. 1 of the paper):
+//!
+//! ```text
+//! r²ij = (p_ij − p_i·p_j)² / (p_i(1−p_i) · p_j(1−p_j))
+//! ```
+//!
+//! where `p_i`, `p_j` are derived-allele frequencies and `p_ij` the joint
+//! derived frequency. Over bit-packed sites every term is a popcount, and a
+//! *batch* of r² values against a block of sites is exactly a dense
+//! matrix-multiply over binary words — the Dense Linear Algebra (DLA)
+//! formulation of Alachiotis/Popovici/Low that Binder et al. mapped onto
+//! GPUs via BLIS, and which this crate implements as a cache-tiled,
+//! rayon-parallel popcount GEMM ([`gemm`]).
+//!
+//! Three tiers are provided, all agreeing bit-for-bit:
+//! * [`r2::r2_sites`] — one pair at a time (reference + engine hot path);
+//! * [`gemm::r2_block`] — tiled site-block × site-block batch;
+//! * [`matrix::LdMatrix`] — triangular r² matrix of a whole window.
+
+pub mod gemm;
+pub mod matrix;
+pub mod measures;
+pub mod r2;
+
+pub use gemm::{r2_block, r2_row};
+pub use matrix::LdMatrix;
+pub use measures::{ld_measures, ld_measures_from_counts, LdMeasures};
+pub use r2::{r2_from_counts, r2_sites, PairCounts};

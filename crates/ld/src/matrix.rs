@@ -1,0 +1,190 @@
+//! Triangular r² matrix over a window of consecutive sites.
+
+use omega_genome::SnpVec;
+use rayon::prelude::*;
+
+use crate::r2::r2_sites;
+
+/// Lower-triangular matrix of pairwise r² values for `n` consecutive sites:
+/// entry `(i, j)` with `j < i` holds `r²(site_i, site_j)`. The diagonal is
+/// implicitly zero (self-LD is not used by the ω statistic).
+///
+/// Storage is column-major (`j` major), matching the access order of both
+/// the ω nested loop and the FPGA accelerator's matrix-M fetch pattern
+/// (paper §V: "we store matrix M in a column-major order since we need two
+/// columns per iteration").
+#[derive(Debug, Clone, PartialEq)]
+pub struct LdMatrix {
+    n: usize,
+    /// Column j occupies `offset(j) .. offset(j) + (n - 1 - j)`, holding
+    /// rows `j+1 ..= n-1`.
+    data: Vec<f32>,
+}
+
+impl LdMatrix {
+    /// Computes the full pairwise matrix for a window of sites, in parallel
+    /// over columns.
+    pub fn compute(sites: &[SnpVec]) -> Self {
+        let n = sites.len();
+        let mut data = vec![0.0f32; Self::len_for(n)];
+        // Split the flat buffer into per-column slices for parallel fill.
+        let mut slices: Vec<(usize, &mut [f32])> = Vec::with_capacity(n.saturating_sub(1));
+        let mut rest = data.as_mut_slice();
+        for j in 0..n.saturating_sub(1) {
+            let (col, tail) = rest.split_at_mut(n - 1 - j);
+            slices.push((j, col));
+            rest = tail;
+        }
+        slices.into_par_iter().for_each(|(j, col)| {
+            for (k, out) in col.iter_mut().enumerate() {
+                let i = j + 1 + k;
+                *out = r2_sites(&sites[i], &sites[j]);
+            }
+        });
+        LdMatrix { n, data }
+    }
+
+    /// An all-zero matrix for `n` sites (useful as a sink for incremental
+    /// construction).
+    pub fn zeros(n: usize) -> Self {
+        LdMatrix { n, data: vec![0.0; Self::len_for(n)] }
+    }
+
+    fn len_for(n: usize) -> usize {
+        n * n.saturating_sub(1) / 2
+    }
+
+    /// Number of sites covered.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    #[inline]
+    fn offset(&self, j: usize) -> usize {
+        // Sum of column lengths (n-1-c) for c < j.
+        j * (self.n - 1) - j * j.saturating_sub(1) / 2
+    }
+
+    /// r² between sites `i` and `j` (any order); 0 on the diagonal.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        assert!(i < self.n && j < self.n, "index out of range");
+        let (i, j) = if i > j { (i, j) } else { (j, i) };
+        if i == j {
+            return 0.0;
+        }
+        self.data[self.offset(j) + (i - j - 1)]
+    }
+
+    /// Sets the entry for sites `i != j`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        assert!(i < self.n && j < self.n && i != j, "invalid entry");
+        let (i, j) = if i > j { (i, j) } else { (j, i) };
+        let off = self.offset(j);
+        self.data[off + (i - j - 1)] = v;
+    }
+
+    /// Column `j` as a slice: entries `(j+1, j), (j+2, j), ..., (n-1, j)`.
+    pub fn column(&self, j: usize) -> &[f32] {
+        let off = self.offset(j);
+        &self.data[off..off + (self.n - 1 - j)]
+    }
+
+    /// Sum of all pairwise r² values in the window.
+    pub fn total(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_genome::SnpVec;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_sites(n_sites: usize, n_samples: usize, seed: u64) -> Vec<SnpVec> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n_sites)
+            .map(|_| {
+                let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+                SnpVec::from_bits(&calls)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_pairwise_reference() {
+        let sites = random_sites(12, 40, 1);
+        let m = LdMatrix::compute(&sites);
+        for i in 0..12 {
+            for j in 0..12 {
+                let expect = if i == j { 0.0 } else { r2_sites(&sites[i], &sites[j]) };
+                assert_eq!(m.get(i, j), expect, "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn storage_size_is_triangular() {
+        let m = LdMatrix::zeros(10);
+        assert_eq!(m.data.len(), 45);
+        let m = LdMatrix::zeros(0);
+        assert_eq!(m.data.len(), 0);
+        let m = LdMatrix::zeros(1);
+        assert_eq!(m.data.len(), 0);
+    }
+
+    #[test]
+    fn set_then_get() {
+        let mut m = LdMatrix::zeros(5);
+        m.set(4, 1, 0.75);
+        assert_eq!(m.get(4, 1), 0.75);
+        assert_eq!(m.get(1, 4), 0.75);
+        m.set(1, 4, 0.25);
+        assert_eq!(m.get(4, 1), 0.25);
+    }
+
+    #[test]
+    fn column_layout() {
+        let mut m = LdMatrix::zeros(4);
+        m.set(1, 0, 0.1);
+        m.set(2, 0, 0.2);
+        m.set(3, 0, 0.3);
+        m.set(2, 1, 0.4);
+        m.set(3, 2, 0.5);
+        assert_eq!(m.column(0), &[0.1, 0.2, 0.3]);
+        assert_eq!(m.column(1), &[0.4, 0.0]);
+        assert_eq!(m.column(2), &[0.5]);
+        assert_eq!(m.column(3), &[] as &[f32]);
+    }
+
+    #[test]
+    fn total_sums_everything() {
+        let sites = random_sites(8, 30, 2);
+        let m = LdMatrix::compute(&sites);
+        let mut expect = 0.0f64;
+        for i in 0..8 {
+            for j in 0..i {
+                expect += r2_sites(&sites[i], &sites[j]) as f64;
+            }
+        }
+        assert!((m.total() - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let sites = random_sites(5, 20, 3);
+        let m = LdMatrix::compute(&sites);
+        for i in 0..5 {
+            assert_eq!(m.get(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        LdMatrix::zeros(3).get(3, 0);
+    }
+}

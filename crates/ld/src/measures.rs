@@ -1,0 +1,130 @@
+//! The broader LD measure family of quickLD (Theodoris et al., cited in
+//! §III): alongside r², population geneticists use the raw coefficient D
+//! and the normalised D′, all derived from the same joint counts.
+
+use omega_genome::SnpVec;
+
+use crate::r2::PairCounts;
+
+/// The full set of pairwise LD measures for one SNP pair.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdMeasures {
+    /// Raw linkage disequilibrium coefficient `D = p_ij − p_i·p_j`.
+    pub d: f64,
+    /// Lewontin's normalised `D' = D / D_max` in [-1, 1].
+    pub d_prime: f64,
+    /// Pearson's squared correlation r² (Eq. 1 of the paper).
+    pub r2: f64,
+    /// Derived-allele frequency at the first site (among jointly valid).
+    pub p_i: f64,
+    /// Derived-allele frequency at the second site.
+    pub p_j: f64,
+}
+
+/// Computes every measure from joint counts. Degenerate pairs (no joint
+/// samples or a monomorphic member) report zeros.
+pub fn ld_measures_from_counts(c: PairCounts) -> LdMeasures {
+    if c.n_valid == 0 {
+        return LdMeasures { d: 0.0, d_prime: 0.0, r2: 0.0, p_i: 0.0, p_j: 0.0 };
+    }
+    let n = f64::from(c.n_valid);
+    let p_i = f64::from(c.ni) / n;
+    let p_j = f64::from(c.nj) / n;
+    let p_ij = f64::from(c.n11) / n;
+    let d = p_ij - p_i * p_j;
+    let denom = p_i * (1.0 - p_i) * p_j * (1.0 - p_j);
+    let r2 = if denom > 0.0 { d * d / denom } else { 0.0 };
+    // D' normalisation: D_max depends on the sign of D.
+    let d_max = if d >= 0.0 {
+        (p_i * (1.0 - p_j)).min((1.0 - p_i) * p_j)
+    } else {
+        (p_i * p_j).min((1.0 - p_i) * (1.0 - p_j))
+    };
+    let d_prime = if d_max > 0.0 { d / d_max } else { 0.0 };
+    LdMeasures { d, d_prime, r2, p_i, p_j }
+}
+
+/// Computes every measure for a packed site pair.
+pub fn ld_measures(a: &SnpVec, b: &SnpVec) -> LdMeasures {
+    ld_measures_from_counts(PairCounts::from_sites(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::r2::r2_sites;
+
+    #[test]
+    fn perfect_coupling_gives_unit_dprime_and_r2() {
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let m = ld_measures(&a, &b);
+        assert!((m.d - 0.25).abs() < 1e-12);
+        assert!((m.d_prime - 1.0).abs() < 1e-12);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repulsion_gives_negative_d_unit_dprime() {
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[0, 0, 1, 1]);
+        let m = ld_measures(&a, &b);
+        assert!(m.d < 0.0);
+        assert!((m.d_prime + 1.0).abs() < 1e-12);
+        assert!((m.r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dprime_can_be_one_while_r2_is_not() {
+        // Classic case: complete LD (no recombinant) but unequal
+        // frequencies -> |D'| = 1, r² < 1.
+        let a = SnpVec::from_bits(&[1, 1, 1, 0, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 0, 0, 0, 0, 0]);
+        let m = ld_measures(&a, &b);
+        assert!((m.d_prime - 1.0).abs() < 1e-12, "D' {}", m.d_prime);
+        assert!(m.r2 < 0.999 && m.r2 > 0.0);
+    }
+
+    #[test]
+    fn independence_zeroes_everything() {
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 0, 1, 0]);
+        let m = ld_measures(&a, &b);
+        assert_eq!(m.d, 0.0);
+        assert_eq!(m.d_prime, 0.0);
+        assert_eq!(m.r2, 0.0);
+    }
+
+    #[test]
+    fn r2_agrees_with_dedicated_kernel() {
+        for (x, y) in [(0b1100u8, 0b1000u8), (0b1010, 0b0110), (0b1111, 0b1010)] {
+            let bits = |v: u8| [v & 1, v >> 1 & 1, v >> 2 & 1, v >> 3 & 1];
+            let a = SnpVec::from_bits(&bits(x));
+            let b = SnpVec::from_bits(&bits(y));
+            let m = ld_measures(&a, &b);
+            assert!((m.r2 - r2_sites(&a, &b) as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn bounds_hold_exhaustively() {
+        for x in 0u8..16 {
+            for y in 0u8..16 {
+                let bits = |v: u8| [v & 1, v >> 1 & 1, v >> 2 & 1, v >> 3 & 1];
+                let m = ld_measures(&SnpVec::from_bits(&bits(x)), &SnpVec::from_bits(&bits(y)));
+                assert!((-1.0..=1.0).contains(&m.d_prime), "D' {} for {x},{y}", m.d_prime);
+                assert!((-0.25..=0.25).contains(&m.d));
+                assert!((0.0..=1.0 + 1e-9).contains(&m.r2));
+            }
+        }
+    }
+
+    #[test]
+    fn frequencies_reported() {
+        let a = SnpVec::from_bits(&[1, 1, 1, 0]);
+        let b = SnpVec::from_bits(&[1, 0, 0, 0]);
+        let m = ld_measures(&a, &b);
+        assert!((m.p_i - 0.75).abs() < 1e-12);
+        assert!((m.p_j - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,150 @@
+//! Single-pair r² computation (Eq. 1 of the paper).
+
+use omega_genome::SnpVec;
+
+/// Joint counts for one SNP pair, restricted to samples valid at both sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PairCounts {
+    /// Samples derived at both sites.
+    pub n11: u32,
+    /// Samples derived at site i (among pair-valid samples).
+    pub ni: u32,
+    /// Samples derived at site j (among pair-valid samples).
+    pub nj: u32,
+    /// Samples valid at both sites.
+    pub n_valid: u32,
+}
+
+impl PairCounts {
+    /// Gathers counts from two packed sites.
+    #[inline]
+    pub fn from_sites(a: &SnpVec, b: &SnpVec) -> Self {
+        let (n11, ni, nj, n_valid) = a.joint_counts(b);
+        PairCounts { n11, ni, nj, n_valid }
+    }
+}
+
+/// Computes r² from joint counts.
+///
+/// Degenerate pairs — no jointly-valid samples, or either site monomorphic
+/// among the jointly-valid samples — carry no correlation signal and return
+/// 0.0, matching how OmegaPlus treats them after filtering.
+#[inline]
+pub fn r2_from_counts(c: PairCounts) -> f32 {
+    if c.n_valid == 0 {
+        return 0.0;
+    }
+    let n = f64::from(c.n_valid);
+    let pi = f64::from(c.ni) / n;
+    let pj = f64::from(c.nj) / n;
+    let pij = f64::from(c.n11) / n;
+    let denom = pi * (1.0 - pi) * pj * (1.0 - pj);
+    if denom <= 0.0 {
+        return 0.0;
+    }
+    let d = pij - pi * pj;
+    ((d * d) / denom) as f32
+}
+
+/// r² between two packed sites: the scalar kernel used by the engine for
+/// per-pair computation and by the tests as the ground truth for the batch
+/// kernels.
+#[inline]
+pub fn r2_sites(a: &SnpVec, b: &SnpVec) -> f32 {
+    r2_from_counts(PairCounts::from_sites(a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_genome::Allele;
+
+    #[test]
+    fn perfect_positive_ld() {
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 1, 0, 0]);
+        assert!((r2_sites(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn perfect_negative_ld_is_also_one() {
+        // r² is symmetric in allele labelling: complete anti-correlation
+        // also gives r² = 1.
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[0, 0, 1, 1]);
+        assert!((r2_sites(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn independent_sites_give_zero() {
+        // Joint frequency exactly equals product of marginals.
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 0, 1, 0]);
+        assert_eq!(r2_sites(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn hand_computed_intermediate_value() {
+        // n=4: a = 1100, b = 1000. pi=0.5, pj=0.25, pij=0.25.
+        // D = 0.25 - 0.125 = 0.125; denom = 0.25 * 0.1875 = 0.046875.
+        // r² = 0.015625 / 0.046875 = 1/3.
+        let a = SnpVec::from_bits(&[1, 1, 0, 0]);
+        let b = SnpVec::from_bits(&[1, 0, 0, 0]);
+        assert!((r2_sites(&a, &b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn monomorphic_pair_returns_zero() {
+        let a = SnpVec::from_bits(&[1, 1, 1, 1]);
+        let b = SnpVec::from_bits(&[1, 0, 1, 0]);
+        assert_eq!(r2_sites(&a, &b), 0.0);
+        assert_eq!(r2_sites(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn missing_data_restricts_to_joint_valid() {
+        use Allele::*;
+        // Pair-valid samples: 0,1,2,3 minus sample 1 (missing in b) => {0,2,3}.
+        let a = SnpVec::from_calls(&[One, One, Zero, Zero]);
+        let b = SnpVec::from_calls(&[One, Missing, Zero, Zero]);
+        // Among {0,2,3}: a = 100, b = 100 -> perfectly correlated.
+        assert!((r2_sites(&a, &b) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn site_monomorphic_after_missing_restriction() {
+        use Allele::*;
+        // b polymorphic overall, but among jointly valid samples all zero.
+        let a = SnpVec::from_calls(&[Missing, One, Zero]);
+        let b = SnpVec::from_calls(&[One, Zero, Zero]);
+        assert_eq!(r2_sites(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn no_joint_valid_samples() {
+        use Allele::*;
+        let a = SnpVec::from_calls(&[One, Missing]);
+        let b = SnpVec::from_calls(&[Missing, One]);
+        assert_eq!(r2_sites(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn symmetric_in_argument_order() {
+        let a = SnpVec::from_bits(&[1, 1, 0, 1, 0, 0, 1, 0]);
+        let b = SnpVec::from_bits(&[0, 1, 0, 1, 1, 0, 1, 0]);
+        assert_eq!(r2_sites(&a, &b), r2_sites(&b, &a));
+    }
+
+    #[test]
+    fn r2_always_in_unit_interval() {
+        // Exhaustive over all 4-sample biallelic pairs.
+        for x in 0u8..16 {
+            for y in 0u8..16 {
+                let a = SnpVec::from_bits(&[x & 1, x >> 1 & 1, x >> 2 & 1, x >> 3 & 1]);
+                let b = SnpVec::from_bits(&[y & 1, y >> 1 & 1, y >> 2 & 1, y >> 3 & 1]);
+                let r = r2_sites(&a, &b);
+                assert!((0.0..=1.0 + 1e-6).contains(&r), "r2({x},{y}) = {r}");
+            }
+        }
+    }
+}

@@ -1,0 +1,399 @@
+//! Hudson's ancestral recombination graph (ARG) simulation.
+//!
+//! Each lineage carries a list of ancestral segments over the unit
+//! interval, each segment knowing which samples descend from it. Going
+//! back in time, lineages coalesce at rate k(k−1)/2 and recombine at rate
+//! (ρ/2)·span each. Every lineage lifetime contributes *branch records*
+//! — (interval, descendant set, duration) triples — on which
+//! infinite-sites mutations are dropped afterwards, weighted by
+//! duration × interval width.
+//!
+//! Segments whose descendant set reaches the full sample are local MRCAs:
+//! mutations above them would be monomorphic, so they are dropped, which
+//! is also the termination condition.
+//!
+//! Memory scales with (events × segments × n/64 bits); intended for
+//! sample sizes up to a few thousand — beyond that use the
+//! non-recombining [`crate::tree`] path.
+
+use rand::Rng;
+
+use crate::convert::Mutation;
+use crate::randutil::{exponential, poisson};
+
+/// Bit-set of sample indices descending from a segment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DescSet {
+    words: Vec<u64>,
+    count: u32,
+}
+
+impl DescSet {
+    fn singleton(n_words: usize, i: usize) -> Self {
+        let mut words = vec![0u64; n_words];
+        words[i / 64] |= 1 << (i % 64);
+        DescSet { words, count: 1 }
+    }
+
+    fn union(&self, other: &DescSet) -> DescSet {
+        let words: Vec<u64> = self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect();
+        let count = words.iter().map(|w| w.count_ones()).sum();
+        DescSet { words, count }
+    }
+
+    fn is_full(&self, n_samples: usize) -> bool {
+        self.count as usize == n_samples
+    }
+
+    /// Sample indices in the set, ascending.
+    pub fn to_indices(&self) -> Vec<usize> {
+        let mut out = Vec::with_capacity(self.count as usize);
+        for (w, &word) in self.words.iter().enumerate() {
+            let mut bits = word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                out.push(w * 64 + b);
+                bits &= bits - 1;
+            }
+        }
+        out
+    }
+
+    /// Number of samples in the set.
+    pub fn len(&self) -> usize {
+        self.count as usize
+    }
+
+    /// `true` when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Segment {
+    l: f64,
+    r: f64,
+    desc: DescSet,
+}
+
+#[derive(Debug, Clone)]
+struct Lineage {
+    birth: f64,
+    segs: Vec<Segment>,
+}
+
+impl Lineage {
+    fn span(&self) -> f64 {
+        match (self.segs.first(), self.segs.last()) {
+            (Some(a), Some(b)) => b.r - a.l,
+            _ => 0.0,
+        }
+    }
+}
+
+/// One branch of the ARG restricted to one genomic interval: any mutation
+/// falling on it is carried by exactly `desc`.
+#[derive(Debug, Clone)]
+pub struct BranchRecord {
+    /// Interval start (unit coordinates).
+    pub l: f64,
+    /// Interval end.
+    pub r: f64,
+    /// Samples inheriting from this branch over `[l, r)`.
+    pub desc: DescSet,
+    /// Branch duration in 4N units.
+    pub len: f64,
+}
+
+/// Simulates the ARG for `n` samples with region recombination rate
+/// `rho = 4Nr`, returning all branch records.
+pub fn simulate_arg<R: Rng>(n: usize, rho: f64, rng: &mut R) -> Vec<BranchRecord> {
+    assert!(n >= 2, "need at least two samples");
+    assert!(rho >= 0.0, "rho must be non-negative");
+    let n_words = n.div_ceil(64);
+    let mut lineages: Vec<Lineage> = (0..n)
+        .map(|i| Lineage {
+            birth: 0.0,
+            segs: vec![Segment { l: 0.0, r: 1.0, desc: DescSet::singleton(n_words, i) }],
+        })
+        .collect();
+    let mut records: Vec<BranchRecord> = Vec::new();
+    let mut t = 0.0f64;
+    // Generous safety bound: expected event count is O(n + rho log n).
+    let max_events = 500 * (n + rho as usize + 10);
+
+    for _ in 0..max_events {
+        if lineages.len() <= 1 {
+            break;
+        }
+        let k = lineages.len() as f64;
+        let total_span: f64 = lineages.iter().map(Lineage::span).sum();
+        let c_rate = k * (k - 1.0) / 2.0;
+        let r_rate = rho / 2.0 * total_span;
+        t += exponential(rng, c_rate + r_rate);
+
+        if rng.gen::<f64>() * (c_rate + r_rate) < c_rate {
+            // Coalescence of a uniform pair.
+            let i = rng.gen_range(0..lineages.len());
+            let a = lineages.swap_remove(i);
+            let j = rng.gen_range(0..lineages.len());
+            let b = lineages.swap_remove(j);
+            close_lineage(&a, t, &mut records);
+            close_lineage(&b, t, &mut records);
+            let merged = merge_segments(&a.segs, &b.segs, n);
+            if !merged.is_empty() {
+                lineages.push(Lineage { birth: t, segs: merged });
+            }
+        } else {
+            // Recombination in a lineage chosen proportionally to span.
+            let mut x = rng.gen::<f64>() * total_span;
+            let mut idx = lineages.len() - 1;
+            for (i, lin) in lineages.iter().enumerate() {
+                x -= lin.span();
+                if x <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            let lin = lineages.swap_remove(idx);
+            let lo = lin.segs.first().expect("lineages never hold zero segments").l;
+            let hi = lin.segs.last().unwrap().r;
+            let break_at = lo + rng.gen::<f64>() * (hi - lo);
+            if break_at <= lo || break_at >= hi {
+                // Degenerate draw: put the lineage back untouched.
+                lineages.push(lin);
+                continue;
+            }
+            close_lineage(&lin, t, &mut records);
+            let (left, right) = split_segments(&lin.segs, break_at);
+            if !left.is_empty() {
+                lineages.push(Lineage { birth: t, segs: left });
+            }
+            if !right.is_empty() {
+                lineages.push(Lineage { birth: t, segs: right });
+            }
+        }
+    }
+    assert!(
+        lineages.len() <= 1,
+        "ARG simulation exceeded its event budget ({} lineages left)",
+        lineages.len()
+    );
+    records
+}
+
+/// Emits the branch records for a lineage ending (coalescing or
+/// recombining) at time `t`.
+fn close_lineage(lin: &Lineage, t: f64, records: &mut Vec<BranchRecord>) {
+    let len = t - lin.birth;
+    if len <= 0.0 {
+        return;
+    }
+    for s in &lin.segs {
+        records.push(BranchRecord { l: s.l, r: s.r, desc: s.desc.clone(), len });
+    }
+}
+
+/// Splits a sorted segment list at `break_at`, partially slicing the
+/// segment that straddles the breakpoint.
+fn split_segments(segs: &[Segment], break_at: f64) -> (Vec<Segment>, Vec<Segment>) {
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for s in segs {
+        if s.r <= break_at {
+            left.push(s.clone());
+        } else if s.l >= break_at {
+            right.push(s.clone());
+        } else {
+            left.push(Segment { l: s.l, r: break_at, desc: s.desc.clone() });
+            right.push(Segment { l: break_at, r: s.r, desc: s.desc.clone() });
+        }
+    }
+    (left, right)
+}
+
+/// Merges two sorted segment lists: overlapping intervals union their
+/// descendant sets; intervals reaching the full sample set (local MRCA)
+/// are dropped; adjacent intervals with identical sets are rejoined.
+fn merge_segments(a: &[Segment], b: &[Segment], n_samples: usize) -> Vec<Segment> {
+    let mut bounds: Vec<f64> = a.iter().chain(b).flat_map(|s| [s.l, s.r]).collect();
+    bounds.sort_by(f64::total_cmp);
+    bounds.dedup();
+
+    let find = |segs: &[Segment], x1: f64, x2: f64| -> Option<DescSet> {
+        // Elementary intervals never straddle segment boundaries, so any
+        // segment containing the midpoint covers the whole interval.
+        let mid = 0.5 * (x1 + x2);
+        segs.iter().find(|s| s.l <= mid && mid < s.r).map(|s| s.desc.clone())
+    };
+
+    let mut out: Vec<Segment> = Vec::new();
+    for w in bounds.windows(2) {
+        let (x1, x2) = (w[0], w[1]);
+        if x2 <= x1 {
+            continue;
+        }
+        let desc = match (find(a, x1, x2), find(b, x1, x2)) {
+            (Some(da), Some(db)) => da.union(&db),
+            (Some(d), None) | (None, Some(d)) => d,
+            (None, None) => continue,
+        };
+        if desc.is_full(n_samples) {
+            continue;
+        }
+        match out.last_mut() {
+            Some(prev) if prev.r == x1 && prev.desc == desc => prev.r = x2,
+            _ => out.push(Segment { l: x1, r: x2, desc }),
+        }
+    }
+    out
+}
+
+/// Drops Poisson(θ/2 · Σ len·width) mutations over the branch records.
+pub fn mutations_poisson<R: Rng>(
+    records: &[BranchRecord],
+    theta: f64,
+    rng: &mut R,
+) -> Vec<Mutation> {
+    let total: f64 = records.iter().map(|r| r.len * (r.r - r.l)).sum();
+    let count = poisson(rng, theta / 2.0 * total);
+    mutations_fixed(records, count as usize, rng)
+}
+
+/// Drops exactly `s` mutations over the branch records, weighted by
+/// duration × width.
+pub fn mutations_fixed<R: Rng>(records: &[BranchRecord], s: usize, rng: &mut R) -> Vec<Mutation> {
+    let mut cumulative = Vec::with_capacity(records.len());
+    let mut acc = 0.0f64;
+    for r in records {
+        acc += r.len * (r.r - r.l);
+        cumulative.push(acc);
+    }
+    if acc <= 0.0 {
+        return Vec::new();
+    }
+    (0..s)
+        .map(|_| {
+            let x = rng.gen::<f64>() * acc;
+            let i = cumulative.partition_point(|&c| c < x).min(records.len() - 1);
+            let rec = &records[i];
+            let position = rec.l + rng.gen::<f64>() * (rec.r - rec.l);
+            Mutation { position, derived: rec.desc.to_indices() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn descset_roundtrip() {
+        let a = DescSet::singleton(2, 5);
+        let b = DescSet::singleton(2, 100);
+        let u = a.union(&b);
+        assert_eq!(u.to_indices(), vec![5, 100]);
+        assert_eq!(u.len(), 2);
+        assert!(!u.is_full(128));
+    }
+
+    #[test]
+    fn arg_without_recombination_reduces_to_tree() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let records = simulate_arg(8, 0.0, &mut rng);
+        // Exactly 2n - 2 branch records (every non-root node closes once)
+        // and every record spans the full interval.
+        assert_eq!(records.len(), 14);
+        for r in &records {
+            assert_eq!((r.l, r.r), (0.0, 1.0));
+            assert!(r.len > 0.0);
+            assert!(!r.desc.is_empty() && r.desc.len() < 8);
+        }
+    }
+
+    #[test]
+    fn expected_segregating_sites_match_theory() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let theta = 10.0;
+        let n = 10;
+        let reps = 200;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            let records = simulate_arg(n, 0.0, &mut rng);
+            total += mutations_poisson(&records, theta, &mut rng).len();
+        }
+        let mean = total as f64 / reps as f64;
+        let expect = theta * (1..n).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!((mean - expect).abs() < 0.1 * expect, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn recombination_produces_partial_segments() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let records = simulate_arg(6, 20.0, &mut rng);
+        assert!(
+            records.iter().any(|r| r.r - r.l < 1.0),
+            "rho = 20 must fragment ancestral material"
+        );
+    }
+
+    #[test]
+    fn mutations_respect_record_intervals() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let records = simulate_arg(6, 5.0, &mut rng);
+        let muts = mutations_fixed(&records, 50, &mut rng);
+        assert_eq!(muts.len(), 50);
+        for m in &muts {
+            assert!((0.0..1.0).contains(&m.position));
+            assert!(!m.derived.is_empty() && m.derived.len() < 6);
+        }
+    }
+
+    #[test]
+    fn ld_decays_with_recombination_distance() {
+        use omega_genome::SnpVec;
+        use omega_ld::r2_sites;
+        // Average r² of close pairs must exceed that of distant pairs when
+        // recombination is strong.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut near = (0.0, 0usize);
+        let mut far = (0.0, 0usize);
+        for _ in 0..30 {
+            let records = simulate_arg(20, 50.0, &mut rng);
+            let mut muts = mutations_fixed(&records, 40, &mut rng);
+            muts.sort_by(|a, b| a.position.total_cmp(&b.position));
+            let sites: Vec<(f64, SnpVec)> = muts
+                .iter()
+                .filter(|m| m.derived.len() >= 2 && m.derived.len() <= 18)
+                .map(|m| (m.position, SnpVec::from_one_indices(20, &m.derived)))
+                .collect();
+            for i in 0..sites.len() {
+                for j in i + 1..sites.len() {
+                    let d = sites[j].0 - sites[i].0;
+                    let r2 = r2_sites(&sites[i].1, &sites[j].1) as f64;
+                    if d < 0.05 {
+                        near.0 += r2;
+                        near.1 += 1;
+                    } else if d > 0.5 {
+                        far.0 += r2;
+                        far.1 += 1;
+                    }
+                }
+            }
+        }
+        let near_mean = near.0 / near.1 as f64;
+        let far_mean = far.0 / far.1 as f64;
+        assert!(
+            near_mean > 1.5 * far_mean,
+            "near r2 {near_mean:.4} should exceed far r2 {far_mean:.4}"
+        );
+    }
+
+    #[test]
+    fn empty_records_yield_no_mutations() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(mutations_fixed(&[], 5, &mut rng).is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! `ms-rs` — an `ms`-compatible command-line front end for the simulator.
+//!
+//! Usage (a subset of Hudson's ms, plus a sweep extension):
+//!
+//! ```text
+//! ms-rs <nsam> <nreps> [-t theta] [-s segsites] [-r rho] [-L region_bp]
+//!       [--sweep <pos01> <alpha> [swept_fraction]] [--seed N]
+//! ```
+//!
+//! Output is standard `ms` format on stdout, parseable by
+//! `omega_genome::ms::read_ms` (and by OmegaPlus itself).
+
+use std::io::{self, Write};
+use std::process::ExitCode;
+
+use omega_genome::ms::write_ms;
+use omega_mssim::{
+    overlay_sweep, simulate_fixed_sites, simulate_neutral, NeutralParams, SweepParams,
+};
+use rand::{rngs::StdRng, SeedableRng};
+
+struct Cli {
+    nsam: usize,
+    nreps: usize,
+    theta: f64,
+    segsites: Option<usize>,
+    rho: f64,
+    region_bp: u64,
+    sweep: Option<SweepParams>,
+    seed: u64,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    if args.len() < 2 {
+        return Err("usage: ms-rs <nsam> <nreps> [-t theta] [-s segsites] [-r rho] \
+                    [-L region_bp] [--sweep pos alpha [fraction]] [--seed N]"
+            .into());
+    }
+    let nsam = args[0].parse().map_err(|_| format!("bad nsam '{}'", args[0]))?;
+    let nreps = args[1].parse().map_err(|_| format!("bad nreps '{}'", args[1]))?;
+    let mut cli = Cli {
+        nsam,
+        nreps,
+        theta: 10.0,
+        segsites: None,
+        rho: 0.0,
+        region_bp: 100_000,
+        sweep: None,
+        seed: 42,
+    };
+    let mut i = 2;
+    fn take(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+        let v = args.get(*i).cloned().ok_or_else(|| format!("{flag} expects a value"))?;
+        *i += 1;
+        Ok(v)
+    }
+    while i < args.len() {
+        let flag = args[i].as_str();
+        i += 1;
+        match flag {
+            "-t" => {
+                cli.theta =
+                    take(args, &mut i, "-t")?.parse().map_err(|_| "bad -t value".to_string())?
+            }
+            "-s" => {
+                cli.segsites = Some(
+                    take(args, &mut i, "-s")?.parse().map_err(|_| "bad -s value".to_string())?,
+                )
+            }
+            "-r" => {
+                cli.rho =
+                    take(args, &mut i, "-r")?.parse().map_err(|_| "bad -r value".to_string())?
+            }
+            "-L" => {
+                cli.region_bp =
+                    take(args, &mut i, "-L")?.parse().map_err(|_| "bad -L value".to_string())?
+            }
+            "--seed" => {
+                cli.seed = take(args, &mut i, "--seed")?
+                    .parse()
+                    .map_err(|_| "bad --seed value".to_string())?
+            }
+            "--sweep" => {
+                let pos: f64 = take(args, &mut i, "--sweep")?
+                    .parse()
+                    .map_err(|_| "bad sweep position".to_string())?;
+                let alpha: f64 = take(args, &mut i, "--sweep")?
+                    .parse()
+                    .map_err(|_| "bad sweep alpha".to_string())?;
+                // Optional third value: swept fraction.
+                let swept_fraction = match args.get(i) {
+                    Some(a) if !a.starts_with('-') => {
+                        let f = a.parse().map_err(|_| "bad sweep fraction".to_string())?;
+                        i += 1;
+                        f
+                    }
+                    _ => 1.0,
+                };
+                cli.sweep = Some(SweepParams { position: pos, alpha, swept_fraction });
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(cli)
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let neutral = NeutralParams {
+        n_samples: cli.nsam,
+        theta: cli.theta,
+        rho: cli.rho,
+        region_len_bp: cli.region_bp,
+    };
+    let mut rng = StdRng::seed_from_u64(cli.seed);
+    let mut replicates = Vec::with_capacity(cli.nreps);
+    for _ in 0..cli.nreps {
+        let mut a = match cli.segsites {
+            Some(s) => simulate_fixed_sites(&neutral, s, &mut rng),
+            None => simulate_neutral(&neutral, &mut rng),
+        }
+        .map_err(|e| e.to_string())?;
+        if let Some(sweep) = &cli.sweep {
+            a = overlay_sweep(&a, sweep, &mut rng);
+        }
+        replicates.push(a);
+    }
+    let stdout = io::stdout();
+    let mut out = io::BufWriter::new(stdout.lock());
+    write_ms(&mut out, &replicates).map_err(|e| e.to_string())?;
+    out.flush().map_err(|e| e.to_string())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|cli| run(&cli)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ms-rs: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Conversion of raw simulator mutations into a packed [`Alignment`].
+
+use omega_genome::{Alignment, AlignmentBuilder, SnpVec};
+
+use crate::params::SimError;
+
+/// One infinite-sites mutation: a unit-interval position and the set of
+/// samples carrying the derived allele.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mutation {
+    /// Position as a fraction of the region, in `[0, 1)`.
+    pub position: f64,
+    /// Sample indices carrying the derived allele.
+    pub derived: Vec<usize>,
+}
+
+/// Sorts mutations by position, scales them to bp coordinates, and packs
+/// them into an alignment. Mutations that are monomorphic (empty or full
+/// derived sets) are dropped — they carry no information and the
+/// simulators do not normally produce them.
+pub fn mutations_to_alignment(
+    n_samples: usize,
+    mut mutations: Vec<Mutation>,
+    region_len_bp: u64,
+) -> Result<Alignment, SimError> {
+    if n_samples < 2 {
+        return Err(SimError("alignment needs at least 2 samples".into()));
+    }
+    mutations.sort_by(|a, b| a.position.total_cmp(&b.position));
+    let mut builder = AlignmentBuilder::new().region_len(region_len_bp);
+    let mut prev_bp = 0u64;
+    for m in &mutations {
+        if m.derived.is_empty() || m.derived.len() >= n_samples {
+            continue;
+        }
+        let bp = omega_genome::ms::fraction_to_bp(m.position, region_len_bp).max(prev_bp);
+        prev_bp = bp;
+        builder.push_site(bp, SnpVec::from_one_indices(n_samples, &m.derived));
+    }
+    builder.build().map_err(|e| SimError(format!("alignment assembly failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_and_scales() {
+        let muts = vec![
+            Mutation { position: 0.9, derived: vec![0] },
+            Mutation { position: 0.1, derived: vec![1, 2] },
+        ];
+        let a = mutations_to_alignment(4, muts, 1000).unwrap();
+        assert_eq!(a.positions(), &[100, 900]);
+        assert_eq!(a.site(0).derived_count(), 2);
+        assert_eq!(a.site(1).derived_count(), 1);
+    }
+
+    #[test]
+    fn drops_monomorphic() {
+        let muts = vec![
+            Mutation { position: 0.2, derived: vec![] },
+            Mutation { position: 0.4, derived: vec![0, 1, 2] },
+            Mutation { position: 0.6, derived: vec![0] },
+        ];
+        let a = mutations_to_alignment(3, muts, 1000).unwrap();
+        assert_eq!(a.n_sites(), 1);
+        assert_eq!(a.positions(), &[600]);
+    }
+
+    #[test]
+    fn coincident_positions_stay_sorted() {
+        let muts = vec![
+            Mutation { position: 0.50001, derived: vec![0] },
+            Mutation { position: 0.50002, derived: vec![1] },
+            Mutation { position: 0.50003, derived: vec![2] },
+        ];
+        let a = mutations_to_alignment(4, muts, 1000).unwrap();
+        assert_eq!(a.n_sites(), 3);
+        assert!(a.positions().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert!(mutations_to_alignment(1, vec![], 100).is_err());
+    }
+}

@@ -1,0 +1,252 @@
+//! Demographic models: time-varying population size for the coalescent.
+//!
+//! The paper motivates LD-based detection with the Crisci et al. finding
+//! that OmegaPlus "performs best ... under both equilibrium and
+//! non-equilibrium conditions". Non-equilibrium means demography —
+//! bottlenecks and expansions distort genealogies and can mimic sweep
+//! signatures. This module adds piecewise-constant population-size
+//! histories (with an exponential-growth convenience constructor) to the
+//! single-tree coalescent, so detection robustness can be studied.
+//!
+//! Sizes are relative to the present-day size N₀; time is measured
+//! backwards in units of 4N₀ generations, matching `ms -eN` semantics.
+
+use rand::Rng;
+
+use crate::randutil::exponential;
+use crate::tree::Tree;
+
+/// One backward-time epoch: from `start` (inclusive, toward the past)
+/// the population has size `relative_size · N₀`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Epoch {
+    /// Epoch start, backwards time in 4N₀ units.
+    pub start: f64,
+    /// Population size relative to N₀ (must be positive).
+    pub relative_size: f64,
+}
+
+/// A population-size history.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Demography {
+    /// Epochs sorted by ascending `start`; an implicit epoch of size 1
+    /// covers `[0, first.start)`.
+    epochs: Vec<Epoch>,
+}
+
+impl Default for Demography {
+    fn default() -> Self {
+        Self::constant()
+    }
+}
+
+impl Demography {
+    /// Constant size N₀ (the equilibrium model).
+    pub fn constant() -> Self {
+        Demography { epochs: Vec::new() }
+    }
+
+    /// Piecewise-constant history from `ms -eN`-style change points.
+    /// Epochs must be sorted by ascending time and strictly positive in
+    /// size.
+    pub fn piecewise(epochs: Vec<Epoch>) -> Result<Self, String> {
+        for w in epochs.windows(2) {
+            if w[1].start <= w[0].start {
+                return Err("epochs must be sorted by ascending start time".into());
+            }
+        }
+        if epochs.iter().any(|e| !(e.relative_size > 0.0) || e.start < 0.0) {
+            return Err("epoch sizes must be positive and times non-negative".into());
+        }
+        Ok(Demography { epochs })
+    }
+
+    /// A bottleneck: size drops to `depth·N₀` during
+    /// `[start, start + duration)` and recovers to N₀ afterwards
+    /// (further in the past).
+    pub fn bottleneck(start: f64, duration: f64, depth: f64) -> Result<Self, String> {
+        Self::piecewise(vec![
+            Epoch { start, relative_size: depth },
+            Epoch { start: start + duration, relative_size: 1.0 },
+        ])
+    }
+
+    /// Exponential growth at rate `alpha` (in 1/4N₀ units): looking
+    /// backwards the population shrinks as `e^{-alpha·t}`, approximated
+    /// by `steps` piecewise-constant epochs out to time `horizon`.
+    pub fn exponential_growth(alpha: f64, horizon: f64, steps: usize) -> Result<Self, String> {
+        if !(alpha > 0.0) || !(horizon > 0.0) || steps == 0 {
+            return Err("growth rate, horizon and steps must be positive".into());
+        }
+        let mut epochs = Vec::with_capacity(steps);
+        for i in 1..=steps {
+            let t = horizon * i as f64 / steps as f64;
+            // Size over [t_{i-1}, t_i) approximated at the midpoint.
+            let mid = horizon * (i as f64 - 0.5) / steps as f64;
+            epochs.push(Epoch { start: t, relative_size: (-alpha * mid).exp().max(1e-6) });
+        }
+        // Shift: implicit [0, first) epoch has size 1 (present day), each
+        // listed epoch takes effect at its start.
+        Ok(Demography { epochs })
+    }
+
+    /// Relative population size at backwards time `t`.
+    pub fn size_at(&self, t: f64) -> f64 {
+        let mut size = 1.0;
+        for e in &self.epochs {
+            if t >= e.start {
+                size = e.relative_size;
+            } else {
+                break;
+            }
+        }
+        size
+    }
+
+    /// Samples the waiting time to the next coalescence for `k` lineages
+    /// starting at backwards time `t0`: within an epoch of relative size
+    /// s the rate is `k(k-1)/2 / s`; the draw is carried across epoch
+    /// boundaries exactly.
+    pub fn coalescence_time<R: Rng>(&self, k: usize, t0: f64, rng: &mut R) -> f64 {
+        assert!(k >= 2, "need at least two lineages");
+        let base_rate = (k * (k - 1) / 2) as f64;
+        // Draw a unit-rate exponential "budget" and spend it across
+        // epochs at the local rate.
+        let mut budget = exponential(rng, 1.0);
+        let mut t = t0;
+        loop {
+            let size = self.size_at(t);
+            let rate = base_rate / size;
+            let boundary = self.next_boundary_after(t);
+            match boundary {
+                Some(b) => {
+                    let span = b - t;
+                    let cost = rate * span;
+                    if budget <= cost {
+                        return t + budget / rate - t0;
+                    }
+                    budget -= cost;
+                    t = b;
+                }
+                None => return t + budget / rate - t0,
+            }
+        }
+    }
+
+    fn next_boundary_after(&self, t: f64) -> Option<f64> {
+        self.epochs.iter().map(|e| e.start).find(|&s| s > t)
+    }
+}
+
+/// Kingman coalescent under a demographic history (single-tree path; the
+/// ARG simulator remains equilibrium-only, see crate docs).
+pub fn kingman_demographic<R: Rng>(n: usize, demography: &Demography, rng: &mut R) -> Tree {
+    crate::tree::kingman_with_times(n, rng, |k, t0, rng| demography.coalescence_time(k, t0, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{mutations_poisson, Tree};
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn mean_tmrca(demography: &Demography, n: usize, reps: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..reps).map(|_| kingman_demographic(n, demography, &mut rng).tmrca()).sum::<f64>()
+            / reps as f64
+    }
+
+    #[test]
+    fn constant_matches_kingman_expectation() {
+        let d = Demography::constant();
+        let n = 10;
+        let mean = mean_tmrca(&d, n, 2_000, 1);
+        let expect = 2.0 * (1.0 - 1.0 / n as f64);
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn size_at_piecewise_lookup() {
+        let d = Demography::bottleneck(0.1, 0.2, 0.05).unwrap();
+        assert_eq!(d.size_at(0.0), 1.0);
+        assert_eq!(d.size_at(0.05), 1.0);
+        assert_eq!(d.size_at(0.1), 0.05);
+        assert_eq!(d.size_at(0.25), 0.05);
+        // 0.1 + 0.2 lands a hair above 0.3 in binary floating point, so
+        // probe safely past the recovery boundary.
+        assert_eq!(d.size_at(0.31), 1.0);
+        assert_eq!(d.size_at(5.0), 1.0);
+    }
+
+    #[test]
+    fn bottleneck_shrinks_trees() {
+        let d = Demography::bottleneck(0.02, 1.0, 0.02).unwrap();
+        let constant = mean_tmrca(&Demography::constant(), 12, 800, 2);
+        let squeezed = mean_tmrca(&d, 12, 800, 3);
+        assert!(
+            squeezed < 0.5 * constant,
+            "bottleneck TMRCA {squeezed} vs constant {constant}"
+        );
+    }
+
+    #[test]
+    fn ancient_small_size_accelerates_only_deep_coalescence() {
+        // A size change far older than the expected TMRCA barely matters.
+        let d = Demography::piecewise(vec![Epoch { start: 50.0, relative_size: 0.01 }]).unwrap();
+        let base = mean_tmrca(&Demography::constant(), 10, 800, 4);
+        let with = mean_tmrca(&d, 10, 800, 5);
+        assert!((with - base).abs() < 0.15 * base, "{with} vs {base}");
+    }
+
+    #[test]
+    fn growth_skews_sfs_toward_singletons() {
+        // Expansion (backwards shrinkage) produces star-like trees:
+        // excess singletons relative to the constant model.
+        let growth = Demography::exponential_growth(8.0, 2.0, 64).unwrap();
+        let singleton_fraction = |d: &Demography, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut singles = 0usize;
+            let mut total = 0usize;
+            for _ in 0..400 {
+                let t: Tree = kingman_demographic(16, d, &mut rng);
+                for m in mutations_poisson(&t, 5.0, &mut rng) {
+                    total += 1;
+                    if m.derived.len() == 1 {
+                        singles += 1;
+                    }
+                }
+            }
+            singles as f64 / total.max(1) as f64
+        };
+        let constant = singleton_fraction(&Demography::constant(), 6);
+        let grown = singleton_fraction(&growth, 7);
+        assert!(
+            grown > constant + 0.05,
+            "growth singleton fraction {grown} vs constant {constant}"
+        );
+    }
+
+    #[test]
+    fn invalid_histories_rejected() {
+        assert!(Demography::piecewise(vec![
+            Epoch { start: 0.3, relative_size: 1.0 },
+            Epoch { start: 0.1, relative_size: 1.0 },
+        ])
+        .is_err());
+        assert!(Demography::piecewise(vec![Epoch { start: 0.1, relative_size: 0.0 }]).is_err());
+        assert!(Demography::exponential_growth(0.0, 1.0, 8).is_err());
+        assert!(Demography::bottleneck(0.1, -0.1, 0.5).is_err());
+    }
+
+    #[test]
+    fn coalescence_time_positive_and_finite() {
+        let d = Demography::bottleneck(0.05, 0.1, 0.01).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        for k in [2usize, 5, 50] {
+            for t0 in [0.0, 0.04, 0.2, 1.0] {
+                let dt = d.coalescence_time(k, t0, &mut rng);
+                assert!(dt > 0.0 && dt.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! `omega-mssim` — a Hudson's-`ms`-equivalent coalescent simulator.
+//!
+//! The paper's entire evaluation runs on datasets "generated using
+//! Hudson's ms" (§VI-A). This crate provides that substrate from scratch:
+//!
+//! * [`tree`] — the Kingman coalescent (no recombination): a single
+//!   genealogy with Poisson or fixed-count infinite-sites mutations.
+//!   Scales to very large sample counts (the paper's high-LD workload
+//!   uses 60,000 sequences).
+//! * [`arg`] — the ancestral recombination graph: Hudson's algorithm with
+//!   lineages carrying ancestral-segment lists, producing realistic LD
+//!   decay along the region.
+//! * [`sweep`] — a star-like hitchhiking overlay that plants a selective
+//!   sweep into a neutral alignment, generating the reduced diversity and
+//!   the two-sided LD pattern the ω statistic detects.
+//! * [`randutil`] — the exponential/Poisson samplers the simulators need
+//!   (kept local; `rand_distr` is not part of the approved dependency
+//!   set).
+//!
+//! The `ms-rs` binary exposes the simulator with an `ms`-like command
+//! line and emits standard `ms` output parseable by `omega_genome::ms`.
+//!
+//! # Example
+//!
+//! ```
+//! use omega_mssim::{NeutralParams, simulate_neutral};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let params = NeutralParams {
+//!     n_samples: 20,
+//!     theta: 10.0,
+//!     rho: 0.0,
+//!     region_len_bp: 100_000,
+//! };
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let alignment = simulate_neutral(&params, &mut rng).unwrap();
+//! assert_eq!(alignment.n_samples(), 20);
+//! ```
+
+pub mod arg;
+pub mod convert;
+pub mod demography;
+pub mod params;
+pub mod randutil;
+pub mod sweep;
+pub mod tree;
+
+pub use convert::mutations_to_alignment;
+pub use demography::{kingman_demographic, Demography, Epoch};
+pub use params::{NeutralParams, SimError, SweepParams};
+pub use sweep::overlay_sweep;
+
+use omega_genome::Alignment;
+use rand::Rng;
+
+/// Simulates one neutral replicate. Uses the single-tree Kingman
+/// coalescent when `rho == 0`, the full ARG otherwise.
+pub fn simulate_neutral<R: Rng>(params: &NeutralParams, rng: &mut R) -> Result<Alignment, SimError> {
+    params.validate()?;
+    let muts = if params.rho == 0.0 {
+        let t = tree::kingman(params.n_samples, rng);
+        tree::mutations_poisson(&t, params.theta, rng)
+    } else {
+        let records = arg::simulate_arg(params.n_samples, params.rho, rng);
+        arg::mutations_poisson(&records, params.theta, rng)
+    };
+    mutations_to_alignment(params.n_samples, muts, params.region_len_bp)
+}
+
+/// Simulates one neutral replicate conditioned on an exact number of
+/// segregating sites (the `ms -s` mode the paper's fixed-SNP-count
+/// experiments rely on).
+pub fn simulate_fixed_sites<R: Rng>(
+    params: &NeutralParams,
+    n_sites: usize,
+    rng: &mut R,
+) -> Result<Alignment, SimError> {
+    params.validate()?;
+    let muts = if params.rho == 0.0 {
+        let t = tree::kingman(params.n_samples, rng);
+        tree::mutations_fixed(&t, n_sites, rng)
+    } else {
+        let records = arg::simulate_arg(params.n_samples, params.rho, rng);
+        arg::mutations_fixed(&records, n_sites, rng)
+    };
+    mutations_to_alignment(params.n_samples, muts, params.region_len_bp)
+}
+
+/// Simulates one neutral replicate under a demographic history
+/// (single-tree path: recombination and demography are not combined; see
+/// [`demography`]).
+pub fn simulate_neutral_demographic<R: Rng>(
+    params: &NeutralParams,
+    history: &Demography,
+    rng: &mut R,
+) -> Result<Alignment, SimError> {
+    params.validate()?;
+    let t = demography::kingman_demographic(params.n_samples, history, rng);
+    let muts = tree::mutations_poisson(&t, params.theta, rng);
+    mutations_to_alignment(params.n_samples, muts, params.region_len_bp)
+}
+
+/// Simulates a replicate carrying a selective sweep: a neutral background
+/// with the star-like hitchhiking overlay applied at
+/// `sweep.position`.
+pub fn simulate_sweep<R: Rng>(
+    neutral: &NeutralParams,
+    sweep: &SweepParams,
+    rng: &mut R,
+) -> Result<Alignment, SimError> {
+    sweep.validate()?;
+    let background = simulate_neutral(neutral, rng)?;
+    Ok(overlay_sweep(&background, sweep, rng))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_genome::SiteFrequencySpectrum;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn neutral_without_recombination() {
+        let p = NeutralParams { n_samples: 12, theta: 8.0, rho: 0.0, region_len_bp: 50_000 };
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = simulate_neutral(&p, &mut rng).unwrap();
+        assert_eq!(a.n_samples(), 12);
+        assert!(a.n_sites() > 0);
+        assert!(a.positions().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn neutral_with_recombination() {
+        let p = NeutralParams { n_samples: 10, theta: 6.0, rho: 4.0, region_len_bp: 50_000 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = simulate_neutral(&p, &mut rng).unwrap();
+        assert_eq!(a.n_samples(), 10);
+        assert!(a.n_sites() > 0);
+    }
+
+    #[test]
+    fn fixed_sites_hits_exact_count() {
+        let p = NeutralParams { n_samples: 15, theta: 1.0, rho: 0.0, region_len_bp: 100_000 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = simulate_fixed_sites(&p, 40, &mut rng).unwrap();
+        assert_eq!(a.n_sites(), 40);
+    }
+
+    #[test]
+    fn watterson_theta_tracks_input_theta() {
+        // Average over replicates should land near the simulated θ.
+        let p = NeutralParams { n_samples: 20, theta: 20.0, rho: 0.0, region_len_bp: 1_000_000 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut est = 0.0;
+        let reps = 30;
+        for _ in 0..reps {
+            let a = simulate_neutral(&p, &mut rng).unwrap();
+            est += SiteFrequencySpectrum::from_alignment(&a).watterson_theta();
+        }
+        est /= reps as f64;
+        assert!(
+            (est - 20.0).abs() < 5.0,
+            "Watterson estimate {est} too far from simulated theta 20"
+        );
+    }
+
+    #[test]
+    fn sweep_reduces_diversity_near_center() {
+        let neutral = NeutralParams { n_samples: 30, theta: 60.0, rho: 0.0, region_len_bp: 100_000 };
+        let sweep = SweepParams { position: 0.5, alpha: 8.0, swept_fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut center = 0usize;
+        let mut edges = 0usize;
+        for _ in 0..10 {
+            let a = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+            let len = a.region_len();
+            center += a.sites_in_range(len * 2 / 5, len * 3 / 5).len();
+            edges += a.sites_in_range(0, len / 5).len() + a.sites_in_range(len * 4 / 5, len).len();
+        }
+        // The sweep strips variation around its site; the center fifth
+        // must hold clearly fewer SNPs than the outer two fifths.
+        assert!(
+            (center as f64) < 0.5 * edges as f64,
+            "center {center} vs edges {edges}"
+        );
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let bad = NeutralParams { n_samples: 1, theta: 1.0, rho: 0.0, region_len_bp: 10 };
+        assert!(simulate_neutral(&bad, &mut rng).is_err());
+        let neutral = NeutralParams { n_samples: 5, theta: 1.0, rho: 0.0, region_len_bp: 10 };
+        let bad_sweep = SweepParams { position: 1.5, alpha: 1.0, swept_fraction: 1.0 };
+        assert!(simulate_sweep(&neutral, &bad_sweep, &mut rng).is_err());
+    }
+}

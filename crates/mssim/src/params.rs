@@ -1,0 +1,113 @@
+//! Simulation parameters and validation.
+
+use std::fmt;
+
+/// Parameters of a neutral coalescent replicate, in `ms` conventions:
+/// `theta = 4Nμ` and `rho = 4Nr` are scaled for the whole region.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeutralParams {
+    /// Number of haplotypes sampled.
+    pub n_samples: usize,
+    /// Population-scaled mutation rate for the region (4Nμ).
+    pub theta: f64,
+    /// Population-scaled recombination rate for the region (4Nr);
+    /// 0 selects the fast single-tree simulator.
+    pub rho: f64,
+    /// Physical length the unit interval maps to when emitting bp
+    /// coordinates.
+    pub region_len_bp: u64,
+}
+
+impl NeutralParams {
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.n_samples < 2 {
+            return Err(SimError("n_samples must be at least 2".into()));
+        }
+        if !(self.theta >= 0.0) {
+            return Err(SimError("theta must be non-negative".into()));
+        }
+        if !(self.rho >= 0.0) {
+            return Err(SimError("rho must be non-negative".into()));
+        }
+        if self.region_len_bp == 0 {
+            return Err(SimError("region_len_bp must be positive".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Parameters of the star-like selective sweep overlay.
+///
+/// `alpha` controls how sharply hitchhiking decays with distance: each
+/// haplotype's escape distance from the sweep site is Exponential(alpha)
+/// in unit-interval coordinates (larger alpha ⇒ narrower sweep
+/// footprint). It plays the role of `r·ln(2N)/s` in the standard
+/// hitchhiking approximation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepParams {
+    /// Sweep site as a fraction of the region (0..1).
+    pub position: f64,
+    /// Escape-distance rate (per unit interval); must be positive.
+    pub alpha: f64,
+    /// Fraction of haplotypes captured by the sweep (1.0 = complete
+    /// sweep; < 1 models an incomplete/ongoing sweep).
+    pub swept_fraction: f64,
+}
+
+impl SweepParams {
+    /// Validates the parameter combination.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if !(0.0..=1.0).contains(&self.position) {
+            return Err(SimError("sweep position must lie in [0, 1]".into()));
+        }
+        if !(self.alpha > 0.0) {
+            return Err(SimError("alpha must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.swept_fraction) {
+            return Err(SimError("swept_fraction must lie in [0, 1]".into()));
+        }
+        Ok(())
+    }
+}
+
+/// Simulation failure (invalid parameters or degenerate output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError(pub String);
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "simulation error: {}", self.0)
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_neutral_params() {
+        let p = NeutralParams { n_samples: 10, theta: 5.0, rho: 2.0, region_len_bp: 1000 };
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn neutral_rejections() {
+        let base = NeutralParams { n_samples: 10, theta: 5.0, rho: 2.0, region_len_bp: 1000 };
+        assert!(NeutralParams { n_samples: 1, ..base }.validate().is_err());
+        assert!(NeutralParams { theta: -1.0, ..base }.validate().is_err());
+        assert!(NeutralParams { rho: f64::NAN, ..base }.validate().is_err());
+        assert!(NeutralParams { region_len_bp: 0, ..base }.validate().is_err());
+    }
+
+    #[test]
+    fn sweep_rejections() {
+        let base = SweepParams { position: 0.5, alpha: 3.0, swept_fraction: 1.0 };
+        assert!(base.validate().is_ok());
+        assert!(SweepParams { position: -0.1, ..base }.validate().is_err());
+        assert!(SweepParams { alpha: 0.0, ..base }.validate().is_err());
+        assert!(SweepParams { swept_fraction: 1.1, ..base }.validate().is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! Star-like selective sweep overlay (the hitchhiking model).
+//!
+//! At the moment a beneficial mutation fixes, every sampled haplotype
+//! either descends from the sweeping copy (carrying the founder haplotype
+//! near the sweep site) or has *escaped* via recombination at some
+//! distance from the site. Under the star-like approximation the escape
+//! distance of each haplotype is Exponential(α), independently on each
+//! side of the sweep — recombination events left and right of the site
+//! are independent, which is precisely why a sweep produces high LD
+//! *within* each flank but low LD *across* flanks (Kim & Nielsen 2004),
+//! the pattern the ω statistic detects.
+//!
+//! The overlay rewrites a neutral background alignment accordingly:
+//! within sample `i`'s swept range, its alleles are replaced by the
+//! founder haplotype's alleles; outside, the background is kept.
+//! Monomorphic sites produced by the overwrite are dropped.
+
+use omega_genome::{Alignment, AlignmentBuilder, Allele, SnpVec};
+use rand::Rng;
+
+use crate::params::SweepParams;
+use crate::randutil::exponential;
+
+/// Applies the sweep overlay to a neutral background alignment.
+pub fn overlay_sweep<R: Rng>(background: &Alignment, sweep: &SweepParams, rng: &mut R) -> Alignment {
+    let n = background.n_samples();
+    if n == 0 || background.n_sites() == 0 {
+        return background.clone();
+    }
+    let region = background.region_len() as f64;
+    let sweep_bp = sweep.position * region;
+
+    // The founder haplotype: the sweeping copy's allelic state, drawn as
+    // one random background haplotype.
+    let founder = rng.gen_range(0..n);
+
+    // Per sample: swept interval [sweep_bp - d_left, sweep_bp + d_right]
+    // (empty for samples that escaped the sweep entirely).
+    let mut left_reach = vec![0.0f64; n];
+    let mut right_reach = vec![0.0f64; n];
+    for i in 0..n {
+        if rng.gen::<f64>() < sweep.swept_fraction {
+            left_reach[i] = exponential(rng, sweep.alpha) * region;
+            right_reach[i] = exponential(rng, sweep.alpha) * region;
+        }
+    }
+
+    let mut builder = AlignmentBuilder::new().region_len(background.region_len());
+    let mut calls = vec![Allele::Zero; n];
+    for s in 0..background.n_sites() {
+        let site = background.site(s);
+        let pos = background.position(s) as f64;
+        let founder_allele = site.get(founder);
+        for i in 0..n {
+            let in_sweep = if pos <= sweep_bp {
+                sweep_bp - pos <= left_reach[i]
+            } else {
+                pos - sweep_bp <= right_reach[i]
+            };
+            calls[i] = if in_sweep { founder_allele } else { site.get(i) };
+        }
+        let new_site = SnpVec::from_calls(&calls);
+        if !new_site.is_monomorphic() {
+            builder.push_site(background.position(s), new_site);
+        }
+    }
+    builder
+        .build()
+        .expect("overlay preserves ordering and sample counts")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::NeutralParams;
+    use crate::simulate_neutral;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    fn background(seed: u64) -> Alignment {
+        let p = NeutralParams { n_samples: 24, theta: 40.0, rho: 0.0, region_len_bp: 100_000 };
+        let mut rng = StdRng::seed_from_u64(seed);
+        simulate_neutral(&p, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn complete_sweep_strips_center_variation() {
+        let bg = background(1);
+        let sweep = SweepParams { position: 0.5, alpha: 10.0, swept_fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let swept = overlay_sweep(&bg, &sweep, &mut rng);
+        assert!(swept.n_sites() < bg.n_sites(), "sweep must remove variation");
+        assert_eq!(swept.n_samples(), bg.n_samples());
+    }
+
+    #[test]
+    fn zero_fraction_is_identity_modulo_nothing() {
+        let bg = background(3);
+        let sweep = SweepParams { position: 0.5, alpha: 10.0, swept_fraction: 0.0 };
+        let mut rng = StdRng::seed_from_u64(4);
+        let swept = overlay_sweep(&bg, &sweep, &mut rng);
+        assert_eq!(swept.n_sites(), bg.n_sites());
+        for s in 0..bg.n_sites() {
+            assert_eq!(swept.site(s), bg.site(s));
+        }
+    }
+
+    #[test]
+    fn sweep_positions_remain_sorted() {
+        let bg = background(5);
+        let sweep = SweepParams { position: 0.3, alpha: 5.0, swept_fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(6);
+        let swept = overlay_sweep(&bg, &sweep, &mut rng);
+        assert!(swept.positions().windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn cross_flank_ld_lower_than_within_flank() {
+        use omega_ld::r2_sites;
+        // The defining ω signature: elevated LD within each flank of the
+        // sweep, reduced LD across flanks. Aggregate over replicates.
+        let sweep = SweepParams { position: 0.5, alpha: 20.0, swept_fraction: 1.0 };
+        let mut within = (0.0f64, 0usize);
+        let mut across = (0.0f64, 0usize);
+        for seed in 0..12 {
+            let bg = background(100 + seed);
+            let mut rng = StdRng::seed_from_u64(200 + seed);
+            let a = overlay_sweep(&bg, &sweep, &mut rng);
+            let mid = a.region_len() / 2;
+            // Flank bands: [25%, 45%] and [55%, 75%] of the region.
+            let lo_band = a.sites_in_range(a.region_len() / 4, mid * 9 / 10);
+            let hi_band = a.sites_in_range(mid * 11 / 10, a.region_len() * 3 / 4);
+            for i in lo_band.clone() {
+                for j in lo_band.clone() {
+                    if i < j {
+                        within.0 += r2_sites(a.site(i), a.site(j)) as f64;
+                        within.1 += 1;
+                    }
+                }
+            }
+            for i in hi_band.clone() {
+                for j in hi_band.clone() {
+                    if i < j {
+                        within.0 += r2_sites(a.site(i), a.site(j)) as f64;
+                        within.1 += 1;
+                    }
+                }
+            }
+            for i in lo_band.clone() {
+                for j in hi_band.clone() {
+                    across.0 += r2_sites(a.site(i), a.site(j)) as f64;
+                    across.1 += 1;
+                }
+            }
+        }
+        let within_mean = within.0 / within.1.max(1) as f64;
+        let across_mean = across.0 / across.1.max(1) as f64;
+        assert!(
+            within_mean > across_mean,
+            "within-flank r2 {within_mean:.4} must exceed cross-flank {across_mean:.4}"
+        );
+    }
+
+    #[test]
+    fn empty_background_passthrough() {
+        let a = Alignment::new(vec![], vec![], 100).unwrap();
+        let sweep = SweepParams { position: 0.5, alpha: 1.0, swept_fraction: 1.0 };
+        let mut rng = StdRng::seed_from_u64(7);
+        let out = overlay_sweep(&a, &sweep, &mut rng);
+        assert_eq!(out.n_sites(), 0);
+    }
+}

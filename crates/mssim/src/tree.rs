@@ -1,0 +1,237 @@
+//! The Kingman coalescent: a single genealogy for a non-recombining
+//! region, with infinite-sites mutations dropped on its branches.
+//!
+//! This path scales to very large sample counts (memory O(n) for the
+//! tree, plus the emitted sites themselves), which matters for the
+//! paper's high-LD workload (60,000 sequences).
+
+use rand::Rng;
+
+use crate::convert::Mutation;
+use crate::randutil::{exponential, poisson};
+
+/// A rooted binary genealogy over `n` leaves. Nodes `0..n` are leaves;
+/// internal nodes are appended in coalescence order, so node `2n-2` is
+/// the root.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    n_leaves: usize,
+    /// Parent of each node (root points to itself).
+    parent: Vec<u32>,
+    /// Children of internal nodes (indexed from node `n_leaves`).
+    children: Vec<[u32; 2]>,
+    /// Time (toward the past, in 4N units) at which each node begins;
+    /// leaves sit at 0.
+    time: Vec<f64>,
+}
+
+impl Tree {
+    /// Number of leaves (samples).
+    pub fn n_leaves(&self) -> usize {
+        self.n_leaves
+    }
+
+    /// Total number of nodes (`2n - 1`).
+    pub fn n_nodes(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Root node id.
+    pub fn root(&self) -> usize {
+        self.n_nodes() - 1
+    }
+
+    /// Branch length above `node` (0 for the root).
+    pub fn branch_len(&self, node: usize) -> f64 {
+        let p = self.parent[node] as usize;
+        self.time[p] - self.time[node]
+    }
+
+    /// Total branch length of the tree (in 4N units).
+    pub fn total_length(&self) -> f64 {
+        (0..self.n_nodes() - 1).map(|v| self.branch_len(v)).sum()
+    }
+
+    /// Time of the most recent common ancestor.
+    pub fn tmrca(&self) -> f64 {
+        self.time[self.root()]
+    }
+
+    /// Leaves in the subtree under `node`, via iterative DFS.
+    pub fn leaves_under(&self, node: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut stack = vec![node];
+        while let Some(v) = stack.pop() {
+            if v < self.n_leaves {
+                out.push(v);
+            } else {
+                let [a, b] = self.children[v - self.n_leaves];
+                stack.push(a as usize);
+                stack.push(b as usize);
+            }
+        }
+        out
+    }
+}
+
+/// Simulates a Kingman coalescent genealogy: while `k` lineages remain,
+/// the next coalescence happens after Exponential(k(k−1)/2) time between
+/// a uniformly random pair.
+pub fn kingman<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    kingman_with_times(n, rng, |k, _, rng| {
+        let k = k as f64;
+        exponential(rng, k * (k - 1.0) / 2.0)
+    })
+}
+
+/// Generalised Kingman construction: `waiting_time(k, t0, rng)` supplies
+/// the time to the next coalescence for `k` lineages at backwards time
+/// `t0` (the hook the demographic models plug into).
+pub fn kingman_with_times<R: Rng>(
+    n: usize,
+    rng: &mut R,
+    mut waiting_time: impl FnMut(usize, f64, &mut R) -> f64,
+) -> Tree {
+    assert!(n >= 2, "need at least two samples");
+    let n_nodes = 2 * n - 1;
+    let mut parent: Vec<u32> = (0..n_nodes as u32).collect();
+    let mut children = Vec::with_capacity(n - 1);
+    let mut time = vec![0.0f64; n_nodes];
+
+    let mut active: Vec<u32> = (0..n as u32).collect();
+    let mut t = 0.0f64;
+    let mut next_node = n;
+    while active.len() > 1 {
+        t += waiting_time(active.len(), t, rng);
+        let i = rng.gen_range(0..active.len());
+        let a = active.swap_remove(i);
+        let j = rng.gen_range(0..active.len());
+        let b = active.swap_remove(j);
+        parent[a as usize] = next_node as u32;
+        parent[b as usize] = next_node as u32;
+        children.push([a, b]);
+        time[next_node] = t;
+        active.push(next_node as u32);
+        next_node += 1;
+    }
+    Tree { n_leaves: n, parent, children, time }
+}
+
+/// Drops Poisson(θ/2 · L) infinite-sites mutations on the genealogy.
+pub fn mutations_poisson<R: Rng>(tree: &Tree, theta: f64, rng: &mut R) -> Vec<Mutation> {
+    let total = tree.total_length();
+    let count = poisson(rng, theta / 2.0 * total);
+    mutations_fixed(tree, count as usize, rng)
+}
+
+/// Drops exactly `s` mutations, each on a branch chosen proportionally to
+/// its length (the `ms -s` conditioning). Branch selection uses a prefix
+/// sum + binary search so large trees stay O(s·log n) plus output size.
+pub fn mutations_fixed<R: Rng>(tree: &Tree, s: usize, rng: &mut R) -> Vec<Mutation> {
+    let n_branches = tree.n_nodes() - 1;
+    let mut cumulative = Vec::with_capacity(n_branches);
+    let mut acc = 0.0f64;
+    for v in 0..n_branches {
+        acc += tree.branch_len(v);
+        cumulative.push(acc);
+    }
+    let total = acc;
+    (0..s)
+        .map(|_| {
+            let x = rng.gen::<f64>() * total;
+            let node = cumulative.partition_point(|&c| c < x).min(n_branches - 1);
+            Mutation { position: rng.gen::<f64>(), derived: tree.leaves_under(node) }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn tree_shape_invariants() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = kingman(10, &mut rng);
+        assert_eq!(t.n_leaves(), 10);
+        assert_eq!(t.n_nodes(), 19);
+        assert_eq!(t.leaves_under(t.root()).len(), 10);
+        // Node times increase toward the root for every edge.
+        for v in 0..t.n_nodes() - 1 {
+            assert!(t.branch_len(v) >= 0.0);
+        }
+        assert!(t.tmrca() > 0.0);
+    }
+
+    #[test]
+    fn every_leaf_appears_once_under_root() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let t = kingman(17, &mut rng);
+        let mut leaves = t.leaves_under(t.root());
+        leaves.sort_unstable();
+        assert_eq!(leaves, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn expected_tmrca_is_two_ish() {
+        // E[TMRCA] = 2(1 - 1/n) in 4N... (in units of 4N it's 2(1-1/n)
+        // with pairwise rate 1? With rate k(k-1)/2 per unit, the expected
+        // total is sum over k of 2/(k(k-1)) = 2(1 - 1/n)).
+        let mut rng = StdRng::seed_from_u64(3);
+        let reps = 2_000;
+        let n = 10;
+        let mean: f64 = (0..reps).map(|_| kingman(n, &mut rng).tmrca()).sum::<f64>() / reps as f64;
+        let expect = 2.0 * (1.0 - 1.0 / n as f64);
+        assert!((mean - expect).abs() < 0.1, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn expected_total_length_matches_harmonic() {
+        // E[L] = 2 * sum_{i=1}^{n-1} 1/i.
+        let mut rng = StdRng::seed_from_u64(4);
+        let reps = 2_000;
+        let n = 8;
+        let mean: f64 =
+            (0..reps).map(|_| kingman(n, &mut rng).total_length()).sum::<f64>() / reps as f64;
+        let expect = 2.0 * (1..n).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!((mean - expect).abs() < 0.2, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn fixed_mutation_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = kingman(12, &mut rng);
+        let muts = mutations_fixed(&t, 25, &mut rng);
+        assert_eq!(muts.len(), 25);
+        for m in &muts {
+            assert!((0.0..1.0).contains(&m.position));
+            assert!(!m.derived.is_empty() && m.derived.len() < 12);
+        }
+    }
+
+    #[test]
+    fn poisson_mutation_count_tracks_theta() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let reps = 300;
+        let theta = 12.0;
+        let mut total = 0usize;
+        for _ in 0..reps {
+            let t = kingman(10, &mut rng);
+            total += mutations_poisson(&t, theta, &mut rng).len();
+        }
+        let mean = total as f64 / reps as f64;
+        // E[S] = theta * a_{n-1} = 12 * (1+...+1/9) ≈ 33.96.
+        let expect = theta * (1..10).map(|i| 1.0 / i as f64).sum::<f64>();
+        assert!((mean - expect).abs() < 3.0, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn large_sample_count_is_feasible() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = kingman(5_000, &mut rng);
+        assert_eq!(t.n_nodes(), 9_999);
+        let muts = mutations_fixed(&t, 10, &mut rng);
+        assert_eq!(muts.len(), 10);
+    }
+}

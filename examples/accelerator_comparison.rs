@@ -1,0 +1,70 @@
+//! One dataset, three platforms: runs the complete sweep-detection flow
+//! on the CPU and on the simulated GPU and FPGA systems, printing the
+//! Fig. 14-style LD/ω execution-time split and the speedups over one CPU
+//! core.
+//!
+//! ```text
+//! cargo run --release --example accelerator_comparison
+//! ```
+
+use omegaplus_rs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn main() {
+    // A mid-size workload (scaled-down "balanced" shape; see DESIGN.md).
+    let neutral = NeutralParams { n_samples: 200, theta: 1.0, rho: 0.0, region_len_bp: 500_000 };
+    let mut rng = StdRng::seed_from_u64(99);
+    let alignment =
+        simulate_fixed_sites(&neutral, 800, &mut rng).expect("simulation parameters are valid");
+    println!(
+        "dataset: {} SNPs x {} samples over {} bp",
+        alignment.n_sites(),
+        alignment.n_samples(),
+        alignment.region_len()
+    );
+
+    let params = ScanParams { grid: 60, min_win: 2_000, max_win: 60_000, ..ScanParams::default() };
+    let backends = [
+        Backend::Cpu,
+        Backend::Gpu(GpuDevice::radeon_hd8750m()),
+        Backend::Gpu(GpuDevice::tesla_k80()),
+        Backend::Fpga(FpgaDevice::zcu102()),
+        Backend::Fpga(FpgaDevice::alveo_u200()),
+    ];
+
+    println!(
+        "\n{:<24} {:>10} {:>10} {:>10} {:>9} {:>9}",
+        "backend", "LD (ms)", "omega (ms)", "total (ms)", "LD %", "speedup"
+    );
+    let mut cpu_total = None;
+    let mut peak = None;
+    for backend in backends {
+        let detector = SweepDetector::new(params, backend).expect("valid params");
+        let outcome = detector.detect(&alignment);
+        let total = outcome.total_seconds();
+        if outcome.backend == "CPU" {
+            cpu_total = Some(total);
+        }
+        let speedup = cpu_total.map(|c| c / total).unwrap_or(1.0);
+        println!(
+            "{:<24} {:>10.3} {:>10.3} {:>10.3} {:>8.1}% {:>8.1}x",
+            outcome.backend,
+            outcome.ld_seconds * 1e3,
+            outcome.omega_seconds * 1e3,
+            total * 1e3,
+            outcome.ld_share() * 100.0,
+            speedup
+        );
+        // All backends must agree on the functional answer.
+        let report = Report::from_results(&outcome.results);
+        let p = report.peak().map(|p| (p.pos_bp, p.omega));
+        match (peak, p) {
+            (None, found) => peak = found,
+            (Some(expect), Some(found)) => assert_eq!(expect, found, "backends disagree"),
+            _ => {}
+        }
+    }
+    if let Some((pos, omega)) = peak {
+        println!("\nall backends agree: peak omega {omega:.3} at {pos} bp");
+    }
+}

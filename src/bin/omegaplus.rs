@@ -1,0 +1,193 @@
+//! `omegaplus` — command-line selective sweep scanner, mirroring the
+//! OmegaPlus tool the paper accelerates.
+//!
+//! ```text
+//! omegaplus -name RUN -input FILE [-format ms|fasta|vcf] [-length BP]
+//!           [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N]
+//!           [-threads N] [-backend cpu|gpu|fpga] [-device NAME]
+//!           [-report PATH]
+//! ```
+//!
+//! With `-backend gpu|fpga` the scan runs through the simulated
+//! accelerator backends and the summary reports the modelled LD/ω time
+//! split alongside the (identical) functional results.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Write};
+use std::process::ExitCode;
+
+use omega_accel::{Backend, SweepDetector};
+use omega_core::{Report, ScanParams};
+use omega_fpga_sim::FpgaDevice;
+use omega_genome::filter::SiteFilter;
+use omega_genome::ms::{read_ms, MsReadOptions};
+use omega_genome::{fasta, vcf, Alignment};
+use omega_gpu_sim::GpuDevice;
+
+struct Cli {
+    name: String,
+    input: String,
+    format: String,
+    length: u64,
+    params: ScanParams,
+    backend_kind: String,
+    device: String,
+    report_path: Option<String>,
+    min_maf: f64,
+}
+
+fn parse_args(args: &[String]) -> Result<Cli, String> {
+    let mut cli = Cli {
+        name: "run".into(),
+        input: String::new(),
+        format: "ms".into(),
+        length: 100_000,
+        params: ScanParams::default(),
+        backend_kind: "cpu".into(),
+        device: String::new(),
+        report_path: None,
+        min_maf: 0.0,
+    };
+    let mut i = 0;
+    fn value(args: &[String], i: &mut usize, flag: &str) -> Result<String, String> {
+        let v = args.get(*i).cloned().ok_or_else(|| format!("{flag} expects a value"))?;
+        *i += 1;
+        Ok(v)
+    }
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let mut num = |name: &str| -> Result<String, String> { value(args, &mut i, name) };
+        match flag.as_str() {
+            "-name" => cli.name = num("-name")?,
+            "-input" => cli.input = num("-input")?,
+            "-format" => cli.format = num("-format")?,
+            "-length" => cli.length = num("-length")?.parse().map_err(|_| "bad -length")?,
+            "-grid" => cli.params.grid = num("-grid")?.parse().map_err(|_| "bad -grid")?,
+            "-minwin" => cli.params.min_win = num("-minwin")?.parse().map_err(|_| "bad -minwin")?,
+            "-maxwin" => cli.params.max_win = num("-maxwin")?.parse().map_err(|_| "bad -maxwin")?,
+            "-minsnps" => {
+                cli.params.min_snps_per_side =
+                    num("-minsnps")?.parse().map_err(|_| "bad -minsnps")?
+            }
+            "-threads" => cli.params.threads = num("-threads")?.parse().map_err(|_| "bad -threads")?,
+            "-backend" => cli.backend_kind = num("-backend")?,
+            "-device" => cli.device = num("-device")?,
+            "-report" => cli.report_path = Some(num("-report")?),
+            "-maf" => cli.min_maf = num("-maf")?.parse().map_err(|_| "bad -maf")?,
+            "-h" | "--help" => return Err(USAGE.into()),
+            other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
+        }
+    }
+    if cli.input.is_empty() {
+        return Err(format!("-input is required\n{USAGE}"));
+    }
+    Ok(cli)
+}
+
+const USAGE: &str = "usage: omegaplus -name RUN -input FILE [-format ms|fasta|vcf] \
+[-length BP] [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N] [-threads N] \
+[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-maf F] [-report PATH]";
+
+fn load_alignment(cli: &Cli) -> Result<Alignment, String> {
+    let file = File::open(&cli.input).map_err(|e| format!("cannot open {}: {e}", cli.input))?;
+    let reader = BufReader::new(file);
+    let alignment = match cli.format.as_str() {
+        "ms" => {
+            let mut reps = read_ms(reader, MsReadOptions { region_len: cli.length })
+                .map_err(|e| e.to_string())?;
+            if reps.is_empty() {
+                return Err("ms input contains no replicates".into());
+            }
+            if reps.len() > 1 {
+                eprintln!("omegaplus: {} replicates found, scanning the first", reps.len());
+            }
+            reps.swap_remove(0)
+        }
+        "fasta" => fasta::read_fasta(reader).map_err(|e| e.to_string())?,
+        "vcf" => {
+            let out = vcf::read_vcf(reader).map_err(|e| e.to_string())?;
+            if out.skipped_records > 0 {
+                eprintln!("omegaplus: skipped {} non-biallelic/no-GT records", out.skipped_records);
+            }
+            out.alignment
+        }
+        other => return Err(format!("unknown format '{other}'")),
+    };
+    Ok(SiteFilter { min_maf: cli.min_maf, ..SiteFilter::default() }.apply(&alignment))
+}
+
+fn pick_backend(cli: &Cli) -> Result<Backend, String> {
+    match cli.backend_kind.as_str() {
+        "cpu" => Ok(Backend::Cpu),
+        "gpu" => Ok(Backend::Gpu(match cli.device.as_str() {
+            "" | "k80" => GpuDevice::tesla_k80(),
+            "radeon" => GpuDevice::radeon_hd8750m(),
+            other => return Err(format!("unknown GPU device '{other}'")),
+        })),
+        "fpga" => Ok(Backend::Fpga(match cli.device.as_str() {
+            "" | "alveo" => FpgaDevice::alveo_u200(),
+            "zcu102" => FpgaDevice::zcu102(),
+            other => return Err(format!("unknown FPGA device '{other}'")),
+        })),
+        other => Err(format!("unknown backend '{other}'")),
+    }
+}
+
+fn run(cli: &Cli) -> Result<(), String> {
+    let alignment = load_alignment(cli)?;
+    eprintln!(
+        "omegaplus: {} sites x {} samples over {} bp",
+        alignment.n_sites(),
+        alignment.n_samples(),
+        alignment.region_len()
+    );
+    let backend = pick_backend(cli)?;
+    let detector = SweepDetector::new(cli.params, backend).map_err(|e| e.to_string())?;
+    let outcome = detector.detect(&alignment);
+
+    println!("# OmegaPlus-rs report: {}", cli.name);
+    println!("# backend: {}", outcome.backend);
+    println!(
+        "# LD time: {:.6}s  omega time: {:.6}s  other: {:.6}s",
+        outcome.ld_seconds, outcome.omega_seconds, outcome.other_seconds
+    );
+    println!(
+        "# omega evaluations: {}  r2 pairs: {}  reused cells: {}",
+        outcome.stats.omega_evaluations, outcome.stats.r2_pairs, outcome.stats.cells_reused
+    );
+    let report = Report::from_results(&outcome.results);
+    if let Some(peak) = report.peak() {
+        println!(
+            "# peak omega {:.4} at position {} (window {}..{})",
+            peak.omega, peak.pos_bp, peak.left_bp, peak.right_bp
+        );
+    }
+    match &cli.report_path {
+        Some(path) => {
+            let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            let mut w = BufWriter::new(f);
+            report.write_tsv(&mut w).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+            println!("# per-position report written to {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            report.write_tsv(&mut w).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&args).and_then(|cli| run(&cli)) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("omegaplus: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! `omegaplus-rs` — LD-based selective sweep detection with simulated
+//! GPU and FPGA accelerators.
+//!
+//! A from-scratch Rust reproduction of *"Accelerated LD-based selective
+//! sweep detection using GPUs and FPGAs"* (Corts, Sterenborg &
+//! Alachiotis, IPDPSW 2022): the OmegaPlus ω-statistic engine, the
+//! linkage-disequilibrium kernels it builds on, a Hudson's-`ms`-style
+//! coalescent simulator for datasets, and cycle/throughput-model
+//! simulators of the paper's GPU and FPGA accelerators.
+//!
+//! This façade re-exports the workspace crates under one roof:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`genome`] | `omega-genome` | bit-packed alignments, ms/FASTA/VCF parsing |
+//! | [`ld`] | `omega-ld` | r², popcount GEMM LD kernels |
+//! | [`core`] | `omega-core` | ω statistic, matrix M, grid scan |
+//! | [`mssim`] | `omega-mssim` | coalescent + sweep simulator |
+//! | [`gpu`] | `omega-gpu-sim` | GPU device model, Kernel I/II |
+//! | [`fpga`] | `omega-fpga-sim` | FPGA pipeline model |
+//! | [`accel`] | `omega-accel` | complete accelerated detection |
+//! | [`baselines`] | `omega-baselines` | iHS and Tajima's D comparison methods |
+//!
+//! # Quick start
+//!
+//! ```
+//! use omegaplus_rs::prelude::*;
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // Simulate a dataset carrying a selective sweep at its midpoint.
+//! let neutral = NeutralParams { n_samples: 24, theta: 40.0, rho: 0.0, region_len_bp: 100_000 };
+//! let sweep = SweepParams { position: 0.5, alpha: 10.0, swept_fraction: 1.0 };
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let alignment = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+//!
+//! // Scan it with the ω statistic.
+//! let scanner = OmegaScanner::new(ScanParams {
+//!     grid: 20,
+//!     min_win: 500,
+//!     max_win: 30_000,
+//!     ..ScanParams::default()
+//! }).unwrap();
+//! let outcome = scanner.scan(&alignment);
+//! assert_eq!(outcome.results.len(), 20);
+//! ```
+
+pub use omega_accel as accel;
+pub use omega_baselines as baselines;
+pub use omega_core as core;
+pub use omega_fpga_sim as fpga;
+pub use omega_genome as genome;
+pub use omega_gpu_sim as gpu;
+pub use omega_ld as ld;
+pub use omega_mssim as mssim;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use omega_accel::{Backend, DetectionOutcome, SweepDetector, WorkloadClass};
+    pub use omega_core::{
+        OmegaScanner, Report, ScanOutcome, ScanParams, SweepCall,
+    };
+    pub use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine};
+    pub use omega_genome::{Alignment, SnpVec};
+    pub use omega_gpu_sim::{GpuDevice, GpuOmegaEngine};
+    pub use omega_mssim::{
+        simulate_fixed_sites, simulate_neutral, simulate_sweep, NeutralParams, SweepParams,
+    };
+}

@@ -1,0 +1,108 @@
+//! Black-box tests of the `omegaplus` command-line binary.
+
+use std::io::Write;
+use std::process::Command;
+
+use omegaplus_rs::genome::ms::write_ms;
+use omegaplus_rs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn write_dataset(path: &std::path::Path) {
+    let neutral = NeutralParams { n_samples: 20, theta: 30.0, rho: 15.0, region_len_bp: 80_000 };
+    let sweep = SweepParams { position: 0.5, alpha: 10.0, swept_fraction: 1.0 };
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+    let mut f = std::fs::File::create(path).unwrap();
+    let mut buf = Vec::new();
+    write_ms(&mut buf, &[a]).unwrap();
+    f.write_all(&buf).unwrap();
+}
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_omegaplus"))
+}
+
+#[test]
+fn scans_ms_input_and_prints_report() {
+    let dir = std::env::temp_dir().join("omegaplus_cli_test1");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.ms");
+    write_dataset(&input);
+
+    let out = bin()
+        .args([
+            "-name", "t1", "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "10",
+            "-minwin", "500", "-maxwin", "30000",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("# OmegaPlus-rs report: t1"));
+    assert!(stdout.contains("# backend: CPU"));
+    assert!(stdout.contains("peak omega"));
+    let data_lines = stdout.lines().filter(|l| !l.starts_with('#')).count();
+    assert_eq!(data_lines, 10);
+}
+
+#[test]
+fn gpu_and_fpga_backends_run_and_agree() {
+    let dir = std::env::temp_dir().join("omegaplus_cli_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.ms");
+    write_dataset(&input);
+
+    let run = |backend: &str, device: &str| -> String {
+        let out = bin()
+            .args([
+                "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "8", "-minwin",
+                "500", "-maxwin", "30000", "-backend", backend, "-device", device,
+            ])
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let cpu = run("cpu", "");
+    let gpu = run("gpu", "k80");
+    let fpga = run("fpga", "zcu102");
+    let peak_line = |s: &str| s.lines().find(|l| l.contains("peak omega")).unwrap().to_string();
+    assert_eq!(peak_line(&cpu), peak_line(&gpu));
+    assert_eq!(peak_line(&cpu), peak_line(&fpga));
+    assert!(gpu.contains("backend: GPU (NVIDIA Tesla K80)"));
+    assert!(fpga.contains("backend: FPGA (ZCU102)"));
+}
+
+#[test]
+fn report_file_written() {
+    let dir = std::env::temp_dir().join("omegaplus_cli_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.ms");
+    let report = dir.join("report.tsv");
+    write_dataset(&input);
+    let out = bin()
+        .args([
+            "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "6", "-report",
+            report.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = std::fs::read_to_string(&report).unwrap();
+    assert!(text.starts_with("# position"));
+    assert_eq!(text.lines().count(), 7);
+}
+
+#[test]
+fn missing_input_fails_cleanly() {
+    let out = bin().args(["-grid", "5"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("-input is required"));
+}
+
+#[test]
+fn unknown_flag_reports_usage() {
+    let out = bin().args(["-bogus", "1"]).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

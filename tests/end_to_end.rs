@@ -1,0 +1,122 @@
+//! End-to-end integration: simulator → engine → report.
+
+use omegaplus_rs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn scan_params() -> ScanParams {
+    ScanParams { grid: 25, min_win: 1_000, max_win: 40_000, ..ScanParams::default() }
+}
+
+#[test]
+fn sweep_replicates_score_higher_than_neutral() {
+    let neutral = NeutralParams { n_samples: 30, theta: 40.0, rho: 30.0, region_len_bp: 120_000 };
+    let sweep = SweepParams { position: 0.5, alpha: 15.0, swept_fraction: 1.0 };
+    let scanner = OmegaScanner::new(scan_params()).unwrap();
+
+    let mut neutral_ratio = 0.0;
+    let mut sweep_ratio = 0.0;
+    let reps = 12;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(500 + seed);
+        let n = simulate_neutral(&neutral, &mut rng).unwrap();
+        let s = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+        let ratio = |a: &omegaplus_rs::genome::Alignment| {
+            let out = scanner.scan(a);
+            let report = Report::new(&out);
+            match report.peak() {
+                Some(p) if report.mean_omega() > 0.0 => p.omega as f64 / report.mean_omega(),
+                _ => 0.0,
+            }
+        };
+        neutral_ratio += ratio(&n);
+        sweep_ratio += ratio(&s);
+    }
+    // Peak-to-mean ratios are heavy-tailed under neutrality (near-zero
+    // cross-region sums inflate individual omega values), so demand a
+    // clear but not extreme aggregate separation.
+    assert!(
+        sweep_ratio > 1.2 * neutral_ratio,
+        "sweep outlier ratio {sweep_ratio} must clearly exceed neutral {neutral_ratio}"
+    );
+}
+
+#[test]
+fn sweep_peak_localizes_near_planted_site() {
+    let neutral = NeutralParams { n_samples: 40, theta: 60.0, rho: 40.0, region_len_bp: 150_000 };
+    let sweep = SweepParams { position: 0.5, alpha: 12.0, swept_fraction: 1.0 };
+    let scanner = OmegaScanner::new(scan_params()).unwrap();
+    let mut hits = 0;
+    let reps = 10;
+    for seed in 0..reps {
+        let mut rng = StdRng::seed_from_u64(900 + seed);
+        let a = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+        let out = scanner.scan(&a);
+        let report = Report::new(&out);
+        if let Some(p) = report.peak() {
+            let true_site = a.region_len() / 2;
+            if p.pos_bp.abs_diff(true_site) < a.region_len() / 5 {
+                hits += 1;
+            }
+        }
+    }
+    assert!(hits >= reps / 2, "localized {hits}/{reps} sweeps; expected at least half");
+}
+
+#[test]
+fn parallel_scan_equals_sequential_end_to_end() {
+    let neutral = NeutralParams { n_samples: 24, theta: 50.0, rho: 20.0, region_len_bp: 100_000 };
+    let mut rng = StdRng::seed_from_u64(4242);
+    let a = simulate_neutral(&neutral, &mut rng).unwrap();
+
+    let seq = OmegaScanner::new(scan_params()).unwrap().scan(&a);
+    let par = OmegaScanner::new(ScanParams { threads: 3, ..scan_params() })
+        .unwrap()
+        .scan_parallel(&a);
+    assert_eq!(seq.results.len(), par.results.len());
+    for (s, p) in seq.results.iter().zip(&par.results) {
+        assert_eq!(s.pos_bp, p.pos_bp);
+        assert_eq!(s.n_combinations, p.n_combinations);
+        assert!((s.omega - p.omega).abs() <= 1e-3 * s.omega.abs().max(1.0));
+    }
+}
+
+#[test]
+fn report_roundtrips_through_tsv() {
+    let neutral = NeutralParams { n_samples: 20, theta: 30.0, rho: 10.0, region_len_bp: 80_000 };
+    let mut rng = StdRng::seed_from_u64(777);
+    let a = simulate_neutral(&neutral, &mut rng).unwrap();
+    let out = OmegaScanner::new(scan_params()).unwrap().scan(&a);
+    let report = Report::new(&out);
+    let mut buf = Vec::new();
+    report.write_tsv(&mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let data_lines: Vec<&str> = text.lines().filter(|l| !l.starts_with('#')).collect();
+    assert_eq!(data_lines.len(), out.results.len());
+    // Every line parses back into numbers.
+    for line in data_lines {
+        let fields: Vec<&str> = line.split('\t').collect();
+        assert_eq!(fields.len(), 5);
+        fields[0].parse::<u64>().unwrap();
+        fields[1].parse::<f64>().unwrap();
+    }
+}
+
+#[test]
+fn fixed_site_datasets_drive_scan_workload() {
+    // The paper's GPU evaluation fixes SNP counts; check the scan workload
+    // scales with the fixed count.
+    let neutral = NeutralParams { n_samples: 50, theta: 1.0, rho: 0.0, region_len_bp: 500_000 };
+    let scanner = OmegaScanner::new(ScanParams {
+        grid: 10,
+        min_win: 100,
+        max_win: 100_000,
+        ..ScanParams::default()
+    })
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let small = simulate_fixed_sites(&neutral, 100, &mut rng).unwrap();
+    let big = simulate_fixed_sites(&neutral, 400, &mut rng).unwrap();
+    let small_out = scanner.scan(&small);
+    let big_out = scanner.scan(&big);
+    assert!(big_out.stats.omega_evaluations > 4 * small_out.stats.omega_evaluations);
+}

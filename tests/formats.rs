@@ -1,0 +1,81 @@
+//! Format pipeline integration: simulated data must survive round trips
+//! through the `ms` writer/reader and produce identical scan results.
+
+use std::io::Cursor;
+
+use omegaplus_rs::genome::ms::{read_ms, write_ms, MsReadOptions};
+use omegaplus_rs::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+#[test]
+fn ms_roundtrip_preserves_scan_results() {
+    let neutral = NeutralParams { n_samples: 25, theta: 40.0, rho: 15.0, region_len_bp: 90_000 };
+    let mut rng = StdRng::seed_from_u64(11);
+    let original = simulate_neutral(&neutral, &mut rng).unwrap();
+
+    let mut text = Vec::new();
+    write_ms(&mut text, std::slice::from_ref(&original)).unwrap();
+    let parsed = read_ms(Cursor::new(&text), MsReadOptions { region_len: original.region_len() })
+        .unwrap()
+        .remove(0);
+
+    assert_eq!(parsed.n_sites(), original.n_sites());
+    assert_eq!(parsed.n_samples(), original.n_samples());
+
+    let scanner = OmegaScanner::new(ScanParams {
+        grid: 12,
+        min_win: 500,
+        max_win: 30_000,
+        ..ScanParams::default()
+    })
+    .unwrap();
+    let a = scanner.scan(&original);
+    let b = scanner.scan(&parsed);
+    for (x, y) in a.results.iter().zip(&b.results) {
+        // Positions can shift by at most the bp quantisation of the
+        // writer (six decimal digits of the unit interval).
+        assert!(x.pos_bp.abs_diff(y.pos_bp) <= 2);
+        assert!((x.omega - y.omega).abs() <= 2e-2 * x.omega.abs().max(1.0), "{} vs {}", x.omega, y.omega);
+    }
+}
+
+#[test]
+fn multi_replicate_ms_files() {
+    let neutral = NeutralParams { n_samples: 12, theta: 20.0, rho: 0.0, region_len_bp: 50_000 };
+    let mut rng = StdRng::seed_from_u64(12);
+    let reps: Vec<Alignment> =
+        (0..4).map(|_| simulate_neutral(&neutral, &mut rng).unwrap()).collect();
+    let mut text = Vec::new();
+    write_ms(&mut text, &reps).unwrap();
+    let parsed = read_ms(Cursor::new(&text), MsReadOptions { region_len: 50_000 }).unwrap();
+    assert_eq!(parsed.len(), 4);
+    for (a, b) in reps.iter().zip(&parsed) {
+        assert_eq!(a.n_sites(), b.n_sites());
+        assert_eq!(a.n_samples(), b.n_samples());
+        for s in 0..a.n_sites() {
+            assert_eq!(a.site(s).derived_count(), b.site(s).derived_count());
+        }
+    }
+}
+
+#[test]
+fn sfs_shifts_toward_extremes_under_sweep() {
+    use omegaplus_rs::genome::SiteFrequencySpectrum;
+    // The classic companion signature (§II): sweeps push the SFS toward
+    // low/high-frequency variants. Validates the simulator's realism.
+    let neutral = NeutralParams { n_samples: 30, theta: 60.0, rho: 30.0, region_len_bp: 100_000 };
+    let sweep = SweepParams { position: 0.5, alpha: 4.0, swept_fraction: 1.0 };
+    let mut neutral_extreme = 0.0;
+    let mut sweep_extreme = 0.0;
+    for seed in 0..16 {
+        let mut rng = StdRng::seed_from_u64(4000 + seed);
+        let n = simulate_neutral(&neutral, &mut rng).unwrap();
+        let s = simulate_sweep(&neutral, &sweep, &mut rng).unwrap();
+        neutral_extreme += SiteFrequencySpectrum::from_alignment(&n).extreme_class_fraction();
+        sweep_extreme += SiteFrequencySpectrum::from_alignment(&s).extreme_class_fraction();
+    }
+    assert!(
+        sweep_extreme > neutral_extreme,
+        "sweep SFS must be more extreme-shifted: {sweep_extreme} vs {neutral_extreme}"
+    );
+}
