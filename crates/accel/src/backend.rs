@@ -130,7 +130,11 @@ impl SweepDetector {
 
     /// Runs the complete Fig. 3 flow on the configured backend.
     pub fn detect(&self, alignment: &Alignment) -> DetectionOutcome {
+        let _span = omega_obs::span!("accel.detect");
         let plan = GridPlan::build(alignment, &self.params);
+        omega_obs::counter!("accel.detect.runs").inc();
+        omega_obs::counter!("accel.detect.positions").add(plan.len() as u64);
+        omega_obs::gauge!("accel.grid_positions").set(plan.len() as i64);
         let n_samples = alignment.n_samples() as u64;
 
         let gpu_omega = match &self.backend {
@@ -156,6 +160,7 @@ impl SweepDetector {
         let mut host_other = 0.0f64;
 
         for pp in plan.positions() {
+            let _span = omega_obs::span!("accel.position");
             let borders = BorderSet::build(alignment, pp, &self.params);
             let result = match borders {
                 Some(b) if b.n_combinations() > 0 => {
@@ -172,8 +177,8 @@ impl SweepDetector {
                             .total();
                     }
                     if fpga.is_some() {
-                        accel_ld_seconds +=
-                            mstats.new_pairs as f64 * n_samples as f64 / FPGA_LD_SAMPLE_SCORES_PER_SEC;
+                        accel_ld_seconds += mstats.new_pairs as f64 * n_samples as f64
+                            / FPGA_LD_SAMPLE_SCORES_PER_SEC;
                     }
 
                     // ω stage: functional result measured on the CPU;
@@ -306,14 +311,12 @@ mod tests {
     #[test]
     fn accelerators_report_modelled_time() {
         let a = random_alignment(60, 24, 3);
-        let g = SweepDetector::new(params(), Backend::Gpu(GpuDevice::tesla_k80()))
-            .unwrap()
-            .detect(&a);
+        let g =
+            SweepDetector::new(params(), Backend::Gpu(GpuDevice::tesla_k80())).unwrap().detect(&a);
         assert!(g.ld_seconds > 0.0);
         assert!(g.omega_seconds > 0.0);
-        let f = SweepDetector::new(params(), Backend::Fpga(FpgaDevice::zcu102()))
-            .unwrap()
-            .detect(&a);
+        let f =
+            SweepDetector::new(params(), Backend::Fpga(FpgaDevice::zcu102())).unwrap().detect(&a);
         assert!(f.ld_seconds > 0.0);
         assert!(f.omega_seconds > 0.0);
     }

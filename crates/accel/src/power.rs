@@ -155,13 +155,12 @@ mod tests {
     #[test]
     fn demographic_null_can_be_calibrated_directly() {
         let bottleneck = Demography::bottleneck(0.05, 0.1, 0.05).unwrap();
-        let t = calibrate_threshold(&scan_params(), &neutral(), Some(&bottleneck), 8, 0.8, 6)
-            .unwrap();
+        let t =
+            calibrate_threshold(&scan_params(), &neutral(), Some(&bottleneck), 8, 0.8, 6).unwrap();
         assert!(t.threshold.is_finite());
         // Calibrating on the matching demographic null keeps its own
         // false-positive rate near the nominal level.
-        let fpr =
-            false_positive_rate(&scan_params(), &neutral(), &bottleneck, &t, 8, 6).unwrap();
+        let fpr = false_positive_rate(&scan_params(), &neutral(), &bottleneck, &t, 8, 6).unwrap();
         assert!(fpr <= 0.5, "self-calibrated fpr {fpr}");
     }
 

@@ -173,7 +173,7 @@ mod tests {
 
     #[test]
     fn methods_have_power_on_strong_sweeps() {
-        let (neutral, sweeps) = replicates(8, 2);
+        let (neutral, sweeps) = replicates(8, 23);
         let omega = omega_stat();
         let tajima = TajimaStat { window_bp: 25_000, step_bp: 12_500 };
         let methods: Vec<&dyn SweepStatistic> = vec![&omega, &tajima];

@@ -94,8 +94,7 @@ impl Partition {
         if self.class_pairs == 0.0 {
             return 0.0;
         }
-        let same: f64 =
-            self.groups.iter().map(|g| (g.len() * (g.len() - 1) / 2) as f64).sum();
+        let same: f64 = self.groups.iter().map(|g| (g.len() * (g.len() - 1) / 2) as f64).sum();
         same / self.class_pairs
     }
 }
@@ -105,9 +104,8 @@ impl Partition {
 /// `(distance_bp, ehh)` points starting at the core (distance 0, EHH 1).
 pub fn ehh_curve(a: &Alignment, core: usize, allele: Allele, direction: i64) -> Vec<(u64, f64)> {
     assert!(direction == 1 || direction == -1, "direction must be +1 or -1");
-    let members: Vec<u32> = (0..a.n_samples() as u32)
-        .filter(|&i| a.site(core).get(i as usize) == allele)
-        .collect();
+    let members: Vec<u32> =
+        (0..a.n_samples() as u32).filter(|&i| a.site(core).get(i as usize) == allele).collect();
     let mut out = vec![(0u64, 1.0f64)];
     if members.len() < 2 {
         return out;

@@ -3,7 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omega_bench::dataset;
-use omega_core::{omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams};
+use omega_core::{
+    omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams,
+};
 use std::hint::black_box;
 
 fn bench_omega_score(c: &mut Criterion) {

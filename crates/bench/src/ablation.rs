@@ -51,7 +51,12 @@ pub fn reuse_ablation() -> String {
     let (t_with, pairs_with, reused_with) = run(true);
     let (t_without, pairs_without, _) = run(false);
     let t = TableWriter::new(&[14, 12, 14, 14]);
-    out.push_str(&t.row(&["mode".into(), "time (ms)".into(), "r2 pairs".into(), "cells reused".into()]));
+    out.push_str(&t.row(&[
+        "mode".into(),
+        "time (ms)".into(),
+        "r2 pairs".into(),
+        "cells reused".into(),
+    ]));
     out.push('\n');
     out.push_str(&t.rule());
     out.push('\n');
@@ -89,16 +94,18 @@ pub fn threshold_ablation() -> String {
     let scores: u64 = geo.iter().map(|g| g.n_valid).sum();
 
     let t = TableWriter::new(&[12, 14, 12, 12]);
-    out.push_str(&t.row(&["Nthr mult".into(), "kernel time".into(), "K1 share".into(), "rate".into()]));
+    out.push_str(&t.row(&[
+        "Nthr mult".into(),
+        "kernel time".into(),
+        "K1 share".into(),
+        "rate".into(),
+    ]));
     out.push('\n');
     out.push_str(&t.rule());
     out.push('\n');
     for mult in [0.0f64, 0.25, 1.0, 4.0, f64::INFINITY] {
-        let threshold = if mult.is_infinite() {
-            u64::MAX
-        } else {
-            (device.n_thr() as f64 * mult) as u64
-        };
+        let threshold =
+            if mult.is_infinite() { u64::MAX } else { (device.n_thr() as f64 * mult) as u64 };
         let mut time = 0.0f64;
         let mut k1_positions = 0usize;
         for g in &geo {

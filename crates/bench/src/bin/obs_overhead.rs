@@ -1,0 +1,82 @@
+//! `obs_overhead` — criterion-free micro-benchmark bounding the cost of
+//! the observability layer when no JSONL sink is installed.
+//!
+//! With the sink absent, entering a span is a single relaxed atomic load
+//! and a counter update is one relaxed atomic add. This binary measures
+//! that per-event cost directly, counts how many instrumentation events a
+//! realistic sequential scan actually fires (from its own `ScanStats`),
+//! and reports the implied overhead as a fraction of the measured scan
+//! time. Exits non-zero if the estimate reaches 3 %.
+
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use omega_bench::dataset;
+use omega_core::{OmegaScanner, ScanParams, ScanStats};
+
+const CALIBRATION_OPS: u64 = 4_000_000;
+const SCAN_REPS: usize = 3;
+
+/// Per-event cost of one disabled span (enter + drop) plus one counter
+/// add — a deliberate over-estimate of any single instrumentation point.
+fn disabled_event_cost() -> f64 {
+    assert!(!omega_obs::spans_enabled(), "benchmark must run without a sink");
+    let t0 = Instant::now();
+    for i in 0..CALIBRATION_OPS {
+        let _span = omega_obs::span!("bench.noop");
+        omega_obs::counter!("bench.noop.ops").add(black_box(i) & 1);
+    }
+    t0.elapsed().as_secs_f64() / CALIBRATION_OPS as f64
+}
+
+/// Instrumentation events one sequential scan fires, reconstructed from
+/// its workload counters (see scan.rs / matrix.rs / omega.rs).
+fn scan_events(stats: &ScanStats) -> u64 {
+    let positions = stats.positions as u64;
+    let scorable = stats.scorable_positions as u64;
+    // scan.sequential span + scan.positions counter, then per position one
+    // scan.position span, and per scorable position: matrix.advance span,
+    // two matrix counters, omega_max span, omega.evaluations counter, and
+    // the scorable-positions counter.
+    2 + positions + scorable * 6
+}
+
+fn main() -> ExitCode {
+    let per_event = disabled_event_cost();
+
+    let alignment = dataset(1_500, 40, 2_024);
+    let params =
+        ScanParams { grid: 300, min_win: 0, max_win: 20_000, min_snps_per_side: 2, threads: 1 };
+    let scanner = OmegaScanner::new(params).unwrap();
+
+    let mut best = f64::INFINITY;
+    let mut stats = ScanStats::default();
+    for _ in 0..SCAN_REPS {
+        let t0 = Instant::now();
+        let out = scanner.scan(&alignment);
+        best = best.min(t0.elapsed().as_secs_f64());
+        stats = out.stats;
+    }
+
+    let events = scan_events(&stats);
+    let overhead = events as f64 * per_event;
+    let pct = 100.0 * overhead / best;
+
+    println!("disabled span+counter cost : {:.1} ns/event", per_event * 1e9);
+    println!(
+        "scan under test            : {} positions ({} scorable), {:.3} ms",
+        stats.positions,
+        stats.scorable_positions,
+        best * 1e3
+    );
+    println!("instrumentation events     : {events}");
+    println!("implied overhead           : {:.4} % of scan time (budget 3 %)", pct);
+
+    if pct < 3.0 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("obs_overhead: no-sink overhead {pct:.2} % breaches the 3 % budget");
+        ExitCode::FAILURE
+    }
+}

@@ -18,6 +18,7 @@
 //!   fpga      FPGA engines on real scan geometry
 //!   dse       FPGA unroll-factor design-space exploration
 //!   ablation  data-reuse / dispatch-threshold / coalescing ablations
+//!   json      machine-readable record written to BENCH_repro.json
 //!   all       everything above
 //! ```
 //!
@@ -62,6 +63,12 @@ fn run(name: &str, full: bool) -> Result<(), String> {
         "profile" => print!("{}", exp::profile()),
         "fpga" => print!("{}", exp::fpga_workload(if full { 2_000 } else { 800 }, grid(full))),
         "dse" => print!("{}", ablation::fpga_dse()),
+        "json" => {
+            let record = exp::bench_json();
+            std::fs::write("BENCH_repro.json", &record)
+                .map_err(|e| format!("cannot write BENCH_repro.json: {e}"))?;
+            println!("wrote BENCH_repro.json ({} bytes)", record.len());
+        }
         "ablation" => {
             print!("{}", ablation::reuse_ablation());
             println!();
@@ -89,7 +96,7 @@ fn main() -> ExitCode {
     let full = args.iter().any(|a| a == "--full");
     let name = args.iter().find(|a| !a.starts_with("--")).cloned().unwrap_or_default();
     if name.is_empty() {
-        eprintln!("usage: repro <table1|table2|fig10|fig11|fig12|fig13|fig14|table3|table4|profile|fpga|dse|ablation|all> [--full]");
+        eprintln!("usage: repro <table1|table2|fig10|fig11|fig12|fig13|fig14|table3|table4|profile|fpga|dse|ablation|json|all> [--full]");
         return ExitCode::FAILURE;
     }
     match run(&name, full) {

@@ -362,6 +362,50 @@ pub fn table3() -> String {
     out
 }
 
+/// Machine-readable benchmark record for `BENCH_repro.json`: per-backend
+/// totals, LD share, and ω throughput (Gω/s) over the three workload
+/// classes, so later PRs have a perf trajectory to diff against.
+pub fn bench_json() -> String {
+    let mut workloads = Vec::new();
+    for (class, outcomes) in run_workloads() {
+        let (snps, samples, params) = workload_setup(class);
+        let cpu_total = outcomes[0].total_seconds();
+        let backends: Vec<String> = outcomes
+            .iter()
+            .map(|o| {
+                omega_obs::JsonObject::new()
+                    .string("backend", &o.backend)
+                    .f64("ld_seconds", o.ld_seconds)
+                    .f64("omega_seconds", o.omega_seconds)
+                    .f64("other_seconds", o.other_seconds)
+                    .f64("total_seconds", o.total_seconds())
+                    .f64("ld_share", o.ld_share())
+                    .f64("omega_gscores_per_sec", o.omega_throughput() / 1e9)
+                    .f64("ld_gscores_per_sec", o.ld_throughput() / 1e9)
+                    .f64("speedup_vs_cpu", cpu_total / o.total_seconds())
+                    .u64("omega_evaluations", o.stats.omega_evaluations)
+                    .u64("r2_pairs", o.stats.r2_pairs)
+                    .finish()
+            })
+            .collect();
+        workloads.push(
+            omega_obs::JsonObject::new()
+                .string("class", class.label())
+                .u64("snps", snps as u64)
+                .u64("samples", samples as u64)
+                .u64("grid", params.grid as u64)
+                .raw("backends", &format!("[{}]", backends.join(",")))
+                .finish(),
+        );
+    }
+    let mut out = omega_obs::JsonObject::new()
+        .string("schema", "omega-bench/repro/v1")
+        .raw("workloads", &format!("[{}]", workloads.join(",")))
+        .finish();
+    out.push('\n');
+    out
+}
+
 /// Table IV: multithreaded ω throughput vs thread count.
 pub fn table4(threads: &[usize]) -> String {
     let mut out = String::new();
@@ -452,7 +496,12 @@ pub fn fpga_workload(snps: usize, grid: usize) -> String {
         geo.len()
     ));
     let t = TableWriter::new(&[12, 14, 12, 12]);
-    out.push_str(&t.row(&["device".into(), "throughput".into(), "hw %".into(), "time (ms)".into()]));
+    out.push_str(&t.row(&[
+        "device".into(),
+        "throughput".into(),
+        "hw %".into(),
+        "time (ms)".into(),
+    ]));
     out.push('\n');
     for device in FpgaDevice::paper_targets() {
         let engine = FpgaOmegaEngine::new(device.clone());

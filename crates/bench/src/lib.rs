@@ -23,8 +23,7 @@ pub const REGION_BP: u64 = 1_000_000;
 /// Generates the paper's GPU-evaluation dataset shape: `n_snps` sites
 /// over a fixed number of sequences, deterministic in `seed`.
 pub fn dataset(n_snps: usize, n_samples: usize, seed: u64) -> Alignment {
-    let params =
-        NeutralParams { n_samples, theta: 1.0, rho: 0.0, region_len_bp: REGION_BP };
+    let params = NeutralParams { n_samples, theta: 1.0, rho: 0.0, region_len_bp: REGION_BP };
     let mut rng = StdRng::seed_from_u64(seed);
     simulate_fixed_sites(&params, n_snps, &mut rng).expect("valid simulation parameters")
 }

@@ -131,7 +131,11 @@ pub struct BorderSet {
 impl BorderSet {
     /// Builds the border set for a planned position; returns `None` when
     /// the position cannot be scored (too few SNPs on either side).
-    pub fn build(alignment: &Alignment, plan: &PositionPlan, params: &ScanParams) -> Option<BorderSet> {
+    pub fn build(
+        alignment: &Alignment,
+        plan: &PositionPlan,
+        params: &ScanParams,
+    ) -> Option<BorderSet> {
         let min_snps = params.min_snps_per_side;
         if !plan.is_scorable(min_snps) {
             return None;

@@ -43,8 +43,8 @@
 pub mod grid;
 pub mod matrix;
 pub mod omega;
-pub mod params;
 pub mod parallel;
+pub mod params;
 pub mod profile;
 pub mod report;
 pub mod scan;

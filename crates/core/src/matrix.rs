@@ -126,16 +126,14 @@ impl RegionMatrix {
         timing: &mut MatrixBuildTiming,
     ) -> MatrixBuildStats {
         assert!(hi >= lo && hi <= alignment.n_sites(), "window out of bounds");
+        let _span = omega_obs::span!("matrix.advance");
         let n = hi - lo;
         let old_lo = self.lo;
         let old_hi = self.lo + self.n;
         // Overlap only exists when the new window starts inside the old
         // one at or after its start (grid positions move right).
-        let overlap = if self.n > 0 && lo >= old_lo && lo < old_hi {
-            old_hi.min(hi) - lo
-        } else {
-            0
-        };
+        let overlap =
+            if self.n > 0 && lo >= old_lo && lo < old_hi { old_hi.min(hi) - lo } else { 0 };
 
         let dp_start = Instant::now();
         let new_len = Self::tri_len(n);
@@ -174,6 +172,8 @@ impl RegionMatrix {
             self.dp_row_pass(i);
             timing.dp += dp_start.elapsed();
         }
+        omega_obs::counter!("matrix.r2_pairs").add(new_pairs);
+        omega_obs::counter!("matrix.cells_reused").add(reused_cells);
         MatrixBuildStats { new_pairs, reused_cells }
     }
 
@@ -220,13 +220,11 @@ mod tests {
     fn random_alignment(n_sites: usize, n_samples: usize, seed: u64) -> Alignment {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites: Vec<SnpVec> = (0..n_sites)
-            .map(|_| {
-                loop {
-                    let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
-                    let s = SnpVec::from_bits(&calls);
-                    if !s.is_monomorphic() {
-                        break s;
-                    }
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
                 }
             })
             .collect();
@@ -252,10 +250,7 @@ mod tests {
                 let got = m.sum(j, i) as f64;
                 let want = naive_sum(a, m.lo(), j, i);
                 let tol = 1e-4 * want.abs().max(1.0);
-                assert!(
-                    (got - want).abs() <= tol,
-                    "M({i},{j}) = {got}, naive = {want}"
-                );
+                assert!((got - want).abs() <= tol, "M({i},{j}) = {got}, naive = {want}");
             }
         }
     }

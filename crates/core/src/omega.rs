@@ -50,6 +50,7 @@ pub struct OmegaMax {
 /// matrix M — the CPU hot loop of OmegaPlus (Fig. 6 of the paper).
 /// Returns `None` when the border set admits no combination.
 pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
+    let _span = omega_obs::span!("omega_max");
     let k = b.k_rel;
     let mut best: Option<OmegaMax> = None;
     let mut evaluated = 0u64;
@@ -69,6 +70,7 @@ pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
             }
         }
     }
+    omega_obs::counter!("omega.evaluations").add(evaluated);
     best.map(|mut r| {
         r.evaluated = evaluated;
         r
@@ -227,7 +229,11 @@ mod tests {
     }
 
     /// Brute-force ω max straight from Eq. 2 over raw pairwise r² sums.
-    fn brute_force_max(a: &Alignment, plan: &crate::grid::PositionPlan, p: &ScanParams) -> Option<f32> {
+    fn brute_force_max(
+        a: &Alignment,
+        plan: &crate::grid::PositionPlan,
+        p: &ScanParams,
+    ) -> Option<f32> {
         let k = plan.split - 1; // absolute
         let mut best: Option<f32> = None;
         for lb in plan.lo..=k + 1 - p.min_snps_per_side {
@@ -296,7 +302,8 @@ mod tests {
 
     #[test]
     fn loop_matches_brute_force() {
-        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let params =
+            ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
         let (a, m, b, plan) = setup(11, 14, 700, &params);
         let got = omega_max(&m, &b).unwrap();
         let want = brute_force_max(&a, &plan, &params).unwrap();
@@ -309,7 +316,8 @@ mod tests {
 
     #[test]
     fn loop_respects_min_win() {
-        let params = ScanParams { grid: 1, min_win: 600, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let params =
+            ScanParams { grid: 1, min_win: 600, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
         let (a, m, b, plan) = setup(12, 14, 700, &params);
         let got = omega_max(&m, &b).unwrap();
         let want = brute_force_max(&a, &plan, &params).unwrap();
@@ -319,7 +327,8 @@ mod tests {
 
     #[test]
     fn task_reference_agrees_with_matrix_loop() {
-        let params = ScanParams { grid: 1, min_win: 300, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let params =
+            ScanParams { grid: 1, min_win: 300, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
         let (_a, m, b, plan) = setup(13, 16, 800, &params);
         let direct = omega_max(&m, &b).unwrap();
         let task = OmegaTask::extract(&m, &b, &plan);
@@ -333,7 +342,8 @@ mod tests {
 
     #[test]
     fn task_buffers_have_consistent_shapes() {
-        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 3, threads: 1 };
+        let params =
+            ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 3, threads: 1 };
         let (_a, m, b, plan) = setup(14, 18, 900, &params);
         let task = OmegaTask::extract(&m, &b, &plan);
         assert_eq!(task.ls.len(), task.l_snps.len());
@@ -360,7 +370,8 @@ mod tests {
             SnpVec::from_bits(&[1, 1, 1, 0, 0, 0]),
             SnpVec::from_bits(&[0, 1, 0, 1, 0, 1]),
         ];
-        let params = ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let params =
+            ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
         let score = |sites: Vec<SnpVec>| {
             let a = Alignment::new(vec![100, 200, 300, 400], sites, 500).unwrap();
             let plan = GridPlan::plan_at(&a, 250, &params);
@@ -375,7 +386,13 @@ mod tests {
 
     #[test]
     fn empty_combination_set_returns_none() {
-        let params = ScanParams { grid: 1, min_win: 1_000_000, max_win: 2_000_000, min_snps_per_side: 2, threads: 1 };
+        let params = ScanParams {
+            grid: 1,
+            min_win: 1_000_000,
+            max_win: 2_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
         let (_a, m, b, _plan) = setup(15, 10, 500, &params);
         assert_eq!(b.n_combinations(), 0);
         assert!(omega_max(&m, &b).is_none());

@@ -23,6 +23,7 @@ impl OmegaScanner {
     /// `omega`) are summed across workers, i.e. CPU time, so
     /// `kernel_fraction` can exceed 1 on a multicore run.
     pub fn scan_parallel(&self, alignment: &Alignment) -> ScanOutcome {
+        let _span = omega_obs::span!("scan.parallel");
         let start = Instant::now();
         let threads = if self.params().threads == 0 {
             rayon::current_num_threads()
@@ -46,10 +47,7 @@ impl OmegaScanner {
             .build()
             .expect("failed to build scan thread pool");
         let per_chunk: Vec<_> = pool.install(|| {
-            chunks
-                .par_iter()
-                .map(|chunk| scan_positions(alignment, self.params(), chunk))
-                .collect()
+            chunks.par_iter().map(|chunk| scan_positions(alignment, self.params(), chunk)).collect()
         });
 
         let mut results = Vec::with_capacity(plan.len());
@@ -57,9 +55,11 @@ impl OmegaScanner {
         let mut stats = ScanStats::default();
         for (chunk_results, chunk_timings, chunk_stats) in per_chunk {
             results.extend(chunk_results);
-            timings.accumulate(&chunk_timings);
+            timings.merge_concurrent(&chunk_timings);
             stats.accumulate(&chunk_stats);
         }
+        // The chunk maximum only covers worker time; the true wall time also
+        // includes planning and pool setup, measured here.
         timings.total = start.elapsed();
         ScanOutcome { results, timings, stats }
     }

@@ -34,13 +34,7 @@ pub struct ScanParams {
 
 impl Default for ScanParams {
     fn default() -> Self {
-        ScanParams {
-            grid: 100,
-            min_win: 100,
-            max_win: 10_000,
-            min_snps_per_side: 2,
-            threads: 0,
-        }
+        ScanParams { grid: 100, min_win: 100, max_win: 10_000, min_snps_per_side: 2, threads: 0 }
     }
 }
 

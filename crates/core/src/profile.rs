@@ -56,6 +56,17 @@ impl Timings {
         self.omega += other.omega;
         self.total += other.total;
     }
+
+    /// Merges timings from work that ran concurrently with this one: CPU
+    /// buckets (`r2`, `dp`, `omega`) add up across threads, but wall-clock
+    /// `total` is the maximum, not the sum — summing it would report a
+    /// 4-thread scan as taking 4× its real duration.
+    pub fn merge_concurrent(&mut self, other: &Timings) {
+        self.r2 += other.r2;
+        self.dp += other.dp;
+        self.omega += other.omega;
+        self.total = self.total.max(other.total);
+    }
 }
 
 /// Workload counters of one scan.
@@ -129,11 +140,37 @@ mod tests {
         assert_eq!(a.r2, t(11));
         assert_eq!(a.total, t(66));
 
-        let mut s = ScanStats { positions: 1, scorable_positions: 1, omega_evaluations: 5, r2_pairs: 7, cells_reused: 2 };
-        s.accumulate(&ScanStats { positions: 2, scorable_positions: 1, omega_evaluations: 10, r2_pairs: 3, cells_reused: 8 });
+        let mut s = ScanStats {
+            positions: 1,
+            scorable_positions: 1,
+            omega_evaluations: 5,
+            r2_pairs: 7,
+            cells_reused: 2,
+        };
+        s.accumulate(&ScanStats {
+            positions: 2,
+            scorable_positions: 1,
+            omega_evaluations: 10,
+            r2_pairs: 3,
+            cells_reused: 8,
+        });
         assert_eq!(s.positions, 3);
         assert_eq!(s.omega_evaluations, 15);
         assert_eq!(s.cells_reused, 10);
+    }
+
+    #[test]
+    fn merge_concurrent_maxes_wall_time() {
+        let mut a = Timings { r2: t(1), dp: t(2), omega: t(3), total: t(50) };
+        a.merge_concurrent(&Timings { r2: t(10), dp: t(20), omega: t(30), total: t(40) });
+        assert_eq!(a.r2, t(11));
+        assert_eq!(a.dp, t(22));
+        assert_eq!(a.omega, t(33));
+        assert_eq!(a.total, t(50), "wall time is the max of concurrent runs");
+
+        let mut b = Timings { total: t(10), ..Timings::default() };
+        b.merge_concurrent(&Timings { total: t(25), ..Timings::default() });
+        assert_eq!(b.total, t(25));
     }
 
     #[test]

@@ -58,12 +58,8 @@ impl<'a> Report<'a> {
 
     /// Mean ω over scorable positions (0 when none).
     pub fn mean_omega(&self) -> f64 {
-        let scorable: Vec<f64> = self
-            .results
-            .iter()
-            .filter(|r| r.n_combinations > 0)
-            .map(|r| r.omega as f64)
-            .collect();
+        let scorable: Vec<f64> =
+            self.results.iter().filter(|r| r.n_combinations > 0).map(|r| r.omega as f64).collect();
         if scorable.is_empty() {
             0.0
         } else {

@@ -68,6 +68,7 @@ impl OmegaScanner {
     /// Sequential scan of the whole grid with matrix data-reuse between
     /// consecutive positions.
     pub fn scan(&self, alignment: &Alignment) -> ScanOutcome {
+        let _span = omega_obs::span!("scan.sequential");
         let start = Instant::now();
         let plan = GridPlan::build(alignment, &self.params);
         let (results, mut timings, stats) =
@@ -91,7 +92,9 @@ pub(crate) fn scan_positions(
     let mut stats = ScanStats { positions: plans.len(), ..ScanStats::default() };
     let mut results = Vec::with_capacity(plans.len());
 
+    omega_obs::counter!("scan.positions").add(plans.len() as u64);
     for plan in plans {
+        let _span = omega_obs::span!("scan.position");
         let borders = BorderSet::build(alignment, plan, params);
         let result = match borders {
             Some(b) if b.n_combinations() > 0 => {
@@ -100,12 +103,13 @@ pub(crate) fn scan_positions(
                 stats.cells_reused += mstats.reused_cells;
 
                 let omega_start = Instant::now();
-                let best = omega_max(&matrix, &b)
-                    .expect("non-empty border set must yield a result");
+                let best =
+                    omega_max(&matrix, &b).expect("non-empty border set must yield a result");
                 timings.omega += omega_start.elapsed();
 
                 stats.scorable_positions += 1;
                 stats.omega_evaluations += best.evaluated;
+                omega_obs::counter!("scan.scorable_positions").inc();
                 PositionResult {
                     pos_bp: plan.pos_bp,
                     omega: best.omega,
@@ -227,6 +231,69 @@ mod tests {
                 assert!(gm.omega >= r.omega);
             }
         }
+    }
+
+    fn outcome_from(results: Vec<PositionResult>) -> ScanOutcome {
+        ScanOutcome { results, timings: Timings::default(), stats: ScanStats::default() }
+    }
+
+    fn pos(pos_bp: u64, omega: f32, n_combinations: u64) -> PositionResult {
+        PositionResult { pos_bp, omega, left_bp: 0, right_bp: 0, n_combinations }
+    }
+
+    #[test]
+    fn global_max_none_when_every_position_unscorable() {
+        // A min_snps_per_side no window can satisfy leaves the whole grid
+        // unscorable, and an all-unscorable grid has no global max.
+        let a = random_alignment(30, 16, 8);
+        let p = ScanParams { min_snps_per_side: 1_000, ..params(7) };
+        let out = OmegaScanner::new(p).unwrap().scan(&a);
+        assert_eq!(out.results.len(), 7);
+        assert!(out.results.iter().all(|r| r.n_combinations == 0));
+        assert!(out.global_max().is_none());
+    }
+
+    #[test]
+    fn global_max_single_position_scan() {
+        let a = random_alignment(40, 16, 9);
+        let out = OmegaScanner::new(params(1)).unwrap().scan(&a);
+        assert_eq!(out.results.len(), 1);
+        match out.global_max() {
+            Some(gm) => assert_eq!(gm.pos_bp, out.results[0].pos_bp),
+            None => assert_eq!(out.results[0].n_combinations, 0),
+        }
+    }
+
+    #[test]
+    fn global_max_ignores_unscorable_even_with_higher_omega() {
+        // An unscorable entry (n_combinations = 0) never wins, whatever
+        // value its omega field carries.
+        let out = outcome_from(vec![pos(100, 99.0, 0), pos(200, 1.5, 10)]);
+        assert_eq!(out.global_max().unwrap().pos_bp, 200);
+    }
+
+    #[test]
+    fn global_max_tie_breaks_to_last_position() {
+        // total_cmp is a total order, so max_by keeps the last of equal
+        // maxima — ties resolve to the highest-bp position,
+        // deterministically.
+        let out = outcome_from(vec![pos(100, 2.0, 5), pos(200, 2.0, 5), pos(300, 1.0, 5)]);
+        assert_eq!(out.global_max().unwrap().pos_bp, 200);
+    }
+
+    #[test]
+    fn global_max_handles_nan_omega_without_poisoning() {
+        // total_cmp orders NaN above every finite value, but a NaN can only
+        // appear in a scorable slot if a kernel misbehaved; the comparison
+        // must stay deterministic (no panic, NaN ranks highest) rather than
+        // silently depending on partial_cmp's NaN == incomparable.
+        let out = outcome_from(vec![pos(100, f32::NAN, 5), pos(200, 3.0, 5), pos(300, 1.0, 5)]);
+        let gm = out.global_max().unwrap();
+        assert_eq!(gm.pos_bp, 100);
+        assert!(gm.omega.is_nan());
+        // And with no NaN present the finite maximum wins as usual.
+        let out = outcome_from(vec![pos(100, 3.0, 5), pos(200, 1.0, 5)]);
+        assert_eq!(out.global_max().unwrap().pos_bp, 100);
     }
 
     #[test]

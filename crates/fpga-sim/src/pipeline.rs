@@ -60,6 +60,7 @@ impl OmegaPipeline {
         if inputs.is_empty() {
             return (Vec::new(), 0);
         }
+        omega_obs::counter!("fpga.pipeline.inputs").add(inputs.len() as u64);
         let mut in_flight: VecDeque<(u64, f32)> = VecDeque::new();
         let mut out = Vec::with_capacity(inputs.len());
         let mut cycle = 0u64;

@@ -68,6 +68,7 @@ impl FpgaOmegaEngine {
     /// position pays one pipeline fill plus the RS prefetch burst), the
     /// remainder runs in host software.
     pub fn run_task(&self, task: &OmegaTask) -> FpgaRun {
+        let _span = omega_obs::span!("fpga.task");
         let unroll = self.device.unroll as u64;
         let n_rb = task.rs.len();
         let mut scores: Vec<f32> = vec![f32::NEG_INFINITY; task.ls.len() * n_rb];
@@ -132,6 +133,7 @@ impl FpgaOmegaEngine {
         if hw_scores > 0 {
             cycles += u64::from(self.pipeline.latency());
         }
+        record_fpga_metrics(cycles, hw_scores, sw_scores, any_work, self.pipeline.latency());
 
         // Reference-order reduction over the score buffer.
         let mut best: Option<OmegaMax> = None;
@@ -159,6 +161,7 @@ impl FpgaOmegaEngine {
     /// right-side trip count of every left-border iteration — usable at
     /// paper-scale workloads without functional execution.
     pub fn estimate(&self, rb_counts: impl IntoIterator<Item = u64>) -> FpgaRun {
+        let _span = omega_obs::span!("fpga.estimate");
         let unroll = self.device.unroll as u64;
         let latency = u64::from(self.pipeline.latency());
         let mut cycles = 0u64;
@@ -184,8 +187,26 @@ impl FpgaOmegaEngine {
             cycles += latency;
         }
         let seconds = cycles as f64 / self.device.clock_hz() + sw_scores as f64 / HOST_SW_RATE;
+        record_fpga_metrics(cycles, hw_scores, sw_scores, any, self.pipeline.latency());
         FpgaRun { best: None, hw_scores, sw_scores, cycles, seconds }
     }
+}
+
+/// Accounts one position's accelerator workload to the metrics registry.
+/// Stall cycles are the non-streaming part of the budget: the RS prefetch
+/// burst plus the single pipeline fill the position pays.
+fn record_fpga_metrics(cycles: u64, hw_scores: u64, sw_scores: u64, any_work: bool, latency: u32) {
+    let mut stall = 0u64;
+    if any_work {
+        stall += PREFETCH_INIT_CYCLES;
+    }
+    if hw_scores > 0 {
+        stall += u64::from(latency);
+    }
+    omega_obs::counter!("fpga.pipeline.cycles").add(cycles);
+    omega_obs::counter!("fpga.pipeline.stall_cycles").add(stall);
+    omega_obs::counter!("fpga.hw_scores").add(hw_scores);
+    omega_obs::counter!("fpga.sw_scores").add(sw_scores);
 }
 
 #[cfg(test)]

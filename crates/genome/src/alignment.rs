@@ -27,11 +27,7 @@ impl Alignment {
         sites: Vec<SnpVec>,
         region_len: u64,
     ) -> Result<Self, GenomeError> {
-        assert_eq!(
-            positions.len(),
-            sites.len(),
-            "positions and sites must be parallel vectors"
-        );
+        assert_eq!(positions.len(), sites.len(), "positions and sites must be parallel vectors");
         let n_samples = sites.first().map_or(0, SnpVec::n_samples);
         for s in &sites {
             if s.n_samples() != n_samples {
@@ -133,11 +129,8 @@ impl Alignment {
             return 0.0;
         }
         let total = (self.sites.len() * self.n_samples) as f64;
-        let missing: u64 = self
-            .sites
-            .iter()
-            .map(|s| (self.n_samples as u64) - u64::from(s.valid_count()))
-            .sum();
+        let missing: u64 =
+            self.sites.iter().map(|s| (self.n_samples as u64) - u64::from(s.valid_count())).sum();
         missing as f64 / total
     }
 }

@@ -59,10 +59,8 @@ impl SnpVec {
 
     /// Builds a site from 0/1 byte values with no missing data.
     pub fn from_bits(calls: &[u8]) -> Self {
-        let alleles: Vec<Allele> = calls
-            .iter()
-            .map(|&b| if b == 0 { Allele::Zero } else { Allele::One })
-            .collect();
+        let alleles: Vec<Allele> =
+            calls.iter().map(|&b| if b == 0 { Allele::Zero } else { Allele::One }).collect();
         Self::from_calls(&alleles)
     }
 
@@ -152,10 +150,7 @@ impl SnpVec {
     ///
     /// This is the popcount kernel at the heart of every LD computation.
     pub fn joint_counts(&self, other: &SnpVec) -> (u32, u32, u32, u32) {
-        assert_eq!(
-            self.n_samples, other.n_samples,
-            "joint_counts requires equal sample counts"
-        );
+        assert_eq!(self.n_samples, other.n_samples, "joint_counts requires equal sample counts");
         let mut n11 = 0u32;
         let mut ni = 0u32;
         let mut nj = 0u32;
@@ -173,14 +168,15 @@ impl SnpVec {
     /// Flips derived/ancestral polarity (missing calls stay missing).
     /// Used when folding to minor-allele encoding.
     pub fn flipped(&self) -> SnpVec {
-        let bits: Vec<u64> = self
-            .bits
-            .iter()
-            .zip(&self.valid)
-            .map(|(b, v)| !b & v)
-            .collect();
+        let bits: Vec<u64> = self.bits.iter().zip(&self.valid).map(|(b, v)| !b & v).collect();
         let derived = self.n_valid - self.derived;
-        SnpVec { bits, valid: self.valid.clone(), n_samples: self.n_samples, derived, n_valid: self.n_valid }
+        SnpVec {
+            bits,
+            valid: self.valid.clone(),
+            n_samples: self.n_samples,
+            derived,
+            n_valid: self.n_valid,
+        }
     }
 
     /// Minor-allele frequency among valid calls; `None` if no valid calls.

@@ -89,7 +89,7 @@ mod tests {
     #[test]
     fn io_error_is_wrapped_with_source() {
         use std::error::Error;
-        let e: GenomeError = std::io::Error::new(std::io::ErrorKind::Other, "boom").into();
+        let e: GenomeError = std::io::Error::other("boom").into();
         assert!(e.source().is_some());
         assert!(e.to_string().contains("boom"));
     }

@@ -29,9 +29,9 @@ pub fn read_fasta<R: BufRead>(reader: R) -> Result<Alignment, GenomeError> {
             names.push(name.to_string());
             seqs.push(Vec::new());
         } else {
-            let seq = seqs
-                .last_mut()
-                .ok_or_else(|| GenomeError::parse("fasta", Some(ln + 1), "sequence before header"))?;
+            let seq = seqs.last_mut().ok_or_else(|| {
+                GenomeError::parse("fasta", Some(ln + 1), "sequence before header")
+            })?;
             seq.extend(trimmed.bytes().map(|b| b.to_ascii_uppercase()));
         }
     }

@@ -59,11 +59,11 @@ mod tests {
     fn toy() -> Alignment {
         use Allele::*;
         let sites = vec![
-            SnpVec::from_bits(&[0, 0, 0, 0]),                    // monomorphic
-            SnpVec::from_bits(&[1, 0, 0, 0]),                    // MAF 0.25
-            SnpVec::from_bits(&[1, 1, 0, 0]),                    // MAF 0.5
-            SnpVec::from_calls(&[One, Missing, Missing, Zero]),  // 50% missing
-            SnpVec::from_bits(&[1, 1, 1, 1]),                    // monomorphic derived
+            SnpVec::from_bits(&[0, 0, 0, 0]),                   // monomorphic
+            SnpVec::from_bits(&[1, 0, 0, 0]),                   // MAF 0.25
+            SnpVec::from_bits(&[1, 1, 0, 0]),                   // MAF 0.5
+            SnpVec::from_calls(&[One, Missing, Missing, Zero]), // 50% missing
+            SnpVec::from_bits(&[1, 1, 1, 1]),                   // monomorphic derived
         ];
         Alignment::new(vec![10, 20, 30, 40, 50], sites, 100).unwrap()
     }

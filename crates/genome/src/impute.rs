@@ -60,9 +60,9 @@ mod tests {
     fn with_missing() -> Alignment {
         use Allele::*;
         let sites = vec![
-            SnpVec::from_calls(&[One, One, Missing, Zero]),     // major = 1 (2/3)
+            SnpVec::from_calls(&[One, One, Missing, Zero]), // major = 1 (2/3)
             SnpVec::from_calls(&[Zero, Missing, Missing, One]), // major = 0 (tie->0)
-            SnpVec::from_bits(&[1, 0, 1, 0]),                   // untouched
+            SnpVec::from_bits(&[1, 0, 1, 0]),               // untouched
         ];
         Alignment::new(vec![10, 20, 30], sites, 100).unwrap()
     }

@@ -80,9 +80,9 @@ impl GpuCost {
 /// Fig. 13.
 pub fn host_prep_rate(working_set_bytes: u64) -> f64 {
     match working_set_bytes {
-        0..=52_428_800 => 8.0e9,            // cache-friendly streaming
-        52_428_801..=134_217_728 => 4.0e9,  // partially cache-resident
-        _ => 1.6e9,                         // DRAM-bound packing
+        0..=52_428_800 => 8.0e9,           // cache-friendly streaming
+        52_428_801..=134_217_728 => 4.0e9, // partially cache-resident
+        _ => 1.6e9,                        // DRAM-bound packing
     }
 }
 

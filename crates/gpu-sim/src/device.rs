@@ -109,12 +109,7 @@ pub struct HostCpu {
 pub fn table2_rows() -> [(HostCpu, GpuDevice); 2] {
     [
         (
-            HostCpu {
-                model: "AMD A10-5757M",
-                base_freq_ghz: "2.5",
-                cores: 4,
-                threads_per_core: 1,
-            },
+            HostCpu { model: "AMD A10-5757M", base_freq_ghz: "2.5", cores: 4, threads_per_core: 1 },
             GpuDevice::radeon_hd8750m(),
         ),
         (

@@ -72,6 +72,7 @@ impl GpuOmegaEngine {
     /// Runs one position on a forced kernel (used by the Fig. 12 sweeps
     /// that evaluate each kernel in isolation).
     pub fn run_task_with(&self, task: &OmegaTask, kind: KernelKind) -> KernelRun {
+        let _span = omega_obs::span!("gpu.task");
         let dims = task_dims(task);
         let best = execute_functional(task);
         let mut run = self.estimate(&dims, kind);
@@ -82,14 +83,23 @@ impl GpuOmegaEngine {
     /// Analytic cost of a position with the given dimensions — no
     /// functional execution, usable at paper-scale workloads.
     pub fn estimate(&self, dims: &TaskDims, kind: KernelKind) -> KernelRun {
+        let _span = omega_obs::span!("gpu.estimate");
         let plan = match kind {
             KernelKind::One => BufferPlan::kernel1(dims),
             KernelKind::Two => BufferPlan::kernel2(dims, self.device()),
         };
         let kernel = match kind {
-            KernelKind::One => self.model.kernel1_time(plan.items),
-            KernelKind::Two => self.model.kernel2_time(plan.scheduled_scores(), plan.items),
+            KernelKind::One => {
+                omega_obs::counter!("gpu.kernel1.launches").inc();
+                self.model.kernel1_time(plan.items)
+            }
+            KernelKind::Two => {
+                omega_obs::counter!("gpu.kernel2.launches").inc();
+                self.model.kernel2_time(plan.scheduled_scores(), plan.items)
+            }
         };
+        omega_obs::counter!("gpu.transfer.bytes").add(plan.input_bytes + plan.output_bytes);
+        omega_obs::histogram!("gpu.task.scores").record(dims.n_valid);
         let cost = GpuCost {
             host_prep: self.model.host_prep_time(plan.input_bytes),
             h2d: self.model.transfer_time(plan.input_bytes),
@@ -196,13 +206,8 @@ mod tests {
             .collect();
         let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
         let a = Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap();
-        let params = ScanParams {
-            grid: 1,
-            min_win,
-            max_win: 1_000_000,
-            min_snps_per_side: 2,
-            threads: 1,
-        };
+        let params =
+            ScanParams { grid: 1, min_win, max_win: 1_000_000, min_snps_per_side: 2, threads: 1 };
         let plan = GridPlan::plan_at(&a, 100 * (n_sites as u64 / 2) + 50, &params);
         let b = BorderSet::build(&a, &plan, &params).unwrap();
         let mut m = RegionMatrix::new();

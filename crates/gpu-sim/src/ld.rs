@@ -29,6 +29,7 @@ impl GpuLd {
     /// results come from the real popcount GEMM; the cost covers packing,
     /// both transfers, and the GEMM kernel.
     pub fn run_block(&self, rows: &[SnpVec], cols: &[SnpVec]) -> (Vec<f32>, GpuCost) {
+        let _span = omega_obs::span!("gpu.ld.block");
         let r2 = r2_block(rows, cols);
         let n_samples = rows.first().or(cols.first()).map_or(0, SnpVec::n_samples);
         let cost = self.estimate_block(rows.len() as u64, cols.len() as u64, n_samples as u64);
@@ -40,10 +41,17 @@ impl GpuLd {
     /// to the device. This is the per-grid-position LD workload of the
     /// Fig. 3 flow, where the data-reuse optimization has already pruned
     /// relocated pairs.
-    pub fn estimate_update(&self, new_pairs: u64, snps_transferred: u64, n_samples: u64) -> GpuCost {
+    pub fn estimate_update(
+        &self,
+        new_pairs: u64,
+        snps_transferred: u64,
+        n_samples: u64,
+    ) -> GpuCost {
         let words = n_samples.div_ceil(64).max(1);
         let snp_bytes = snps_transferred * words * 8 * 2;
         let out_bytes = new_pairs * 4;
+        omega_obs::counter!("gpu.ld.pairs").add(new_pairs);
+        omega_obs::counter!("gpu.transfer.bytes").add(snp_bytes + out_bytes);
         GpuCost {
             host_prep: self.model.host_prep_time(snp_bytes),
             h2d: self.model.transfer_time(snp_bytes),

@@ -75,9 +75,8 @@ pub fn r2_block_into(rows: &[SnpVec], cols: &[SnpVec], out: &mut [f32]) {
     if rows.is_empty() || cols.is_empty() {
         return;
     }
-    out.par_chunks_mut(nc * ROW_CHUNK)
-        .zip(rows.par_chunks(ROW_CHUNK))
-        .for_each(|(out_chunk, row_chunk)| {
+    out.par_chunks_mut(nc * ROW_CHUNK).zip(rows.par_chunks(ROW_CHUNK)).for_each(
+        |(out_chunk, row_chunk)| {
             for (r, row) in row_chunk.iter().enumerate() {
                 let out_row = &mut out_chunk[r * nc..(r + 1) * nc];
                 let mut j = 0;
@@ -87,7 +86,8 @@ pub fn r2_block_into(rows: &[SnpVec], cols: &[SnpVec], out: &mut [f32]) {
                     j = hi;
                 }
             }
-        });
+        },
+    );
 }
 
 /// Raw pair-count GEMM: `out[i*cols.len()+j] = popcount(rows[i] & cols[j])`
@@ -96,14 +96,12 @@ pub fn r2_block_into(rows: &[SnpVec], cols: &[SnpVec], out: &mut [f32]) {
 pub fn pair_count_block(rows: &[SnpVec], cols: &[SnpVec]) -> Vec<u32> {
     let nc = cols.len();
     let mut out = vec![0u32; rows.len() * nc];
-    out.par_chunks_mut(nc)
-        .zip(rows.par_iter())
-        .for_each(|(out_row, row)| {
-            for (c, o) in cols.iter().zip(out_row.iter_mut()) {
-                let (n11, _, _, _) = row.joint_counts(c);
-                *o = n11;
-            }
-        });
+    out.par_chunks_mut(nc).zip(rows.par_iter()).for_each(|(out_row, row)| {
+        for (c, o) in cols.iter().zip(out_row.iter_mut()) {
+            let (n11, _, _, _) = row.joint_counts(c);
+            *o = n11;
+        }
+    });
     out
 }
 

@@ -55,7 +55,10 @@ impl Demography {
                 return Err("epochs must be sorted by ascending start time".into());
             }
         }
-        if epochs.iter().any(|e| !(e.relative_size > 0.0) || e.start < 0.0) {
+        if epochs
+            .iter()
+            .any(|e| e.relative_size.is_nan() || e.relative_size <= 0.0 || e.start < 0.0)
+        {
             return Err("epoch sizes must be positive and times non-negative".into());
         }
         Ok(Demography { epochs })
@@ -75,7 +78,7 @@ impl Demography {
     /// backwards the population shrinks as `e^{-alpha·t}`, approximated
     /// by `steps` piecewise-constant epochs out to time `horizon`.
     pub fn exponential_growth(alpha: f64, horizon: f64, steps: usize) -> Result<Self, String> {
-        if !(alpha > 0.0) || !(horizon > 0.0) || steps == 0 {
+        if alpha.is_nan() || alpha <= 0.0 || horizon.is_nan() || horizon <= 0.0 || steps == 0 {
             return Err("growth rate, horizon and steps must be positive".into());
         }
         let mut epochs = Vec::with_capacity(steps);
@@ -183,10 +186,7 @@ mod tests {
         let d = Demography::bottleneck(0.02, 1.0, 0.02).unwrap();
         let constant = mean_tmrca(&Demography::constant(), 12, 800, 2);
         let squeezed = mean_tmrca(&d, 12, 800, 3);
-        assert!(
-            squeezed < 0.5 * constant,
-            "bottleneck TMRCA {squeezed} vs constant {constant}"
-        );
+        assert!(squeezed < 0.5 * constant, "bottleneck TMRCA {squeezed} vs constant {constant}");
     }
 
     #[test]

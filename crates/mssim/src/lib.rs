@@ -55,7 +55,10 @@ use rand::Rng;
 
 /// Simulates one neutral replicate. Uses the single-tree Kingman
 /// coalescent when `rho == 0`, the full ARG otherwise.
-pub fn simulate_neutral<R: Rng>(params: &NeutralParams, rng: &mut R) -> Result<Alignment, SimError> {
+pub fn simulate_neutral<R: Rng>(
+    params: &NeutralParams,
+    rng: &mut R,
+) -> Result<Alignment, SimError> {
     params.validate()?;
     let muts = if params.rho == 0.0 {
         let t = tree::kingman(params.n_samples, rng);
@@ -166,7 +169,8 @@ mod tests {
 
     #[test]
     fn sweep_reduces_diversity_near_center() {
-        let neutral = NeutralParams { n_samples: 30, theta: 60.0, rho: 0.0, region_len_bp: 100_000 };
+        let neutral =
+            NeutralParams { n_samples: 30, theta: 60.0, rho: 0.0, region_len_bp: 100_000 };
         let sweep = SweepParams { position: 0.5, alpha: 8.0, swept_fraction: 1.0 };
         let mut rng = StdRng::seed_from_u64(5);
         let mut center = 0usize;
@@ -179,10 +183,7 @@ mod tests {
         }
         // The sweep strips variation around its site; the center fifth
         // must hold clearly fewer SNPs than the outer two fifths.
-        assert!(
-            (center as f64) < 0.5 * edges as f64,
-            "center {center} vs edges {edges}"
-        );
+        assert!((center as f64) < 0.5 * edges as f64, "center {center} vs edges {edges}");
     }
 
     #[test]

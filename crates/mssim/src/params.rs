@@ -24,10 +24,10 @@ impl NeutralParams {
         if self.n_samples < 2 {
             return Err(SimError("n_samples must be at least 2".into()));
         }
-        if !(self.theta >= 0.0) {
+        if self.theta.is_nan() || self.theta < 0.0 {
             return Err(SimError("theta must be non-negative".into()));
         }
-        if !(self.rho >= 0.0) {
+        if self.rho.is_nan() || self.rho < 0.0 {
             return Err(SimError("rho must be non-negative".into()));
         }
         if self.region_len_bp == 0 {
@@ -61,7 +61,7 @@ impl SweepParams {
         if !(0.0..=1.0).contains(&self.position) {
             return Err(SimError("sweep position must lie in [0, 1]".into()));
         }
-        if !(self.alpha > 0.0) {
+        if self.alpha.is_nan() || self.alpha <= 0.0 {
             return Err(SimError("alpha must be positive".into()));
         }
         if !(0.0..=1.0).contains(&self.swept_fraction) {

@@ -22,7 +22,11 @@ use crate::params::SweepParams;
 use crate::randutil::exponential;
 
 /// Applies the sweep overlay to a neutral background alignment.
-pub fn overlay_sweep<R: Rng>(background: &Alignment, sweep: &SweepParams, rng: &mut R) -> Alignment {
+pub fn overlay_sweep<R: Rng>(
+    background: &Alignment,
+    sweep: &SweepParams,
+    rng: &mut R,
+) -> Alignment {
     let n = background.n_samples();
     if n == 0 || background.n_sites() == 0 {
         return background.clone();
@@ -64,9 +68,7 @@ pub fn overlay_sweep<R: Rng>(background: &Alignment, sweep: &SweepParams, rng: &
             builder.push_site(background.position(s), new_site);
         }
     }
-    builder
-        .build()
-        .expect("overlay preserves ordering and sample counts")
+    builder.build().expect("overlay preserves ordering and sample counts")
 }
 
 #[cfg(test)]

@@ -1,0 +1,51 @@
+//! Observability for the ω-scan engine: tracing spans, a metrics registry,
+//! and a JSON Lines event sink — std-only, shared by every backend.
+//!
+//! Three pieces:
+//!
+//! - **Spans** ([`span!`], [`Span`]): RAII-guarded named regions with
+//!   per-thread nesting. With no sink installed, entering a span is one
+//!   relaxed atomic load — safe to leave in release hot paths.
+//! - **Metrics** ([`counter!`], [`gauge!`], [`histogram!`]): process-wide
+//!   named instruments with a lock-free atomic hot path, snapshotted on
+//!   demand ([`snapshot`]) and renderable as a text table
+//!   ([`metrics_table`]).
+//! - **Sink** ([`install_jsonl`], [`read_trace`]): streams span-close and
+//!   metrics-snapshot events to a JSONL file (hand-rolled serialisation, no
+//!   external dependencies) and parses them back for tests and tooling.
+//!
+//! Typical wiring (the `omegaplus` CLI does exactly this for `-trace`):
+//!
+//! ```
+//! use omega_obs as obs;
+//!
+//! let path = std::env::temp_dir().join("omega_obs_doc_example.jsonl");
+//! obs::install_jsonl(&path).unwrap();
+//! {
+//!     let _scan = obs::span!("scan.position");
+//!     let _inner = obs::span!("omega_max");
+//!     obs::counter!("omega.evaluations").add(128);
+//! }
+//! obs::emit_metrics_snapshot(&obs::snapshot());
+//! obs::uninstall().unwrap();
+//!
+//! let events = obs::read_trace(&path).unwrap();
+//! assert!(events.len() >= 3);
+//! std::fs::remove_file(&path).ok();
+//! ```
+
+mod json;
+mod metrics;
+mod sink;
+mod span;
+
+pub use json::{parse as parse_json, JsonError, JsonObject, JsonValue};
+pub use metrics::{
+    metrics_table, registry, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
+    MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+};
+pub use sink::{
+    emit_metrics_snapshot, flush, install_jsonl, read_trace, uninstall, MetricsEvent, SpanEvent,
+    TraceError, TraceEvent,
+};
+pub use span::{spans_enabled, Span};

@@ -1,0 +1,345 @@
+//! Process-wide metrics registry: named counters, gauges, and fixed-bucket
+//! histograms with a lock-free hot path.
+//!
+//! Instruments are registered once (cold path: a mutex-guarded name map) and
+//! then updated through `&'static` handles holding plain atomics. The
+//! `counter!` / `gauge!` / `histogram!` macros cache the handle in a
+//! per-call-site `OnceLock`, so steady-state cost is one `OnceLock` load plus
+//! one atomic RMW — no locks, no allocation, regardless of whether a trace
+//! sink is installed.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current total.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins signed level (thread counts, queue depths, config knobs).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Sets the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of histogram buckets: powers of 4 starting at 1, i.e. bucket `i`
+/// counts values in `[4^i, 4^(i+1))`, with the last bucket open-ended.
+/// 4^15 ≈ 1.07e9, so nanosecond latencies up to ~1 s and byte volumes up to
+/// ~1 GiB resolve into distinct buckets.
+pub const HISTOGRAM_BUCKETS: usize = 16;
+
+/// Fixed-bucket power-of-4 histogram of non-negative samples.
+#[derive(Debug)]
+pub struct Histogram {
+    counts: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram { counts: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+}
+
+/// Bucket index for a sample: floor(log4(v)) clamped to the bucket range.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v == 0 {
+        return 0;
+    }
+    let log2 = 63 - v.leading_zeros() as usize;
+    (log2 / 2).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.counts[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Consistent-enough copy of the bucket counts (relaxed reads).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            counts: std::array::from_fn(|i| self.counts[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Point-in-time copy of a histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket sample counts (bucket `i` covers `[4^i, 4^(i+1))`).
+    pub counts: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all recorded samples.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total number of samples.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean sample, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+}
+
+/// The process-wide registry mapping names to instruments.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<HashMap<&'static str, &'static Counter>>,
+    gauges: Mutex<HashMap<&'static str, &'static Gauge>>,
+    histograms: Mutex<HashMap<&'static str, &'static Histogram>>,
+}
+
+impl Registry {
+    /// Registers (or retrieves) the counter `name`.
+    pub fn counter(&self, name: &'static str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Counter::default())))
+    }
+
+    /// Registers (or retrieves) the gauge `name`.
+    pub fn gauge(&self, name: &'static str) -> &'static Gauge {
+        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Gauge::default())))
+    }
+
+    /// Registers (or retrieves) the histogram `name`.
+    pub fn histogram(&self, name: &'static str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::default())))
+    }
+}
+
+/// The global registry.
+pub fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+/// Point-in-time copy of every registered instrument, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter totals.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge levels.
+    pub gauges: Vec<(String, i64)>,
+    /// Histogram states.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+/// Snapshots the global registry.
+pub fn snapshot() -> MetricsSnapshot {
+    let reg = registry();
+    let mut counters: Vec<(String, u64)> = reg
+        .counters
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, c)| (name.to_string(), c.get()))
+        .collect();
+    counters.sort();
+    let mut gauges: Vec<(String, i64)> = reg
+        .gauges
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, g)| (name.to_string(), g.get()))
+        .collect();
+    gauges.sort();
+    let mut histograms: Vec<(String, HistogramSnapshot)> = reg
+        .histograms
+        .lock()
+        .expect("metrics registry poisoned")
+        .iter()
+        .map(|(name, h)| (name.to_string(), h.snapshot()))
+        .collect();
+    histograms.sort_by(|a, b| a.0.cmp(&b.0));
+    MetricsSnapshot { counters, gauges, histograms }
+}
+
+/// Renders a snapshot as an aligned text table for end-of-run reports.
+pub fn metrics_table(snap: &MetricsSnapshot) -> String {
+    let mut rows: Vec<(String, String)> = Vec::new();
+    for (name, v) in &snap.counters {
+        rows.push((name.clone(), v.to_string()));
+    }
+    for (name, v) in &snap.gauges {
+        rows.push((name.clone(), v.to_string()));
+    }
+    for (name, h) in &snap.histograms {
+        rows.push((name.clone(), format!("n={} mean={:.1} sum={}", h.count(), h.mean(), h.sum)));
+    }
+    if rows.is_empty() {
+        return String::from("(no metrics registered)\n");
+    }
+    let width = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (name, value) in rows {
+        out.push_str(&format!("{name:<width$}  {value}\n"));
+    }
+    out
+}
+
+/// Registers-once and returns the counter `name` (string literal).
+#[macro_export]
+macro_rules! counter {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Counter> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().counter($name))
+    }};
+}
+
+/// Registers-once and returns the gauge `name` (string literal).
+#[macro_export]
+macro_rules! gauge {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Gauge> = ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().gauge($name))
+    }};
+}
+
+/// Registers-once and returns the histogram `name` (string literal).
+#[macro_export]
+macro_rules! histogram {
+    ($name:literal) => {{
+        static HANDLE: ::std::sync::OnceLock<&'static $crate::Histogram> =
+            ::std::sync::OnceLock::new();
+        *HANDLE.get_or_init(|| $crate::registry().histogram($name))
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_handles() {
+        let c1 = registry().counter("test.counter.a");
+        let c2 = registry().counter("test.counter.a");
+        assert!(std::ptr::eq(c1, c2), "same name must be the same instrument");
+        let before = c1.get();
+        c1.add(5);
+        c2.inc();
+        assert_eq!(c1.get(), before + 6);
+    }
+
+    #[test]
+    fn gauge_is_last_write_wins() {
+        let g = registry().gauge("test.gauge.a");
+        g.set(42);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_four() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(3), 0);
+        assert_eq!(bucket_index(4), 1);
+        assert_eq!(bucket_index(15), 1);
+        assert_eq!(bucket_index(16), 2);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        let h = Histogram::default();
+        h.record(0);
+        h.record(5);
+        h.record(5);
+        h.record(1 << 40);
+        let s = h.snapshot();
+        assert_eq!(s.counts[0], 1);
+        assert_eq!(s.counts[1], 2);
+        assert_eq!(s.counts[20_usize.min(HISTOGRAM_BUCKETS - 1)], 1);
+        assert_eq!(s.count(), 4);
+        assert_eq!(s.sum, 10 + (1 << 40));
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_table_renders() {
+        registry().counter("test.snap.z").add(1);
+        registry().counter("test.snap.a").add(2);
+        registry().histogram("test.snap.h").record(10);
+        let snap = snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+        let table = metrics_table(&snap);
+        assert!(table.contains("test.snap.a"));
+        assert!(table.contains("test.snap.h"));
+        assert!(table.contains("n=1 mean=10.0 sum=10"));
+    }
+
+    #[test]
+    fn macros_cache_per_call_site() {
+        let c = counter!("test.macro.counter");
+        c.add(3);
+        assert!(counter!("test.macro.counter").get() >= 3);
+        gauge!("test.macro.gauge").set(9);
+        assert_eq!(gauge!("test.macro.gauge").get(), 9);
+        histogram!("test.macro.hist").record(100);
+        assert!(histogram!("test.macro.hist").snapshot().count() >= 1);
+    }
+
+    #[test]
+    fn concurrent_counting_is_exact() {
+        let c = registry().counter("test.concurrent.counter");
+        let before = c.get();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), before + 40_000);
+    }
+}

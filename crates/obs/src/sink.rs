@@ -1,0 +1,280 @@
+//! JSON Lines event sink: streams span-close and metric-snapshot events to
+//! a file, one JSON object per line.
+//!
+//! Schema (documented in DESIGN.md):
+//!
+//! ```json
+//! {"type":"span","name":"omega_max","parent":"scan.position","depth":1,
+//!  "thread":0,"start_ns":12345,"dur_ns":678}
+//! {"type":"metrics","t_ns":999,"counters":{"omega.evaluations":4096},
+//!  "gauges":{"scan.threads":4},
+//!  "histograms":{"gpu.task.cycles":{"counts":[0,1,...],"sum":123}}}
+//! ```
+//!
+//! `start_ns` is nanoseconds since the first observability call in the
+//! process; `parent` is absent for root spans. The sink is process-global:
+//! installing it enables span recording everywhere, uninstalling flushes and
+//! returns spans to their near-zero disabled cost.
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Mutex;
+
+use crate::json::{self, JsonObject, JsonValue};
+use crate::metrics::{HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use crate::span::{epoch, SPANS_ENABLED};
+
+static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
+
+/// Installs a JSONL sink writing to `path` and enables span recording.
+/// Replaces (after flushing) any previously installed sink.
+pub fn install_jsonl(path: &Path) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(mut old) = sink.take() {
+        old.flush()?;
+    }
+    *sink = Some(BufWriter::new(file));
+    // Anchor the epoch no later than sink installation so span timestamps
+    // are always representable.
+    let _ = epoch();
+    SPANS_ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Disables span recording, flushes, and closes the sink.
+pub fn uninstall() -> io::Result<()> {
+    SPANS_ENABLED.store(false, Ordering::Relaxed);
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(mut w) = sink.take() {
+        w.flush()?;
+    }
+    Ok(())
+}
+
+/// Flushes buffered events without closing the sink.
+pub fn flush() -> io::Result<()> {
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(w) = sink.as_mut() {
+        w.flush()?;
+    }
+    Ok(())
+}
+
+fn write_line(line: &str) {
+    let mut sink = SINK.lock().expect("trace sink poisoned");
+    if let Some(w) = sink.as_mut() {
+        // A failed trace write must not abort the scan; drop the event.
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+/// Emits a span-close event (called from the `Span` guard's drop).
+pub(crate) fn emit_span(
+    name: &'static str,
+    parent: Option<&'static str>,
+    depth: usize,
+    thread: u64,
+    start_ns: u64,
+    dur_ns: u64,
+) {
+    let mut obj = JsonObject::new().string("type", "span").string("name", name);
+    if let Some(parent) = parent {
+        obj = obj.string("parent", parent);
+    }
+    let line = obj
+        .u64("depth", depth as u64)
+        .u64("thread", thread)
+        .u64("start_ns", start_ns)
+        .u64("dur_ns", dur_ns)
+        .finish();
+    write_line(&line);
+}
+
+/// Emits a metrics-snapshot event capturing every registered instrument.
+pub fn emit_metrics_snapshot(snap: &MetricsSnapshot) {
+    let mut counters = JsonObject::new();
+    for (name, v) in &snap.counters {
+        counters = counters.u64(name, *v);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, v) in &snap.gauges {
+        gauges = gauges.f64(name, *v as f64);
+    }
+    let mut histograms = JsonObject::new();
+    for (name, h) in &snap.histograms {
+        let inner =
+            JsonObject::new().u64_array("counts", h.counts.iter().copied()).u64("sum", h.sum);
+        histograms = histograms.raw(name, &inner.finish());
+    }
+    let t_ns = epoch().elapsed().as_nanos() as u64;
+    let line = JsonObject::new()
+        .string("type", "metrics")
+        .u64("t_ns", t_ns)
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish())
+        .finish();
+    write_line(&line);
+}
+
+/// One span-close event read back from a trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Span name.
+    pub name: String,
+    /// Enclosing span's name, if any.
+    pub parent: Option<String>,
+    /// Nesting depth at open (0 = root).
+    pub depth: u64,
+    /// Compact thread ordinal.
+    pub thread: u64,
+    /// Start time, ns since the process observability epoch.
+    pub start_ns: u64,
+    /// Wall duration in ns.
+    pub dur_ns: u64,
+}
+
+/// One metrics-snapshot event read back from a trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsEvent {
+    /// Snapshot time, ns since the process observability epoch.
+    pub t_ns: u64,
+    /// Snapshot contents (sorted by name, like [`crate::snapshot`]).
+    pub snapshot: MetricsSnapshot,
+}
+
+/// A parsed trace line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// Span close.
+    Span(SpanEvent),
+    /// Metrics snapshot.
+    Metrics(MetricsEvent),
+}
+
+/// Error reading a trace file back.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line that is not a well-formed event, with its 1-based number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace read failed: {e}"),
+            TraceError::Malformed { line, message } => {
+                write!(f, "trace line {line} malformed: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+fn malformed(line: usize, message: impl Into<String>) -> TraceError {
+    TraceError::Malformed { line, message: message.into() }
+}
+
+fn parse_span(v: &JsonValue, line: usize) -> Result<SpanEvent, TraceError> {
+    let field = |key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| malformed(line, format!("missing numeric '{key}'")))
+    };
+    Ok(SpanEvent {
+        name: v
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| malformed(line, "missing 'name'"))?
+            .to_string(),
+        parent: v.get("parent").and_then(JsonValue::as_str).map(str::to_string),
+        depth: field("depth")?,
+        thread: field("thread")?,
+        start_ns: field("start_ns")?,
+        dur_ns: field("dur_ns")?,
+    })
+}
+
+fn parse_metrics(v: &JsonValue, line: usize) -> Result<MetricsEvent, TraceError> {
+    let mut snapshot = MetricsSnapshot::default();
+    if let Some(map) = v.get("counters").and_then(JsonValue::as_object) {
+        for (name, val) in map {
+            let val =
+                val.as_u64().ok_or_else(|| malformed(line, format!("counter '{name}' not u64")))?;
+            snapshot.counters.push((name.clone(), val));
+        }
+    }
+    if let Some(map) = v.get("gauges").and_then(JsonValue::as_object) {
+        for (name, val) in map {
+            let val = val
+                .as_f64()
+                .ok_or_else(|| malformed(line, format!("gauge '{name}' not numeric")))?;
+            snapshot.gauges.push((name.clone(), val as i64));
+        }
+    }
+    if let Some(map) = v.get("histograms").and_then(JsonValue::as_object) {
+        for (name, val) in map {
+            let counts_json = val
+                .get("counts")
+                .and_then(JsonValue::as_array)
+                .ok_or_else(|| malformed(line, format!("histogram '{name}' missing counts")))?;
+            if counts_json.len() != HISTOGRAM_BUCKETS {
+                return Err(malformed(line, format!("histogram '{name}' wrong bucket count")));
+            }
+            let mut counts = [0u64; HISTOGRAM_BUCKETS];
+            for (slot, c) in counts.iter_mut().zip(counts_json) {
+                *slot = c
+                    .as_u64()
+                    .ok_or_else(|| malformed(line, format!("histogram '{name}' bad bucket")))?;
+            }
+            let sum = val
+                .get("sum")
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| malformed(line, format!("histogram '{name}' missing sum")))?;
+            snapshot.histograms.push((name.clone(), HistogramSnapshot { counts, sum }));
+        }
+    }
+    Ok(MetricsEvent { t_ns: v.get("t_ns").and_then(JsonValue::as_u64).unwrap_or(0), snapshot })
+}
+
+/// Reads a JSONL trace file back into typed events (empty lines skipped).
+pub fn read_trace(path: &Path) -> Result<Vec<TraceEvent>, TraceError> {
+    let reader = BufReader::new(File::open(path)?);
+    let mut events = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v = json::parse(&line).map_err(|e| malformed(line_no, e.to_string()))?;
+        match v.get("type").and_then(JsonValue::as_str) {
+            Some("span") => events.push(TraceEvent::Span(parse_span(&v, line_no)?)),
+            Some("metrics") => events.push(TraceEvent::Metrics(parse_metrics(&v, line_no)?)),
+            other => {
+                return Err(malformed(
+                    line_no,
+                    format!("unknown event type {:?}", other.unwrap_or("<missing>")),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}

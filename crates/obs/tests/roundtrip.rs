@@ -1,0 +1,120 @@
+//! End-to-end trace round-trip: run a GPU-backend detection with the JSONL
+//! sink installed, parse the trace back, and check span nesting plus
+//! counter totals against the detector's own `ScanStats`.
+//!
+//! This file intentionally holds a single `#[test]`: the sink and the
+//! metrics registry are process-global, so a second test in the same
+//! binary would race the installation or pollute the counters.
+
+use omega_accel::{Backend, SweepDetector};
+use omega_core::ScanParams;
+use omega_genome::{Alignment, SnpVec};
+use omega_gpu_sim::GpuDevice;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+fn random_alignment(n_sites: usize, n_samples: usize, seed: u64) -> Alignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites: Vec<SnpVec> = (0..n_sites)
+        .map(|_| loop {
+            let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+            let s = SnpVec::from_bits(&calls);
+            if !s.is_monomorphic() {
+                break s;
+            }
+        })
+        .collect();
+    let positions: Vec<u64> = (0..n_sites as u64).map(|i| 50 * (i + 1)).collect();
+    Alignment::new(positions, sites, 50 * n_sites as u64 + 50).unwrap()
+}
+
+#[test]
+fn gpu_detection_trace_roundtrips() {
+    let path = std::env::temp_dir().join("omega_obs_roundtrip.jsonl");
+    omega_obs::install_jsonl(&path).unwrap();
+
+    let alignment = random_alignment(60, 24, 11);
+    let params =
+        ScanParams { grid: 12, min_win: 0, max_win: 2_000, min_snps_per_side: 2, threads: 1 };
+    let detector = SweepDetector::new(params, Backend::Gpu(GpuDevice::tesla_k80())).unwrap();
+    let outcome = detector.detect(&alignment);
+
+    omega_obs::emit_metrics_snapshot(&omega_obs::snapshot());
+    omega_obs::uninstall().unwrap();
+
+    let events = omega_obs::read_trace(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    let spans: Vec<&omega_obs::SpanEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            omega_obs::TraceEvent::Span(s) => Some(s),
+            _ => None,
+        })
+        .collect();
+    let metrics: Vec<&omega_obs::MetricsEvent> = events
+        .iter()
+        .filter_map(|e| match e {
+            omega_obs::TraceEvent::Metrics(m) => Some(m),
+            _ => None,
+        })
+        .collect();
+
+    // Spans from all three layers a GPU run exercises.
+    for name in ["accel.detect", "accel.position", "matrix.advance", "omega_max", "gpu.estimate"] {
+        assert!(spans.iter().any(|s| s.name == name), "missing span '{name}'");
+    }
+
+    // Nesting: depth 0 spans are parentless, deeper spans name their
+    // enclosing span, and the specific parent/child pairs this run
+    // produces hold exactly.
+    for s in &spans {
+        assert_eq!(s.depth == 0, s.parent.is_none(), "span {:?}", s);
+        assert!(s.dur_ns <= s.start_ns + s.dur_ns, "duration sane for {:?}", s);
+    }
+    for s in spans.iter().filter(|s| s.name == "accel.position") {
+        assert_eq!(s.parent.as_deref(), Some("accel.detect"));
+        assert_eq!(s.depth, 1);
+    }
+    for s in spans.iter().filter(|s| s.name == "matrix.advance" || s.name == "omega_max") {
+        assert_eq!(s.parent.as_deref(), Some("accel.position"), "span {:?}", s);
+        assert_eq!(s.depth, 2);
+    }
+    // Span close events stream in close order, so every accel.position
+    // close precedes its parent accel.detect close.
+    let detect_idx = spans.iter().position(|s| s.name == "accel.detect").unwrap();
+    assert!(spans
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.name == "accel.position")
+        .all(|(i, _)| i < detect_idx));
+
+    // Counter totals in the final snapshot match the detector's stats.
+    let snap = &metrics.last().expect("one metrics event").snapshot;
+    let counter = |name: &str| -> u64 {
+        snap.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+            .unwrap_or_else(|| panic!("missing counter '{name}'"))
+    };
+    assert_eq!(counter("omega.evaluations"), outcome.stats.omega_evaluations);
+    assert_eq!(counter("matrix.r2_pairs"), outcome.stats.r2_pairs);
+    assert_eq!(counter("matrix.cells_reused"), outcome.stats.cells_reused);
+    assert_eq!(counter("accel.detect.positions"), outcome.stats.positions as u64);
+    assert_eq!(counter("accel.detect.runs"), 1);
+
+    // The acceptance bar: at least 8 distinct metric names in one run.
+    let distinct = snap.counters.len() + snap.gauges.len() + snap.histograms.len();
+    assert!(distinct >= 8, "only {distinct} metric names");
+
+    // One accel.position span per grid position, and one matrix.advance
+    // per *scorable* position (unscorable ones never touch the matrix).
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "accel.position").count(),
+        outcome.stats.positions
+    );
+    assert_eq!(
+        spans.iter().filter(|s| s.name == "matrix.advance").count(),
+        outcome.stats.scorable_positions
+    );
+}

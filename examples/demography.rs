@@ -17,13 +17,8 @@ use omegaplus_rs::mssim::Demography;
 use omegaplus_rs::prelude::*;
 
 fn main() {
-    let params = ScanParams {
-        grid: 40,
-        min_win: 1_000,
-        max_win: 50_000,
-        min_snps_per_side: 6,
-        threads: 1,
-    };
+    let params =
+        ScanParams { grid: 40, min_win: 1_000, max_win: 50_000, min_snps_per_side: 6, threads: 1 };
     let neutral = NeutralParams { n_samples: 50, theta: 200.0, rho: 60.0, region_len_bp: 200_000 };
     let reps = 20;
 
@@ -48,8 +43,7 @@ fn main() {
         false_positive_rate(&params, &neutral, &severe, &threshold, reps, 14).expect("valid");
 
     let sweep = SweepParams { position: 0.5, alpha: 6.0, swept_fraction: 1.0 };
-    let power =
-        detection_power(&params, &neutral, &sweep, &threshold, reps, 15).expect("valid");
+    let power = detection_power(&params, &neutral, &sweep, &threshold, reps, 15).expect("valid");
 
     println!("scenario                       call rate");
     println!("---------------------------------------");

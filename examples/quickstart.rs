@@ -14,7 +14,8 @@ fn main() {
     let neutral = NeutralParams { n_samples: 50, theta: 60.0, rho: 60.0, region_len_bp: 200_000 };
     let sweep = SweepParams { position: 0.5, alpha: 12.0, swept_fraction: 1.0 };
     let mut rng = StdRng::seed_from_u64(2022);
-    let alignment = simulate_sweep(&neutral, &sweep, &mut rng).expect("simulation parameters are valid");
+    let alignment =
+        simulate_sweep(&neutral, &sweep, &mut rng).expect("simulation parameters are valid");
     println!(
         "simulated {} SNPs x {} samples over {} bp (sweep planted at {} bp)",
         alignment.n_sites(),

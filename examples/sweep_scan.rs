@@ -51,10 +51,8 @@ fn main() {
         sweep_ratios.push(sr);
 
         let true_site = sweep_data.region_len() / 2;
-        let offset = Report::new(&s_out)
-            .peak()
-            .map(|p| p.pos_bp.abs_diff(true_site))
-            .unwrap_or(u64::MAX);
+        let offset =
+            Report::new(&s_out).peak().map(|p| p.pos_bp.abs_diff(true_site)).unwrap_or(u64::MAX);
         // A hit: the sweep replicate's peak lands within 20% of the region
         // of the true sweep site.
         if offset < sweep_data.region_len() / 5 {
@@ -64,9 +62,15 @@ fn main() {
     }
 
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    println!("\nmean peak/mean omega: neutral {:.2}, sweep {:.2}", mean(&neutral_ratios), mean(&sweep_ratios));
+    println!(
+        "\nmean peak/mean omega: neutral {:.2}, sweep {:.2}",
+        mean(&neutral_ratios),
+        mean(&sweep_ratios)
+    );
     println!("sweep localization hit rate: {hits}/{REPS}");
     if mean(&sweep_ratios) > mean(&neutral_ratios) {
-        println!("=> sweep replicates show the elevated omega outliers the statistic is built to find");
+        println!(
+            "=> sweep replicates show the elevated omega outliers the statistic is built to find"
+        );
     }
 }

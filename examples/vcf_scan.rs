@@ -18,9 +18,10 @@ use rand::{rngs::StdRng, SeedableRng};
 /// Renders an alignment as a diploid VCF (pairs of haplotypes become
 /// phased genotypes).
 fn to_vcf(a: &Alignment) -> String {
-    assert!(a.n_samples() % 2 == 0, "diploid VCF needs an even haplotype count");
+    assert!(a.n_samples().is_multiple_of(2), "diploid VCF needs an even haplotype count");
     let n_ind = a.n_samples() / 2;
-    let mut out = String::from("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT");
+    let mut out =
+        String::from("##fileformat=VCFv4.2\n#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT");
     for i in 0..n_ind {
         let _ = write!(out, "\tind{i}");
     }

@@ -11,6 +11,10 @@
 //! With `-backend gpu|fpga` the scan runs through the simulated
 //! accelerator backends and the summary reports the modelled LD/ω time
 //! split alongside the (identical) functional results.
+//!
+//! Observability: `-trace PATH` streams span and metrics events to a JSON
+//! Lines file (schema in DESIGN.md), `-metrics` prints the metrics
+//! registry as a table after the scan.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -33,6 +37,8 @@ struct Cli {
     backend_kind: String,
     device: String,
     report_path: Option<String>,
+    trace_path: Option<String>,
+    metrics: bool,
     min_maf: f64,
 }
 
@@ -46,6 +52,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         backend_kind: "cpu".into(),
         device: String::new(),
         report_path: None,
+        trace_path: None,
+        metrics: false,
         min_maf: 0.0,
     };
     let mut i = 0;
@@ -70,10 +78,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 cli.params.min_snps_per_side =
                     num("-minsnps")?.parse().map_err(|_| "bad -minsnps")?
             }
-            "-threads" => cli.params.threads = num("-threads")?.parse().map_err(|_| "bad -threads")?,
+            "-threads" => {
+                cli.params.threads = num("-threads")?.parse().map_err(|_| "bad -threads")?
+            }
             "-backend" => cli.backend_kind = num("-backend")?,
             "-device" => cli.device = num("-device")?,
             "-report" => cli.report_path = Some(num("-report")?),
+            "-trace" => cli.trace_path = Some(num("-trace")?),
+            "-metrics" => cli.metrics = true,
             "-maf" => cli.min_maf = num("-maf")?.parse().map_err(|_| "bad -maf")?,
             "-h" | "--help" => return Err(USAGE.into()),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
@@ -87,7 +99,21 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
 
 const USAGE: &str = "usage: omegaplus -name RUN -input FILE [-format ms|fasta|vcf] \
 [-length BP] [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N] [-threads N] \
-[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-maf F] [-report PATH]";
+[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-maf F] [-report PATH] \
+[-trace PATH] [-metrics]";
+
+/// Checks that `path` can plausibly be created: its parent directory must
+/// exist and be a directory. Catches the common typo'd-directory case up
+/// front, before a long scan runs only to lose its output at the end.
+fn validate_output_path(flag: &str, path: &str) -> Result<(), String> {
+    match std::path::Path::new(path).parent() {
+        // No parent (filesystem root) or an empty one (bare file name in
+        // the current directory): nothing to check.
+        None => Ok(()),
+        Some(p) if p.as_os_str().is_empty() || p.is_dir() => Ok(()),
+        Some(p) => Err(format!("{flag} {path}: directory {} does not exist", p.display())),
+    }
+}
 
 fn load_alignment(cli: &Cli) -> Result<Alignment, String> {
     let file = File::open(&cli.input).map_err(|e| format!("cannot open {}: {e}", cli.input))?;
@@ -135,6 +161,16 @@ fn pick_backend(cli: &Cli) -> Result<Backend, String> {
 }
 
 fn run(cli: &Cli) -> Result<(), String> {
+    // Output destinations are validated before any work happens, so a
+    // mistyped directory fails in milliseconds, not after the scan.
+    if let Some(path) = &cli.report_path {
+        validate_output_path("-report", path)?;
+    }
+    if let Some(path) = &cli.trace_path {
+        validate_output_path("-trace", path)?;
+        omega_obs::install_jsonl(std::path::Path::new(path))
+            .map_err(|e| format!("-trace {path}: {e}"))?;
+    }
     let alignment = load_alignment(cli)?;
     eprintln!(
         "omegaplus: {} sites x {} samples over {} bp",
@@ -177,6 +213,15 @@ fn run(cli: &Cli) -> Result<(), String> {
             report.write_tsv(&mut w).map_err(|e| e.to_string())?;
             w.flush().map_err(|e| e.to_string())?;
         }
+    }
+    let snap = omega_obs::snapshot();
+    if cli.metrics {
+        eprint!("{}", omega_obs::metrics_table(&snap));
+    }
+    if let Some(path) = &cli.trace_path {
+        omega_obs::emit_metrics_snapshot(&snap);
+        omega_obs::uninstall().map_err(|e| format!("-trace {path}: {e}"))?;
+        eprintln!("omegaplus: trace written to {path}");
     }
     Ok(())
 }

@@ -56,9 +56,7 @@ pub use omega_mssim as mssim;
 /// The most common imports in one place.
 pub mod prelude {
     pub use omega_accel::{Backend, DetectionOutcome, SweepDetector, WorkloadClass};
-    pub use omega_core::{
-        OmegaScanner, Report, ScanOutcome, ScanParams, SweepCall,
-    };
+    pub use omega_core::{OmegaScanner, Report, ScanOutcome, ScanParams, SweepCall};
     pub use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine};
     pub use omega_genome::{Alignment, SnpVec};
     pub use omega_gpu_sim::{GpuDevice, GpuOmegaEngine};

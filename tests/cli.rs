@@ -31,8 +31,18 @@ fn scans_ms_input_and_prints_report() {
 
     let out = bin()
         .args([
-            "-name", "t1", "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "10",
-            "-minwin", "500", "-maxwin", "30000",
+            "-name",
+            "t1",
+            "-input",
+            input.to_str().unwrap(),
+            "-length",
+            "80000",
+            "-grid",
+            "10",
+            "-minwin",
+            "500",
+            "-maxwin",
+            "30000",
         ])
         .output()
         .unwrap();
@@ -55,8 +65,20 @@ fn gpu_and_fpga_backends_run_and_agree() {
     let run = |backend: &str, device: &str| -> String {
         let out = bin()
             .args([
-                "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "8", "-minwin",
-                "500", "-maxwin", "30000", "-backend", backend, "-device", device,
+                "-input",
+                input.to_str().unwrap(),
+                "-length",
+                "80000",
+                "-grid",
+                "8",
+                "-minwin",
+                "500",
+                "-maxwin",
+                "30000",
+                "-backend",
+                backend,
+                "-device",
+                device,
             ])
             .output()
             .unwrap();
@@ -82,7 +104,13 @@ fn report_file_written() {
     write_dataset(&input);
     let out = bin()
         .args([
-            "-input", input.to_str().unwrap(), "-length", "80000", "-grid", "6", "-report",
+            "-input",
+            input.to_str().unwrap(),
+            "-length",
+            "80000",
+            "-grid",
+            "6",
+            "-report",
             report.to_str().unwrap(),
         ])
         .output()
@@ -105,4 +133,56 @@ fn unknown_flag_reports_usage() {
     let out = bin().args(["-bogus", "1"]).output().unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn report_to_missing_directory_fails_clearly() {
+    let dir = std::env::temp_dir().join("omegaplus_cli_test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.ms");
+    write_dataset(&input);
+    let bogus = dir.join("no_such_dir").join("report.tsv");
+    let out = bin()
+        .args([
+            "-input",
+            input.to_str().unwrap(),
+            "-length",
+            "80000",
+            "-grid",
+            "5",
+            "-report",
+            bogus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not exist"), "stderr: {stderr}");
+    // The scan must not have started: the path check runs before loading.
+    assert!(!stderr.contains("sites x"), "stderr: {stderr}");
+}
+
+#[test]
+fn trace_to_missing_directory_fails_clearly() {
+    let dir = std::env::temp_dir().join("omegaplus_cli_test5");
+    std::fs::create_dir_all(&dir).unwrap();
+    let input = dir.join("data.ms");
+    write_dataset(&input);
+    let bogus = dir.join("no_such_dir").join("trace.jsonl");
+    let out = bin()
+        .args([
+            "-input",
+            input.to_str().unwrap(),
+            "-length",
+            "80000",
+            "-grid",
+            "5",
+            "-trace",
+            bogus.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("does not exist"), "stderr: {stderr}");
 }

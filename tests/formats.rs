@@ -35,7 +35,12 @@ fn ms_roundtrip_preserves_scan_results() {
         // Positions can shift by at most the bp quantisation of the
         // writer (six decimal digits of the unit interval).
         assert!(x.pos_bp.abs_diff(y.pos_bp) <= 2);
-        assert!((x.omega - y.omega).abs() <= 2e-2 * x.omega.abs().max(1.0), "{} vs {}", x.omega, y.omega);
+        assert!(
+            (x.omega - y.omega).abs() <= 2e-2 * x.omega.abs().max(1.0),
+            "{} vs {}",
+            x.omega,
+            y.omega
+        );
     }
 }
 

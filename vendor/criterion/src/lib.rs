@@ -1,0 +1,226 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `criterion` to this crate (see `[patch.crates-io]` in the root manifest).
+//! It implements the API subset the workspace's benches use — benchmark
+//! groups, `bench_function` / `bench_with_input`, `BenchmarkId`,
+//! `Throughput`, `criterion_group!` / `criterion_main!` — with a minimal
+//! measurement loop: one warm-up call, then a short timed burst, reporting
+//! mean wall time and derived throughput to stdout.
+//!
+//! There is no statistical analysis, HTML report, or baseline comparison.
+//! Because the bench targets build with `harness = false`, `cargo test` also
+//! executes them; the burst is capped (≤25 ms or 20 iterations per benchmark)
+//! so the suite stays fast in that mode.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-iteration work estimate used to derive a rate from wall time.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Id rendered from a parameter value, e.g. `from_parameter(4096)`.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+
+    /// Two-part id (`function_name/parameter`).
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs the measured routine.
+pub struct Bencher {
+    /// Mean wall time per iteration, filled in by [`Bencher::iter`].
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine`: one warm-up call, then a burst capped by time
+    /// and iteration count, recording the mean per-iteration wall time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine());
+        let budget = Duration::from_millis(25);
+        let max_iters = 20u32;
+        let start = Instant::now();
+        let mut iters = 0u32;
+        while iters < max_iters {
+            std::hint::black_box(routine());
+            iters += 1;
+            if start.elapsed() >= budget {
+                break;
+            }
+        }
+        self.mean = start.elapsed() / iters.max(1);
+    }
+}
+
+/// A named set of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stand-in's burst is time-capped,
+    /// so the requested sample count is not used.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the per-iteration work estimate for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs `f` as a benchmark named `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    /// Runs `f` with `input` as a benchmark named `id`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b, input);
+        self.report(&id.id, b.mean);
+        self
+    }
+
+    /// Ends the group (upstream prints summary statistics here).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &str, mean: Duration) {
+        let secs = mean.as_secs_f64();
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) if secs > 0.0 => {
+                format!(" ({:.3e} elem/s)", n as f64 / secs)
+            }
+            Some(Throughput::Bytes(n)) if secs > 0.0 => {
+                format!(" ({:.3e} B/s)", n as f64 / secs)
+            }
+            _ => String::new(),
+        };
+        println!("bench {}/{}: {:?}/iter{}", self.name, id, mean, rate);
+    }
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs `f` as a stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { mean: Duration::ZERO };
+        f(&mut b);
+        println!("bench {}: {:?}/iter", id, b.mean);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one name (`criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups (`criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(64));
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..64u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_runs_and_measures() {
+        benches();
+    }
+
+    #[test]
+    fn bencher_records_nonzero_mean() {
+        let mut b = Bencher { mean: Duration::ZERO };
+        b.iter(|| std::thread::sleep(Duration::from_micros(50)));
+        assert!(b.mean >= Duration::from_micros(50));
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(4096).id, "4096");
+        assert_eq!(BenchmarkId::new("f", 3).id, "f/3");
+        assert_eq!(BenchmarkId::from("x").id, "x");
+    }
+}

@@ -1,0 +1,202 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so the workspace patches
+//! `rayon` to this crate (see `[patch.crates-io]` in the root manifest). It
+//! exposes the API surface the workspace uses — `par_iter`, `into_par_iter`,
+//! `par_chunks`, `par_chunks_mut`, thread pools — but executes **sequentially**
+//! on the calling thread: the parallel adapters return the corresponding
+//! standard-library iterators, so `map`/`zip`/`for_each`/`collect` chains
+//! compile and produce identical results in deterministic order.
+//!
+//! The benchmark host is single-core (see DESIGN.md), so sequential execution
+//! also matches the real achievable parallelism; when the workspace moves to a
+//! multicore environment, swap the patch back to upstream rayon — no call
+//! sites change.
+
+use std::ops::Range;
+
+/// Everything the workspace imports via `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Number of threads the (sequential) pool exposes.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// By-value conversion into a "parallel" (here: sequential) iterator.
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Converts into the iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Item = usize;
+    type Iter = Range<usize>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl IntoParallelIterator for Range<u64> {
+    type Item = u64;
+    type Iter = Range<u64>;
+    fn into_par_iter(self) -> Self::Iter {
+        self
+    }
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// By-reference conversion (`.par_iter()`) for collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: 'a;
+    /// Underlying iterator type.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Iterates by reference.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+impl<'a, T: 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> Self::Iter {
+        self.iter()
+    }
+}
+
+/// Chunked access for shared slices.
+pub trait ParallelSlice<T> {
+    /// Chunked iteration (`.par_chunks(n)`).
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Chunked access for mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// Mutable chunked iteration (`.par_chunks_mut(n)`).
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+}
+
+/// Error building a thread pool (never produced by this stand-in).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Sequential "thread pool": `install` runs the closure on the caller.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` in the pool (here: inline).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        op()
+    }
+
+    /// Configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requested worker count (0 = one per core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Builds the (sequential) pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.threads == 0 { current_num_threads() } else { self.threads };
+        Ok(ThreadPool { threads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn iterator_chains_compile_and_agree() {
+        let v: Vec<u32> = (0..100).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled[99], 198);
+        let s: u32 = (0..10usize).into_par_iter().map(|x| x as u32).sum();
+        assert_eq!(s, 45);
+    }
+
+    #[test]
+    fn chunked_mutation() {
+        let mut out = vec![0u32; 12];
+        let src: Vec<u32> = (0..4).collect();
+        out.par_chunks_mut(3).zip(src.par_iter()).for_each(|(chunk, &v)| {
+            for c in chunk {
+                *c = v;
+            }
+        });
+        assert_eq!(out, [0, 0, 0, 1, 1, 1, 2, 2, 2, 3, 3, 3]);
+    }
+
+    #[test]
+    fn pool_installs_inline() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 4);
+        assert_eq!(pool.install(|| 7), 7);
+        assert!(current_num_threads() >= 1);
+    }
+}
