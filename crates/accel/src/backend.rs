@@ -18,8 +18,8 @@
 use std::time::Instant;
 
 use omega_core::{
-    omega_max, BorderSet, GridPlan, MatrixBuildTiming, ParamError, PositionResult, RegionMatrix,
-    ScanParams, ScanStats,
+    BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, ParamError, PositionResult, RegionMatrix,
+    ScanParams, ScanStats, TaskView,
 };
 use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine};
 use omega_genome::Alignment;
@@ -151,6 +151,7 @@ impl SweepDetector {
         };
 
         let mut matrix = RegionMatrix::new();
+        let mut kernel = OmegaKernel::new();
         let mut build_timing = MatrixBuildTiming::default();
         let mut stats = ScanStats { positions: plan.len(), ..ScanStats::default() };
         let mut results = Vec::with_capacity(plan.len());
@@ -184,7 +185,8 @@ impl SweepDetector {
                     // ω stage: functional result measured on the CPU;
                     // accelerator time modelled from the workload shape.
                     let t0 = Instant::now();
-                    let best = omega_max(&matrix, &b).expect("non-empty border set");
+                    let best =
+                        kernel.run(&TaskView::new(&matrix, &b, pp)).expect("non-empty border set");
                     cpu_omega_seconds += t0.elapsed().as_secs_f64();
 
                     if let Some(engine) = &gpu_omega {

@@ -4,7 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use omega_bench::dataset;
 use omega_core::{
-    omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, RegionMatrix, ScanParams,
+    omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, RegionMatrix,
+    ScanParams, TaskView,
 };
 use std::hint::black_box;
 
@@ -45,5 +46,33 @@ fn bench_omega_max(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_omega_score, bench_omega_max);
+fn bench_omega_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omega_kernel_position");
+    group.sample_size(10);
+    for snps in [256usize, 1_024] {
+        let a = dataset(snps, 50, 44);
+        let params = ScanParams {
+            grid: 1,
+            min_win: 0,
+            max_win: 1_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let plan = GridPlan::build(&a, &params).positions()[0];
+        let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(snps - 1)) / 2, &params);
+        let plan = if mid.is_scorable(2) { mid } else { plan };
+        let borders = BorderSet::build(&a, &plan, &params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        group.throughput(Throughput::Elements(borders.n_combinations()));
+        group.bench_with_input(BenchmarkId::from_parameter(snps), &(m, borders), |b, (m, bo)| {
+            let mut kernel = OmegaKernel::new();
+            b.iter(|| black_box(kernel.run(&TaskView::new(m, bo, &plan)).unwrap().omega))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omega_score, bench_omega_max, bench_omega_kernel);
 criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! `bench_omega` — criterion-free ω-stage throughput measurement that
+//! records the vectorized-kernel speedup over the scalar reference loop
+//! in `BENCH_omega.json` (schema documented in DESIGN.md).
+//!
+//! Runs the same single-position workloads as `benches/omega.rs`
+//! (dataset seed 44, 50 samples, exhaustive window), times the scalar
+//! `omega_max` loop and the `OmegaKernel` lane sweep over identical
+//! matrix/border inputs, and writes per-workload ns/score plus the
+//! speedup. Exits non-zero when the minimum speedup across workloads
+//! falls below the 2× acceptance bar, so the number in the committed
+//! baseline is enforced, not aspirational.
+
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use omega_bench::dataset;
+use omega_core::{
+    omega_max, BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, RegionMatrix, ScanParams,
+    TaskView,
+};
+
+const N_SAMPLES: usize = 50;
+const SEED: u64 = 44;
+const REPS: usize = 7;
+const MIN_SPEEDUP: f64 = 2.0;
+
+struct WorkloadResult {
+    n_snps: usize,
+    combinations: u64,
+    scalar_ns_per_score: f64,
+    kernel_ns_per_score: f64,
+}
+
+impl WorkloadResult {
+    fn speedup(&self) -> f64 {
+        self.scalar_ns_per_score / self.kernel_ns_per_score
+    }
+}
+
+/// Best-of-`REPS` wall time of `f`, in seconds.
+fn time_best<F: FnMut() -> f32>(mut f: F) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let t0 = Instant::now();
+        black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+fn measure(n_snps: usize) -> WorkloadResult {
+    let a = dataset(n_snps, N_SAMPLES, SEED);
+    let params =
+        ScanParams { grid: 1, min_win: 0, max_win: 1_000_000, min_snps_per_side: 2, threads: 1 };
+    let first = GridPlan::build(&a, &params).positions()[0];
+    let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(n_snps - 1)) / 2, &params);
+    let plan = if mid.is_scorable(2) { mid } else { first };
+    let b = BorderSet::build(&a, &plan, &params).unwrap();
+    let mut m = RegionMatrix::new();
+    let mut t = MatrixBuildTiming::default();
+    m.rebuild(&a, plan.lo, plan.hi, &mut t);
+    let combinations = b.n_combinations();
+
+    let mut kernel = OmegaKernel::new();
+    // Warm-up (also verifies agreement before trusting the timings).
+    let scalar = omega_max(&m, &b).unwrap();
+    let vector = kernel.run(&TaskView::new(&m, &b, &plan)).unwrap();
+    assert_eq!(scalar.omega.to_bits(), vector.omega.to_bits(), "kernel must be bitwise exact");
+    assert_eq!(scalar.evaluated, vector.evaluated);
+
+    let scalar_s = time_best(|| omega_max(&m, &b).unwrap().omega);
+    let kernel_s = time_best(|| kernel.run(&TaskView::new(&m, &b, &plan)).unwrap().omega);
+
+    WorkloadResult {
+        n_snps,
+        combinations,
+        scalar_ns_per_score: scalar_s * 1e9 / combinations as f64,
+        kernel_ns_per_score: kernel_s * 1e9 / combinations as f64,
+    }
+}
+
+fn main() -> ExitCode {
+    let results: Vec<WorkloadResult> = [256usize, 1_024].iter().map(|&n| measure(n)).collect();
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"bench\": \"omega_kernel_vs_scalar\",");
+    let _ = writeln!(
+        json,
+        "  \"dataset\": {{\"n_samples\": {N_SAMPLES}, \"seed\": {SEED}, \"reps\": {REPS}}},"
+    );
+    json.push_str("  \"workloads\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"n_snps\": {}, \"combinations\": {}, \"scalar_ns_per_score\": {:.3}, \
+             \"kernel_ns_per_score\": {:.3}, \"speedup\": {:.3}}}{}",
+            r.n_snps,
+            r.combinations,
+            r.scalar_ns_per_score,
+            r.kernel_ns_per_score,
+            r.speedup(),
+            if i + 1 < results.len() { "," } else { "" }
+        );
+    }
+    json.push_str("  ],\n");
+    let min = results.iter().map(WorkloadResult::speedup).fold(f64::INFINITY, f64::min);
+    let _ = writeln!(json, "  \"min_speedup\": {min:.3},");
+    let _ = writeln!(json, "  \"required_speedup\": {MIN_SPEEDUP:.1}");
+    json.push_str("}\n");
+
+    for r in &results {
+        println!(
+            "{:>6} snps  {:>12} scores  scalar {:>8.3} ns/score  kernel {:>8.3} ns/score  {:.2}x",
+            r.n_snps,
+            r.combinations,
+            r.scalar_ns_per_score,
+            r.kernel_ns_per_score,
+            r.speedup()
+        );
+    }
+
+    let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_omega.json".to_string());
+    if let Err(e) = std::fs::write(&out, &json) {
+        eprintln!("bench_omega: cannot write {out}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out}");
+
+    if min < MIN_SPEEDUP {
+        eprintln!("bench_omega: min speedup {min:.2}x below the {MIN_SPEEDUP:.1}x bar");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -37,9 +37,9 @@ fn scan_events(stats: &ScanStats) -> u64 {
     let scorable = stats.scorable_positions as u64;
     // scan.sequential span + scan.positions counter, then per position one
     // scan.position span, and per scorable position: matrix.advance span,
-    // two matrix counters, omega_max span, omega.evaluations counter, and
-    // the scorable-positions counter.
-    2 + positions + scorable * 6
+    // two matrix counters, omega.kernel span, omega.kernel_lanes and
+    // omega.evaluations counters, and the scorable-positions counter.
+    2 + positions + scorable * 7
 }
 
 fn main() -> ExitCode {

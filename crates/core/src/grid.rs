@@ -113,6 +113,15 @@ impl GridPlan {
 /// valid when the spanned distance `pos[rb] - pos[lb] >= min_win`; since
 /// positions are sorted, for each `lb` the valid right borders form a
 /// suffix `first_valid_rb[lb]..` of the right-border list.
+///
+/// # Contiguity invariant
+///
+/// Both border lists are runs of *consecutive* window-relative site
+/// indices: `left_borders[a] == a` and `right_borders[b] == rb0() + b`.
+/// The vectorized ω kernel ([`crate::kernel::TaskView`]) relies on this to
+/// map border-list indices straight onto contiguous column slices of
+/// matrix M; [`BorderSet::build`] is the only constructor and always
+/// produces such runs.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BorderSet {
     /// Window-relative index of the last left-side site (the paper's `k`):
@@ -169,6 +178,20 @@ impl BorderSet {
     pub fn n_combinations(&self) -> u64 {
         let n_rb = self.right_borders.len() as u64;
         self.first_valid_rb.iter().map(|&f| n_rb - u64::from(f)).sum()
+    }
+
+    /// Window-relative site index of the first right border (`rb0` of the
+    /// contiguity invariant). Panics when the right-border list is empty.
+    #[inline]
+    pub fn rb0(&self) -> usize {
+        self.right_borders[0] as usize
+    }
+
+    /// Asserts the contiguity invariant in debug builds (see the type-level
+    /// docs); the vectorized kernel calls this before taking column slices.
+    pub fn debug_assert_contiguous(&self) {
+        debug_assert!(self.left_borders.iter().enumerate().all(|(a, &lb)| lb as usize == a));
+        debug_assert!(self.right_borders.windows(2).all(|w| w[1] == w[0] + 1));
     }
 }
 

@@ -1,0 +1,602 @@
+//! Vectorized column-sliced ω evaluation kernel.
+//!
+//! The scalar loop in [`crate::omega::omega_max`] pays, for every single
+//! combination, two triangular `idx()` computations (a multiply plus a
+//! shifted multiply each) and a branchy `Option` update. This module
+//! restructures the hot loop around the column-major layout
+//! [`RegionMatrix`] was given for the FPGA fetch unit:
+//!
+//! * for a fixed left border `a`, the `TS` values of all right borders are
+//!   one contiguous run of `column(a)` — streamed as a slice, no index
+//!   arithmetic per cell ([`RegionMatrix::column_span`]);
+//! * the `RS` values of all right borders are one contiguous run of
+//!   `column(k+1)`, shared across every left border — borrowed once per
+//!   position, never copied;
+//! * the per-`a` invariants (`LS`, `l`, the left combinations term) are
+//!   hoisted out of the inner loop, and the per-right-border terms (`r`,
+//!   the right combinations term) are precomputed once per position into
+//!   reusable scratch tables;
+//! * the max reduction runs branch-light over [`LANES`] independent lanes,
+//!   tracking per-lane argmax through the IEEE-754 total-order key
+//!   ([`total_order_key`]) so the compare-and-select is a pure integer
+//!   max the compiler can if-convert and vectorize; the winner is
+//!   resolved after the sweep.
+//!
+//! # Exactness contract
+//!
+//! The kernel is *bitwise identical* to the scalar reference: every lane
+//! evaluates the exact operation sequence of [`omega_score`] (the hoisted
+//! subterms are computed by the same expressions, so f32 rounding is
+//! unchanged), and the total-order key reproduces `f32::total_cmp`
+//! exactly, including the NaN-ranks-highest and first-wins-ties
+//! behaviour shared by all backends. The one deliberate deviation from a
+//! classic reciprocal-table formulation: `1/(l·r)` is *not* premultiplied,
+//! because `x * (1/d)` rounds differently from `x / d` and would break
+//! the bitwise contract — the divide stays in the lane, where hardware
+//! packed division still vectorizes it.
+
+use crate::grid::{BorderSet, PositionPlan};
+use crate::matrix::RegionMatrix;
+use crate::omega::{omega_score, OmegaMax, OmegaTask, OmegaWorkload};
+use crate::params::DENOMINATOR_OFFSET;
+
+/// Lane width of the blocked max reduction. Eight f32 lanes fill one
+/// AVX2 register; narrower SIMD simply splits the block.
+pub const LANES: usize = 8;
+
+/// Maps an `f32` to a `u32` key whose unsigned order equals the IEEE-754
+/// total order: `total_order_key(x) > total_order_key(y)` iff
+/// `x.total_cmp(&y).is_gt()`. Branch-free on the sign via two's-complement
+/// folding, so lane-wise key comparison vectorizes as integer max.
+#[inline(always)]
+pub fn total_order_key(x: f32) -> u32 {
+    let b = x.to_bits();
+    // Negative values: flip all bits (reverses their order, below all
+    // positives). Positive values: set the sign bit (above all negatives).
+    b ^ (((b as i32 >> 31) as u32) | 0x8000_0000)
+}
+
+/// Zero-copy view of one position's ω workload: borrowed column slices of
+/// matrix M plus the border set — nothing is packed or copied. This is
+/// what the CPU scan path and the simulated accelerator backends consume;
+/// the owned [`OmegaTask`] exists only for buffers that genuinely cross
+/// the simulated PCIe boundary.
+#[derive(Debug, Clone, Copy)]
+pub struct TaskView<'a> {
+    m: &'a RegionMatrix,
+    b: &'a BorderSet,
+    /// ω position in bp (for reporting).
+    pos_bp: u64,
+    /// Absolute site index of the window start.
+    window_lo: usize,
+}
+
+impl<'a> TaskView<'a> {
+    /// Borrows the workload of one position. The matrix must currently
+    /// hold the window the border set was built for.
+    pub fn new(m: &'a RegionMatrix, b: &'a BorderSet, plan: &PositionPlan) -> TaskView<'a> {
+        debug_assert_eq!(m.lo(), plan.lo);
+        debug_assert_eq!(m.width(), plan.width());
+        b.debug_assert_contiguous();
+        TaskView { m, b, pos_bp: plan.pos_bp, window_lo: plan.lo }
+    }
+
+    /// ω position in bp.
+    #[inline]
+    pub fn pos_bp(&self) -> u64 {
+        self.pos_bp
+    }
+
+    /// Absolute site index of the window start.
+    #[inline]
+    pub fn window_lo(&self) -> usize {
+        self.window_lo
+    }
+
+    /// Window-relative split index `k`.
+    #[inline]
+    pub fn k_rel(&self) -> usize {
+        self.b.k_rel
+    }
+
+    /// The `RS` table: right-region LD sums for every right border, as one
+    /// borrowed contiguous run of `column(k+1)` (`rs[b] = M(rb_b, k+1)`).
+    #[inline]
+    pub fn rs_slice(&self) -> &'a [f32] {
+        let k = self.b.k_rel;
+        let n_rb = self.b.right_borders.len();
+        if n_rb == 0 {
+            return &[];
+        }
+        let rb0 = self.b.rb0();
+        self.m.column_span(k + 1, rb0, rb0 + n_rb - 1)
+    }
+
+    /// The `TS` row of left border `a`: total LD sums against every right
+    /// border, as one borrowed contiguous run of `column(lb_a)`
+    /// (`ts[b] = M(rb_b, lb_a)`).
+    #[inline]
+    pub fn ts_row(&self, a: usize) -> &'a [f32] {
+        let n_rb = self.b.right_borders.len();
+        if n_rb == 0 {
+            return &[];
+        }
+        let lb = self.b.left_borders[a] as usize;
+        let rb0 = self.b.rb0();
+        self.m.column_span(lb, rb0, rb0 + n_rb - 1)
+    }
+
+    /// Materialises the owned, flat [`OmegaTask`] for transfers that cross
+    /// the simulated PCIe boundary.
+    pub fn to_task(&self) -> OmegaTask {
+        let n_lb = self.n_lb();
+        let n_rb = self.n_rb();
+        let mut ts = Vec::with_capacity(n_lb * n_rb);
+        for a in 0..n_lb {
+            ts.extend_from_slice(self.ts_row(a));
+        }
+        OmegaTask {
+            pos_bp: self.pos_bp,
+            window_lo: self.window_lo,
+            k_rel: self.b.k_rel,
+            ls: (0..n_lb).map(|a| OmegaWorkload::ls(self, a)).collect(),
+            l_snps: (0..n_lb).map(|a| OmegaWorkload::l_snps(self, a)).collect(),
+            rs: self.rs_slice().to_vec(),
+            r_snps: (0..n_rb).map(|b| OmegaWorkload::r_snps(self, b)).collect(),
+            ts,
+            first_valid_rb: self.b.first_valid_rb.clone(),
+            left_borders: self.b.left_borders.clone(),
+            right_borders: self.b.right_borders.clone(),
+        }
+    }
+}
+
+impl OmegaWorkload for TaskView<'_> {
+    fn n_lb(&self) -> usize {
+        self.b.left_borders.len()
+    }
+    fn n_rb(&self) -> usize {
+        self.b.right_borders.len()
+    }
+    #[inline]
+    fn ls(&self, a: usize) -> f32 {
+        self.m.sum(self.b.left_borders[a] as usize, self.b.k_rel)
+    }
+    #[inline]
+    fn rs(&self, b: usize) -> f32 {
+        self.m.sum(self.b.k_rel + 1, self.b.right_borders[b] as usize)
+    }
+    #[inline]
+    fn ts(&self, a: usize, b: usize) -> f32 {
+        self.m.sum(self.b.left_borders[a] as usize, self.b.right_borders[b] as usize)
+    }
+    #[inline]
+    fn l_snps(&self, a: usize) -> u32 {
+        (self.b.k_rel - self.b.left_borders[a] as usize + 1) as u32
+    }
+    #[inline]
+    fn r_snps(&self, b: usize) -> u32 {
+        (self.b.right_borders[b] as usize - self.b.k_rel) as u32
+    }
+    #[inline]
+    fn first_valid_rb(&self, a: usize) -> usize {
+        self.b.first_valid_rb[a] as usize
+    }
+    #[inline]
+    fn left_border(&self, a: usize) -> u32 {
+        self.b.left_borders[a]
+    }
+    #[inline]
+    fn right_border(&self, b: usize) -> u32 {
+        self.b.right_borders[b]
+    }
+    fn n_combinations(&self) -> u64 {
+        self.b.n_combinations()
+    }
+}
+
+/// One lane of the ω datapath — the exact operation sequence of
+/// [`omega_score`] with the per-`a` and per-`b` invariants passed in
+/// precomputed (each by the identical expression, so rounding matches).
+#[inline(always)]
+fn lane_score(ls: f32, lf: f32, comb_l: f32, ts: f32, rs: f32, rf: f32, comb_r: f32) -> f32 {
+    let cross = (ts - ls - rs).max(0.0);
+    let num = (ls + rs) / (comb_l + comb_r);
+    let den = cross / (lf * rf) + DENOMINATOR_OFFSET;
+    num / den
+}
+
+/// The reusable vectorized kernel. Scratch tables grow to the widest
+/// position seen and are then reused, so the per-position path performs no
+/// heap allocation after warm-up (asserted by the counting-allocator
+/// harness in `tests/alloc_free.rs`).
+#[derive(Debug, Default)]
+pub struct OmegaKernel {
+    /// Per-right-border SNP counts as f32 (`r`).
+    rf: Vec<f32>,
+    /// Per-right-border combinations term `C(r,2)`.
+    comb_r: Vec<f32>,
+}
+
+impl OmegaKernel {
+    /// A kernel with empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Evaluates every valid combination of the position and returns the
+    /// `total_cmp`-maximum, bitwise identical to
+    /// [`crate::omega::omega_max`] on the same matrix and border set.
+    pub fn run(&mut self, view: &TaskView<'_>) -> Option<OmegaMax> {
+        let _span = omega_obs::span!("omega.kernel");
+        let n_lb = view.n_lb();
+        let n_rb = view.n_rb();
+        if n_lb == 0 || n_rb == 0 {
+            return None;
+        }
+        let k = view.k_rel();
+        let rb0 = view.b.rb0();
+
+        // Per-position tables, hoisted out of both loops.
+        self.rf.clear();
+        self.rf.extend((0..n_rb).map(|b| (rb0 + b - k) as f32));
+        self.comb_r.clear();
+        self.comb_r.extend(self.rf.iter().map(|&rf| rf * (rf - 1.0) * 0.5));
+        let rs_all = view.rs_slice();
+
+        // Global best as (total-order key, a, right-border list index).
+        let mut best: Option<(u32, usize, usize)> = None;
+        let mut evaluated = 0u64;
+
+        for a in 0..n_lb {
+            let first = view.first_valid_rb(a);
+            if first >= n_rb {
+                continue;
+            }
+            let ls = OmegaWorkload::ls(view, a);
+            let lf = OmegaWorkload::l_snps(view, a) as f32;
+            let comb_l = lf * (lf - 1.0) * 0.5;
+
+            let ts = &view.ts_row(a)[first..];
+            let rs = &rs_all[first..];
+            let rf = &self.rf[first..n_rb];
+            let comb_r = &self.comb_r[first..n_rb];
+            evaluated += ts.len() as u64;
+
+            let (row_key, row_off) = lane_sweep(ls, lf, comb_l, ts, rs, rf, comb_r);
+            let row_b = first + row_off;
+            // Rows arrive in ascending `a`: strictly-greater keeps the
+            // earliest row of a tie, matching the reference order.
+            if best.is_none_or(|(bk, _, _)| row_key > bk) {
+                best = Some((row_key, a, row_b));
+            }
+        }
+
+        omega_obs::counter!("omega.kernel_lanes").add(evaluated);
+        omega_obs::counter!("omega.evaluations").add(evaluated);
+        best.map(|(_, a, b)| OmegaMax {
+            // Recompute the winner through the same datapath (bitwise
+            // equal to the lane that won the key sweep).
+            omega: omega_score(
+                OmegaWorkload::ls(view, a),
+                OmegaWorkload::rs(view, b),
+                OmegaWorkload::ts(view, a, b),
+                OmegaWorkload::l_snps(view, a),
+                OmegaWorkload::r_snps(view, b),
+            ),
+            left_border: view.left_border(a) as usize,
+            right_border: view.right_border(b) as usize,
+            evaluated,
+        })
+    }
+}
+
+/// Branch-light argmax over one row: returns the total-order key of the
+/// row maximum and the offset (into the passed slices) of its first
+/// occurrence. All slices have the same non-zero length.
+#[inline]
+fn lane_sweep(
+    ls: f32,
+    lf: f32,
+    comb_l: f32,
+    ts: &[f32],
+    rs: &[f32],
+    rf: &[f32],
+    comb_r: &[f32],
+) -> (u32, usize) {
+    let n = ts.len();
+    debug_assert!(n > 0 && rs.len() == n && rf.len() == n && comb_r.len() == n);
+    let body = (n / LANES) * LANES;
+
+    // Per-lane running best, tracked as integer keys + first index. Keys
+    // start at the total-order minimum and each lane's index at its own
+    // first element, so the candidate is valid from the start even when
+    // every key in the lane equals the minimum; the update is then a pure
+    // strictly-greater compare-and-select the compiler can if-convert and
+    // vectorize (no "lane empty" sentinel in the hot loop).
+    let mut best_key = [0u32; LANES];
+    let mut best_idx = [0u32; LANES];
+    for (lane, slot) in best_idx.iter_mut().enumerate() {
+        *slot = lane as u32;
+    }
+
+    let mut base = 0usize;
+    // `chunks_exact` hands the optimizer fixed-width blocks with no
+    // residual bounds checks.
+    for (((tc, rc), fc), cc) in ts[..body]
+        .chunks_exact(LANES)
+        .zip(rs[..body].chunks_exact(LANES))
+        .zip(rf[..body].chunks_exact(LANES))
+        .zip(comb_r[..body].chunks_exact(LANES))
+    {
+        for lane in 0..LANES {
+            let w = lane_score(ls, lf, comb_l, tc[lane], rc[lane], fc[lane], cc[lane]);
+            let key = total_order_key(w);
+            if key > best_key[lane] {
+                best_key[lane] = key;
+                best_idx[lane] = (base + lane) as u32;
+            }
+        }
+        base += LANES;
+    }
+
+    // Scalar tail, seeded with its own first element the same way.
+    let mut tail_key = 0u32;
+    let mut tail_idx = body as u32;
+    for i in body..n {
+        let w = lane_score(ls, lf, comb_l, ts[i], rs[i], rf[i], comb_r[i]);
+        let key = total_order_key(w);
+        if key > tail_key {
+            tail_key = key;
+            tail_idx = i as u32;
+        }
+    }
+
+    // Resolve the winner after the sweep: max key, ties to the smallest
+    // index. Each stream's candidate is already the first index of its own
+    // maximum, so the global minimum index is the row's first occurrence.
+    let mut win_key = tail_key;
+    let mut win_idx = if body < n { tail_idx } else { u32::MAX };
+    if body > 0 {
+        for lane in 0..LANES {
+            let (key, idx) = (best_key[lane], best_idx[lane]);
+            if win_idx == u32::MAX || key > win_key || (key == win_key && idx < win_idx) {
+                win_key = key;
+                win_idx = idx;
+            }
+        }
+    }
+    (win_key, win_idx as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::GridPlan;
+    use crate::matrix::MatrixBuildTiming;
+    use crate::omega::omega_max;
+    use crate::params::ScanParams;
+    use omega_genome::{Alignment, SnpVec};
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_alignment(n_sites: usize, n_samples: usize, seed: u64) -> Alignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
+        Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap()
+    }
+
+    fn setup(
+        seed: u64,
+        n_sites: usize,
+        pos_bp: u64,
+        params: &ScanParams,
+    ) -> (Alignment, RegionMatrix, BorderSet, PositionPlan) {
+        let a = random_alignment(n_sites, 24, seed);
+        let plan = GridPlan::plan_at(&a, pos_bp, params);
+        let b = BorderSet::build(&a, &plan, params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        (a, m, b, plan)
+    }
+
+    #[test]
+    fn total_order_key_reproduces_total_cmp() {
+        let samples = [
+            f32::NEG_INFINITY,
+            -1.0e30,
+            -2.0,
+            -0.0,
+            0.0,
+            f32::MIN_POSITIVE,
+            1.0,
+            3.5e37,
+            f32::INFINITY,
+            f32::NAN,
+            -f32::NAN,
+            f32::from_bits(0x7fc0_0001), // NaN with payload
+            f32::from_bits(0xffc0_0001), // negative NaN with payload
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                assert_eq!(
+                    total_order_key(x).cmp(&total_order_key(y)),
+                    x.total_cmp(&y),
+                    "key order mismatch for {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_matches_scalar_reference() {
+        for seed in 0..8 {
+            let params = ScanParams {
+                grid: 1,
+                min_win: 0,
+                max_win: 10_000,
+                min_snps_per_side: 2,
+                threads: 1,
+            };
+            let (_a, m, b, plan) = setup(seed, 18, 900, &params);
+            let view = TaskView::new(&m, &b, &plan);
+            let got = OmegaKernel::new().run(&view).unwrap();
+            let want = omega_max(&m, &b).unwrap();
+            assert_eq!(got.omega.to_bits(), want.omega.to_bits(), "seed {seed}");
+            assert_eq!(got.left_border, want.left_border, "seed {seed}");
+            assert_eq!(got.right_border, want.right_border, "seed {seed}");
+            assert_eq!(got.evaluated, want.evaluated, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn view_slices_agree_with_matrix_sums() {
+        let params =
+            ScanParams { grid: 1, min_win: 300, max_win: 10_000, min_snps_per_side: 3, threads: 1 };
+        let (_a, m, b, plan) = setup(21, 20, 1_000, &params);
+        let view = TaskView::new(&m, &b, &plan);
+        let k = view.k_rel();
+        let rs = view.rs_slice();
+        for (bi, &rb) in b.right_borders.iter().enumerate() {
+            assert_eq!(rs[bi], m.sum(k + 1, rb as usize));
+        }
+        for (ai, &lb) in b.left_borders.iter().enumerate() {
+            let ts = view.ts_row(ai);
+            for (bi, &rb) in b.right_borders.iter().enumerate() {
+                assert_eq!(ts[bi], m.sum(lb as usize, rb as usize));
+            }
+            assert_eq!(OmegaWorkload::ls(&view, ai), m.sum(lb as usize, k));
+        }
+    }
+
+    #[test]
+    fn view_task_roundtrip_matches_direct_extract() {
+        let params =
+            ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let (_a, m, b, plan) = setup(33, 16, 800, &params);
+        let task = OmegaTask::extract(&m, &b, &plan);
+        let view = TaskView::new(&m, &b, &plan);
+        assert_eq!(view.to_task(), task);
+        let via_view = OmegaKernel::new().run(&view).unwrap();
+        let via_task = task.max_reference().unwrap();
+        assert_eq!(via_view.omega.to_bits(), via_task.omega.to_bits());
+        assert_eq!(via_view.left_border, via_task.left_border);
+        assert_eq!(via_view.right_border, via_task.right_border);
+    }
+
+    #[test]
+    fn kernel_scratch_reuse_across_positions() {
+        let params =
+            ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+        let mut kernel = OmegaKernel::new();
+        for (seed, sites) in [(1u64, 20usize), (2, 12), (3, 24), (4, 8)] {
+            let (_a, m, b, plan) = setup(seed, sites, 100 * sites as u64 / 2, &params);
+            let view = TaskView::new(&m, &b, &plan);
+            let got = kernel.run(&view).unwrap();
+            let want = omega_max(&m, &b).unwrap();
+            assert_eq!(got.omega.to_bits(), want.omega.to_bits());
+            assert_eq!(got.evaluated, want.evaluated);
+        }
+    }
+
+    #[test]
+    fn empty_combination_set_returns_none() {
+        let params = ScanParams {
+            grid: 1,
+            min_win: 1_000_000,
+            max_win: 2_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let (_a, m, b, plan) = setup(15, 10, 500, &params);
+        assert_eq!(b.n_combinations(), 0);
+        // Every first_valid_rb points past the end: no lanes, no result.
+        assert!(OmegaKernel::new().run(&TaskView::new(&m, &b, &plan)).is_none());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::grid::GridPlan;
+    use crate::matrix::MatrixBuildTiming;
+    use crate::omega::omega_max;
+    use crate::params::ScanParams;
+    use omega_genome::{Alignment, SnpVec};
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn alignment_from_seed(n_sites: usize, seed: u64) -> Alignment {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..16).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 37 * (i + 1)).collect();
+        Alignment::new(positions, sites, 37 * n_sites as u64 + 37).unwrap()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+        // The vectorized kernel is bitwise identical to the scalar
+        // reference loop across random alignments, positions, and the
+        // min-win / min-snps parameter corners.
+        #[test]
+        fn kernel_bitwise_equals_scalar_loop(
+            seed in 0u64..500,
+            n_sites in 6usize..40,
+            pos_frac in 0u64..100,
+            // Weight the min_win = 0 corner: top quarter of the raw
+            // range folds onto exactly zero.
+            min_win_raw in 0u64..2_600,
+            max_win in 200u64..4_000,
+            min_snps in 2usize..5,
+        ) {
+            let a = alignment_from_seed(n_sites, seed);
+            let min_win = if min_win_raw >= 2_000 { 0 } else { min_win_raw };
+            let params = ScanParams {
+                grid: 1,
+                min_win,
+                max_win,
+                min_snps_per_side: min_snps,
+                threads: 1,
+            };
+            let span = a.position(n_sites - 1) - a.position(0);
+            let pos_bp = a.position(0) + span * pos_frac / 100;
+            let plan = GridPlan::plan_at(&a, pos_bp, &params);
+            let Some(b) = BorderSet::build(&a, &plan, &params) else {
+                return Ok(());
+            };
+            let mut m = RegionMatrix::new();
+            let mut t = MatrixBuildTiming::default();
+            m.rebuild(&a, plan.lo, plan.hi, &mut t);
+
+            let want = omega_max(&m, &b);
+            let got = OmegaKernel::new().run(&TaskView::new(&m, &b, &plan));
+            match (got, want) {
+                (Some(g), Some(w)) => {
+                    prop_assert_eq!(g.omega.to_bits(), w.omega.to_bits());
+                    prop_assert_eq!(g.left_border, w.left_border);
+                    prop_assert_eq!(g.right_border, w.right_border);
+                    prop_assert_eq!(g.evaluated, w.evaluated);
+                }
+                (None, None) => {}
+                other => prop_assert!(false, "kernel/scalar disagree: {:?}", other),
+            }
+        }
+    }
+}

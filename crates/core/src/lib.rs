@@ -41,6 +41,7 @@
 //! ```
 
 pub mod grid;
+pub mod kernel;
 pub mod matrix;
 pub mod omega;
 pub mod parallel;
@@ -50,8 +51,9 @@ pub mod report;
 pub mod scan;
 
 pub use grid::{BorderSet, GridPlan, PositionPlan};
+pub use kernel::{total_order_key, OmegaKernel, TaskView};
 pub use matrix::{MatrixBuildStats, MatrixBuildTiming, RegionMatrix};
-pub use omega::{omega_max, omega_score, OmegaMax, OmegaTask};
+pub use omega::{omega_max, omega_score, OmegaMax, OmegaTask, OmegaWorkload};
 pub use params::{ParamError, ScanParams, DENOMINATOR_OFFSET};
 pub use profile::{throughput, ScanStats, Timings};
 pub use report::{Report, SweepCall};

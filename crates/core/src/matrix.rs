@@ -114,6 +114,20 @@ impl RegionMatrix {
         &self.data[off..off + (self.n - 1 - j)]
     }
 
+    /// The contiguous run `M(i_lo, j), M(i_lo+1, j), ..., M(i_hi, j)` of
+    /// column `j` — entry `p` of the returned slice is `sum(j, i_lo + p)`.
+    ///
+    /// Because storage is column-major, every per-left-border `TS` row and
+    /// the shared `RS` table of the ω kernel are exactly such runs; the
+    /// vectorized kernel streams them without any per-cell `idx()`
+    /// arithmetic (the layout the paper's FPGA fetch unit assumes, §V).
+    #[inline]
+    pub fn column_span(&self, j: usize, i_lo: usize, i_hi: usize) -> &[f32] {
+        debug_assert!(j < i_lo && i_lo <= i_hi && i_hi < self.n);
+        let off = Self::offset(self.n, j) + (i_lo - j - 1);
+        &self.data[off..off + (i_hi - i_lo + 1)]
+    }
+
     /// Moves the window to absolute sites `lo..hi`, reusing every cell
     /// whose site pair is shared with the current window and computing
     /// fresh r² values (plus the DP recurrence) for the remainder.
@@ -351,6 +365,25 @@ mod tests {
             assert_eq!(col.len(), 7 - j);
             for (k, &v) in col.iter().enumerate() {
                 assert_eq!(v, m.sum(j, j + 1 + k));
+            }
+        }
+    }
+
+    #[test]
+    fn column_spans_match_entries() {
+        let a = random_alignment(9, 20, 11);
+        let mut t = MatrixBuildTiming::default();
+        let mut m = RegionMatrix::new();
+        m.rebuild(&a, 0, 9, &mut t);
+        for j in 0..8 {
+            for i_lo in j + 1..9 {
+                for i_hi in i_lo..9 {
+                    let span = m.column_span(j, i_lo, i_hi);
+                    assert_eq!(span.len(), i_hi - i_lo + 1);
+                    for (p, &v) in span.iter().enumerate() {
+                        assert_eq!(v, m.sum(j, i_lo + p), "col {j} span [{i_lo},{i_hi}] at {p}");
+                    }
+                }
             }
         }
     }

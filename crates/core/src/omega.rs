@@ -17,6 +17,7 @@
 //! LD sum.
 
 use crate::grid::{BorderSet, PositionPlan};
+use crate::kernel::TaskView;
 use crate::matrix::RegionMatrix;
 use crate::params::DENOMINATOR_OFFSET;
 
@@ -47,8 +48,15 @@ pub struct OmegaMax {
 }
 
 /// Evaluates every valid combination at a position directly from the
-/// matrix M — the CPU hot loop of OmegaPlus (Fig. 6 of the paper).
-/// Returns `None` when the border set admits no combination.
+/// matrix M — the scalar reference loop of OmegaPlus (Fig. 6 of the
+/// paper). Returns `None` when the border set admits no combination.
+///
+/// The max reduction is `total_cmp`-consistent: the first combination (in
+/// ascending `(lb, rb)` order) whose ω is strictly greater under the IEEE
+/// total order wins, so a NaN ranks above every finite score instead of
+/// poisoning the comparison, and ties keep the earliest combination. Every
+/// backend — the vectorized [`crate::kernel::OmegaKernel`], the GPU
+/// kernels, and the FPGA pipeline — implements this exact contract.
 pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
     let _span = omega_obs::span!("omega_max");
     let k = b.k_rel;
@@ -65,7 +73,7 @@ pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
             let r = (rb - k) as u32;
             let omega = omega_score(ls, rs, ts, l, r);
             evaluated += 1;
-            if best.is_none_or(|cur| omega > cur.omega) {
+            if best.is_none_or(|cur| omega.total_cmp(&cur.omega).is_gt()) {
                 best = Some(OmegaMax { omega, left_border: lb, right_border: rb, evaluated: 0 });
             }
         }
@@ -75,6 +83,46 @@ pub fn omega_max(m: &RegionMatrix, b: &BorderSet) -> Option<OmegaMax> {
         r.evaluated = evaluated;
         r
     })
+}
+
+/// Uniform read-only access to one position's ω workload, implemented by
+/// both the owned [`OmegaTask`] (buffers that really cross the simulated
+/// PCIe boundary) and the zero-copy [`TaskView`] (borrowed column slices
+/// of matrix M). The simulated GPU/FPGA backends execute against this
+/// trait, so either form can feed them.
+pub trait OmegaWorkload {
+    /// Number of left borders.
+    fn n_lb(&self) -> usize;
+    /// Number of right borders.
+    fn n_rb(&self) -> usize;
+    /// Left-region LD sum for left border `a`.
+    fn ls(&self, a: usize) -> f32;
+    /// Right-region LD sum for right border `b`.
+    fn rs(&self, b: usize) -> f32;
+    /// Total LD sum for combination `(a, b)`.
+    fn ts(&self, a: usize, b: usize) -> f32;
+    /// Left-region SNP count for left border `a`.
+    fn l_snps(&self, a: usize) -> u32;
+    /// Right-region SNP count for right border `b`.
+    fn r_snps(&self, b: usize) -> u32;
+    /// First valid right-border list index for left border `a`.
+    fn first_valid_rb(&self, a: usize) -> usize;
+    /// Window-relative site index of left border `a`.
+    fn left_border(&self, a: usize) -> u32;
+    /// Window-relative site index of right border `b`.
+    fn right_border(&self, b: usize) -> u32;
+
+    /// Total number of valid combinations.
+    fn n_combinations(&self) -> u64 {
+        let n_rb = self.n_rb() as u64;
+        (0..self.n_lb()).map(|a| n_rb - self.first_valid_rb(a) as u64).sum()
+    }
+
+    /// ω of combination `(a, b)` via the shared scalar datapath.
+    #[inline]
+    fn score(&self, a: usize, b: usize) -> f32 {
+        omega_score(self.ls(a), self.rs(b), self.ts(a, b), self.l_snps(a), self.r_snps(b))
+    }
 }
 
 /// The flattened per-position workload shipped to an accelerator: the
@@ -114,42 +162,12 @@ pub struct OmegaTask {
 
 impl OmegaTask {
     /// Extracts the flat buffers for a position from the matrix M. This is
-    /// the host-side "data packing per grid position" step of Fig. 3.
+    /// the host-side "data packing per grid position" step of Fig. 3: the
+    /// owned copy exists solely because these buffers cross the simulated
+    /// PCIe boundary. Host-side consumers should use the zero-copy
+    /// [`TaskView`] instead.
     pub fn extract(m: &RegionMatrix, b: &BorderSet, plan: &PositionPlan) -> OmegaTask {
-        let k = b.k_rel;
-        let n_lb = b.left_borders.len();
-        let n_rb = b.right_borders.len();
-        let mut ls = Vec::with_capacity(n_lb);
-        let mut l_snps = Vec::with_capacity(n_lb);
-        for &lb in &b.left_borders {
-            ls.push(m.sum(lb as usize, k));
-            l_snps.push((k - lb as usize + 1) as u32);
-        }
-        let mut rs = Vec::with_capacity(n_rb);
-        let mut r_snps = Vec::with_capacity(n_rb);
-        for &rb in &b.right_borders {
-            rs.push(m.sum(k + 1, rb as usize));
-            r_snps.push((rb as usize - k) as u32);
-        }
-        let mut ts = Vec::with_capacity(n_lb * n_rb);
-        for &lb in &b.left_borders {
-            for &rb in &b.right_borders {
-                ts.push(m.sum(lb as usize, rb as usize));
-            }
-        }
-        OmegaTask {
-            pos_bp: plan.pos_bp,
-            window_lo: plan.lo,
-            k_rel: k,
-            ls,
-            l_snps,
-            rs,
-            r_snps,
-            ts,
-            first_valid_rb: b.first_valid_rb.clone(),
-            left_borders: b.left_borders.clone(),
-            right_borders: b.right_borders.clone(),
-        }
+        TaskView::new(m, b, plan).to_task()
     }
 
     /// Number of valid combinations in the task.
@@ -177,7 +195,9 @@ impl OmegaTask {
     }
 
     /// Reference sequential evaluation of the task — used to validate the
-    /// accelerator backends, which must agree exactly.
+    /// accelerator backends, which must agree exactly. Uses the same
+    /// `total_cmp`-consistent max reduction as [`omega_max`], so a NaN ω
+    /// from an early combination cannot poison the comparison.
     pub fn max_reference(&self) -> Option<OmegaMax> {
         let n_rb = self.rs.len();
         let mut best: Option<OmegaMax> = None;
@@ -186,7 +206,7 @@ impl OmegaTask {
             for b in self.first_valid_rb[a] as usize..n_rb {
                 let omega = self.score(a, b);
                 evaluated += 1;
-                if best.is_none_or(|cur| omega > cur.omega) {
+                if best.is_none_or(|cur| omega.total_cmp(&cur.omega).is_gt()) {
                     best = Some(OmegaMax {
                         omega,
                         left_border: self.left_borders[a] as usize,
@@ -200,6 +220,47 @@ impl OmegaTask {
             r.evaluated = evaluated;
             r
         })
+    }
+}
+
+impl OmegaWorkload for OmegaTask {
+    fn n_lb(&self) -> usize {
+        self.ls.len()
+    }
+    fn n_rb(&self) -> usize {
+        self.rs.len()
+    }
+    #[inline]
+    fn ls(&self, a: usize) -> f32 {
+        self.ls[a]
+    }
+    #[inline]
+    fn rs(&self, b: usize) -> f32 {
+        self.rs[b]
+    }
+    #[inline]
+    fn ts(&self, a: usize, b: usize) -> f32 {
+        self.ts[a * self.rs.len() + b]
+    }
+    #[inline]
+    fn l_snps(&self, a: usize) -> u32 {
+        self.l_snps[a]
+    }
+    #[inline]
+    fn r_snps(&self, b: usize) -> u32 {
+        self.r_snps[b]
+    }
+    #[inline]
+    fn first_valid_rb(&self, a: usize) -> usize {
+        self.first_valid_rb[a] as usize
+    }
+    #[inline]
+    fn left_border(&self, a: usize) -> u32 {
+        self.left_borders[a]
+    }
+    #[inline]
+    fn right_border(&self, b: usize) -> u32 {
+        self.right_borders[b]
     }
 }
 
@@ -352,6 +413,40 @@ mod tests {
         assert_eq!(task.first_valid_rb.len(), task.ls.len());
         assert!(task.l_snps.iter().all(|&l| l >= 3));
         assert!(task.r_snps.iter().all(|&r| r >= 3));
+    }
+
+    /// Regression: a NaN ω must rank deterministically under `total_cmp`
+    /// (above every finite score, like [`crate::scan::ScanOutcome::global_max`])
+    /// regardless of where it appears in evaluation order. The old
+    /// `omega > cur.omega` comparison made the outcome order-dependent: a
+    /// first-combination NaN stuck forever, a later NaN was ignored.
+    #[test]
+    fn max_reduction_handles_nan_order_independently() {
+        let task_with_ls = |ls: Vec<f32>| OmegaTask {
+            pos_bp: 500,
+            window_lo: 0,
+            k_rel: 2,
+            l_snps: vec![3, 2],
+            rs: vec![1.0],
+            r_snps: vec![2],
+            ts: vec![4.0, 4.0],
+            first_valid_rb: vec![0, 0],
+            left_borders: vec![0, 1],
+            right_borders: vec![4],
+            ls,
+        };
+
+        // NaN in the *second* left region: the old comparison ignored it.
+        let late = task_with_ls(vec![1.0, f32::NAN]).max_reference().unwrap();
+        assert!(late.omega.is_nan());
+        assert_eq!(late.left_border, 1);
+        assert_eq!(late.evaluated, 2);
+
+        // NaN in the *first* left region: still wins, same rank.
+        let early = task_with_ls(vec![f32::NAN, 1.0]).max_reference().unwrap();
+        assert!(early.omega.is_nan());
+        assert_eq!(early.left_border, 0);
+        assert_eq!(early.evaluated, 2);
     }
 
     #[test]

@@ -1,20 +1,154 @@
 //! Multithreaded scan: the "generic multithreaded OmegaPlus" the paper
-//! benchmarks in Table IV.
+//! benchmarks in Table IV, with an overlap-aware work-stealing scheduler.
 //!
-//! Grid positions are partitioned into contiguous chunks, one per worker,
-//! so each worker keeps the matrix data-reuse optimization within its own
-//! chunk (the same decomposition OmegaPlus' generic multithreaded mode
-//! uses: consecutive positions share window content, so splitting
-//! contiguously preserves most relocation opportunities).
+//! Grid positions are partitioned into *runs* of consecutive positions
+//! that workers pull from a shared queue. Each run keeps the matrix
+//! data-reuse optimization ([`crate::matrix::RegionMatrix::advance`])
+//! inside itself; relocation is only forfeited at run seams, because each
+//! run starts with a fresh matrix. The planner therefore cuts the grid
+//! where it costs the least:
+//!
+//! * boundaries between *non-overlapping* windows are free — the matrix
+//!   would be fully rebuilt there anyway — and are always cut;
+//! * if free cuts alone leave too few runs to keep the queue busy
+//!   (fewer than `threads ×` [`RUNS_PER_WORKER`]), the planner adds paid
+//!   cuts cheapest-first (by predicted relocated-cell loss), but never
+//!   spends more than [`SEAM_LOSS_BUDGET_PCT`] percent of the total
+//!   predicted reuse — so small grids on many threads sacrifice at most a
+//!   sliver of the relocation savings for load balance.
+//!
+//! Workers pull run indices from an atomic queue instead of owning a
+//! fixed contiguous chunk: a worker that finishes early steals the next
+//! pending run, so skew from uneven SNP density self-balances. The pull
+//! count beyond each worker's first run is surfaced as `scan.steals`, and
+//! the relocation given up at seams as `scan.reuse_lost_at_seams`
+//! (`cells_reused + reuse_lost_at_seams` equals the sequential scan's
+//! `cells_reused` when every position is scorable).
+//!
+//! The pool itself is built once per process and shared by every scan
+//! ([`scan_pool`]); `threads == 0` or a failed pool build falls back to
+//! rayon's global pool instead of panicking.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::Instant;
 
 use omega_genome::Alignment;
 use rayon::prelude::*;
 
-use crate::grid::GridPlan;
+use crate::grid::{BorderSet, GridPlan, PositionPlan};
 use crate::profile::{ScanStats, Timings};
 use crate::scan::{scan_positions, OmegaScanner, ScanOutcome};
+
+/// Target queue depth: runs per worker the planner aims for, so stealing
+/// has slack to balance uneven positions.
+const RUNS_PER_WORKER: usize = 4;
+
+/// Ceiling on the predicted relocated cells the planner may sacrifice at
+/// paid seams, as a percentage of the total predicted reuse.
+const SEAM_LOSS_BUDGET_PCT: u64 = 8;
+
+/// The process-wide scan pool, built lazily on first parallel scan.
+/// `None` records a failed build; scans then run on the global pool.
+fn scan_pool() -> Option<&'static rayon::ThreadPool> {
+    static POOL: OnceLock<Option<rayon::ThreadPool>> = OnceLock::new();
+    POOL.get_or_init(|| rayon::ThreadPoolBuilder::new().build().ok()).as_ref()
+}
+
+/// One planned run: a half-open range of grid-position indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Run {
+    lo: usize,
+    hi: usize,
+}
+
+/// Predicted relocation between two matrix-advancing positions: the cells
+/// [`crate::matrix::RegionMatrix::advance`] relocates when it moves from
+/// `prev`'s window to `cur`'s (`tri(overlap)`), zero when the windows
+/// don't overlap.
+fn seam_loss(prev: &PositionPlan, cur: &PositionPlan) -> u64 {
+    let overlap =
+        if cur.lo >= prev.lo && cur.lo < prev.hi { prev.hi.min(cur.hi) - cur.lo } else { 0 };
+    if overlap < 2 {
+        return 0;
+    }
+    (overlap as u64) * (overlap as u64 - 1) / 2
+}
+
+/// Partitions the grid into runs. `advances[i]` says whether position `i`
+/// advances the matrix (scorable with at least one combination) — only
+/// those positions carry relocation, so predicted reuse lives on the
+/// *chain edges* between consecutive advancing positions, and a cut
+/// forfeits exactly the one edge that spans it. Returns the runs
+/// (ascending, covering every position exactly once) and the total
+/// predicted relocation lost at the chosen seams — exact with respect to
+/// the sequential scan by construction.
+fn plan_runs(plans: &[PositionPlan], advances: &[bool], workers: usize) -> (Vec<Run>, u64) {
+    let n = plans.len();
+    debug_assert_eq!(advances.len(), n);
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+
+    // Chain edges (p, q, loss) between consecutive advancing positions;
+    // boundary i (a cut starting a run at position i) breaks the edge
+    // with p < i <= q. Boundaries spanned by no edge break nothing.
+    let adv: Vec<usize> = (0..n).filter(|&i| advances[i]).collect();
+    let edges: Vec<(usize, usize, u64)> =
+        adv.windows(2).map(|w| (w[0], w[1], seam_loss(&plans[w[0]], &plans[w[1]]))).collect();
+    let total_reuse: u64 = edges.iter().map(|&(_, _, l)| l).sum();
+    let mut edge_of: Vec<Option<usize>> = vec![None; n];
+    for (e, &(p, q, _)) in edges.iter().enumerate() {
+        for slot in &mut edge_of[p + 1..=q] {
+            *slot = Some(e);
+        }
+    }
+
+    // Free boundaries — spanned by no edge, or by an edge with nothing to
+    // relocate — are always cut: the matrix restarts there anyway.
+    let mut cut = vec![false; n]; // cut[i]: start a new run at position i
+    let mut n_runs = 1;
+    for i in 1..n {
+        if edge_of[i].is_none_or(|e| edges[e].2 == 0) {
+            cut[i] = true;
+            n_runs += 1;
+        }
+    }
+
+    // Paid cuts, cheapest edge first, to keep the steal queue deep enough
+    // — but only when there is someone to steal, and never beyond the
+    // seam-loss budget. Cutting at `q` (the advancing position that will
+    // rebuild) forfeits exactly that edge's relocation.
+    let mut lost = 0u64;
+    if workers > 1 {
+        let desired = n.min(workers * RUNS_PER_WORKER);
+        if n_runs < desired {
+            let budget = total_reuse * SEAM_LOSS_BUDGET_PCT / 100;
+            let mut paid: Vec<(u64, usize)> =
+                edges.iter().filter(|&&(_, _, l)| l > 0).map(|&(_, q, l)| (l, q)).collect();
+            paid.sort_unstable();
+            for (loss, q) in paid {
+                if n_runs >= desired || lost + loss > budget {
+                    break;
+                }
+                cut[q] = true;
+                n_runs += 1;
+                lost += loss;
+            }
+        }
+    }
+
+    let mut runs = Vec::with_capacity(n_runs);
+    let mut lo = 0;
+    for (i, &c) in cut.iter().enumerate().skip(1) {
+        if c {
+            runs.push(Run { lo, hi: i });
+            lo = i;
+        }
+    }
+    runs.push(Run { lo, hi: n });
+    (runs, lost)
+}
 
 impl OmegaScanner {
     /// Parallel scan using `params.threads` workers (0 = one per core).
@@ -25,13 +159,22 @@ impl OmegaScanner {
     pub fn scan_parallel(&self, alignment: &Alignment) -> ScanOutcome {
         let _span = omega_obs::span!("scan.parallel");
         let start = Instant::now();
-        let threads = if self.params().threads == 0 {
-            rayon::current_num_threads()
-        } else {
-            self.params().threads
+        let pool = scan_pool();
+        let workers = match self.params().threads {
+            0 => pool.map_or_else(rayon::current_num_threads, |p| p.current_num_threads()),
+            t => t,
         };
         let plan = GridPlan::build(alignment, self.params());
-        if plan.is_empty() {
+        let advances: Vec<bool> = plan
+            .positions()
+            .iter()
+            .map(|p| {
+                BorderSet::build(alignment, p, self.params())
+                    .is_some_and(|b| b.n_combinations() > 0)
+            })
+            .collect();
+        let (runs, predicted_lost) = plan_runs(plan.positions(), &advances, workers);
+        if runs.is_empty() {
             return ScanOutcome {
                 results: Vec::new(),
                 timings: Timings { total: start.elapsed(), ..Timings::default() },
@@ -39,27 +182,59 @@ impl OmegaScanner {
             };
         }
 
-        let chunk_len = plan.len().div_ceil(threads);
-        let chunks: Vec<_> = plan.positions().chunks(chunk_len).collect();
+        // Shared pull queue of run indices. A worker's first pull is its
+        // own assignment; every further pull is a steal from the tail
+        // other workers would otherwise reach.
+        let queue = AtomicUsize::new(0);
+        let worker_loop = |_w: usize| {
+            let mut out = Vec::new();
+            let mut timings = Timings::default();
+            let mut stats = ScanStats::default();
+            let mut pulls = 0u64;
+            loop {
+                let r = queue.fetch_add(1, Ordering::Relaxed);
+                if r >= runs.len() {
+                    break;
+                }
+                pulls += 1;
+                let run = runs[r];
+                let (res, t, s) =
+                    scan_positions(alignment, self.params(), &plan.positions()[run.lo..run.hi]);
+                out.push((r, res));
+                timings.accumulate(&t); // sequential within one worker
+                stats.accumulate(&s);
+            }
+            (out, timings, stats, pulls.saturating_sub(1))
+        };
+        let per_worker: Vec<_> = match pool {
+            Some(p) => p.install(|| (0..workers).into_par_iter().map(worker_loop).collect()),
+            None => (0..workers).into_par_iter().map(worker_loop).collect(),
+        };
 
-        let pool = rayon::ThreadPoolBuilder::new()
-            .num_threads(threads)
-            .build()
-            .expect("failed to build scan thread pool");
-        let per_chunk: Vec<_> = pool.install(|| {
-            chunks.par_iter().map(|chunk| scan_positions(alignment, self.params(), chunk)).collect()
-        });
-
-        let mut results = Vec::with_capacity(plan.len());
+        let mut tagged: Vec<(usize, Vec<_>)> = Vec::with_capacity(runs.len());
         let mut timings = Timings::default();
         let mut stats = ScanStats::default();
-        for (chunk_results, chunk_timings, chunk_stats) in per_chunk {
-            results.extend(chunk_results);
-            timings.merge_concurrent(&chunk_timings);
-            stats.accumulate(&chunk_stats);
+        let mut steals = 0u64;
+        for (out, worker_timings, worker_stats, worker_steals) in per_worker {
+            tagged.extend(out);
+            timings.merge_concurrent(&worker_timings);
+            stats.accumulate(&worker_stats);
+            steals += worker_steals;
         }
-        // The chunk maximum only covers worker time; the true wall time also
-        // includes planning and pool setup, measured here.
+        // Runs complete out of order under stealing; reassemble the grid.
+        tagged.sort_unstable_by_key(|&(r, _)| r);
+        let mut results = Vec::with_capacity(plan.len());
+        for (_, res) in tagged {
+            results.extend(res);
+        }
+
+        stats.steals = steals;
+        stats.reuse_lost_at_seams = predicted_lost;
+        omega_obs::counter!("scan.steals").add(steals);
+        omega_obs::counter!("scan.reuse_lost_at_seams").add(predicted_lost);
+
+        // The per-run maximum only covers worker time; the true wall time
+        // also includes planning and queue setup, measured here.
         timings.total = start.elapsed();
         ScanOutcome { results, timings, stats }
     }
@@ -122,6 +297,10 @@ mod tests {
         for (s, p) in seq.results.iter().zip(&par.results) {
             assert_eq!(s.omega, p.omega, "identical chunking must be bitwise equal");
         }
+        // One worker never pays for cuts: every seam the planner took was
+        // free, so no relocation was forfeited.
+        assert_eq!(par.stats.reuse_lost_at_seams, 0);
+        assert_eq!(par.stats.cells_reused, seq.stats.cells_reused);
     }
 
     #[test]
@@ -136,5 +315,89 @@ mod tests {
         let a = Alignment::new(vec![], vec![], 10).unwrap();
         let par = OmegaScanner::new(params(5, 2)).unwrap().scan_parallel(&a);
         assert!(par.results.is_empty());
+    }
+
+    /// Acceptance: at 8 threads on a dense overlapping grid, the planner
+    /// preserves at least 90 % of the sequential scan's relocated cells,
+    /// and its seam accounting is exact — every cell is either relocated
+    /// or attributed to a seam.
+    #[test]
+    fn eight_thread_scan_preserves_reuse() {
+        let a = random_alignment(160, 16, 7);
+        // Wide windows -> every adjacent pair overlaps, every interior
+        // position scorable: predicted seam loss is exact.
+        let p =
+            ScanParams { grid: 48, min_win: 0, max_win: 4_000, min_snps_per_side: 2, threads: 1 };
+        let seq = OmegaScanner::new(p).unwrap().scan(&a);
+        assert!(seq.stats.cells_reused > 0);
+
+        let par = OmegaScanner::new(ScanParams { threads: 8, ..p }).unwrap().scan_parallel(&a);
+        assert_eq!(
+            par.stats.cells_reused + par.stats.reuse_lost_at_seams,
+            seq.stats.cells_reused,
+            "seam accounting must be exact on an all-scorable grid"
+        );
+        assert!(
+            par.stats.cells_reused * 10 >= seq.stats.cells_reused * 9,
+            "work-stealing must preserve >=90% of reuse: kept {} of {}",
+            par.stats.cells_reused,
+            seq.stats.cells_reused
+        );
+        // And the results still match the sequential scan.
+        for (s, r) in seq.results.iter().zip(&par.results) {
+            assert_eq!(s.pos_bp, r.pos_bp);
+            assert_eq!(s.omega.to_bits(), r.omega.to_bits());
+        }
+    }
+
+    #[test]
+    fn run_planner_cuts_free_boundaries() {
+        // Three islands of overlapping windows separated by gaps: the two
+        // gap boundaries are free cuts, nothing is paid even at 1 worker.
+        let mk = |lo: usize, hi: usize| PositionPlan { pos_bp: lo as u64, lo, hi, split: lo + 1 };
+        let plans = vec![mk(0, 10), mk(4, 14), mk(20, 30), mk(24, 34), mk(40, 50)];
+        let (runs, lost) = plan_runs(&plans, &[true; 5], 1);
+        assert_eq!(lost, 0);
+        assert_eq!(runs, vec![Run { lo: 0, hi: 2 }, Run { lo: 2, hi: 4 }, Run { lo: 4, hi: 5 }]);
+    }
+
+    #[test]
+    fn run_planner_pays_within_budget() {
+        // One long chain of heavily-overlapping windows: free cuts don't
+        // exist, so multi-worker planning must buy cuts — and the total
+        // paid loss stays within the budget.
+        let mk = |i: usize| PositionPlan { pos_bp: i as u64, lo: i, hi: i + 40, split: i + 20 };
+        let plans: Vec<_> = (0..64).map(mk).collect();
+        let per_seam = seam_loss(&plans[0], &plans[1]);
+        let total: u64 = per_seam * 63;
+        let (runs, lost) = plan_runs(&plans, &[true; 64], 8);
+        assert!(runs.len() > 1, "must create stealable runs");
+        assert!(lost <= total * SEAM_LOSS_BUDGET_PCT / 100);
+        assert_eq!(lost, per_seam * (runs.len() as u64 - 1));
+        // Runs cover the grid exactly once, in order.
+        assert_eq!(runs[0].lo, 0);
+        assert_eq!(runs.last().unwrap().hi, 64);
+        assert!(runs.windows(2).all(|w| w[0].hi == w[1].lo));
+    }
+
+    #[test]
+    fn run_planner_respects_non_advancing_positions() {
+        // Positions 0 and 3 never advance the matrix (unscorable): the
+        // only chain edge is 1→2, boundaries outside it are free, and one
+        // worker keeps the edge intact.
+        let mk = |i: usize| PositionPlan { pos_bp: i as u64, lo: i, hi: i + 40, split: i + 20 };
+        let plans: Vec<_> = (0..4).map(mk).collect();
+        let (runs, lost) = plan_runs(&plans, &[false, true, true, false], 1);
+        assert_eq!(lost, 0);
+        assert_eq!(runs, vec![Run { lo: 0, hi: 1 }, Run { lo: 1, hi: 3 }, Run { lo: 3, hi: 4 }]);
+    }
+
+    #[test]
+    fn run_planner_single_worker_never_pays() {
+        let mk = |i: usize| PositionPlan { pos_bp: i as u64, lo: i, hi: i + 40, split: i + 20 };
+        let plans: Vec<_> = (0..32).map(mk).collect();
+        let (runs, lost) = plan_runs(&plans, &[true; 32], 1);
+        assert_eq!(runs, vec![Run { lo: 0, hi: 32 }]);
+        assert_eq!(lost, 0);
     }
 }

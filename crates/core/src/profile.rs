@@ -82,6 +82,13 @@ pub struct ScanStats {
     pub r2_pairs: u64,
     /// Matrix cells relocated instead of recomputed (data-reuse savings).
     pub cells_reused: u64,
+    /// Parallel-scan runs a worker pulled beyond its first (work stealing).
+    pub steals: u64,
+    /// Matrix cells whose relocation was forfeited because the scheduler
+    /// cut the grid between two overlapping windows (each run starts with
+    /// a fresh matrix). `cells_reused + reuse_lost_at_seams` equals the
+    /// sequential scan's `cells_reused`.
+    pub reuse_lost_at_seams: u64,
 }
 
 impl ScanStats {
@@ -92,6 +99,8 @@ impl ScanStats {
         self.omega_evaluations += other.omega_evaluations;
         self.r2_pairs += other.r2_pairs;
         self.cells_reused += other.cells_reused;
+        self.steals += other.steals;
+        self.reuse_lost_at_seams += other.reuse_lost_at_seams;
     }
 }
 
@@ -146,6 +155,8 @@ mod tests {
             omega_evaluations: 5,
             r2_pairs: 7,
             cells_reused: 2,
+            steals: 1,
+            reuse_lost_at_seams: 4,
         };
         s.accumulate(&ScanStats {
             positions: 2,
@@ -153,10 +164,14 @@ mod tests {
             omega_evaluations: 10,
             r2_pairs: 3,
             cells_reused: 8,
+            steals: 2,
+            reuse_lost_at_seams: 6,
         });
         assert_eq!(s.positions, 3);
         assert_eq!(s.omega_evaluations, 15);
         assert_eq!(s.cells_reused, 10);
+        assert_eq!(s.steals, 3);
+        assert_eq!(s.reuse_lost_at_seams, 10);
     }
 
     #[test]

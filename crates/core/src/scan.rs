@@ -6,8 +6,8 @@ use std::time::Instant;
 use omega_genome::Alignment;
 
 use crate::grid::{BorderSet, GridPlan, PositionPlan};
+use crate::kernel::{OmegaKernel, TaskView};
 use crate::matrix::{MatrixBuildTiming, RegionMatrix};
-use crate::omega::omega_max;
 use crate::params::{ParamError, ScanParams};
 use crate::profile::{ScanStats, Timings};
 
@@ -87,6 +87,7 @@ pub(crate) fn scan_positions(
     plans: &[PositionPlan],
 ) -> (Vec<PositionResult>, Timings, ScanStats) {
     let mut matrix = RegionMatrix::new();
+    let mut kernel = OmegaKernel::new();
     let mut build_timing = MatrixBuildTiming::default();
     let mut timings = Timings::default();
     let mut stats = ScanStats { positions: plans.len(), ..ScanStats::default() };
@@ -103,8 +104,9 @@ pub(crate) fn scan_positions(
                 stats.cells_reused += mstats.reused_cells;
 
                 let omega_start = Instant::now();
-                let best =
-                    omega_max(&matrix, &b).expect("non-empty border set must yield a result");
+                let best = kernel
+                    .run(&TaskView::new(&matrix, &b, plan))
+                    .expect("non-empty border set must yield a result");
                 timings.omega += omega_start.elapsed();
 
                 stats.scorable_positions += 1;

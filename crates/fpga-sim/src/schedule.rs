@@ -8,7 +8,7 @@
 //! prefetched once per position and reused across all left-border
 //! iterations.
 
-use omega_core::{omega_score, OmegaMax, OmegaTask};
+use omega_core::{OmegaMax, OmegaTask, OmegaWorkload, TaskView};
 
 use crate::device::FpgaDevice;
 use crate::pipeline::{OmegaPipeline, PipeInput};
@@ -68,17 +68,30 @@ impl FpgaOmegaEngine {
     /// position pays one pipeline fill plus the RS prefetch burst), the
     /// remainder runs in host software.
     pub fn run_task(&self, task: &OmegaTask) -> FpgaRun {
+        self.run_workload(task)
+    }
+
+    /// Executes one position straight from the zero-copy host view — no
+    /// flattened buffers are materialised on the host side.
+    pub fn run_view(&self, view: &TaskView<'_>) -> FpgaRun {
+        self.run_workload(view)
+    }
+
+    /// Executes any workload form functionally and charges cycles (see
+    /// [`FpgaOmegaEngine::run_task`]).
+    pub fn run_workload<W: OmegaWorkload>(&self, task: &W) -> FpgaRun {
         let _span = omega_obs::span!("fpga.task");
         let unroll = self.device.unroll as u64;
-        let n_rb = task.rs.len();
-        let mut scores: Vec<f32> = vec![f32::NEG_INFINITY; task.ls.len() * n_rb];
+        let n_rb = task.n_rb();
+        let n_lb = task.n_lb();
+        let mut scores: Vec<f32> = vec![f32::NEG_INFINITY; n_lb * n_rb];
         let mut hw_scores = 0u64;
         let mut sw_scores = 0u64;
         let any_work = task.n_combinations() > 0;
         let mut cycles = if any_work { PREFETCH_INIT_CYCLES } else { 0 };
 
-        for a in 0..task.ls.len() {
-            let first = task.first_valid_rb[a] as usize;
+        for a in 0..n_lb {
+            let first = task.first_valid_rb(a);
             let valid = (n_rb - first) as u64;
             if valid == 0 {
                 continue;
@@ -94,11 +107,11 @@ impl FpgaOmegaEngine {
                         .map(|step| {
                             let b = first + step * unroll as usize + inst;
                             PipeInput {
-                                ls: task.ls[a],
-                                rs: task.rs[b],
-                                ts: task.ts[a * n_rb + b],
-                                l: task.l_snps[a],
-                                r: task.r_snps[b],
+                                ls: task.ls(a),
+                                rs: task.rs(b),
+                                ts: task.ts(a, b),
+                                l: task.l_snps(a),
+                                r: task.r_snps(b),
                             }
                         })
                         .collect();
@@ -119,13 +132,7 @@ impl FpgaOmegaEngine {
             }
             // Software remainder.
             for b in first + hw as usize..n_rb {
-                scores[a * n_rb + b] = omega_score(
-                    task.ls[a],
-                    task.rs[b],
-                    task.ts[a * n_rb + b],
-                    task.l_snps[a],
-                    task.r_snps[b],
-                );
+                scores[a * n_rb + b] = task.score(a, b);
                 sw_scores += 1;
             }
         }
@@ -135,16 +142,17 @@ impl FpgaOmegaEngine {
         }
         record_fpga_metrics(cycles, hw_scores, sw_scores, any_work, self.pipeline.latency());
 
-        // Reference-order reduction over the score buffer.
+        // Reference-order reduction over the score buffer, under the shared
+        // `total_cmp` contract (NaN ranks above finite, first wins ties).
         let mut best: Option<OmegaMax> = None;
-        for a in 0..task.ls.len() {
-            for b in task.first_valid_rb[a] as usize..n_rb {
+        for a in 0..n_lb {
+            for b in task.first_valid_rb(a)..n_rb {
                 let w = scores[a * n_rb + b];
-                if best.is_none_or(|cur| w > cur.omega) {
+                if best.is_none_or(|cur| w.total_cmp(&cur.omega).is_gt()) {
                     best = Some(OmegaMax {
                         omega: w,
-                        left_border: task.left_borders[a] as usize,
-                        right_border: task.right_borders[b] as usize,
+                        left_border: task.left_border(a) as usize,
+                        right_border: task.right_border(b) as usize,
                         evaluated: 0,
                     });
                 }
@@ -237,6 +245,47 @@ mod tests {
         let mut t = MatrixBuildTiming::default();
         m.rebuild(&a, plan.lo, plan.hi, &mut t);
         OmegaTask::extract(&m, &b, &plan)
+    }
+
+    #[test]
+    fn run_view_matches_run_task() {
+        let mut rng = StdRng::seed_from_u64(19);
+        let n_sites = 18;
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..20).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
+        let a = Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap();
+        let params = ScanParams {
+            grid: 1,
+            min_win: 400,
+            max_win: 1_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let plan = GridPlan::plan_at(&a, 900, &params);
+        let b = BorderSet::build(&a, &plan, &params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+
+        let engine = FpgaOmegaEngine::new(FpgaDevice::zcu102());
+        let task = OmegaTask::extract(&m, &b, &plan);
+        let via_task = engine.run_task(&task);
+        let via_view = engine.run_view(&omega_core::TaskView::new(&m, &b, &plan));
+        assert_eq!(via_task.cycles, via_view.cycles);
+        assert_eq!(via_task.hw_scores, via_view.hw_scores);
+        assert_eq!(via_task.sw_scores, via_view.sw_scores);
+        let (t_best, v_best) = (via_task.best.unwrap(), via_view.best.unwrap());
+        assert_eq!(t_best.omega.to_bits(), v_best.omega.to_bits());
+        assert_eq!(t_best.left_border, v_best.left_border);
+        assert_eq!(t_best.right_border, v_best.right_border);
     }
 
     #[test]

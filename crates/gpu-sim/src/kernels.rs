@@ -9,7 +9,7 @@
 //! *memory* behaviour the cost model charges, not values), so
 //! tie-breaking matches the CPU reference exactly.
 
-use omega_core::{omega_score, OmegaMax, OmegaTask};
+use omega_core::{OmegaMax, OmegaTask, OmegaWorkload, TaskView};
 use rayon::prelude::*;
 
 use crate::buffers::{BufferPlan, KernelKind, TaskDims};
@@ -66,15 +66,36 @@ impl GpuOmegaEngine {
 
     /// Runs one position with dynamic kernel selection.
     pub fn run_task(&self, task: &OmegaTask) -> KernelRun {
-        self.run_task_with(task, self.dispatch_kind(task.n_combinations()))
+        self.run_workload(task)
+    }
+
+    /// Runs one position straight from the zero-copy host view — no
+    /// flattened buffers are materialised; only the simulated transfer
+    /// cost still reflects the PCIe crossing.
+    pub fn run_view(&self, view: &TaskView<'_>) -> KernelRun {
+        self.run_workload(view)
+    }
+
+    /// Runs any workload form with dynamic kernel selection.
+    pub fn run_workload<W: OmegaWorkload + Sync>(&self, workload: &W) -> KernelRun {
+        self.run_workload_with(workload, self.dispatch_kind(workload.n_combinations()))
     }
 
     /// Runs one position on a forced kernel (used by the Fig. 12 sweeps
     /// that evaluate each kernel in isolation).
     pub fn run_task_with(&self, task: &OmegaTask, kind: KernelKind) -> KernelRun {
+        self.run_workload_with(task, kind)
+    }
+
+    /// Runs any workload form on a forced kernel.
+    pub fn run_workload_with<W: OmegaWorkload + Sync>(
+        &self,
+        workload: &W,
+        kind: KernelKind,
+    ) -> KernelRun {
         let _span = omega_obs::span!("gpu.task");
-        let dims = task_dims(task);
-        let best = execute_functional(task);
+        let dims = workload_dims(workload);
+        let best = execute_functional(workload);
         let mut run = self.estimate(&dims, kind);
         run.best = best;
         run
@@ -129,36 +150,36 @@ impl GpuOmegaEngine {
 
 /// Dimensions of a task's workload.
 pub fn task_dims(task: &OmegaTask) -> TaskDims {
+    workload_dims(task)
+}
+
+/// Dimensions of any workload form.
+pub fn workload_dims<W: OmegaWorkload>(workload: &W) -> TaskDims {
     TaskDims {
-        n_lb: task.ls.len() as u64,
-        n_rb: task.rs.len() as u64,
-        n_valid: task.n_combinations(),
+        n_lb: workload.n_lb() as u64,
+        n_rb: workload.n_rb() as u64,
+        n_valid: workload.n_combinations(),
     }
 }
 
 /// Evaluates every valid combination, parallel over left borders, with
-/// reference tie-breaking (first strictly-greater in (a, b) ascending
-/// order wins).
-fn execute_functional(task: &OmegaTask) -> Option<OmegaMax> {
-    let n_rb = task.rs.len();
-    if task.ls.is_empty() || n_rb == 0 {
+/// the shared `total_cmp` reduction contract (first combination in
+/// (a, b) ascending order that is strictly greater under the IEEE total
+/// order wins; NaN ranks above every finite score).
+fn execute_functional<W: OmegaWorkload + Sync>(workload: &W) -> Option<OmegaMax> {
+    let n_rb = workload.n_rb();
+    if workload.n_lb() == 0 || n_rb == 0 {
         return None;
     }
-    let per_row: Vec<Option<(f32, usize, u64)>> = (0..task.ls.len())
+    let per_row: Vec<Option<(f32, usize, u64)>> = (0..workload.n_lb())
         .into_par_iter()
         .map(|a| {
             let mut best: Option<(f32, usize)> = None;
             let mut evaluated = 0u64;
-            for b in task.first_valid_rb[a] as usize..n_rb {
-                let w = omega_score(
-                    task.ls[a],
-                    task.rs[b],
-                    task.ts[a * n_rb + b],
-                    task.l_snps[a],
-                    task.r_snps[b],
-                );
+            for b in workload.first_valid_rb(a)..n_rb {
+                let w = workload.score(a, b);
                 evaluated += 1;
-                if best.is_none_or(|(cur, _)| w > cur) {
+                if best.is_none_or(|(cur, _)| w.total_cmp(&cur).is_gt()) {
                     best = Some((w, b));
                 }
             }
@@ -171,11 +192,11 @@ fn execute_functional(task: &OmegaTask) -> Option<OmegaMax> {
     for (a, row) in per_row.into_iter().enumerate() {
         let Some((w, b, evaluated)) = row else { continue };
         total += evaluated;
-        if best.is_none_or(|cur| w > cur.omega) {
+        if best.is_none_or(|cur| w.total_cmp(&cur.omega).is_gt()) {
             best = Some(OmegaMax {
                 omega: w,
-                left_border: task.left_borders[a] as usize,
-                right_border: task.right_borders[b] as usize,
+                left_border: workload.left_border(a) as usize,
+                right_border: workload.right_border(b) as usize,
                 evaluated: 0,
             });
         }
@@ -214,6 +235,47 @@ mod tests {
         let mut t = MatrixBuildTiming::default();
         m.rebuild(&a, plan.lo, plan.hi, &mut t);
         OmegaTask::extract(&m, &b, &plan)
+    }
+
+    #[test]
+    fn run_view_matches_run_task() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let n_sites = 18;
+        let sites: Vec<SnpVec> = (0..n_sites)
+            .map(|_| loop {
+                let calls: Vec<u8> = (0..20).map(|_| rng.gen_range(0..2)).collect();
+                let s = SnpVec::from_bits(&calls);
+                if !s.is_monomorphic() {
+                    break s;
+                }
+            })
+            .collect();
+        let positions: Vec<u64> = (0..n_sites as u64).map(|i| 100 * (i + 1)).collect();
+        let a = Alignment::new(positions, sites, 100 * n_sites as u64 + 100).unwrap();
+        let params = ScanParams {
+            grid: 1,
+            min_win: 300,
+            max_win: 1_000_000,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let plan = GridPlan::plan_at(&a, 900, &params);
+        let b = BorderSet::build(&a, &plan, &params).unwrap();
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+
+        let engine = GpuOmegaEngine::new(GpuDevice::tesla_k80());
+        let task = OmegaTask::extract(&m, &b, &plan);
+        let via_task = engine.run_task(&task);
+        let via_view = engine.run_view(&omega_core::TaskView::new(&m, &b, &plan));
+        assert_eq!(via_task.kind, via_view.kind);
+        assert_eq!(via_task.cost, via_view.cost);
+        let (t_best, v_best) = (via_task.best.unwrap(), via_view.best.unwrap());
+        assert_eq!(t_best.omega.to_bits(), v_best.omega.to_bits());
+        assert_eq!(t_best.left_border, v_best.left_border);
+        assert_eq!(t_best.right_border, v_best.right_border);
+        assert_eq!(t_best.evaluated, v_best.evaluated);
     }
 
     #[test]

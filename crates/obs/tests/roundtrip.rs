@@ -60,7 +60,8 @@ fn gpu_detection_trace_roundtrips() {
         .collect();
 
     // Spans from all three layers a GPU run exercises.
-    for name in ["accel.detect", "accel.position", "matrix.advance", "omega_max", "gpu.estimate"] {
+    for name in ["accel.detect", "accel.position", "matrix.advance", "omega.kernel", "gpu.estimate"]
+    {
         assert!(spans.iter().any(|s| s.name == name), "missing span '{name}'");
     }
 
@@ -75,7 +76,7 @@ fn gpu_detection_trace_roundtrips() {
         assert_eq!(s.parent.as_deref(), Some("accel.detect"));
         assert_eq!(s.depth, 1);
     }
-    for s in spans.iter().filter(|s| s.name == "matrix.advance" || s.name == "omega_max") {
+    for s in spans.iter().filter(|s| s.name == "matrix.advance" || s.name == "omega.kernel") {
         assert_eq!(s.parent.as_deref(), Some("accel.position"), "span {:?}", s);
         assert_eq!(s.depth, 2);
     }
@@ -98,6 +99,9 @@ fn gpu_detection_trace_roundtrips() {
             .unwrap_or_else(|| panic!("missing counter '{name}'"))
     };
     assert_eq!(counter("omega.evaluations"), outcome.stats.omega_evaluations);
+    // The vectorized kernel evaluates every combination lane-wise, so its
+    // lane counter covers the full evaluation count.
+    assert_eq!(counter("omega.kernel_lanes"), outcome.stats.omega_evaluations);
     assert_eq!(counter("matrix.r2_pairs"), outcome.stats.r2_pairs);
     assert_eq!(counter("matrix.cells_reused"), outcome.stats.cells_reused);
     assert_eq!(counter("accel.detect.positions"), outcome.stats.positions as u64);
