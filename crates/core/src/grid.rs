@@ -145,13 +145,17 @@ impl BorderSet {
         plan: &PositionPlan,
         params: &ScanParams,
     ) -> Option<BorderSet> {
-        let min_snps = params.min_snps_per_side;
+        // A border needs at least one site on each side even when the
+        // caller skipped `ScanParams::validate` and passed `min_snps = 0`;
+        // clamping keeps the subtractions below well-defined.
+        let min_snps = params.min_snps_per_side.max(1);
         if !plan.is_scorable(min_snps) {
             return None;
         }
-        let k_rel = plan.split - 1 - plan.lo;
+        let k_rel = plan.split.checked_sub(plan.lo + 1)?;
         let width = plan.width();
-        let left_borders: Vec<u32> = (0..=(k_rel + 1 - min_snps) as u32).collect();
+        let last_lb = (k_rel + 1).checked_sub(min_snps)?;
+        let left_borders: Vec<u32> = (0..=last_lb as u32).collect();
         let right_borders: Vec<u32> = ((k_rel + min_snps) as u32..width as u32).collect();
 
         // Two-pointer over the min_win constraint: as lb moves right its
@@ -312,6 +316,27 @@ mod tests {
         let a = Alignment::new(vec![], sites, 100).unwrap();
         let g = GridPlan::build(&a, &ScanParams::default());
         assert!(g.is_empty());
+    }
+
+    #[test]
+    fn zero_min_snps_does_not_underflow() {
+        // `BorderSet::build` is public and may be called with params that
+        // never went through `ScanParams::validate`; with min_snps = 0 a
+        // window whose left side is empty used to underflow
+        // `plan.split - 1 - plan.lo`. It must report unscorable instead.
+        let a = toy_alignment(&[100, 200, 300]);
+        let p = ScanParams { min_snps_per_side: 0, ..params(0, 1000) };
+        let plan = GridPlan::plan_at(&a, 50, &p); // all sites right of pos
+        assert_eq!(plan.left_len(), 0);
+        assert!(BorderSet::build(&a, &plan, &p).is_none());
+    }
+
+    #[test]
+    fn min_snps_larger_than_site_count_unscorable() {
+        let a = toy_alignment(&[100, 200, 300, 400]);
+        let p = ScanParams { min_snps_per_side: 1_000, ..params(0, 1000) };
+        let plan = GridPlan::plan_at(&a, 250, &p);
+        assert!(BorderSet::build(&a, &plan, &p).is_none());
     }
 
     #[test]

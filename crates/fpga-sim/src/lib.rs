@@ -22,10 +22,12 @@ pub mod pipeline;
 pub mod resources;
 pub mod schedule;
 pub mod stages;
+pub mod stream;
 pub mod throughput;
 
 pub use device::FpgaDevice;
 pub use pipeline::{OmegaPipeline, PipeInput};
 pub use resources::ResourceReport;
 pub use schedule::{FpgaOmegaEngine, FpgaRun, HOST_SW_RATE, PREFETCH_INIT_CYCLES};
+pub use stream::StreamOverlap;
 pub use throughput::{iterations_for_efficiency, throughput_curve, ThroughputPoint};

@@ -65,6 +65,23 @@ impl Alignment {
         self.region_len
     }
 
+    /// Returns the alignment with its region length replaced by an
+    /// explicitly stated one, erroring when any site lies beyond it (an
+    /// explicit length that contradicts the data must not be silently
+    /// stretched the way [`Alignment::new`]'s derived length is).
+    pub fn with_region_len(mut self, region_len: u64) -> Result<Self, GenomeError> {
+        let max_pos = self.positions.last().copied().unwrap_or(0);
+        if region_len < max_pos {
+            return Err(GenomeError::parse(
+                "alignment",
+                None,
+                format!("site at {max_pos} bp exceeds the stated region length {region_len}"),
+            ));
+        }
+        self.region_len = region_len;
+        Ok(self)
+    }
+
     /// Physical position (bp) of site `i`.
     #[inline]
     pub fn position(&self, i: usize) -> u64 {

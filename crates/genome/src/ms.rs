@@ -36,27 +36,92 @@ impl Default for MsReadOptions {
     }
 }
 
-/// Parses every replicate in an `ms` stream.
+/// Parses every replicate in an `ms` stream into memory at once.
+///
+/// For multi-replicate experiment files prefer [`MsReplicates`], which
+/// yields one alignment at a time and keeps peak memory bounded by the
+/// largest single replicate rather than the whole file.
 pub fn read_ms<R: BufRead>(reader: R, opts: MsReadOptions) -> Result<Vec<Alignment>, GenomeError> {
-    let mut replicates = Vec::new();
-    let mut lines = reader.lines().enumerate();
-
-    // Scan for replicate markers; everything before the first `//` is the
-    // command-line echo and the seeds, which we skip.
-    while let Some((_, line)) = lines.next() {
-        let line = line?;
-        if !line.starts_with("//") {
-            continue;
-        }
-        replicates.push(read_replicate(&mut lines, opts)?);
-    }
-    Ok(replicates)
+    MsReplicates::new(reader, opts).collect()
 }
 
+/// Streaming replicate reader: an iterator yielding one [`Alignment`] per
+/// `ms` replicate block.
+///
+/// Only the replicate currently being parsed is resident in memory — the
+/// raw text is consumed line by line and each built alignment is handed to
+/// the caller before the next block is touched. Scanning an N-replicate
+/// file therefore has a peak alignment footprint independent of N, which
+/// is what makes paper-scale batch runs (hundreds of replicates per
+/// configuration) feasible.
+///
+/// Iteration stops permanently after the first error (a parse error leaves
+/// the underlying stream at an unknown block boundary).
+pub struct MsReplicates<R: BufRead> {
+    lines: std::iter::Enumerate<std::io::Lines<R>>,
+    opts: MsReadOptions,
+    /// The haplotype-row loop of the previous replicate consumed the next
+    /// `//` marker (blocks need not be separated by a blank line), so the
+    /// next call must not scan for another marker.
+    pending_marker: bool,
+    done: bool,
+}
+
+impl<R: BufRead> MsReplicates<R> {
+    /// Wraps a reader positioned at the start of an `ms` stream.
+    pub fn new(reader: R, opts: MsReadOptions) -> Self {
+        MsReplicates { lines: reader.lines().enumerate(), opts, pending_marker: false, done: false }
+    }
+}
+
+impl<R: BufRead> Iterator for MsReplicates<R> {
+    type Item = Result<Alignment, GenomeError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        // Scan for the next replicate marker; everything before the first
+        // `//` is the command-line echo and the seeds, which we skip.
+        if !self.pending_marker {
+            loop {
+                match self.lines.next() {
+                    None => {
+                        self.done = true;
+                        return None;
+                    }
+                    Some((_, Err(e))) => {
+                        self.done = true;
+                        return Some(Err(e.into()));
+                    }
+                    Some((_, Ok(line))) => {
+                        if line.starts_with("//") {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.pending_marker = false;
+        match read_replicate(&mut self.lines, self.opts) {
+            Ok((alignment, saw_marker)) => {
+                self.pending_marker = saw_marker;
+                Some(Ok(alignment))
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Parses one replicate block. The second return value reports whether the
+/// haplotype-row loop terminated by consuming the next `//` marker.
 fn read_replicate(
     lines: &mut impl Iterator<Item = (usize, std::io::Result<String>)>,
     opts: MsReadOptions,
-) -> Result<Alignment, GenomeError> {
+) -> Result<(Alignment, bool), GenomeError> {
     let (ln, segsites_line) = next_nonempty(lines, "ms")?;
     let segsites: usize = segsites_line
         .strip_prefix("segsites:")
@@ -66,7 +131,7 @@ fn read_replicate(
         .map_err(|_| GenomeError::parse("ms", Some(ln + 1), "invalid segsites count"))?;
 
     if segsites == 0 {
-        return AlignmentBuilder::new().region_len(opts.region_len).build();
+        return Ok((AlignmentBuilder::new().region_len(opts.region_len).build()?, false));
     }
 
     let (ln, positions_line) = next_nonempty(lines, "ms")?;
@@ -91,10 +156,12 @@ fn read_replicate(
     // Haplotype rows: one 0/1 string per sample until a blank line, a new
     // replicate marker, or EOF.
     let mut rows: Vec<Vec<Allele>> = Vec::new();
+    let mut saw_marker = false;
     for (ln, line) in lines.by_ref() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with("//") {
+            saw_marker = trimmed.starts_with("//");
             break;
         }
         let mut row = Vec::with_capacity(segsites);
@@ -138,7 +205,7 @@ fn read_replicate(
         prev_bp = bp;
         builder.push_site(bp, SnpVec::from_calls(&calls));
     }
-    builder.build()
+    Ok((builder.build()?, saw_marker))
 }
 
 fn next_nonempty(
@@ -291,6 +358,45 @@ positions: 0.25 0.75
         let reps = read_ms(Cursor::new(text), MsReadOptions { region_len: 1000 }).unwrap();
         let p = reps[0].positions();
         assert!(p.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn streaming_iterator_matches_read_ms() {
+        let opts = MsReadOptions { region_len: 1000 };
+        let eager = read_ms(Cursor::new(SAMPLE), opts).unwrap();
+        let streamed: Vec<Alignment> =
+            MsReplicates::new(Cursor::new(SAMPLE), opts).map(Result::unwrap).collect();
+        assert_eq!(streamed.len(), eager.len());
+        for (a, b) in eager.iter().zip(&streamed) {
+            assert_eq!(a.positions(), b.positions());
+            for j in 0..a.n_sites() {
+                assert_eq!(a.site(j), b.site(j));
+            }
+        }
+    }
+
+    #[test]
+    fn replicates_without_blank_separator() {
+        // The haplotype loop of replicate 1 consumes the `//` of replicate
+        // 2; the iterator must not lose that block.
+        let text =
+            "//\nsegsites: 1\npositions: 0.5\n0\n1\n//\nsegsites: 1\npositions: 0.25\n1\n0\n";
+        let reps = read_ms(Cursor::new(text), MsReadOptions { region_len: 100 }).unwrap();
+        assert_eq!(reps.len(), 2);
+        assert_eq!(reps[0].positions(), &[50]);
+        assert_eq!(reps[1].positions(), &[25]);
+    }
+
+    #[test]
+    fn streaming_is_lazy_past_errors() {
+        // The first replicate parses before the malformed second block is
+        // ever touched; the error surfaces only on the next pull and ends
+        // the iteration.
+        let text = "//\nsegsites: 1\npositions: 0.5\n0\n1\n\n//\nsegsites: bogus\n";
+        let mut it = MsReplicates::new(Cursor::new(text), MsReadOptions { region_len: 100 });
+        assert!(it.next().unwrap().is_ok());
+        assert!(it.next().unwrap().is_err());
+        assert!(it.next().is_none());
     }
 
     #[test]

@@ -6,9 +6,19 @@
 
 use std::io::BufRead;
 
-use crate::alignment::{Alignment, AlignmentBuilder};
+use crate::alignment::Alignment;
 use crate::bitvec::{Allele, SnpVec};
 use crate::error::GenomeError;
+
+/// Options controlling how a VCF stream is mapped to an [`Alignment`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VcfReadOptions {
+    /// Physical region length in bp. `None` derives it from the largest
+    /// observed `POS` (the legacy behaviour); `Some(len)` uses `len` and
+    /// rejects any record whose `POS` exceeds it, so a user-supplied
+    /// `-length` cannot be silently contradicted by the data.
+    pub region_len: Option<u64>,
+}
 
 /// Result of parsing a VCF stream.
 #[derive(Debug)]
@@ -17,14 +27,35 @@ pub struct VcfOutcome {
     pub alignment: Alignment,
     /// Records skipped because they were not biallelic SNPs with GT data.
     pub skipped_records: usize,
+    /// Records whose `POS` was smaller than an earlier record's (the
+    /// reader sorts them back into position order before building).
+    pub unsorted_records: usize,
+    /// Records dropped because an earlier record already used their `POS`.
+    pub duplicate_records: usize,
     /// Name of the contig that was parsed.
     pub contig: Option<String>,
 }
 
-/// Parses the first contig found in a VCF stream into a binary alignment.
+/// Parses the first contig found in a VCF stream into a binary alignment,
+/// deriving the region length from the data. See [`read_vcf_with`].
 pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfOutcome, GenomeError> {
-    let mut builder = AlignmentBuilder::new();
+    read_vcf_with(reader, VcfReadOptions::default())
+}
+
+/// Parses the first contig found in a VCF stream into a binary alignment.
+///
+/// Records arriving out of `POS` order are sorted back into position order
+/// (stable, preserving file order among equals) and records duplicating an
+/// already-seen `POS` are dropped; both are counted in the outcome so
+/// callers can warn rather than silently hand a corrupt alignment to the
+/// scan.
+pub fn read_vcf_with<R: BufRead>(
+    reader: R,
+    opts: VcfReadOptions,
+) -> Result<VcfOutcome, GenomeError> {
+    let mut records: Vec<(u64, SnpVec)> = Vec::new();
     let mut skipped = 0usize;
+    let mut unsorted = 0usize;
     let mut contig: Option<String> = None;
     let mut n_haplotypes: Option<usize> = None;
     let mut max_pos = 0u64;
@@ -51,6 +82,15 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfOutcome, GenomeError> {
         let pos: u64 = fields[1]
             .parse()
             .map_err(|_| GenomeError::parse("vcf", Some(ln + 1), "invalid POS"))?;
+        if let Some(len) = opts.region_len {
+            if pos > len {
+                return Err(GenomeError::parse(
+                    "vcf",
+                    Some(ln + 1),
+                    format!("POS {pos} exceeds the stated region length {len}"),
+                ));
+            }
+        }
         let (reference, alt) = (fields[3], fields[4]);
         if reference.len() != 1 || alt.len() != 1 || alt == "." {
             skipped += 1;
@@ -80,12 +120,36 @@ pub fn read_vcf<R: BufRead>(reader: R) -> Result<VcfOutcome, GenomeError> {
             }
             _ => {}
         }
+        if !records.is_empty() && pos < max_pos {
+            unsorted += 1;
+        }
         max_pos = max_pos.max(pos);
-        builder.push_site(pos, SnpVec::from_calls(&calls));
+        records.push((pos, SnpVec::from_calls(&calls)));
     }
 
-    let alignment = builder.region_len(max_pos).build()?;
-    Ok(VcfOutcome { alignment, skipped_records: skipped, contig })
+    if unsorted > 0 {
+        records.sort_by_key(|&(pos, _)| pos);
+    }
+    let mut duplicates = 0usize;
+    let mut positions = Vec::with_capacity(records.len());
+    let mut sites = Vec::with_capacity(records.len());
+    for (pos, site) in records {
+        if positions.last() == Some(&pos) {
+            duplicates += 1;
+            continue;
+        }
+        positions.push(pos);
+        sites.push(site);
+    }
+
+    let alignment = Alignment::new(positions, sites, opts.region_len.unwrap_or(max_pos))?;
+    Ok(VcfOutcome {
+        alignment,
+        skipped_records: skipped,
+        unsorted_records: unsorted,
+        duplicate_records: duplicates,
+        contig,
+    })
 }
 
 #[cfg(test)]
@@ -175,5 +239,64 @@ chr1\t20\t.\tA\tG\t.\t.\t.\tGT\t1
     fn truncated_record_rejected() {
         let text = "chr1\t10\t.\tA\tG\n";
         assert!(read_vcf(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn multi_allelic_alt_skipped() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tGT\t1|0
+chr1\t20\t.\tG\tG,T\t.\t.\t.\tGT\t1|0
+chr1\t30\t.\tC\tT\t.\t.\t.\tGT\t0|1
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.positions(), &[10, 30]);
+        assert_eq!(out.skipped_records, 1);
+    }
+
+    #[test]
+    fn unsorted_records_sorted_and_counted() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t30\t.\tA\tG\t.\t.\t.\tGT\t1|0
+chr1\t10\t.\tC\tT\t.\t.\t.\tGT\t0|1
+chr1\t20\t.\tG\tA\t.\t.\t.\tGT\t1|1
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.positions(), &[10, 20, 30]);
+        assert_eq!(out.unsorted_records, 2);
+        assert_eq!(out.duplicate_records, 0);
+        // The record parsed from POS 20 keeps its own genotypes (1|1)
+        // after the reorder.
+        assert_eq!(out.alignment.site(1).derived_count(), 2);
+    }
+
+    #[test]
+    fn duplicate_pos_dropped_and_counted() {
+        let text = "\
+#CHROM\tPOS\tID\tREF\tALT\tQUAL\tFILTER\tINFO\tFORMAT\ts1
+chr1\t10\t.\tA\tG\t.\t.\t.\tGT\t1|0
+chr1\t10\t.\tA\tT\t.\t.\t.\tGT\t0|1
+chr1\t20\t.\tC\tT\t.\t.\t.\tGT\t0|1
+";
+        let out = read_vcf(Cursor::new(text)).unwrap();
+        assert_eq!(out.alignment.positions(), &[10, 20]);
+        assert_eq!(out.duplicate_records, 1);
+        // First record at the shared POS wins.
+        assert_eq!(out.alignment.site(0).get(0), Allele::One);
+    }
+
+    #[test]
+    fn explicit_region_len_used() {
+        let out =
+            read_vcf_with(Cursor::new(VCF), VcfReadOptions { region_len: Some(10_000) }).unwrap();
+        assert_eq!(out.alignment.region_len(), 10_000);
+    }
+
+    #[test]
+    fn pos_beyond_region_len_rejected() {
+        let err =
+            read_vcf_with(Cursor::new(VCF), VcfReadOptions { region_len: Some(400) }).unwrap_err();
+        assert!(err.to_string().contains("exceeds"), "{err}");
     }
 }

@@ -50,6 +50,10 @@ pub struct GpuCost {
     pub d2h: f64,
     /// Host-side reduction over kernel output.
     pub host_reduce: f64,
+    /// Bytes crossing PCIe in both directions (the traffic `h2d` + `d2h`
+    /// charge for; carried so the overlap scheduler can attribute hidden
+    /// transfer bytes without re-deriving buffer sizes).
+    pub transfer_bytes: u64,
 }
 
 impl GpuCost {
@@ -71,6 +75,7 @@ impl GpuCost {
         self.kernel += other.kernel;
         self.d2h += other.d2h;
         self.host_reduce += other.host_reduce;
+        self.transfer_bytes += other.transfer_bytes;
     }
 }
 
@@ -235,10 +240,18 @@ mod tests {
 
     #[test]
     fn cost_accumulates() {
-        let mut a = GpuCost { host_prep: 1.0, h2d: 2.0, kernel: 3.0, d2h: 4.0, host_reduce: 5.0 };
-        a.accumulate(&GpuCost { host_prep: 0.5, ..GpuCost::default() });
+        let mut a = GpuCost {
+            host_prep: 1.0,
+            h2d: 2.0,
+            kernel: 3.0,
+            d2h: 4.0,
+            host_reduce: 5.0,
+            transfer_bytes: 100,
+        };
+        a.accumulate(&GpuCost { host_prep: 0.5, transfer_bytes: 20, ..GpuCost::default() });
         assert!((a.total() - 15.5).abs() < 1e-12);
         assert_eq!(a.kernel_only(), 3.0);
+        assert_eq!(a.transfer_bytes, 120);
     }
 
     #[test]

@@ -127,6 +127,7 @@ impl GpuOmegaEngine {
             kernel,
             d2h: self.model.transfer_time(plan.output_bytes),
             host_reduce: self.model.host_reduce_time(plan.items),
+            transfer_bytes: plan.input_bytes + plan.output_bytes,
         };
         KernelRun { kind, best: None, scores: dims.n_valid, items: plan.items, cost }
     }

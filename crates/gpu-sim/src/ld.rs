@@ -58,6 +58,7 @@ impl GpuLd {
             kernel: self.model.gemm_time(new_pairs, words),
             d2h: self.model.transfer_time(out_bytes),
             host_reduce: 0.0,
+            transfer_bytes: snp_bytes + out_bytes,
         }
     }
 
@@ -74,6 +75,7 @@ impl GpuLd {
             kernel: self.model.gemm_time(pairs, words),
             d2h: self.model.transfer_time(out_bytes),
             host_reduce: 0.0,
+            transfer_bytes: snp_bytes + out_bytes,
         }
     }
 }

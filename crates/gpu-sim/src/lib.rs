@@ -24,9 +24,11 @@ pub mod cost;
 pub mod device;
 pub mod kernels;
 pub mod ld;
+pub mod overlap;
 
 pub use buffers::{BufferPlan, KernelKind, TaskDims};
 pub use cost::{CostModel, GpuCost};
 pub use device::{table2_rows, GpuDevice, HostCpu};
 pub use kernels::{task_dims, GpuOmegaEngine, KernelRun};
 pub use ld::GpuLd;
+pub use overlap::{OverlapMode, OverlapSummary, TransferPipeline};

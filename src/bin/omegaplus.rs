@@ -5,12 +5,14 @@
 //! omegaplus -name RUN -input FILE [-format ms|fasta|vcf] [-length BP]
 //!           [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N]
 //!           [-threads N] [-backend cpu|gpu|fpga] [-device NAME]
-//!           [-report PATH]
+//!           [-reps all|first|N] [-overlap on|off] [-report PATH]
 //! ```
 //!
 //! With `-backend gpu|fpga` the scan runs through the simulated
 //! accelerator backends and the summary reports the modelled LD/ω time
-//! split alongside the (identical) functional results.
+//! split alongside the (identical) functional results. `-reps` selects
+//! how many `ms` replicates to scan (default: all, streamed one at a
+//! time); `-overlap on` schedules accelerator transfers behind compute.
 //!
 //! Observability: `-trace PATH` streams span and metrics events to a JSON
 //! Lines file (schema in DESIGN.md), `-metrics` prints the metrics
@@ -20,37 +22,54 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
 use std::process::ExitCode;
 
-use omega_accel::{Backend, SweepDetector};
+use omega_accel::{Backend, BatchDetector, BatchOutcome, DetectionOutcome, OverlapMode};
 use omega_core::{Report, ScanParams};
 use omega_fpga_sim::FpgaDevice;
 use omega_genome::filter::SiteFilter;
-use omega_genome::ms::{read_ms, MsReadOptions};
+use omega_genome::ms::{MsReadOptions, MsReplicates};
+use omega_genome::vcf::VcfReadOptions;
 use omega_genome::{fasta, vcf, Alignment};
 use omega_gpu_sim::GpuDevice;
+
+/// Which `ms` replicates to scan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RepSelect {
+    /// Every replicate in the file (the default).
+    All,
+    /// Only the first replicate (the historical behaviour).
+    First,
+    /// The first `n` replicates.
+    Count(usize),
+}
 
 struct Cli {
     name: String,
     input: String,
     format: String,
-    length: u64,
+    length: Option<u64>,
     params: ScanParams,
     backend_kind: String,
     device: String,
+    reps: RepSelect,
+    overlap: OverlapMode,
     report_path: Option<String>,
     trace_path: Option<String>,
     metrics: bool,
     min_maf: f64,
 }
 
-fn parse_args(args: &[String]) -> Result<Cli, String> {
+/// Parses the argument list; `Ok(None)` means help was requested.
+fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
     let mut cli = Cli {
         name: "run".into(),
         input: String::new(),
         format: "ms".into(),
-        length: 100_000,
+        length: None,
         params: ScanParams::default(),
         backend_kind: "cpu".into(),
         device: String::new(),
+        reps: RepSelect::All,
+        overlap: OverlapMode::Serialized,
         report_path: None,
         trace_path: None,
         metrics: false,
@@ -70,7 +89,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "-name" => cli.name = num("-name")?,
             "-input" => cli.input = num("-input")?,
             "-format" => cli.format = num("-format")?,
-            "-length" => cli.length = num("-length")?.parse().map_err(|_| "bad -length")?,
+            "-length" => cli.length = Some(num("-length")?.parse().map_err(|_| "bad -length")?),
             "-grid" => cli.params.grid = num("-grid")?.parse().map_err(|_| "bad -grid")?,
             "-minwin" => cli.params.min_win = num("-minwin")?.parse().map_err(|_| "bad -minwin")?,
             "-maxwin" => cli.params.max_win = num("-maxwin")?.parse().map_err(|_| "bad -maxwin")?,
@@ -83,24 +102,45 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "-backend" => cli.backend_kind = num("-backend")?,
             "-device" => cli.device = num("-device")?,
+            "-reps" => {
+                cli.reps = match num("-reps")?.as_str() {
+                    "all" => RepSelect::All,
+                    "first" => RepSelect::First,
+                    n => match n.parse() {
+                        Ok(c) if c >= 1 => RepSelect::Count(c),
+                        _ => return Err("bad -reps: expected all, first, or a count >= 1".into()),
+                    },
+                }
+            }
+            "-overlap" => {
+                cli.overlap = match num("-overlap")?.as_str() {
+                    "on" => OverlapMode::DoubleBuffered,
+                    "off" => OverlapMode::Serialized,
+                    other => return Err(format!("bad -overlap '{other}': expected on or off")),
+                }
+            }
             "-report" => cli.report_path = Some(num("-report")?),
             "-trace" => cli.trace_path = Some(num("-trace")?),
             "-metrics" => cli.metrics = true,
             "-maf" => cli.min_maf = num("-maf")?.parse().map_err(|_| "bad -maf")?,
-            "-h" | "--help" => return Err(USAGE.into()),
+            "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown flag '{other}'\n{USAGE}")),
         }
     }
     if cli.input.is_empty() {
         return Err(format!("-input is required\n{USAGE}"));
     }
-    Ok(cli)
+    Ok(Some(cli))
 }
 
 const USAGE: &str = "usage: omegaplus -name RUN -input FILE [-format ms|fasta|vcf] \
 [-length BP] [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N] [-threads N] \
-[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-maf F] [-report PATH] \
-[-trace PATH] [-metrics]";
+[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-reps all|first|N] \
+[-overlap on|off] [-maf F] [-report PATH] [-trace PATH] [-metrics]";
+
+/// Default region length for `ms` coordinate scaling when `-length` is
+/// not given (ms positions are fractions of an unstated region).
+const DEFAULT_MS_LENGTH: u64 = 100_000;
 
 /// Checks that `path` can plausibly be created: its parent directory must
 /// exist and be a directory. Catches the common typo'd-directory case up
@@ -115,32 +155,175 @@ fn validate_output_path(flag: &str, path: &str) -> Result<(), String> {
     }
 }
 
-fn load_alignment(cli: &Cli) -> Result<Alignment, String> {
+/// Per-replicate report path: `dir/stem.tsv` becomes `dir/stem.repN.tsv`
+/// (1-based), `dir/stem` becomes `dir/stem.repN`.
+fn replicate_report_path(path: &str, index: usize) -> String {
+    let p = std::path::Path::new(path);
+    match p.extension().and_then(|e| e.to_str()) {
+        Some(ext) => {
+            format!("{}.rep{index}.{ext}", p.with_extension("").display())
+        }
+        None => format!("{path}.rep{index}"),
+    }
+}
+
+/// Loads the single alignment of a FASTA/VCF input, honoring `-length`.
+fn load_single_alignment(cli: &Cli) -> Result<Alignment, String> {
     let file = File::open(&cli.input).map_err(|e| format!("cannot open {}: {e}", cli.input))?;
     let reader = BufReader::new(file);
     let alignment = match cli.format.as_str() {
-        "ms" => {
-            let mut reps = read_ms(reader, MsReadOptions { region_len: cli.length })
-                .map_err(|e| e.to_string())?;
-            if reps.is_empty() {
-                return Err("ms input contains no replicates".into());
+        "fasta" => {
+            let a = fasta::read_fasta(reader).map_err(|e| e.to_string())?;
+            match cli.length {
+                Some(len) => a.with_region_len(len).map_err(|e| e.to_string())?,
+                None => a,
             }
-            if reps.len() > 1 {
-                eprintln!("omegaplus: {} replicates found, scanning the first", reps.len());
-            }
-            reps.swap_remove(0)
         }
-        "fasta" => fasta::read_fasta(reader).map_err(|e| e.to_string())?,
         "vcf" => {
-            let out = vcf::read_vcf(reader).map_err(|e| e.to_string())?;
+            let out = vcf::read_vcf_with(reader, VcfReadOptions { region_len: cli.length })
+                .map_err(|e| e.to_string())?;
             if out.skipped_records > 0 {
                 eprintln!("omegaplus: skipped {} non-biallelic/no-GT records", out.skipped_records);
+            }
+            if out.unsorted_records > 0 {
+                eprintln!(
+                    "omegaplus: {} records arrived out of POS order (sorted)",
+                    out.unsorted_records
+                );
+            }
+            if out.duplicate_records > 0 {
+                eprintln!("omegaplus: dropped {} duplicate-POS records", out.duplicate_records);
             }
             out.alignment
         }
         other => return Err(format!("unknown format '{other}'")),
     };
     Ok(SiteFilter { min_maf: cli.min_maf, ..SiteFilter::default() }.apply(&alignment))
+}
+
+/// Streams the selected `ms` replicates through the batch driver. Only
+/// one replicate is resident at a time, so peak memory is independent of
+/// the replicate count.
+fn run_ms_batch(cli: &Cli, batch: &BatchDetector) -> Result<BatchOutcome, String> {
+    let file = File::open(&cli.input).map_err(|e| format!("cannot open {}: {e}", cli.input))?;
+    let reader = BufReader::new(file);
+    let opts = MsReadOptions { region_len: cli.length.unwrap_or(DEFAULT_MS_LENGTH) };
+    let filter = SiteFilter { min_maf: cli.min_maf, ..SiteFilter::default() };
+    let replicates = MsReplicates::new(reader, opts);
+    let selected: Box<dyn Iterator<Item = _>> = match cli.reps {
+        RepSelect::All => Box::new(replicates),
+        RepSelect::First => Box::new(replicates.take(1)),
+        RepSelect::Count(n) => Box::new(replicates.take(n)),
+    };
+    let mut index = 0usize;
+    let stream = selected.map(move |r| {
+        r.map(|a| {
+            index += 1;
+            let a = filter.apply(&a);
+            eprintln!(
+                "omegaplus: replicate {index}: {} sites x {} samples over {} bp",
+                a.n_sites(),
+                a.n_samples(),
+                a.region_len()
+            );
+            a
+        })
+        .map_err(|e| e.to_string())
+    });
+    let outcome = batch.run(stream)?;
+    if outcome.n_replicates() == 0 {
+        return Err("ms input contains no replicates".into());
+    }
+    if let RepSelect::Count(n) = cli.reps {
+        if outcome.n_replicates() < n {
+            eprintln!(
+                "omegaplus: only {} replicates available (requested {n})",
+                outcome.n_replicates()
+            );
+        }
+    }
+    Ok(outcome)
+}
+
+/// Prints the single-replicate report block (the historical output
+/// format) and writes the TSV to `-report` or stdout.
+fn print_single(cli: &Cli, outcome: &DetectionOutcome) -> Result<(), String> {
+    println!("# OmegaPlus-rs report: {}", cli.name);
+    println!("# backend: {}", outcome.backend);
+    println!(
+        "# LD time: {:.6}s  omega time: {:.6}s  other: {:.6}s",
+        outcome.ld_seconds, outcome.omega_seconds, outcome.other_seconds
+    );
+    if cli.overlap == OverlapMode::DoubleBuffered {
+        println!("# hidden by overlap: {:.6}s", outcome.overlap_hidden_seconds);
+    }
+    println!(
+        "# omega evaluations: {}  r2 pairs: {}  reused cells: {}",
+        outcome.stats.omega_evaluations, outcome.stats.r2_pairs, outcome.stats.cells_reused
+    );
+    let report = Report::from_results(&outcome.results);
+    if let Some(peak) = report.peak() {
+        println!(
+            "# peak omega {:.4} at position {} (window {}..{})",
+            peak.omega, peak.pos_bp, peak.left_bp, peak.right_bp
+        );
+    }
+    match &cli.report_path {
+        Some(path) => {
+            write_report(&report, path)?;
+            println!("# per-position report written to {path}");
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut w = BufWriter::new(stdout.lock());
+            report.write_tsv(&mut w).map_err(|e| e.to_string())?;
+            w.flush().map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+/// Prints the multi-replicate aggregate block: per-replicate peaks (and
+/// TSVs under `-report` with `.repN` names) plus batch totals.
+fn print_batch(cli: &Cli, outcome: &BatchOutcome) -> Result<(), String> {
+    println!("# OmegaPlus-rs batch report: {}", cli.name);
+    println!("# backend: {}", outcome.backend);
+    println!("# replicates: {}", outcome.n_replicates());
+    for (i, rep) in outcome.replicates.iter().enumerate() {
+        let index = i + 1;
+        let report = Report::from_results(&rep.results);
+        match report.peak() {
+            Some(peak) => println!(
+                "# replicate {index}: peak omega {:.4} at position {} (window {}..{})",
+                peak.omega, peak.pos_bp, peak.left_bp, peak.right_bp
+            ),
+            None => println!("# replicate {index}: no scorable position"),
+        }
+        if let Some(path) = &cli.report_path {
+            let rep_path = replicate_report_path(path, index);
+            write_report(&report, &rep_path)?;
+            println!("# replicate {index} report written to {rep_path}");
+        }
+    }
+    println!(
+        "# total LD time: {:.6}s  omega time: {:.6}s  other: {:.6}s",
+        outcome.ld_seconds, outcome.omega_seconds, outcome.other_seconds
+    );
+    if cli.overlap == OverlapMode::DoubleBuffered {
+        println!("# hidden by overlap: {:.6}s", outcome.overlap_hidden_seconds);
+    }
+    println!(
+        "# omega evaluations: {}  r2 pairs: {}  reused cells: {}",
+        outcome.stats.omega_evaluations, outcome.stats.r2_pairs, outcome.stats.cells_reused
+    );
+    Ok(())
+}
+
+fn write_report(report: &Report, path: &str) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    let mut w = BufWriter::new(f);
+    report.write_tsv(&mut w).map_err(|e| e.to_string())?;
+    w.flush().map_err(|e| e.to_string())
 }
 
 fn pick_backend(cli: &Cli) -> Result<Backend, String> {
@@ -171,49 +354,31 @@ fn run(cli: &Cli) -> Result<(), String> {
         omega_obs::install_jsonl(std::path::Path::new(path))
             .map_err(|e| format!("-trace {path}: {e}"))?;
     }
-    let alignment = load_alignment(cli)?;
-    eprintln!(
-        "omegaplus: {} sites x {} samples over {} bp",
-        alignment.n_sites(),
-        alignment.n_samples(),
-        alignment.region_len()
-    );
     let backend = pick_backend(cli)?;
-    let detector = SweepDetector::new(cli.params, backend).map_err(|e| e.to_string())?;
-    let outcome = detector.detect(&alignment);
+    let detector = omega_accel::SweepDetector::new(cli.params, backend)
+        .map_err(|e| e.to_string())?
+        .with_overlap(cli.overlap);
 
-    println!("# OmegaPlus-rs report: {}", cli.name);
-    println!("# backend: {}", outcome.backend);
-    println!(
-        "# LD time: {:.6}s  omega time: {:.6}s  other: {:.6}s",
-        outcome.ld_seconds, outcome.omega_seconds, outcome.other_seconds
-    );
-    println!(
-        "# omega evaluations: {}  r2 pairs: {}  reused cells: {}",
-        outcome.stats.omega_evaluations, outcome.stats.r2_pairs, outcome.stats.cells_reused
-    );
-    let report = Report::from_results(&outcome.results);
-    if let Some(peak) = report.peak() {
-        println!(
-            "# peak omega {:.4} at position {} (window {}..{})",
-            peak.omega, peak.pos_bp, peak.left_bp, peak.right_bp
+    if cli.format == "ms" {
+        let batch = BatchDetector::from_detector(detector);
+        let outcome = run_ms_batch(cli, &batch)?;
+        if outcome.n_replicates() == 1 {
+            print_single(cli, &outcome.replicates[0])?;
+        } else {
+            print_batch(cli, &outcome)?;
+        }
+    } else {
+        let alignment = load_single_alignment(cli)?;
+        eprintln!(
+            "omegaplus: {} sites x {} samples over {} bp",
+            alignment.n_sites(),
+            alignment.n_samples(),
+            alignment.region_len()
         );
+        let outcome = detector.detect(&alignment);
+        print_single(cli, &outcome)?;
     }
-    match &cli.report_path {
-        Some(path) => {
-            let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
-            let mut w = BufWriter::new(f);
-            report.write_tsv(&mut w).map_err(|e| e.to_string())?;
-            w.flush().map_err(|e| e.to_string())?;
-            println!("# per-position report written to {path}");
-        }
-        None => {
-            let stdout = std::io::stdout();
-            let mut w = BufWriter::new(stdout.lock());
-            report.write_tsv(&mut w).map_err(|e| e.to_string())?;
-            w.flush().map_err(|e| e.to_string())?;
-        }
-    }
+
     let snap = omega_obs::snapshot();
     if cli.metrics {
         eprint!("{}", omega_obs::metrics_table(&snap));
@@ -228,8 +393,18 @@ fn run(cli: &Cli) -> Result<(), String> {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match parse_args(&args).and_then(|cli| run(&cli)) {
-        Ok(()) => ExitCode::SUCCESS,
+    match parse_args(&args) {
+        Ok(None) => {
+            println!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(cli)) => match run(&cli) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("omegaplus: {msg}");
+                ExitCode::FAILURE
+            }
+        },
         Err(msg) => {
             eprintln!("omegaplus: {msg}");
             ExitCode::FAILURE

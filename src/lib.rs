@@ -55,7 +55,10 @@ pub use omega_mssim as mssim;
 
 /// The most common imports in one place.
 pub mod prelude {
-    pub use omega_accel::{Backend, DetectionOutcome, SweepDetector, WorkloadClass};
+    pub use omega_accel::{
+        Backend, BatchDetector, BatchOutcome, DetectionOutcome, OverlapMode, SweepDetector,
+        WorkloadClass,
+    };
     pub use omega_core::{OmegaScanner, Report, ScanOutcome, ScanParams, SweepCall};
     pub use omega_fpga_sim::{FpgaDevice, FpgaOmegaEngine};
     pub use omega_genome::{Alignment, SnpVec};

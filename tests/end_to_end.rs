@@ -109,6 +109,68 @@ fn report_roundtrips_through_tsv() {
 }
 
 #[test]
+fn batch_detector_matches_independent_detections() {
+    let neutral = NeutralParams { n_samples: 20, theta: 30.0, rho: 15.0, region_len_bp: 80_000 };
+    let sweep = SweepParams { position: 0.5, alpha: 10.0, swept_fraction: 1.0 };
+    let reps: Vec<omegaplus_rs::genome::Alignment> = (0..3)
+        .map(|seed| {
+            let mut rng = StdRng::seed_from_u64(300 + seed);
+            simulate_sweep(&neutral, &sweep, &mut rng).unwrap()
+        })
+        .collect();
+    let params = ScanParams { grid: 10, min_win: 500, max_win: 30_000, ..ScanParams::default() };
+
+    for backend in [Backend::Cpu, Backend::Gpu(GpuDevice::tesla_k80())] {
+        let batch = BatchDetector::new(params, backend.clone()).unwrap();
+        let out = batch.run(reps.iter().cloned().map(Ok::<_, std::convert::Infallible>)).unwrap();
+        assert_eq!(out.n_replicates(), 3);
+        let single = SweepDetector::new(params, backend).unwrap();
+        for (rep, a) in out.replicates.iter().zip(&reps) {
+            let solo = single.detect(a);
+            assert_eq!(rep.results.len(), solo.results.len());
+            for (x, y) in rep.results.iter().zip(&solo.results) {
+                assert_eq!(x.pos_bp, y.pos_bp);
+                assert_eq!(x.omega.to_bits(), y.omega.to_bits());
+                assert_eq!(x.left_bp, y.left_bp);
+                assert_eq!(x.right_bp, y.right_bp);
+                assert_eq!(x.n_combinations, y.n_combinations);
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapped_batch_never_slower_than_serialized() {
+    let neutral = NeutralParams { n_samples: 24, theta: 40.0, rho: 20.0, region_len_bp: 100_000 };
+    let mut rng = StdRng::seed_from_u64(555);
+    let reps: Vec<omegaplus_rs::genome::Alignment> =
+        (0..3).map(|_| simulate_neutral(&neutral, &mut rng).unwrap()).collect();
+    let params = ScanParams { grid: 12, min_win: 500, max_win: 30_000, ..ScanParams::default() };
+
+    let run = |overlap: OverlapMode| {
+        BatchDetector::new(params, Backend::Gpu(GpuDevice::tesla_k80()))
+            .unwrap()
+            .with_overlap(overlap)
+            .run(reps.iter().cloned().map(Ok::<_, std::convert::Infallible>))
+            .unwrap()
+    };
+    let serialized = run(OverlapMode::Serialized);
+    let overlapped = run(OverlapMode::DoubleBuffered);
+
+    // The modelled accelerator time is deterministic: overlap may only
+    // shorten it, and toggled off it matches the plain serialized sum.
+    let ser_model = serialized.ld_seconds + serialized.omega_seconds;
+    let db_model = overlapped.ld_seconds + overlapped.omega_seconds;
+    assert_eq!(serialized.overlap_hidden_seconds, 0.0);
+    assert!(db_model <= ser_model + 1e-12, "{db_model} > {ser_model}");
+    assert!(overlapped.overlap_hidden_seconds > 0.0);
+    assert!(
+        (db_model + overlapped.overlap_hidden_seconds - ser_model).abs()
+            < 1e-9 * ser_model.max(1.0)
+    );
+}
+
+#[test]
 fn fixed_site_datasets_drive_scan_workload() {
     // The paper's GPU evaluation fixes SNP counts; check the scan workload
     // scales with the fixed count.
