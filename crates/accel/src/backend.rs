@@ -211,7 +211,7 @@ impl SweepDetector {
                         let transferred = new_rows.min(mstats.new_pairs.max(1));
                         let cost =
                             ld.estimate_update(mstats.new_pairs.max(1), transferred, n_samples);
-                        accel_ld_seconds += cost.total();
+                        accel_ld_seconds += cost.total().get();
                         gpu_pipeline.push(&cost);
                     }
                     if fpga.is_some() {
@@ -224,6 +224,7 @@ impl SweepDetector {
                     // accelerator time modelled from the workload shape.
                     let t0 = Instant::now();
                     let best =
+                        // lint:allow(no-panic-lib): `b` passed the n_combinations() > 0 guard above, so the task is non-empty
                         kernel.run(&TaskView::new(&matrix, &b, pp)).expect("non-empty border set");
                     cpu_omega_seconds += t0.elapsed().as_secs_f64();
 
@@ -234,15 +235,15 @@ impl SweepDetector {
                             n_valid: b.n_combinations(),
                         };
                         let cost = engine.estimate_dynamic(&dims).cost;
-                        accel_omega_seconds += cost.total();
+                        accel_omega_seconds += cost.total().get();
                         gpu_pipeline.push(&cost);
                     }
                     if let Some(engine) = &fpga {
                         let n_rb = b.right_borders.len() as u64;
                         let est =
                             engine.estimate(b.first_valid_rb.iter().map(|&f| n_rb - u64::from(f)));
-                        accel_omega_seconds += est.seconds;
-                        fpga_stream.push(fpga_ld_seconds, est.seconds);
+                        accel_omega_seconds += est.seconds.get();
+                        fpga_stream.push(omega_core::Seconds(fpga_ld_seconds), est.seconds);
                         // Host-side task packing overhead stays on the CPU.
                         host_other += 2e-6;
                     }
@@ -283,8 +284,8 @@ impl SweepDetector {
             // exactly 1 and the historical figures are untouched.
             Backend::Gpu(_) => {
                 let summary = gpu_pipeline.finish();
-                overlap_hidden_seconds = summary.hidden_seconds();
-                let scale = if summary.serialized_seconds > 0.0 {
+                overlap_hidden_seconds = summary.hidden_seconds().get();
+                let scale = if summary.serialized_seconds.get() > 0.0 {
                     summary.total_seconds / summary.serialized_seconds
                 } else {
                     1.0
@@ -296,8 +297,8 @@ impl SweepDetector {
                 )
             }
             Backend::Fpga(_) => {
-                overlap_hidden_seconds = fpga_stream.hidden_seconds();
-                let scale = if fpga_stream.serialized_seconds() > 0.0 {
+                overlap_hidden_seconds = fpga_stream.hidden_seconds().get();
+                let scale = if fpga_stream.serialized_seconds().get() > 0.0 {
                     fpga_stream.total_seconds() / fpga_stream.serialized_seconds()
                 } else {
                     1.0

@@ -6,7 +6,7 @@
 //! matched neutral replicates; power is the exceedance rate on sweep
 //! replicates at that threshold.
 
-use omega_core::{OmegaScanner, Report, ScanParams};
+use omega_core::{total_order_key_f64, OmegaScanner, Report, ScanParams};
 use omega_genome::Alignment;
 
 use crate::ihs::{ihs_scan, IhsParams};
@@ -62,7 +62,14 @@ impl SweepStatistic for IhsStat {
     }
 
     fn score(&self, a: &Alignment) -> f64 {
-        ihs_scan(a, &self.params).iter().map(|s| s.ihs.abs()).fold(0.0, f64::max)
+        // Total-order max (float-total-order rule): identical to
+        // `fold(0.0, f64::max)` for the finite non-negative |iHS| values,
+        // and NaN-total if one ever appears.
+        ihs_scan(a, &self.params)
+            .iter()
+            .map(|s| s.ihs.abs())
+            .max_by_key(|&v| total_order_key_f64(v))
+            .unwrap_or(0.0)
     }
 }
 
@@ -112,7 +119,11 @@ pub fn power_table(
             null.sort_by(f64::total_cmp);
             let idx = ((null.len() as f64 * quantile).floor() as usize).min(null.len() - 1);
             let threshold = null[idx];
-            let hits = sweeps.iter().filter(|a| m.score(a) > threshold).count();
+            // Threshold exceedance through the total-order key, so a NaN
+            // score can never silently pass or fail calibration.
+            let threshold_key = total_order_key_f64(threshold);
+            let hits =
+                sweeps.iter().filter(|a| total_order_key_f64(m.score(a)) > threshold_key).count();
             MethodPower {
                 method: m.name().to_string(),
                 threshold,

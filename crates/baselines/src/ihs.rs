@@ -11,7 +11,16 @@
 //! negative. Scores are standardised within derived-allele-frequency
 //! bins, as in the original method.
 
+use omega_core::total_order_key_f64;
 use omega_genome::{Alignment, Allele, SnpVec};
+
+/// Total-order zero test (float-total-order rule). The quantities
+/// checked here are counts and EHH ratios built from non-negative
+/// integers, so `+0.0` is the only zero that can occur and the key
+/// comparison is exactly the old `== 0.0`.
+fn is_zero(x: f64) -> bool {
+    total_order_key_f64(x) == total_order_key_f64(0.0)
+}
 
 /// Parameters of an iHS scan.
 #[derive(Debug, Clone, Copy)]
@@ -91,7 +100,7 @@ impl Partition {
     }
 
     fn ehh(&self) -> f64 {
-        if self.class_pairs == 0.0 {
+        if is_zero(self.class_pairs) {
             return 0.0;
         }
         let same: f64 = self.groups.iter().map(|g| (g.len() * (g.len() - 1) / 2) as f64).sum();
@@ -117,7 +126,7 @@ pub fn ehh_curve(a: &Alignment, core: usize, allele: Allele, direction: i64) -> 
         let site = idx as usize;
         let ehh = partition.refine(a.site(site));
         out.push((a.position(site).abs_diff(core_pos), ehh));
-        if ehh == 0.0 {
+        if is_zero(ehh) {
             break;
         }
         idx += direction;
@@ -173,7 +182,9 @@ pub fn ihs_scan(a: &Alignment, params: &IhsParams) -> Vec<IhsScore> {
         if ihh_a <= 0.0 || ihh_d <= 0.0 {
             continue;
         }
-        let daf = site.derived_freq().expect("valid_count checked above");
+        // The min_class guard above implies a defined derived frequency;
+        // skip the site rather than panic if that ever stops holding.
+        let Some(daf) = site.derived_freq() else { continue };
         raw_scores.push(IhsScore {
             site: core,
             pos_bp: a.position(core),

@@ -114,7 +114,7 @@ pub fn threshold_ablation() -> String {
             if kind == KernelKind::One {
                 k1_positions += 1;
             }
-            time += engine.estimate(&dims, kind).cost.kernel;
+            time += engine.estimate(&dims, kind).cost.kernel.get();
         }
         let label = if mult.is_infinite() {
             "all K1".to_string()
@@ -159,7 +159,7 @@ pub fn coalescing_ablation() -> String {
             .iter()
             .map(|g| {
                 let dims = TaskDims { n_lb: g.n_lb, n_rb: g.n_rb, n_valid: g.n_valid };
-                engine.estimate(&dims, KernelKind::One).cost.kernel
+                engine.estimate(&dims, KernelKind::One).cost.kernel.get()
             })
             .sum();
         out.push_str(&t.row(&[
@@ -207,7 +207,7 @@ pub fn fpga_dse() -> String {
             let engine = FpgaOmegaEngine::new(device.clone());
             let n = 4_500u64 - 4_500 % u64::from(unroll);
             let run = engine.estimate(std::iter::once(n));
-            let rate_4500 = run.hw_scores as f64 / run.seconds;
+            let rate_4500 = run.hw_scores as f64 / run.seconds.get();
             out.push_str(&t.row(&[
                 unroll.to_string(),
                 if fits { "yes".into() } else { "NO".to_string() },

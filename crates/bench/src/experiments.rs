@@ -119,9 +119,9 @@ fn gpu_kernel_rates(device: &GpuDevice, geometry: &[PositionGeometry]) -> (f64, 
     for g in geometry {
         let dims = TaskDims { n_lb: g.n_lb, n_rb: g.n_rb, n_valid: g.n_valid };
         scores += g.n_valid;
-        time[0] += engine.estimate(&dims, KernelKind::One).cost.kernel;
-        time[1] += engine.estimate(&dims, KernelKind::Two).cost.kernel;
-        time[2] += engine.estimate_dynamic(&dims).cost.kernel;
+        time[0] += engine.estimate(&dims, KernelKind::One).cost.kernel.get();
+        time[1] += engine.estimate(&dims, KernelKind::Two).cost.kernel.get();
+        time[2] += engine.estimate_dynamic(&dims).cost.kernel.get();
     }
     (scores as f64 / time[0], scores as f64 / time[1], scores as f64 / time[2])
 }
@@ -198,7 +198,7 @@ pub fn fig13(snp_counts: &[usize], grid: usize) -> String {
                 .iter()
                 .map(|g| {
                     let dims = TaskDims { n_lb: g.n_lb, n_rb: g.n_rb, n_valid: g.n_valid };
-                    engine.estimate_dynamic(&dims).cost.total()
+                    engine.estimate_dynamic(&dims).cost.total().get()
                 })
                 .sum();
             scores as f64 / total
@@ -509,7 +509,7 @@ pub fn fpga_workload(snps: usize, grid: usize) -> String {
         let mut hw = 0u64;
         for g in &geo {
             let run = engine.estimate(g.rb_counts.iter().copied());
-            seconds += run.seconds;
+            seconds += run.seconds.get();
             hw += run.hw_scores;
         }
         out.push_str(&t.row(&[

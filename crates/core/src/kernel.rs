@@ -56,6 +56,19 @@ pub fn total_order_key(x: f32) -> u32 {
     b ^ (((b as i32 >> 31) as u32) | 0x8000_0000)
 }
 
+/// [`total_order_key`] for `f64` scores: maps to a `u64` whose unsigned
+/// order equals `f64::total_cmp`. The CPU baselines (Tajima's D, iHS)
+/// accumulate in f64; routing their comparisons through this key keeps
+/// every score comparison in the workspace on the same total order the ω
+/// kernel uses.
+#[inline(always)]
+// lint:allow(no-f64-kernel): total-order key helper for f64 baseline scores, not ω datapath arithmetic
+pub fn total_order_key_f64(x: f64) -> u64 {
+    let b = x.to_bits();
+    // Same two's-complement fold as the f32 key, widened to 64 bits.
+    b ^ (((b as i64 >> 63) as u64) | 0x8000_0000_0000_0000)
+}
+
 /// Zero-copy view of one position's ω workload: borrowed column slices of
 /// matrix M plus the border set — nothing is packed or copied. This is
 /// what the CPU scan path and the simulated accelerator backends consume;
@@ -432,6 +445,34 @@ mod tests {
                     total_order_key(x).cmp(&total_order_key(y)),
                     x.total_cmp(&y),
                     "key order mismatch for {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn total_order_key_f64_reproduces_total_cmp() {
+        let samples = [
+            f64::NEG_INFINITY,
+            -1.0e300,
+            -2.0,
+            -0.0,
+            0.0,
+            f64::MIN_POSITIVE,
+            1.0,
+            3.5e307,
+            f64::INFINITY,
+            f64::NAN,
+            -f64::NAN,
+            f64::from_bits(0x7ff8_0000_0000_0001), // NaN with payload
+            f64::from_bits(0xfff8_0000_0000_0001), // negative NaN with payload
+        ];
+        for &x in &samples {
+            for &y in &samples {
+                assert_eq!(
+                    total_order_key_f64(x).cmp(&total_order_key_f64(y)),
+                    x.total_cmp(&y),
+                    "f64 key order mismatch for {x:?} vs {y:?}"
                 );
             }
         }

@@ -49,12 +49,15 @@ pub mod params;
 pub mod profile;
 pub mod report;
 pub mod scan;
+pub mod units;
 
 pub use grid::{BorderSet, GridPlan, PositionPlan};
-pub use kernel::{total_order_key, OmegaKernel, TaskView};
+pub use kernel::{total_order_key, total_order_key_f64, OmegaKernel, TaskView};
 pub use matrix::{MatrixBuildStats, MatrixBuildTiming, RegionMatrix};
 pub use omega::{omega_max, omega_score, OmegaMax, OmegaTask, OmegaWorkload};
+pub use parallel::RunQueue;
 pub use params::{ParamError, ScanParams, DENOMINATOR_OFFSET};
 pub use profile::{throughput, ScanStats, Timings};
 pub use report::{Report, SweepCall};
 pub use scan::{OmegaScanner, PositionResult, ScanOutcome};
+pub use units::{Bytes, Cycles, Nanos, Seconds};

@@ -29,6 +29,9 @@
 //! ([`scan_pool`]); `threads == 0` or a failed pool build falls back to
 //! rayon's global pool instead of panicking.
 
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicUsize, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 use std::time::Instant;
@@ -60,6 +63,47 @@ fn scan_pool() -> Option<&'static rayon::ThreadPool> {
 struct Run {
     lo: usize,
     hi: usize,
+}
+
+/// The shared work-stealing pull queue: `len` planned runs, claimed one
+/// at a time by racing workers. A single `fetch_add` hands out each
+/// index at most once, so every run is scanned by exactly one worker —
+/// the invariant the `--cfg loom` model test (`tests/loom_queue.rs`)
+/// checks under schedule exploration, which is why the atomic type
+/// swaps to `loom::sync::atomic` under that cfg.
+///
+/// `Relaxed` suffices: the counter is the only shared state — run
+/// payloads are read-only (`runs` slice captured by the workers) and
+/// results flow back through the fork-join edge, which synchronizes.
+#[derive(Debug)]
+pub struct RunQueue {
+    next: AtomicUsize,
+    len: usize,
+}
+
+impl RunQueue {
+    /// A queue over `len` planned runs.
+    pub fn new(len: usize) -> Self {
+        RunQueue { next: AtomicUsize::new(0), len }
+    }
+
+    /// Claims the next unclaimed run index, or `None` when drained.
+    /// Each index in `0..len` is returned exactly once across all
+    /// racing callers.
+    pub fn pull(&self) -> Option<usize> {
+        let r = self.next.fetch_add(1, Ordering::Relaxed);
+        (r < self.len).then_some(r)
+    }
+
+    /// Number of runs the queue was created with.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the queue was created empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
 }
 
 /// Predicted relocation between two matrix-advancing positions: the cells
@@ -185,17 +229,13 @@ impl OmegaScanner {
         // Shared pull queue of run indices. A worker's first pull is its
         // own assignment; every further pull is a steal from the tail
         // other workers would otherwise reach.
-        let queue = AtomicUsize::new(0);
+        let queue = RunQueue::new(runs.len());
         let worker_loop = |_w: usize| {
             let mut out = Vec::new();
             let mut timings = Timings::default();
             let mut stats = ScanStats::default();
             let mut pulls = 0u64;
-            loop {
-                let r = queue.fetch_add(1, Ordering::Relaxed);
-                if r >= runs.len() {
-                    break;
-                }
+            while let Some(r) = queue.pull() {
                 pulls += 1;
                 let run = runs[r];
                 let (res, t, s) =

@@ -1,0 +1,120 @@
+//! Model check of the work-stealing scan queue ([`omega_core::RunQueue`])
+//! under schedule exploration.
+//!
+//! Only compiled with `RUSTFLAGS="--cfg loom" cargo test -p omega-core
+//! --test loom_queue` (the CI `loom` job). Under that cfg the queue's
+//! atomic swaps to `loom::sync::atomic`, so every claim operation is a
+//! schedule perturbation point. Without the cfg this file compiles to an
+//! empty test binary.
+//!
+//! Checked invariants, per explored schedule:
+//!
+//! * **exactly-once**: every run index in `0..len` is claimed by exactly
+//!   one worker — no loss, no duplication;
+//! * **drain**: after all workers exit, further pulls return `None`;
+//! * **steal accounting**: summing `pulls - 1` over workers that pulled
+//!   at least once (the definition `scan_parallel` reports as
+//!   `scan.steals`) equals `claims - busy_workers` — total work minus
+//!   each busy worker's own first assignment.
+
+#![cfg(loom)]
+
+use loom::sync::atomic::{AtomicUsize, Ordering};
+use loom::sync::Arc;
+use loom::thread;
+
+use omega_core::RunQueue;
+
+/// Workers race to drain a queue of `RUNS` runs; each records a claim
+/// bitmap slot and its pull count.
+#[test]
+fn every_run_claimed_exactly_once() {
+    const WORKERS: usize = 3;
+    const RUNS: usize = 5;
+
+    loom::model(|| {
+        let queue = Arc::new(RunQueue::new(RUNS));
+        // One claim counter per run: must end at exactly 1 each.
+        let claims: Arc<Vec<AtomicUsize>> =
+            Arc::new((0..RUNS).map(|_| AtomicUsize::new(0)).collect());
+
+        let handles: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let claims = Arc::clone(&claims);
+                thread::spawn(move || {
+                    let mut pulls = 0usize;
+                    while let Some(r) = queue.pull() {
+                        claims[r].fetch_add(1, Ordering::Relaxed);
+                        pulls += 1;
+                    }
+                    pulls
+                })
+            })
+            .collect();
+
+        let pulls_per_worker: Vec<usize> =
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+
+        for (r, c) in claims.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            assert_eq!(n, 1, "run {r} claimed {n} times");
+        }
+        assert_eq!(pulls_per_worker.iter().sum::<usize>(), RUNS);
+
+        // Drained queue stays drained.
+        assert_eq!(queue.pull(), None);
+
+        // scan_parallel's steal metric: pulls beyond each busy worker's
+        // first. Busy workers each own their first pull, so steals are
+        // total claims minus the number of workers that got any work.
+        let busy = pulls_per_worker.iter().filter(|&&p| p > 0).count();
+        let steals: usize = pulls_per_worker.iter().map(|&p| p.saturating_sub(1)).sum();
+        assert_eq!(steals, RUNS - busy);
+    });
+}
+
+/// An empty queue never hands out work, under any schedule.
+#[test]
+fn empty_queue_yields_nothing() {
+    loom::model(|| {
+        let queue = Arc::new(RunQueue::new(0));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                thread::spawn(move || queue.pull())
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("worker panicked"), None);
+        }
+        assert!(queue.is_empty());
+    });
+}
+
+/// More workers than runs: surplus workers observe `None` immediately
+/// and the claimed set is still exact.
+#[test]
+fn oversubscribed_workers_starve_cleanly() {
+    loom::model(|| {
+        let queue = Arc::new(RunQueue::new(1));
+        let claimed = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                let queue = Arc::clone(&queue);
+                let claimed = Arc::clone(&claimed);
+                thread::spawn(move || {
+                    let mut got = 0usize;
+                    while queue.pull().is_some() {
+                        got += 1;
+                    }
+                    claimed.fetch_add(got, Ordering::Relaxed);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("worker panicked");
+        }
+        assert_eq!(claimed.load(Ordering::Relaxed), 1);
+    });
+}

@@ -8,6 +8,7 @@
 //! prefetched once per position and reused across all left-border
 //! iterations.
 
+use omega_core::units::{Cycles, Seconds};
 use omega_core::{OmegaMax, OmegaTask, OmegaWorkload, TaskView};
 
 use crate::device::FpgaDevice;
@@ -15,7 +16,7 @@ use crate::pipeline::{OmegaPipeline, PipeInput};
 
 /// Cycles to warm the RS prefetch buffer before the pipelines can stream
 /// (double-buffered afterwards, so only the initial burst is exposed).
-pub const PREFETCH_INIT_CYCLES: u64 = 28;
+pub const PREFETCH_INIT_CYCLES: Cycles = Cycles(28);
 
 /// Host software fallback rate for remainder iterations, ω scores/s
 /// (a single CPU core running the scalar loop).
@@ -31,10 +32,10 @@ pub struct FpgaRun {
     /// Remainder scores computed in host software.
     pub sw_scores: u64,
     /// Accelerator cycles consumed.
-    pub cycles: u64,
-    /// Wall seconds: accelerator cycles at the device clock plus host
+    pub cycles: Cycles,
+    /// Wall time: accelerator cycles at the device clock plus host
     /// software remainder time.
-    pub seconds: f64,
+    pub seconds: Seconds,
 }
 
 /// The FPGA-accelerated ω engine.
@@ -88,7 +89,7 @@ impl FpgaOmegaEngine {
         let mut hw_scores = 0u64;
         let mut sw_scores = 0u64;
         let any_work = task.n_combinations() > 0;
-        let mut cycles = if any_work { PREFETCH_INIT_CYCLES } else { 0 };
+        let mut cycles = if any_work { PREFETCH_INIT_CYCLES } else { Cycles::ZERO };
 
         for a in 0..n_lb {
             let first = task.first_valid_rb(a);
@@ -127,7 +128,7 @@ impl FpgaOmegaEngine {
                         scores[a * n_rb + b] = v;
                     }
                 }
-                cycles += per_instance;
+                cycles += Cycles(per_instance);
                 hw_scores += hw;
             }
             // Software remainder.
@@ -138,7 +139,7 @@ impl FpgaOmegaEngine {
         }
 
         if hw_scores > 0 {
-            cycles += u64::from(self.pipeline.latency());
+            cycles += Cycles(u64::from(self.pipeline.latency()));
         }
         record_fpga_metrics(cycles, hw_scores, sw_scores, any_work, self.pipeline.latency());
 
@@ -161,7 +162,8 @@ impl FpgaOmegaEngine {
         if let Some(b) = &mut best {
             b.evaluated = hw_scores + sw_scores;
         }
-        let seconds = cycles as f64 / self.device.clock_hz() + sw_scores as f64 / HOST_SW_RATE;
+        let seconds =
+            cycles.at_clock_hz(self.device.clock_hz()) + Seconds(sw_scores as f64 / HOST_SW_RATE);
         FpgaRun { best, hw_scores, sw_scores, cycles, seconds }
     }
 
@@ -171,8 +173,8 @@ impl FpgaOmegaEngine {
     pub fn estimate(&self, rb_counts: impl IntoIterator<Item = u64>) -> FpgaRun {
         let _span = omega_obs::span!("fpga.estimate");
         let unroll = self.device.unroll as u64;
-        let latency = u64::from(self.pipeline.latency());
-        let mut cycles = 0u64;
+        let latency = Cycles(u64::from(self.pipeline.latency()));
+        let mut cycles = Cycles::ZERO;
         let mut hw_scores = 0u64;
         let mut sw_scores = 0u64;
         let mut any = false;
@@ -183,7 +185,7 @@ impl FpgaOmegaEngine {
             any = true;
             let hw = valid - valid % unroll;
             if hw > 0 {
-                cycles += hw / unroll;
+                cycles += Cycles(hw / unroll);
                 hw_scores += hw;
             }
             sw_scores += valid % unroll;
@@ -194,7 +196,8 @@ impl FpgaOmegaEngine {
         if hw_scores > 0 {
             cycles += latency;
         }
-        let seconds = cycles as f64 / self.device.clock_hz() + sw_scores as f64 / HOST_SW_RATE;
+        let seconds =
+            cycles.at_clock_hz(self.device.clock_hz()) + Seconds(sw_scores as f64 / HOST_SW_RATE);
         record_fpga_metrics(cycles, hw_scores, sw_scores, any, self.pipeline.latency());
         FpgaRun { best: None, hw_scores, sw_scores, cycles, seconds }
     }
@@ -203,16 +206,22 @@ impl FpgaOmegaEngine {
 /// Accounts one position's accelerator workload to the metrics registry.
 /// Stall cycles are the non-streaming part of the budget: the RS prefetch
 /// burst plus the single pipeline fill the position pays.
-fn record_fpga_metrics(cycles: u64, hw_scores: u64, sw_scores: u64, any_work: bool, latency: u32) {
-    let mut stall = 0u64;
+fn record_fpga_metrics(
+    cycles: Cycles,
+    hw_scores: u64,
+    sw_scores: u64,
+    any_work: bool,
+    latency: u32,
+) {
+    let mut stall = Cycles::ZERO;
     if any_work {
         stall += PREFETCH_INIT_CYCLES;
     }
     if hw_scores > 0 {
-        stall += u64::from(latency);
+        stall += Cycles(u64::from(latency));
     }
-    omega_obs::counter!("fpga.pipeline.cycles").add(cycles);
-    omega_obs::counter!("fpga.pipeline.stall_cycles").add(stall);
+    omega_obs::counter!("fpga.pipeline.cycles").add(cycles.get());
+    omega_obs::counter!("fpga.pipeline.stall_cycles").add(stall.get());
     omega_obs::counter!("fpga.hw_scores").add(hw_scores);
     omega_obs::counter!("fpga.sw_scores").add(sw_scores);
 }
@@ -337,7 +346,7 @@ mod tests {
         assert_eq!(run.cycles, est.cycles);
         assert_eq!(run.hw_scores, est.hw_scores);
         assert_eq!(run.sw_scores, est.sw_scores);
-        assert!((run.seconds - est.seconds).abs() < 1e-12);
+        assert!((run.seconds.get() - est.seconds.get()).abs() < 1e-12);
     }
 
     #[test]
@@ -353,8 +362,8 @@ mod tests {
     fn empty_position_costs_nothing() {
         let engine = FpgaOmegaEngine::new(FpgaDevice::zcu102());
         let est = engine.estimate(std::iter::empty());
-        assert_eq!(est.cycles, 0);
-        assert_eq!(est.seconds, 0.0);
+        assert_eq!(est.cycles, Cycles::ZERO);
+        assert_eq!(est.seconds, Seconds::ZERO);
     }
 
     #[test]
@@ -362,7 +371,7 @@ mod tests {
         let engine = FpgaOmegaEngine::new(FpgaDevice::alveo_u200());
         let n = 1_000_000u64;
         let est = engine.estimate(std::iter::once(n - n % 32));
-        let thr = est.hw_scores as f64 / est.seconds;
+        let thr = est.hw_scores as f64 / est.seconds.get();
         let peak = engine.device().peak_scores_per_sec();
         assert!(thr > 0.99 * peak, "thr {thr:e} vs peak {peak:e}");
     }

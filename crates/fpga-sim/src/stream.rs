@@ -9,16 +9,18 @@
 //! stream and the last compute exposed. When disabled, the total is the
 //! plain serialized sum, keeping the historical figures reproducible.
 
-/// Folds per-position (stream, compute) second pairs under the overlap
+use omega_core::units::Seconds;
+
+/// Folds per-position (stream, compute) time pairs under the overlap
 /// recurrence.
 #[derive(Debug, Clone)]
 pub struct StreamOverlap {
     enabled: bool,
     tasks: usize,
-    first_stream: f64,
-    interior_seconds: f64,
-    prev_compute: f64,
-    serialized_seconds: f64,
+    first_stream: Seconds,
+    interior_seconds: Seconds,
+    prev_compute: Seconds,
+    serialized_seconds: Seconds,
 }
 
 impl StreamOverlap {
@@ -27,23 +29,23 @@ impl StreamOverlap {
         StreamOverlap {
             enabled,
             tasks: 0,
-            first_stream: 0.0,
-            interior_seconds: 0.0,
-            prev_compute: 0.0,
-            serialized_seconds: 0.0,
+            first_stream: Seconds::ZERO,
+            interior_seconds: Seconds::ZERO,
+            prev_compute: Seconds::ZERO,
+            serialized_seconds: Seconds::ZERO,
         }
     }
 
-    /// Queues one position: `stream_seconds` of LD data movement feeding
-    /// `compute_seconds` of pipeline work.
-    pub fn push(&mut self, stream_seconds: f64, compute_seconds: f64) {
-        self.serialized_seconds += stream_seconds + compute_seconds;
+    /// Queues one position: `stream` time of LD data movement feeding
+    /// `compute` time of pipeline work.
+    pub fn push(&mut self, stream: Seconds, compute: Seconds) {
+        self.serialized_seconds += stream + compute;
         if self.tasks == 0 {
-            self.first_stream = stream_seconds;
+            self.first_stream = stream;
         } else {
-            self.interior_seconds += self.prev_compute.max(stream_seconds);
+            self.interior_seconds += self.prev_compute.max(stream);
         }
-        self.prev_compute = compute_seconds;
+        self.prev_compute = compute;
         self.tasks += 1;
     }
 
@@ -57,23 +59,23 @@ impl StreamOverlap {
         self.tasks == 0
     }
 
-    /// Wall-clock seconds had every stage been serialized.
-    pub fn serialized_seconds(&self) -> f64 {
+    /// Wall-clock time had every stage been serialized.
+    pub fn serialized_seconds(&self) -> Seconds {
         self.serialized_seconds
     }
 
-    /// Wall-clock seconds under the schedule's mode (never more than
+    /// Wall-clock time under the schedule's mode (never more than
     /// [`StreamOverlap::serialized_seconds`]).
-    pub fn total_seconds(&self) -> f64 {
+    pub fn total_seconds(&self) -> Seconds {
         if !self.enabled {
             return self.serialized_seconds;
         }
         self.first_stream + self.interior_seconds + self.prev_compute
     }
 
-    /// Seconds the overlap saved relative to the serialized schedule.
-    pub fn hidden_seconds(&self) -> f64 {
-        (self.serialized_seconds - self.total_seconds()).max(0.0)
+    /// Time the overlap saved relative to the serialized schedule.
+    pub fn hidden_seconds(&self) -> Seconds {
+        (self.serialized_seconds - self.total_seconds()).max(Seconds::ZERO)
     }
 }
 
@@ -85,38 +87,38 @@ mod tests {
     fn empty_schedule_is_zero() {
         let s = StreamOverlap::new(true);
         assert!(s.is_empty());
-        assert_eq!(s.total_seconds(), 0.0);
-        assert_eq!(s.hidden_seconds(), 0.0);
+        assert_eq!(s.total_seconds(), Seconds::ZERO);
+        assert_eq!(s.hidden_seconds(), Seconds::ZERO);
     }
 
     #[test]
     fn disabled_matches_serialized_sum() {
         let mut s = StreamOverlap::new(false);
-        s.push(0.3, 0.5);
-        s.push(0.2, 0.4);
+        s.push(Seconds(0.3), Seconds(0.5));
+        s.push(Seconds(0.2), Seconds(0.4));
         assert_eq!(s.total_seconds(), s.serialized_seconds());
-        assert!((s.total_seconds() - 1.4).abs() < 1e-12);
-        assert_eq!(s.hidden_seconds(), 0.0);
+        assert!((s.total_seconds().get() - 1.4).abs() < 1e-12);
+        assert_eq!(s.hidden_seconds(), Seconds::ZERO);
     }
 
     #[test]
     fn single_position_equals_serialized() {
         let mut s = StreamOverlap::new(true);
-        s.push(0.3, 0.5);
-        assert!((s.total_seconds() - 0.8).abs() < 1e-12);
-        assert!(s.hidden_seconds() < 1e-15);
+        s.push(Seconds(0.3), Seconds(0.5));
+        assert!((s.total_seconds().get() - 0.8).abs() < 1e-12);
+        assert!(s.hidden_seconds().get() < 1e-15);
     }
 
     #[test]
     fn interior_streams_hide_behind_compute() {
         let mut s = StreamOverlap::new(true);
         for _ in 0..4 {
-            s.push(0.1, 1.0);
+            s.push(Seconds(0.1), Seconds(1.0));
         }
         // total = 0.1 + 3 × max(1.0, 0.1) + 1.0 = 4.1
-        assert!((s.total_seconds() - 4.1).abs() < 1e-12);
-        assert!((s.serialized_seconds() - 4.4).abs() < 1e-12);
-        assert!((s.hidden_seconds() - 0.3).abs() < 1e-12);
+        assert!((s.total_seconds().get() - 4.1).abs() < 1e-12);
+        assert!((s.serialized_seconds().get() - 4.4).abs() < 1e-12);
+        assert!((s.hidden_seconds().get() - 0.3).abs() < 1e-12);
     }
 
     #[test]
@@ -124,8 +126,8 @@ mod tests {
         let mut s = StreamOverlap::new(true);
         let shapes = [(0.9, 0.1), (0.05, 0.7), (0.4, 0.4), (1.2, 0.0), (0.0, 0.3)];
         for (t, c) in shapes {
-            s.push(t, c);
-            assert!(s.total_seconds() <= s.serialized_seconds() + 1e-12);
+            s.push(Seconds(t), Seconds(c));
+            assert!(s.total_seconds().get() <= s.serialized_seconds().get() + 1e-12);
         }
     }
 }

@@ -30,7 +30,8 @@ pub fn throughput_curve(device: &FpgaDevice, iterations: &[u64]) -> Vec<Throughp
         .map(|&n| {
             let hw_n = n - n % u64::from(device.unroll);
             let run = engine.estimate(std::iter::once(hw_n));
-            let scores_per_sec = if run.seconds > 0.0 { hw_n as f64 / run.seconds } else { 0.0 };
+            let secs = run.seconds.get();
+            let scores_per_sec = if secs > 0.0 { hw_n as f64 / secs } else { 0.0 };
             ThroughputPoint { iterations: n, scores_per_sec, efficiency: scores_per_sec / peak }
         })
         .collect()
@@ -43,8 +44,9 @@ pub fn iterations_for_efficiency(device: &FpgaDevice, target: f64) -> u64 {
     // cycles = prefetch + latency + n/U; efficiency = n / (U * cycles).
     // Solve n/U / (overhead + n/U) = target.
     let engine = FpgaOmegaEngine::new(device.clone());
-    let overhead = PREFETCH_INIT_CYCLES + u64::from(engine.pipeline().latency());
-    let trips = (target / (1.0 - target) * overhead as f64).ceil() as u64;
+    let overhead =
+        PREFETCH_INIT_CYCLES + omega_core::Cycles(u64::from(engine.pipeline().latency()));
+    let trips = (target / (1.0 - target) * overhead.get() as f64).ceil() as u64;
     trips * u64::from(device.unroll)
 }
 

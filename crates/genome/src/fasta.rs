@@ -73,13 +73,9 @@ fn binarize_column(seqs: &[Vec<u8>], col: usize, calls: &mut [Allele]) -> Option
     if observed_states < 2 {
         return None;
     }
-    // Majority nucleotide becomes allele 0.
-    let major = counts
-        .iter()
-        .enumerate()
-        .max_by_key(|&(_, c)| *c)
-        .map(|(i, _)| i)
-        .expect("counts is non-empty");
+    // Majority nucleotide becomes allele 0. `counts` is a fixed array so
+    // the max always exists; `map_or` keeps the path panic-free anyway.
+    let major = counts.iter().enumerate().max_by_key(|&(_, c)| *c).map_or(0, |(i, _)| i);
     for (i, s) in seqs.iter().enumerate() {
         calls[i] = match nucleotide_index(s[col]) {
             None => Allele::Missing,

@@ -7,6 +7,8 @@
 //! "all data buffers transferred to the GPU are padded to a size that is
 //! a multiple of the work-group size").
 
+use omega_core::units::Bytes;
+
 use crate::cost::WORK_GROUP_SIZE;
 use crate::device::GpuDevice;
 
@@ -54,9 +56,9 @@ pub struct BufferPlan {
     /// ω scores per work-item (`WILD`; 1 for Kernel I).
     pub wild: u64,
     /// Host→device bytes (LR + km + TS + validity vector, padded).
-    pub input_bytes: u64,
+    pub input_bytes: Bytes,
     /// Device→host bytes (omega buffer, plus indexes for Kernel II).
-    pub output_bytes: u64,
+    pub output_bytes: Bytes,
 }
 
 fn round_up(v: u64, multiple: u64) -> u64 {
@@ -75,8 +77,8 @@ impl BufferPlan {
             kind: KernelKind::One,
             items,
             wild: 1,
-            input_bytes: lr_km + ts + valid,
-            output_bytes: items * 4,
+            input_bytes: Bytes(lr_km + ts + valid),
+            output_bytes: Bytes(items * 4),
         }
     }
 
@@ -97,9 +99,9 @@ impl BufferPlan {
             wild,
             // Kernel II also ships the per-item load table (Fig. 5's
             // additional buffer).
-            input_bytes: lr_km + ts + valid + items * 4,
+            input_bytes: Bytes(lr_km + ts + valid + items * 4),
             // Per-item max ω plus its global index.
-            output_bytes: items * 8,
+            output_bytes: Bytes(items * 8),
         }
     }
 
@@ -122,14 +124,14 @@ mod tests {
         let p = BufferPlan::kernel1(&dims(10, 30)); // 300 slots
         assert_eq!(p.items, 512);
         assert_eq!(p.wild, 1);
-        assert_eq!(p.output_bytes, 512 * 4);
+        assert_eq!(p.output_bytes, Bytes(512 * 4));
     }
 
     #[test]
     fn kernel1_input_accounts_all_buffers() {
         let p = BufferPlan::kernel1(&dims(10, 30));
         // LR+km = 40*8, TS = 512*4, valid = 40.
-        assert_eq!(p.input_bytes, 40 * 8 + 512 * 4 + 40);
+        assert_eq!(p.input_bytes, Bytes(40 * 8 + 512 * 4 + 40));
     }
 
     #[test]
@@ -148,7 +150,7 @@ mod tests {
     fn kernel2_outputs_item_granular() {
         let d = GpuDevice::tesla_k80();
         let p = BufferPlan::kernel2(&dims(1000, 1000), &d);
-        assert_eq!(p.output_bytes, p.items * 8);
+        assert_eq!(p.output_bytes, Bytes(p.items * 8));
     }
 
     #[test]

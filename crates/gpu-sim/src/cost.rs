@@ -19,6 +19,13 @@
 //! working set falls out of successive cache levels, which is what makes
 //! the complete-pipeline throughput decline for large SNP counts while
 //! kernel-only throughput keeps rising.
+//!
+//! All stage times are [`Seconds`] and all traffic volumes are [`Bytes`]
+//! (`core::units`); the only unit crossings are the named conversions in
+//! that module, so cycles, nanoseconds and bytes can no longer be mixed
+//! by accident.
+
+use omega_core::units::{Bytes, Seconds};
 
 use crate::device::GpuDevice;
 
@@ -35,36 +42,36 @@ pub const WORK_GROUP_SIZE: u64 = 256;
 /// Host reduce rate over the returned ω buffer, elements/s.
 pub const HOST_REDUCE_RATE: f64 = 1.5e9;
 /// Fixed host-side cost per grid position (buffer mgmt, kernel args).
-pub const HOST_FIXED_PER_CALL_S: f64 = 25e-6;
+pub const HOST_FIXED_PER_CALL: Seconds = Seconds(25e-6);
 
-/// Seconds spent in each stage of a GPU-accelerated step.
+/// Time spent in each stage of a GPU-accelerated step.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct GpuCost {
     /// Host-side data preparation and packing.
-    pub host_prep: f64,
+    pub host_prep: Seconds,
     /// Host→device transfers.
-    pub h2d: f64,
+    pub h2d: Seconds,
     /// Kernel execution.
-    pub kernel: f64,
+    pub kernel: Seconds,
     /// Device→host transfers.
-    pub d2h: f64,
+    pub d2h: Seconds,
     /// Host-side reduction over kernel output.
-    pub host_reduce: f64,
+    pub host_reduce: Seconds,
     /// Bytes crossing PCIe in both directions (the traffic `h2d` + `d2h`
     /// charge for; carried so the overlap scheduler can attribute hidden
     /// transfer bytes without re-deriving buffer sizes).
-    pub transfer_bytes: u64,
+    pub transfer_bytes: Bytes,
 }
 
 impl GpuCost {
-    /// End-to-end seconds.
-    pub fn total(&self) -> f64 {
+    /// End-to-end wall time.
+    pub fn total(&self) -> Seconds {
         self.host_prep + self.h2d + self.kernel + self.d2h + self.host_reduce
     }
 
-    /// Seconds excluding host work and transfers (kernel-only, the
-    /// quantity plotted in Fig. 12).
-    pub fn kernel_only(&self) -> f64 {
+    /// Time excluding host work and transfers (kernel-only, the quantity
+    /// plotted in Fig. 12).
+    pub fn kernel_only(&self) -> Seconds {
         self.kernel
     }
 
@@ -83,8 +90,8 @@ impl GpuCost {
 /// given size: a staircase over cache levels. Calibrated so the complete
 /// GPU ω pipeline peaks at mid-size workloads and declines beyond, as in
 /// Fig. 13.
-pub fn host_prep_rate(working_set_bytes: u64) -> f64 {
-    match working_set_bytes {
+pub fn host_prep_rate(working_set: Bytes) -> f64 {
+    match working_set.get() {
         0..=52_428_800 => 8.0e9,           // cache-friendly streaming
         52_428_801..=134_217_728 => 4.0e9, // partially cache-resident
         _ => 1.6e9,                        // DRAM-bound packing
@@ -108,24 +115,24 @@ impl CostModel {
         &self.device
     }
 
-    /// Kernel-launch overhead in seconds.
-    fn launch(&self) -> f64 {
-        self.device.kernel_launch_us * 1e-6
+    /// Kernel-launch overhead.
+    fn launch(&self) -> Seconds {
+        self.device.kernel_launch.to_seconds()
     }
 
     /// Kernel I execution time for `items` scheduled work-items (one ω
     /// score each, including padding items).
-    pub fn kernel1_time(&self, items: u64) -> f64 {
+    pub fn kernel1_time(&self, items: u64) -> Seconds {
         let items = items as f64;
         let alu = items * ALU_CYCLES_K1 / (self.device.total_sps() as f64 * self.device.clock_hz());
         let sched = items / (self.device.sched_gitems * 1e9);
         let mem = items * BYTES_PER_SCORE_K1 / (self.device.mem_bandwidth_gbs * 1e9);
-        self.launch() + alu.max(sched).max(mem)
+        self.launch() + Seconds(alu.max(sched).max(mem))
     }
 
     /// Kernel II execution time for `scores` ω computations distributed
     /// over `items` work-items (`WILD = scores / items` each).
-    pub fn kernel2_time(&self, scores: u64, items: u64) -> f64 {
+    pub fn kernel2_time(&self, scores: u64, items: u64) -> Seconds {
         let scores = scores as f64;
         let alu =
             scores * ALU_CYCLES_K2 / (self.device.total_sps() as f64 * self.device.clock_hz());
@@ -134,34 +141,34 @@ impl CostModel {
         // Kernel II carries a heavier fixed cost (extra buffers, the
         // work-item-load table, padded-layout setup) — the §VI-C
         // observation that Kernel I is ~10 % faster on small workloads.
-        self.launch() * 3.0 + alu.max(sched).max(mem)
+        self.launch() * 3.0 + Seconds(alu.max(sched).max(mem))
     }
 
     /// One host→device or device→host transfer of `bytes`.
-    pub fn transfer_time(&self, bytes: u64) -> f64 {
-        self.device.pcie_latency_us * 1e-6 + bytes as f64 / (self.device.pcie_bandwidth_gbs * 1e9)
+    pub fn transfer_time(&self, bytes: Bytes) -> Seconds {
+        self.device.pcie_latency.to_seconds() + bytes.at_rate_gbs(self.device.pcie_bandwidth_gbs)
     }
 
     /// Host-side packing/padding of `bytes` (cache-tiered).
-    pub fn host_prep_time(&self, bytes: u64) -> f64 {
-        HOST_FIXED_PER_CALL_S + bytes as f64 / host_prep_rate(bytes)
+    pub fn host_prep_time(&self, bytes: Bytes) -> Seconds {
+        HOST_FIXED_PER_CALL + Seconds(bytes.get() as f64 / host_prep_rate(bytes))
     }
 
     /// Host-side max-reduction over `elements` returned scores.
-    pub fn host_reduce_time(&self, elements: u64) -> f64 {
-        elements as f64 / HOST_REDUCE_RATE
+    pub fn host_reduce_time(&self, elements: u64) -> Seconds {
+        Seconds(elements as f64 / HOST_REDUCE_RATE)
     }
 
     /// GEMM (popcount dense-matrix-multiply) time for the LD path:
     /// `pair_count` SNP pairs, each needing `words` 64-bit AND+popcount
     /// accumulations. Efficiency grows with problem size the way GEMM
     /// does on real devices (small multiplies cannot fill the machine).
-    pub fn gemm_time(&self, pair_count: u64, words_per_pair: u64) -> f64 {
+    pub fn gemm_time(&self, pair_count: u64, words_per_pair: u64) -> Seconds {
         let word_ops = (pair_count * words_per_pair) as f64;
         // A 64-bit AND+popcount+accumulate costs ~4 32-bit SP operations.
         let peak = self.device.total_sps() as f64 * self.device.clock_hz() / 4.0;
         let eff = 0.85 * word_ops / (word_ops + 2.0e6);
-        self.launch() + word_ops / (peak * eff.max(0.02))
+        self.launch() + Seconds(word_ops / (peak * eff.max(0.02)))
     }
 }
 
@@ -178,7 +185,7 @@ mod tests {
     fn kernel1_plateaus_at_sched_rate() {
         let m = k80();
         let big = 1_000_000_000u64;
-        let t = m.kernel1_time(big);
+        let t = m.kernel1_time(big).get();
         let rate = big as f64 / t;
         // Asymptotic Kernel I rate must approach the dispatch bound
         // (7.2 Gitems/s), not the ALU bound (~17 G/s).
@@ -190,7 +197,7 @@ mod tests {
         let m = k80();
         let scores = 10_000_000_000u64;
         let items = scores / 1000;
-        let t = m.kernel2_time(scores, items);
+        let t = m.kernel2_time(scores, items).get();
         let rate = scores as f64 / t;
         // 2496 SPs * 875 MHz / 126 cycles ≈ 17.3 Gω/s — the paper's peak.
         assert!((rate - 17.3e9).abs() / 17.3e9 < 0.05, "rate {rate:e}");
@@ -202,7 +209,7 @@ mod tests {
         let scores = 10_000u64;
         let t1 = m.kernel1_time(scores);
         let t2 = m.kernel2_time(scores, scores / 8);
-        assert!(t1 < t2, "kernel I must win small workloads: {t1} vs {t2}");
+        assert!(t1 < t2, "kernel I must win small workloads: {t1:?} vs {t2:?}");
     }
 
     #[test]
@@ -211,47 +218,61 @@ mod tests {
         let scores = 500_000_000u64;
         let t1 = m.kernel1_time(scores);
         let t2 = m.kernel2_time(scores, scores / 1000);
-        assert!(t2 < t1, "kernel II must win large workloads: {t2} vs {t1}");
+        assert!(t2 < t1, "kernel II must win large workloads: {t2:?} vs {t1:?}");
     }
 
     #[test]
     fn transfer_has_latency_floor() {
         let m = k80();
-        assert!(m.transfer_time(0) > 0.0);
-        let small = m.transfer_time(1_000);
-        let big = m.transfer_time(1_000_000_000);
+        assert!(m.transfer_time(Bytes::ZERO).get() > 0.0);
+        let small = m.transfer_time(Bytes(1_000)).get();
+        let big = m.transfer_time(Bytes(1_000_000_000)).get();
         assert!(big > small * 100.0);
     }
 
     #[test]
+    fn transfer_time_matches_pre_newtype_expression() {
+        // The Nanos/Bytes conversions must reproduce the original
+        // `µs × 1e-6 + bytes / (GB/s × 1e9)` arithmetic bit-for-bit.
+        let m = k80();
+        let bytes = 123_456_789u64;
+        let raw = 15.0 * 1e-6 + bytes as f64 / (10.0 * 1e9);
+        assert_eq!(m.transfer_time(Bytes(bytes)).get(), raw);
+    }
+
+    #[test]
     fn prep_rate_declines_with_working_set() {
-        assert_eq!(host_prep_rate(1_000_000), host_prep_rate(10_000_000));
-        assert!(host_prep_rate(10_000_000) > host_prep_rate(100_000_000));
-        assert!(host_prep_rate(100_000_000) > host_prep_rate(1_000_000_000));
+        assert_eq!(host_prep_rate(Bytes(1_000_000)), host_prep_rate(Bytes(10_000_000)));
+        assert!(host_prep_rate(Bytes(10_000_000)) > host_prep_rate(Bytes(100_000_000)));
+        assert!(host_prep_rate(Bytes(100_000_000)) > host_prep_rate(Bytes(1_000_000_000)));
     }
 
     #[test]
     fn gemm_efficiency_grows() {
         let m = k80();
-        let small_rate = 1e6 / m.gemm_time(1_000, 1_000);
-        let big_rate = 1e10 / m.gemm_time(10_000_000, 1_000);
+        let small_rate = 1e6 / m.gemm_time(1_000, 1_000).get();
+        let big_rate = 1e10 / m.gemm_time(10_000_000, 1_000).get();
         assert!(big_rate > 5.0 * small_rate);
     }
 
     #[test]
     fn cost_accumulates() {
         let mut a = GpuCost {
-            host_prep: 1.0,
-            h2d: 2.0,
-            kernel: 3.0,
-            d2h: 4.0,
-            host_reduce: 5.0,
-            transfer_bytes: 100,
+            host_prep: Seconds(1.0),
+            h2d: Seconds(2.0),
+            kernel: Seconds(3.0),
+            d2h: Seconds(4.0),
+            host_reduce: Seconds(5.0),
+            transfer_bytes: Bytes(100),
         };
-        a.accumulate(&GpuCost { host_prep: 0.5, transfer_bytes: 20, ..GpuCost::default() });
-        assert!((a.total() - 15.5).abs() < 1e-12);
-        assert_eq!(a.kernel_only(), 3.0);
-        assert_eq!(a.transfer_bytes, 120);
+        a.accumulate(&GpuCost {
+            host_prep: Seconds(0.5),
+            transfer_bytes: Bytes(20),
+            ..GpuCost::default()
+        });
+        assert!((a.total().get() - 15.5).abs() < 1e-12);
+        assert_eq!(a.kernel_only(), Seconds(3.0));
+        assert_eq!(a.transfer_bytes, Bytes(120));
     }
 
     #[test]

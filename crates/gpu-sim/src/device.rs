@@ -7,6 +7,8 @@
 //! stream-processor counts, warp/wavefront width, clocks, memory and
 //! PCIe bandwidths.
 
+use omega_core::units::Nanos;
+
 /// A simulated GPU device.
 #[derive(Debug, Clone, PartialEq)]
 pub struct GpuDevice {
@@ -24,10 +26,10 @@ pub struct GpuDevice {
     pub mem_bandwidth_gbs: f64,
     /// Host↔device bandwidth in GB/s.
     pub pcie_bandwidth_gbs: f64,
-    /// Fixed latency per host↔device transfer, µs.
-    pub pcie_latency_us: f64,
-    /// Fixed kernel-launch overhead, µs.
-    pub kernel_launch_us: f64,
+    /// Fixed latency per host↔device transfer.
+    pub pcie_latency: Nanos,
+    /// Fixed kernel-launch overhead.
+    pub kernel_launch: Nanos,
     /// Global work-item dispatch rate bound in Gitems/s — the scheduling
     /// ceiling that caps Kernel I (one ω per work-item) regardless of
     /// arithmetic throughput.
@@ -63,8 +65,8 @@ impl GpuDevice {
             clock_mhz: 775.0,
             mem_bandwidth_gbs: 32.0,
             pcie_bandwidth_gbs: 6.0,
-            pcie_latency_us: 20.0,
-            kernel_launch_us: 8.0,
+            pcie_latency: Nanos::from_micros(20),
+            kernel_launch: Nanos::from_micros(8),
             sched_gitems: 3.3,
         }
     }
@@ -80,8 +82,8 @@ impl GpuDevice {
             clock_mhz: 875.0,
             mem_bandwidth_gbs: 240.0,
             pcie_bandwidth_gbs: 10.0,
-            pcie_latency_us: 15.0,
-            kernel_launch_us: 6.0,
+            pcie_latency: Nanos::from_micros(15),
+            kernel_launch: Nanos::from_micros(6),
             sched_gitems: 7.2,
         }
     }

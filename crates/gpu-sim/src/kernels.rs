@@ -119,7 +119,7 @@ impl GpuOmegaEngine {
                 self.model.kernel2_time(plan.scheduled_scores(), plan.items)
             }
         };
-        omega_obs::counter!("gpu.transfer.bytes").add(plan.input_bytes + plan.output_bytes);
+        omega_obs::counter!("gpu.transfer.bytes").add((plan.input_bytes + plan.output_bytes).get());
         omega_obs::histogram!("gpu.task.scores").record(dims.n_valid);
         let cost = GpuCost {
             host_prep: self.model.host_prep_time(plan.input_bytes),
@@ -359,8 +359,8 @@ mod tests {
         let engine = GpuOmegaEngine::new(GpuDevice::radeon_hd8750m());
         let (runs, total) = engine.run_scan(&tasks);
         assert_eq!(runs.len(), 3);
-        let sum: f64 = runs.iter().map(|r| r.cost.total()).sum();
-        assert!((total.total() - sum).abs() < 1e-12);
+        let sum: omega_core::Seconds = runs.iter().map(|r| r.cost.total()).sum();
+        assert!((total.total().get() - sum.get()).abs() < 1e-12);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //! executed functionally by the tiled popcount GEMM of `omega-ld` and
 //! timed by the device's GEMM model.
 
+use omega_core::units::{Bytes, Seconds};
 use omega_genome::SnpVec;
 use omega_ld::r2_block;
 
@@ -48,16 +49,16 @@ impl GpuLd {
         n_samples: u64,
     ) -> GpuCost {
         let words = n_samples.div_ceil(64).max(1);
-        let snp_bytes = snps_transferred * words * 8 * 2;
-        let out_bytes = new_pairs * 4;
+        let snp_bytes = Bytes(snps_transferred * words * 8 * 2);
+        let out_bytes = Bytes(new_pairs * 4);
         omega_obs::counter!("gpu.ld.pairs").add(new_pairs);
-        omega_obs::counter!("gpu.transfer.bytes").add(snp_bytes + out_bytes);
+        omega_obs::counter!("gpu.transfer.bytes").add((snp_bytes + out_bytes).get());
         GpuCost {
             host_prep: self.model.host_prep_time(snp_bytes),
             h2d: self.model.transfer_time(snp_bytes),
             kernel: self.model.gemm_time(new_pairs, words),
             d2h: self.model.transfer_time(out_bytes),
-            host_reduce: 0.0,
+            host_reduce: Seconds::ZERO,
             transfer_bytes: snp_bytes + out_bytes,
         }
     }
@@ -66,15 +67,15 @@ impl GpuLd {
     /// samples (two bit planes per SNP).
     pub fn estimate_block(&self, n_rows: u64, n_cols: u64, n_samples: u64) -> GpuCost {
         let words = n_samples.div_ceil(64).max(1);
-        let snp_bytes = (n_rows + n_cols) * words * 8 * 2;
-        let out_bytes = n_rows * n_cols * 4;
+        let snp_bytes = Bytes((n_rows + n_cols) * words * 8 * 2);
+        let out_bytes = Bytes(n_rows * n_cols * 4);
         let pairs = n_rows * n_cols;
         GpuCost {
             host_prep: self.model.host_prep_time(snp_bytes),
             h2d: self.model.transfer_time(snp_bytes),
             kernel: self.model.gemm_time(pairs, words),
             d2h: self.model.transfer_time(out_bytes),
-            host_reduce: 0.0,
+            host_reduce: Seconds::ZERO,
             transfer_bytes: snp_bytes + out_bytes,
         }
     }
@@ -107,7 +108,7 @@ mod tests {
                 assert_eq!(r2[i * cols.len() + j], r2_sites(&rows[i], &cols[j]));
             }
         }
-        assert!(cost.total() > 0.0);
+        assert!(cost.total().get() > 0.0);
     }
 
     #[test]
@@ -115,7 +116,7 @@ mod tests {
         let ld = GpuLd::new(GpuDevice::tesla_k80());
         let small = ld.estimate_block(1000, 1000, 64);
         let big = ld.estimate_block(1000, 1000, 64_000);
-        assert!(big.kernel > 10.0 * small.kernel);
+        assert!(big.kernel.get() > 10.0 * small.kernel.get());
         assert!(big.h2d > small.h2d);
     }
 

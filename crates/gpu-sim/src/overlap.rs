@@ -23,6 +23,8 @@
 //! single task (or [`OverlapMode::Serialized`]) they are equal — which
 //! keeps the paper-calibrated single-scan numbers reproducible.
 
+use omega_core::units::{Bytes, Seconds};
+
 use crate::cost::GpuCost;
 
 /// Whether transfers overlap with compute across queued tasks.
@@ -44,19 +46,19 @@ pub struct OverlapSummary {
     pub mode: OverlapMode,
     /// Number of tasks folded.
     pub tasks: usize,
-    /// Wall-clock seconds under the pipeline's mode.
-    pub total_seconds: f64,
-    /// Wall-clock seconds had every stage been serialized.
-    pub serialized_seconds: f64,
+    /// Wall-clock time under the pipeline's mode.
+    pub total_seconds: Seconds,
+    /// Wall-clock time had every stage been serialized.
+    pub serialized_seconds: Seconds,
     /// Transfer bytes whose crossing was (at least partially) hidden
     /// behind a kernel — every task's traffic except the first's.
-    pub overlapped_bytes: u64,
+    pub overlapped_bytes: Bytes,
 }
 
 impl OverlapSummary {
-    /// Seconds saved relative to the serialized schedule.
-    pub fn hidden_seconds(&self) -> f64 {
-        (self.serialized_seconds - self.total_seconds).max(0.0)
+    /// Time saved relative to the serialized schedule.
+    pub fn hidden_seconds(&self) -> Seconds {
+        (self.serialized_seconds - self.total_seconds).max(Seconds::ZERO)
     }
 }
 
@@ -65,12 +67,12 @@ impl OverlapSummary {
 pub struct TransferPipeline {
     mode: OverlapMode,
     tasks: usize,
-    host_seconds: f64,
-    first_transfer: f64,
-    interior_seconds: f64,
-    prev_kernel: f64,
-    serialized_seconds: f64,
-    overlapped_bytes: u64,
+    host_seconds: Seconds,
+    first_transfer: Seconds,
+    interior_seconds: Seconds,
+    prev_kernel: Seconds,
+    serialized_seconds: Seconds,
+    overlapped_bytes: Bytes,
 }
 
 impl TransferPipeline {
@@ -79,12 +81,12 @@ impl TransferPipeline {
         TransferPipeline {
             mode,
             tasks: 0,
-            host_seconds: 0.0,
-            first_transfer: 0.0,
-            interior_seconds: 0.0,
-            prev_kernel: 0.0,
-            serialized_seconds: 0.0,
-            overlapped_bytes: 0,
+            host_seconds: Seconds::ZERO,
+            first_transfer: Seconds::ZERO,
+            interior_seconds: Seconds::ZERO,
+            prev_kernel: Seconds::ZERO,
+            serialized_seconds: Seconds::ZERO,
+            overlapped_bytes: Bytes::ZERO,
         }
     }
 
@@ -117,7 +119,7 @@ impl TransferPipeline {
     /// exactly the serialized sum and no bytes count as overlapped.
     pub fn finish(&self) -> OverlapSummary {
         let (total_seconds, overlapped_bytes) = match self.mode {
-            OverlapMode::Serialized => (self.serialized_seconds, 0),
+            OverlapMode::Serialized => (self.serialized_seconds, Bytes::ZERO),
             OverlapMode::DoubleBuffered => {
                 let total = self.host_seconds
                     + self.first_transfer
@@ -126,7 +128,7 @@ impl TransferPipeline {
                 (total, self.overlapped_bytes)
             }
         };
-        omega_obs::counter!("transfer.overlapped_bytes").add(overlapped_bytes);
+        omega_obs::counter!("transfer.overlapped_bytes").add(overlapped_bytes.get());
         OverlapSummary {
             mode: self.mode,
             tasks: self.tasks,
@@ -142,7 +144,14 @@ mod tests {
     use super::*;
 
     fn cost(host_prep: f64, h2d: f64, kernel: f64, d2h: f64, bytes: u64) -> GpuCost {
-        GpuCost { host_prep, h2d, kernel, d2h, host_reduce: 0.0, transfer_bytes: bytes }
+        GpuCost {
+            host_prep: Seconds(host_prep),
+            h2d: Seconds(h2d),
+            kernel: Seconds(kernel),
+            d2h: Seconds(d2h),
+            host_reduce: Seconds::ZERO,
+            transfer_bytes: Bytes(bytes),
+        }
     }
 
     #[test]
@@ -151,9 +160,9 @@ mod tests {
         let s = p.finish();
         assert!(p.is_empty());
         assert_eq!(s.tasks, 0);
-        assert_eq!(s.total_seconds, 0.0);
-        assert_eq!(s.serialized_seconds, 0.0);
-        assert_eq!(s.overlapped_bytes, 0);
+        assert_eq!(s.total_seconds, Seconds::ZERO);
+        assert_eq!(s.serialized_seconds, Seconds::ZERO);
+        assert_eq!(s.overlapped_bytes, Bytes::ZERO);
     }
 
     #[test]
@@ -162,9 +171,9 @@ mod tests {
             let mut p = TransferPipeline::new(mode);
             p.push(&cost(0.1, 0.2, 0.5, 0.05, 1000));
             let s = p.finish();
-            assert!((s.total_seconds - 0.85).abs() < 1e-12);
-            assert!((s.total_seconds - s.serialized_seconds).abs() < 1e-15);
-            assert!(s.hidden_seconds() < 1e-15);
+            assert!((s.total_seconds.get() - 0.85).abs() < 1e-12);
+            assert!((s.total_seconds.get() - s.serialized_seconds.get()).abs() < 1e-15);
+            assert!(s.hidden_seconds().get() < 1e-15);
         }
     }
 
@@ -176,8 +185,8 @@ mod tests {
         }
         let s = p.finish();
         assert_eq!(s.total_seconds, s.serialized_seconds);
-        assert_eq!(s.overlapped_bytes, 0);
-        assert_eq!(s.hidden_seconds(), 0.0);
+        assert_eq!(s.overlapped_bytes, Bytes::ZERO);
+        assert_eq!(s.hidden_seconds(), Seconds::ZERO);
     }
 
     #[test]
@@ -190,10 +199,10 @@ mod tests {
         }
         let s = p.finish();
         // total = t1 (0.2) + 3 × max(1.0, 0.2) + last kernel (1.0) = 4.2
-        assert!((s.total_seconds - 4.2).abs() < 1e-12);
-        assert!((s.serialized_seconds - 4.8).abs() < 1e-12);
-        assert!((s.hidden_seconds() - 0.6).abs() < 1e-12);
-        assert_eq!(s.overlapped_bytes, 3 * 64);
+        assert!((s.total_seconds.get() - 4.2).abs() < 1e-12);
+        assert!((s.serialized_seconds.get() - 4.8).abs() < 1e-12);
+        assert!((s.hidden_seconds().get() - 0.6).abs() < 1e-12);
+        assert_eq!(s.overlapped_bytes, Bytes(3 * 64));
     }
 
     #[test]
@@ -204,8 +213,8 @@ mod tests {
         }
         let s = p.finish();
         // total = t1 (2.0) + 2 × max(0.1, 2.0) + last kernel (0.1) = 6.1
-        assert!((s.total_seconds - 6.1).abs() < 1e-12);
-        assert!((s.serialized_seconds - 6.3).abs() < 1e-12);
+        assert!((s.total_seconds.get() - 6.1).abs() < 1e-12);
+        assert!((s.serialized_seconds.get() - 6.3).abs() < 1e-12);
     }
 
     #[test]
@@ -225,10 +234,10 @@ mod tests {
             }
             let s = p.finish();
             assert!(
-                s.total_seconds <= s.serialized_seconds + 1e-12,
+                s.total_seconds.get() <= s.serialized_seconds.get() + 1e-12,
                 "n={n}: {} > {}",
-                s.total_seconds,
-                s.serialized_seconds
+                s.total_seconds.get(),
+                s.serialized_seconds.get()
             );
         }
     }
@@ -239,6 +248,6 @@ mod tests {
         p.push(&cost(5.0, 0.0, 0.0, 0.0, 0));
         p.push(&cost(5.0, 0.0, 0.0, 0.0, 0));
         let s = p.finish();
-        assert!((s.total_seconds - 10.0).abs() < 1e-12);
+        assert!((s.total_seconds.get() - 10.0).abs() < 1e-12);
     }
 }

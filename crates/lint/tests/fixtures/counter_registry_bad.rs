@@ -1,0 +1,12 @@
+//! Seeded `counter-registry` violations: instrument names that are not
+//! in the registry the test supplies (`scan.steals`, `omega_max`).
+
+pub fn emit() {
+    let _guard = omega_obs::span!("scan.stales");
+    omega_obs::counter!("omega.maxx").add(1);
+    omega_obs::gauge!("unregistered.gauge").set(2);
+    omega_obs::histogram!("unregistered.hist").record(3);
+    // Registered and test-namespace names are fine:
+    omega_obs::counter!("scan.steals").add(1);
+    omega_obs::counter!("test.anything").add(1);
+}

@@ -1,0 +1,12 @@
+//! The same violations as `counter_registry_bad.rs`, each waived.
+
+pub fn emit() {
+    // lint:allow(counter-registry): fixture demonstrating a waiver
+    let _guard = omega_obs::span!("scan.stales");
+    // lint:allow(counter-registry): fixture demonstrating a waiver
+    omega_obs::counter!("omega.maxx").add(1);
+    // lint:allow(counter-registry): fixture demonstrating a waiver
+    omega_obs::gauge!("unregistered.gauge").set(2);
+    // lint:allow(counter-registry): fixture demonstrating a waiver
+    omega_obs::histogram!("unregistered.hist").record(3);
+}

@@ -1,0 +1,17 @@
+//! Seeded `float-total-order` violations: one per shape the rule knows.
+
+pub fn literal_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn literal_ne(x: f32) -> bool {
+    x != 1.5
+}
+
+pub fn score_ident_eq(omega_best: f32, other: f32) -> bool {
+    omega_best == other
+}
+
+pub fn partial(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    a.partial_cmp(&b)
+}

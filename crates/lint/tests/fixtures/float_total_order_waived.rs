@@ -1,0 +1,20 @@
+//! The same violations as `float_total_order_bad.rs`, each waived.
+
+pub fn literal_eq(x: f64) -> bool {
+    // lint:allow(float-total-order): fixture demonstrating a waiver
+    x == 0.0
+}
+
+pub fn literal_ne(x: f32) -> bool {
+    x != 1.5 // lint:allow(float-total-order): fixture demonstrating a waiver
+}
+
+pub fn score_ident_eq(omega_best: f32, other: f32) -> bool {
+    // lint:allow(float-total-order): fixture demonstrating a waiver
+    omega_best == other
+}
+
+pub fn partial(a: f64, b: f64) -> Option<std::cmp::Ordering> {
+    // lint:allow(float-total-order): fixture demonstrating a waiver
+    a.partial_cmp(&b)
+}

@@ -1,0 +1,9 @@
+//! Seeded `no-f64-kernel` violations (linted as a kernel datapath file).
+
+pub fn widen(x: f32) -> f64 {
+    f64::from(x)
+}
+
+pub fn cast(x: u32) -> f32 {
+    (x as f64 * 0.5) as f32
+}

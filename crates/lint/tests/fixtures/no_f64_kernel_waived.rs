@@ -1,0 +1,12 @@
+//! The same violations as `no_f64_kernel_bad.rs`, each waived.
+
+// lint:allow(no-f64-kernel): fixture demonstrating a waiver
+pub fn widen(x: f32) -> f64 {
+    // lint:allow(no-f64-kernel): fixture demonstrating a waiver
+    f64::from(x)
+}
+
+pub fn cast(x: u32) -> f32 {
+    // lint:allow(no-f64-kernel): fixture demonstrating a waiver
+    (x as f64 * 0.5) as f32
+}

@@ -1,0 +1,23 @@
+//! Seeded `no-panic-lib` violations; the `#[cfg(test)]` block must NOT
+//! add findings.
+
+pub fn take(v: Option<u8>) -> u8 {
+    v.unwrap()
+}
+
+pub fn demand(v: Option<u8>) -> u8 {
+    v.expect("must be set")
+}
+
+pub fn bail() {
+    panic!("library code must not panic");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        super::take(None);
+        unreachable!();
+    }
+}

@@ -1,0 +1,15 @@
+//! The same violations as `no_panic_lib_bad.rs`, each waived.
+
+pub fn take(v: Option<u8>) -> u8 {
+    // lint:allow(no-panic-lib): fixture demonstrating a waiver
+    v.unwrap()
+}
+
+pub fn demand(v: Option<u8>) -> u8 {
+    v.expect("must be set") // lint:allow(no-panic-lib): fixture demonstrating a waiver
+}
+
+pub fn bail() {
+    // lint:allow(no-panic-lib): fixture demonstrating a waiver
+    panic!("library code must not panic");
+}

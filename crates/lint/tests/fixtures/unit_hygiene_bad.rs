@@ -1,0 +1,19 @@
+//! Seeded `unit-hygiene` violations (linted as a gpu-sim source file):
+//! raw-unit-suffixed quantities, bare time-conversion constants, and raw
+//! conversion arithmetic on unit-named identifiers.
+
+pub fn latency_seconds(pcie_latency_us: f64) -> f64 {
+    pcie_latency_us * 1e-6
+}
+
+pub fn stamp_seconds(elapsed_ns: u64) -> f64 {
+    elapsed_ns as f64 * 1e-9
+}
+
+pub fn double_traffic(transfer_bytes: u64) -> u64 {
+    transfer_bytes * 2
+}
+
+pub fn halve(total_cycles: u64) -> u64 {
+    total_cycles / 2
+}

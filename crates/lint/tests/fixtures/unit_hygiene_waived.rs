@@ -1,0 +1,25 @@
+//! The same violations as `unit_hygiene_bad.rs`, each waived.
+
+// lint:allow(unit-hygiene): fixture demonstrating a waiver
+pub fn latency_seconds(pcie_latency_us: f64) -> f64 {
+    // lint:allow(unit-hygiene): fixture demonstrating a waiver
+    pcie_latency_us * 1e-6
+}
+
+// lint:allow(unit-hygiene): fixture demonstrating a waiver
+pub fn stamp_seconds(elapsed_ns: u64) -> f64 {
+    // lint:allow(unit-hygiene): fixture demonstrating a waiver
+    elapsed_ns as f64 * 1e-9
+}
+
+// lint:allow(unit-hygiene): fixture demonstrating a waiver
+pub fn double_traffic(transfer_bytes: u64) -> u64 {
+    // lint:allow(unit-hygiene): fixture demonstrating a waiver
+    transfer_bytes * 2
+}
+
+// lint:allow(unit-hygiene): fixture demonstrating a waiver
+pub fn halve(total_cycles: u64) -> u64 {
+    // lint:allow(unit-hygiene): fixture demonstrating a waiver
+    total_cycles / 2
+}

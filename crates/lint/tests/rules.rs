@@ -1,0 +1,116 @@
+//! Fixture tests: every rule fires on its seeded violations, waivers
+//! suppress them, and the CLI exits non-zero on a seeded repo.
+
+use std::path::Path;
+
+use omega_lint::{lint_source, Finding, Registry};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+fn registry() -> Registry {
+    Registry::from_names(["omega_max", "scan.steals"])
+}
+
+/// Lints a fixture under the rule-scoping path `rel`.
+fn lint_fixture(name: &str, rel: &str) -> Vec<Finding> {
+    lint_source(rel, &fixture(name), &registry()).expect("fixture lexes")
+}
+
+/// (fixture stem, path the fixture is linted as, rule, expected count)
+const CASES: &[(&str, &str, &str, usize)] = &[
+    ("float_total_order", "crates/core/src/scan.rs", "float-total-order", 4),
+    ("no_f64_kernel", "crates/core/src/kernel.rs", "no-f64-kernel", 3),
+    ("no_panic_lib", "crates/genome/src/ms.rs", "no-panic-lib", 3),
+    ("counter_registry", "crates/core/src/parallel.rs", "counter-registry", 4),
+    ("unit_hygiene", "crates/gpu-sim/src/cost.rs", "unit-hygiene", 8),
+];
+
+#[test]
+fn every_rule_fires_on_its_bad_fixture() {
+    for &(stem, rel, rule, expected) in CASES {
+        let findings = lint_fixture(&format!("{stem}_bad.rs"), rel);
+        assert_eq!(
+            findings.len(),
+            expected,
+            "{stem}_bad.rs expected {expected} findings, got: {findings:#?}"
+        );
+        for f in &findings {
+            assert_eq!(f.rule, rule, "{stem}_bad.rs produced a stray rule: {f}");
+            assert!(f.line > 0 && f.column > 0, "{f} lacks a position");
+        }
+    }
+}
+
+#[test]
+fn waivers_suppress_every_finding() {
+    for &(stem, rel, _, _) in CASES {
+        let findings = lint_fixture(&format!("{stem}_waived.rs"), rel);
+        assert!(findings.is_empty(), "{stem}_waived.rs still fires: {findings:#?}");
+    }
+}
+
+#[test]
+fn kernel_fixture_is_clean_outside_datapath_scope() {
+    // The f64 fixture only violates no-f64-kernel, which is scoped to
+    // the kernel datapath file list.
+    let findings = lint_fixture("no_f64_kernel_bad.rs", "crates/core/src/report.rs");
+    assert!(findings.is_empty(), "{findings:#?}");
+}
+
+/// End-to-end acceptance: the CLI exits non-zero on a seeded violation
+/// per rule, and zero once the violation is removed.
+#[test]
+fn cli_exits_nonzero_on_seeded_repo() {
+    let root = std::env::temp_dir().join(format!("omega-lint-e2e-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Minimal repo shape: the obs name registry plus one library file.
+    let obs_src = root.join("crates/obs/src");
+    std::fs::create_dir_all(&obs_src).expect("mkdir obs");
+    std::fs::write(
+        obs_src.join("names.rs"),
+        "pub const INSTRUMENTS: &[&str] = &[\n    \"scan.steals\",\n];\n",
+    )
+    .expect("write names.rs");
+    let lib_src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&lib_src).expect("mkdir demo");
+
+    let seeded: &[(&str, &str)] = &[
+        ("float-total-order", "pub fn f(x: f64) -> bool { x == 0.0 }\n"),
+        ("no-panic-lib", "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }\n"),
+        ("counter-registry", "pub fn f() { omega_obs::counter!(\"nope\").add(1); }\n"),
+    ];
+    for (rule, src) in seeded {
+        std::fs::write(lib_src.join("lib.rs"), src).expect("write lib.rs");
+        let out = std::process::Command::new(env!("CARGO_BIN_EXE_omega-lint"))
+            .args(["--deny-new", "--root"])
+            .arg(&root)
+            .output()
+            .expect("run omega-lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            !out.status.success(),
+            "seeded {rule} violation must fail the lint; output:\n{stdout}"
+        );
+        assert!(stdout.contains(rule), "diagnostic names the rule; output:\n{stdout}");
+        assert!(
+            stdout.contains("crates/demo/src/lib.rs:1:"),
+            "diagnostic carries file:line; output:\n{stdout}"
+        );
+    }
+
+    // Clean source: exit zero.
+    std::fs::write(lib_src.join("lib.rs"), "pub fn f(n: usize) -> usize { n + 1 }\n")
+        .expect("write lib.rs");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_omega-lint"))
+        .args(["--deny-new", "--root"])
+        .arg(&root)
+        .output()
+        .expect("run omega-lint");
+    assert!(out.status.success(), "clean repo must pass: {}", String::from_utf8_lossy(&out.stdout));
+
+    let _ = std::fs::remove_dir_all(&root);
+}

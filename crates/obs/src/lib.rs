@@ -36,6 +36,7 @@
 
 mod json;
 mod metrics;
+pub mod names;
 mod sink;
 mod span;
 
@@ -44,6 +45,7 @@ pub use metrics::{
     metrics_table, registry, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
     MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
 };
+pub use names::{is_registered, INSTRUMENTS};
 pub use sink::{
     emit_metrics_snapshot, flush, install_jsonl, read_trace, uninstall, MetricsEvent, SpanEvent,
     TraceError, TraceEvent,

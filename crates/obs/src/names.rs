@@ -1,0 +1,95 @@
+//! The central registry of instrument names.
+//!
+//! Every span, counter, gauge, and histogram name used anywhere in the
+//! workspace must be listed in [`INSTRUMENTS`] (names beginning with
+//! `test.` are exempt, as is `#[cfg(test)]` code). The `omega-lint`
+//! `counter-registry` rule enforces this by parsing this file and
+//! cross-checking every `span!`/`counter!`/`gauge!`/`histogram!` call
+//! site, so a typo'd or undocumented instrument name fails the lint
+//! instead of silently fragmenting a metric across two spellings.
+//!
+//! Keep the list sorted; `registry_is_sorted_and_unique` pins that so
+//! diffs stay reviewable and lookups can binary-search.
+
+/// Every instrument name the workspace emits, sorted, with the emitting
+/// subsystem's prefix as the first dotted segment.
+pub const INSTRUMENTS: &[&str] = &[
+    "accel.batch",
+    "accel.detect",
+    "accel.detect.positions",
+    "accel.detect.runs",
+    "accel.grid_positions",
+    "accel.position",
+    "bench.noop",
+    "bench.noop.ops",
+    "fpga.estimate",
+    "fpga.hw_scores",
+    "fpga.pipeline.cycles",
+    "fpga.pipeline.inputs",
+    "fpga.pipeline.stall_cycles",
+    "fpga.sw_scores",
+    "fpga.task",
+    "gpu.estimate",
+    "gpu.kernel1.launches",
+    "gpu.kernel2.launches",
+    "gpu.ld.block",
+    "gpu.ld.pairs",
+    "gpu.task",
+    "gpu.task.scores",
+    "gpu.transfer.bytes",
+    "matrix.advance",
+    "matrix.cells_reused",
+    "matrix.r2_pairs",
+    "omega.evaluations",
+    "omega.kernel",
+    "omega.kernel_lanes",
+    "omega_max",
+    "scan.batch_replicates",
+    "scan.parallel",
+    "scan.position",
+    "scan.positions",
+    "scan.replicates",
+    "scan.reuse_lost_at_seams",
+    "scan.scorable_positions",
+    "scan.sequential",
+    "scan.steals",
+    "transfer.overlapped_bytes",
+];
+
+/// Whether `name` is a registered instrument (or `test.`-prefixed,
+/// which the registry deliberately does not track).
+pub fn is_registered(name: &str) -> bool {
+    name.starts_with("test.") || INSTRUMENTS.binary_search(&name).is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        for w in INSTRUMENTS.windows(2) {
+            assert!(w[0] < w[1], "out of order or duplicate: {:?} then {:?}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn lookup_hits_and_misses() {
+        assert!(is_registered("scan.steals"));
+        assert!(is_registered("omega_max"));
+        assert!(is_registered("test.anything.at.all"));
+        assert!(!is_registered("scan.stales"));
+        assert!(!is_registered(""));
+    }
+
+    #[test]
+    fn names_are_dotted_lowercase() {
+        for name in INSTRUMENTS {
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._".contains(c)),
+                "instrument {name:?} breaks the naming convention"
+            );
+        }
+    }
+}

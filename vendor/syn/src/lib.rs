@@ -1,0 +1,681 @@
+//! Offline stand-in for `syn`, implementing exactly the API surface the
+//! `omega-lint` crate uses (the build environment has no registry access,
+//! so external dependencies resolve to in-tree stand-ins — see the
+//! `[patch.crates-io]` table in the workspace manifest).
+//!
+//! What the lint pass needs from `syn` is the *token-tree layer*:
+//! [`parse_file`] lexes Rust source into a stream of spanned
+//! [`TokenTree`]s with balanced delimiter [`Group`]s — the same shape
+//! `proc_macro2::TokenStream` has, with line/column [`Span`]s. The full
+//! typed AST (items, expressions, patterns) is deliberately not
+//! reproduced: every `omega-lint` rule is expressible over token trees
+//! plus light structural scanning (attribute groups, macro bangs), and a
+//! token lexer can be implemented faithfully in a few hundred lines
+//! whereas the typed grammar cannot.
+//!
+//! Faithful-lexing guarantees (these are what the rules rely on):
+//!
+//! * comments (line, nested block, doc) are skipped, so commented-out
+//!   code never produces findings;
+//! * string/char/byte/raw-string literals are lexed as single
+//!   [`Literal`]s, so operators inside them never produce findings;
+//! * multi-character operators (`==`, `->`, `::`, …) are single
+//!   [`Punct`]s, longest-match first;
+//! * every token carries the 1-based line and column where it starts.
+
+use std::fmt;
+
+/// A source position: 1-based line and column of a token's first char.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: usize,
+    pub column: usize,
+}
+
+/// A lex error (unbalanced delimiter, unterminated literal or comment).
+#[derive(Debug, Clone)]
+pub struct Error {
+    pub message: String,
+    pub line: usize,
+    pub column: usize,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Bracket kind of a [`Group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delimiter {
+    Parenthesis,
+    Brace,
+    Bracket,
+}
+
+/// An identifier, keyword, or lifetime (lifetimes keep their `'`).
+#[derive(Debug, Clone)]
+pub struct Ident {
+    text: String,
+    span: Span,
+}
+
+impl Ident {
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// An operator or other punctuation; multi-char operators are one token.
+#[derive(Debug, Clone)]
+pub struct Punct {
+    op: String,
+    span: Span,
+}
+
+impl Punct {
+    pub fn as_str(&self) -> &str {
+        &self.op
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// A literal: number, string, raw string, byte string, or char. `text`
+/// is the raw source slice including quotes/prefixes/suffixes.
+#[derive(Debug, Clone)]
+pub struct Literal {
+    text: String,
+    span: Span,
+}
+
+impl Literal {
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    pub fn span(&self) -> Span {
+        self.span
+    }
+
+    /// The contents of a plain `"…"` string literal with no escapes
+    /// (instrument names and the like); `None` for any other literal.
+    pub fn str_value(&self) -> Option<&str> {
+        let inner = self.text.strip_prefix('"')?.strip_suffix('"')?;
+        if inner.contains('\\') {
+            return None;
+        }
+        Some(inner)
+    }
+
+    /// Whether this is a floating-point number literal (`1.5`, `2e9`,
+    /// `0.0f32`, `3f64`) rather than an integer or a quoted literal.
+    pub fn is_float(&self) -> bool {
+        let t = &self.text;
+        let Some(first) = t.chars().next() else { return false };
+        if !first.is_ascii_digit() {
+            return false;
+        }
+        if t.starts_with("0x") || t.starts_with("0b") || t.starts_with("0o") {
+            return false;
+        }
+        t.contains('.')
+            || t.ends_with("f32")
+            || t.ends_with("f64")
+            || t.contains('e')
+            || t.contains('E')
+    }
+}
+
+/// A balanced `(…)`, `{…}`, or `[…]` with its contents.
+#[derive(Debug, Clone)]
+pub struct Group {
+    delimiter: Delimiter,
+    tokens: Vec<TokenTree>,
+    span: Span,
+}
+
+impl Group {
+    pub fn delimiter(&self) -> Delimiter {
+        self.delimiter
+    }
+
+    pub fn tokens(&self) -> &[TokenTree] {
+        &self.tokens
+    }
+
+    /// Span of the opening delimiter.
+    pub fn span(&self) -> Span {
+        self.span
+    }
+}
+
+/// One node of the token tree.
+#[derive(Debug, Clone)]
+pub enum TokenTree {
+    Ident(Ident),
+    Punct(Punct),
+    Literal(Literal),
+    Group(Group),
+}
+
+impl TokenTree {
+    pub fn span(&self) -> Span {
+        match self {
+            TokenTree::Ident(t) => t.span(),
+            TokenTree::Punct(t) => t.span(),
+            TokenTree::Literal(t) => t.span(),
+            TokenTree::Group(t) => t.span(),
+        }
+    }
+}
+
+/// A lexed source file: the top-level token stream.
+#[derive(Debug, Clone)]
+pub struct File {
+    pub tokens: Vec<TokenTree>,
+}
+
+/// Multi-character operators, longest first so lexing is greedy.
+const OPS: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "<<", ">>", "..", "::", "->", "=>",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl Lexer {
+    fn new(src: &str) -> Self {
+        Lexer { chars: src.chars().collect(), pos: 0, line: 1, column: 1 }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn span(&self) -> Span {
+        Span { line: self.line, column: self.column }
+    }
+
+    fn error(&self, message: &str) -> Error {
+        Error { message: message.to_string(), line: self.line, column: self.column }
+    }
+
+    fn skip_line_comment(&mut self) {
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            self.bump();
+        }
+    }
+
+    fn skip_block_comment(&mut self) -> Result<(), Error> {
+        // Called with `/*` not yet consumed; block comments nest.
+        let mut depth = 0usize;
+        loop {
+            match (self.peek(0), self.peek(1)) {
+                (Some('/'), Some('*')) => {
+                    self.bump();
+                    self.bump();
+                    depth += 1;
+                }
+                (Some('*'), Some('/')) => {
+                    self.bump();
+                    self.bump();
+                    depth -= 1;
+                    if depth == 0 {
+                        return Ok(());
+                    }
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return Err(self.error("unterminated block comment")),
+            }
+        }
+    }
+
+    /// Consumes a quoted literal body after its opening quote, honouring
+    /// backslash escapes. `quote` is `"` or `'`.
+    fn quoted_body(&mut self, quote: char, out: &mut String) -> Result<(), Error> {
+        loop {
+            match self.bump() {
+                Some('\\') => {
+                    out.push('\\');
+                    match self.bump() {
+                        Some(e) => out.push(e),
+                        None => return Err(self.error("unterminated escape")),
+                    }
+                }
+                Some(c) if c == quote => {
+                    out.push(c);
+                    return Ok(());
+                }
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated literal")),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body after the opening `"`: text until a
+    /// `"` followed by `hashes` `#`s.
+    fn raw_body(&mut self, hashes: usize, out: &mut String) -> Result<(), Error> {
+        loop {
+            match self.bump() {
+                Some('"') => {
+                    out.push('"');
+                    if (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                        for _ in 0..hashes {
+                            out.push(self.bump().unwrap_or('#'));
+                        }
+                        return Ok(());
+                    }
+                }
+                Some(c) => out.push(c),
+                None => return Err(self.error("unterminated raw string")),
+            }
+        }
+    }
+
+    fn lex_number(&mut self, span: Span, first: char) -> Literal {
+        let mut text = String::new();
+        text.push(first);
+        loop {
+            match self.peek(0) {
+                Some(c) if c.is_ascii_alphanumeric() || c == '_' => {
+                    text.push(self.bump().unwrap_or(c));
+                }
+                // `1.5` continues the number; `1..2` and `1.max(2)` stop.
+                Some('.') if self.peek(1).is_some_and(|c| c.is_ascii_digit()) => {
+                    text.push(self.bump().unwrap_or('.'));
+                }
+                // Exponent sign: `1e-6`, `2.5E+3`.
+                Some(c @ ('+' | '-'))
+                    if text.ends_with(['e', 'E'])
+                        && !text.starts_with("0x")
+                        && self.peek(1).is_some_and(|d| d.is_ascii_digit()) =>
+                {
+                    text.push(self.bump().unwrap_or(c));
+                }
+                _ => break,
+            }
+        }
+        Literal { text, span }
+    }
+
+    fn lex_ident(&mut self, first: char) -> String {
+        let mut text = String::new();
+        text.push(first);
+        while let Some(c) = self.peek(0) {
+            if c.is_alphanumeric() || c == '_' {
+                text.push(self.bump().unwrap_or(c));
+            } else {
+                break;
+            }
+        }
+        text
+    }
+
+    fn next_token(&mut self) -> Result<Option<Token>, Error> {
+        loop {
+            let span = self.span();
+            let Some(c) = self.peek(0) else { return Ok(None) };
+
+            // Whitespace and comments.
+            if c.is_whitespace() {
+                self.bump();
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('/') {
+                self.skip_line_comment();
+                continue;
+            }
+            if c == '/' && self.peek(1) == Some('*') {
+                self.skip_block_comment()?;
+                continue;
+            }
+
+            // Delimiters.
+            if let Some(d) = match c {
+                '(' => Some(Token::Open(Delimiter::Parenthesis, span)),
+                '{' => Some(Token::Open(Delimiter::Brace, span)),
+                '[' => Some(Token::Open(Delimiter::Bracket, span)),
+                ')' => Some(Token::Close(Delimiter::Parenthesis)),
+                '}' => Some(Token::Close(Delimiter::Brace)),
+                ']' => Some(Token::Close(Delimiter::Bracket)),
+                _ => None,
+            } {
+                self.bump();
+                return Ok(Some(d));
+            }
+
+            // Lifetime vs char literal: `'` + ident-start not followed by
+            // a closing `'` is a lifetime (`'a`, `'static`).
+            if c == '\'' {
+                let is_lifetime = self.peek(1).is_some_and(|n| n.is_alphabetic() || n == '_')
+                    && self.peek(2) != Some('\'');
+                self.bump();
+                if is_lifetime {
+                    let mut text = String::from("'");
+                    while let Some(n) = self.peek(0) {
+                        if n.is_alphanumeric() || n == '_' {
+                            text.push(self.bump().unwrap_or(n));
+                        } else {
+                            break;
+                        }
+                    }
+                    return Ok(Some(Token::Tree(TokenTree::Ident(Ident { text, span }))));
+                }
+                let mut text = String::from("'");
+                self.quoted_body('\'', &mut text)?;
+                return Ok(Some(Token::Tree(TokenTree::Literal(Literal { text, span }))));
+            }
+
+            // Strings (plain, raw, byte, raw-byte) and raw identifiers.
+            if c == '"' {
+                self.bump();
+                let mut text = String::from("\"");
+                self.quoted_body('"', &mut text)?;
+                return Ok(Some(Token::Tree(TokenTree::Literal(Literal { text, span }))));
+            }
+            if c == 'r' || c == 'b' {
+                if let Some(tok) = self.try_lex_prefixed(span)? {
+                    return Ok(Some(tok));
+                }
+            }
+
+            // Numbers.
+            if c.is_ascii_digit() {
+                self.bump();
+                let lit = self.lex_number(span, c);
+                return Ok(Some(Token::Tree(TokenTree::Literal(lit))));
+            }
+
+            // Identifiers and keywords.
+            if c.is_alphabetic() || c == '_' {
+                self.bump();
+                let text = self.lex_ident(c);
+                return Ok(Some(Token::Tree(TokenTree::Ident(Ident { text, span }))));
+            }
+
+            // Operators, longest match first.
+            for op in OPS {
+                if op.chars().enumerate().all(|(i, oc)| self.peek(i) == Some(oc)) {
+                    for _ in 0..op.len() {
+                        self.bump();
+                    }
+                    return Ok(Some(Token::Tree(TokenTree::Punct(Punct {
+                        op: (*op).to_string(),
+                        span,
+                    }))));
+                }
+            }
+            self.bump();
+            return Ok(Some(Token::Tree(TokenTree::Punct(Punct { op: c.to_string(), span }))));
+        }
+    }
+
+    /// Handles `r"…"`, `r#"…"#`, `r#ident`, `b"…"`, `b'…'`, `br#"…"#`.
+    /// Returns `None` when the `r`/`b` is just the start of a plain ident.
+    fn try_lex_prefixed(&mut self, span: Span) -> Result<Option<Token>, Error> {
+        let c = self.peek(0).unwrap_or(' ');
+        let mut prefix_len = 1usize;
+        let mut raw = false;
+        match (c, self.peek(1)) {
+            ('r', Some('"')) => raw = true,
+            ('r', Some('#')) => {
+                // `r##…"` raw string vs `r#ident` raw identifier.
+                let mut j = 1;
+                while self.peek(j) == Some('#') {
+                    j += 1;
+                }
+                if self.peek(j) == Some('"') {
+                    raw = true;
+                } else {
+                    // Raw identifier: consume `r#` then the ident.
+                    self.bump();
+                    self.bump();
+                    let first = self.bump().ok_or_else(|| self.error("bare r#"))?;
+                    let rest = self.lex_ident(first);
+                    return Ok(Some(Token::Tree(TokenTree::Ident(Ident {
+                        text: format!("r#{rest}"),
+                        span,
+                    }))));
+                }
+            }
+            ('b', Some('"')) | ('b', Some('\'')) => {}
+            ('b', Some('r')) if matches!(self.peek(2), Some('"') | Some('#')) => {
+                raw = true;
+                prefix_len = 2;
+            }
+            _ => return Ok(None),
+        }
+
+        let mut text = String::new();
+        for _ in 0..prefix_len {
+            text.push(self.bump().unwrap_or(' '));
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some('#') {
+                text.push(self.bump().unwrap_or('#'));
+                hashes += 1;
+            }
+            match self.bump() {
+                Some('"') => text.push('"'),
+                _ => return Err(self.error("malformed raw string")),
+            }
+            self.raw_body(hashes, &mut text)?;
+        } else {
+            let quote = self.bump().ok_or_else(|| self.error("unterminated literal"))?;
+            text.push(quote);
+            self.quoted_body(quote, &mut text)?;
+        }
+        Ok(Some(Token::Tree(TokenTree::Literal(Literal { text, span }))))
+    }
+}
+
+enum Token {
+    Tree(TokenTree),
+    Open(Delimiter, Span),
+    Close(Delimiter),
+}
+
+/// Lexes a whole source file into a balanced token tree.
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let mut lexer = Lexer::new(src);
+    // Stack of open groups: (delimiter, open-span, accumulated tokens).
+    let mut stack: Vec<(Delimiter, Span, Vec<TokenTree>)> = Vec::new();
+    let mut top: Vec<TokenTree> = Vec::new();
+
+    while let Some(tok) = lexer.next_token()? {
+        match tok {
+            Token::Tree(t) => {
+                stack.last_mut().map_or(&mut top, |(_, _, v)| v).push(t);
+            }
+            Token::Open(d, span) => stack.push((d, span, Vec::new())),
+            Token::Close(d) => match stack.pop() {
+                Some((open, span, tokens)) if open == d => {
+                    let group = TokenTree::Group(Group { delimiter: d, tokens, span });
+                    stack.last_mut().map_or(&mut top, |(_, _, v)| v).push(group);
+                }
+                Some((open, span, _)) => {
+                    return Err(Error {
+                        message: format!("mismatched delimiter: opened {open:?}, closed {d:?}"),
+                        line: span.line,
+                        column: span.column,
+                    })
+                }
+                None => {
+                    return Err(Error {
+                        message: format!("unbalanced closing {d:?}"),
+                        line: lexer.line,
+                        column: lexer.column,
+                    })
+                }
+            },
+        }
+    }
+    if let Some((open, span, _)) = stack.pop() {
+        return Err(Error {
+            message: format!("unclosed {open:?}"),
+            line: span.line,
+            column: span.column,
+        });
+    }
+    Ok(File { tokens: top })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flat(tokens: &[TokenTree], out: &mut Vec<String>) {
+        for t in tokens {
+            match t {
+                TokenTree::Ident(i) => out.push(format!("i:{}", i.as_str())),
+                TokenTree::Punct(p) => out.push(format!("p:{}", p.as_str())),
+                TokenTree::Literal(l) => out.push(format!("l:{}", l.as_str())),
+                TokenTree::Group(g) => {
+                    out.push(format!("g:{:?}", g.delimiter()));
+                    flat(g.tokens(), out);
+                    out.push("end".into());
+                }
+            }
+        }
+    }
+
+    fn lex(src: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        flat(&parse_file(src).expect("parse").tokens, &mut out);
+        out
+    }
+
+    #[test]
+    fn idents_ops_and_groups() {
+        assert_eq!(
+            lex("fn f(a: u32) -> u32 { a == 1 }"),
+            [
+                "i:fn",
+                "i:f",
+                "g:Parenthesis",
+                "i:a",
+                "p::",
+                "i:u32",
+                "end",
+                "p:->",
+                "i:u32",
+                "g:Brace",
+                "i:a",
+                "p:==",
+                "l:1",
+                "end"
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_strings_hide_operators() {
+        let toks = lex("let s = \"a == b\"; // x == y\n/* z == w */ let t = 1;");
+        assert!(!toks.contains(&"p:==".to_string()));
+        assert!(toks.contains(&"l:\"a == b\"".to_string()));
+    }
+
+    #[test]
+    fn float_literals() {
+        let f = |s: &str| {
+            let file = parse_file(s).unwrap();
+            match &file.tokens[0] {
+                TokenTree::Literal(l) => l.is_float(),
+                other => panic!("{other:?}"),
+            }
+        };
+        assert!(f("1.5"));
+        assert!(f("1e-6"));
+        assert!(f("2.5E+3"));
+        assert!(f("0.0f32"));
+        assert!(f("3f64"));
+        assert!(!f("42"));
+        assert!(!f("0xff"));
+        assert!(!f("1_000"));
+    }
+
+    #[test]
+    fn number_then_method_call_and_range() {
+        assert_eq!(lex("1.max(2)")[..2], ["l:1", "p:."]);
+        assert_eq!(lex("0..10"), ["l:0", "p:..", "l:10"]);
+        assert_eq!(lex("1..=3"), ["l:1", "p:..=", "l:3"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        assert_eq!(lex("&'a str"), ["p:&", "i:'a", "i:str"]);
+        assert_eq!(lex("'x'"), ["l:'x'"]);
+        assert_eq!(lex("'\\n'"), ["l:'\\n'"]);
+    }
+
+    #[test]
+    fn raw_and_byte_strings() {
+        assert_eq!(lex("r\"a\""), ["l:r\"a\""]);
+        assert_eq!(lex("r#\"a \" b\"#"), ["l:r#\"a \" b\"#"]);
+        assert_eq!(lex("b\"xy\""), ["l:b\"xy\""]);
+        assert_eq!(lex("br#\"q\"#"), ["l:br#\"q\"#"]);
+        assert_eq!(lex("r#fn"), ["i:r#fn"]);
+    }
+
+    #[test]
+    fn str_value_strips_quotes() {
+        let file = parse_file("\"scan.steals\"").unwrap();
+        match &file.tokens[0] {
+            TokenTree::Literal(l) => assert_eq!(l.str_value(), Some("scan.steals")),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn spans_are_one_based_lines() {
+        let file = parse_file("a\nbb\n  c").unwrap();
+        let spans: Vec<(usize, usize)> =
+            file.tokens.iter().map(|t| (t.span().line, t.span().column)).collect();
+        assert_eq!(spans, [(1, 1), (2, 1), (3, 3)]);
+    }
+
+    #[test]
+    fn unbalanced_is_an_error() {
+        assert!(parse_file("fn f( {").is_err());
+        assert!(parse_file("}").is_err());
+        assert!(parse_file("\"oops").is_err());
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        assert_eq!(lex("/* a /* b */ c */ x"), ["i:x"]);
+    }
+}
