@@ -159,6 +159,25 @@ impl SweepDetector {
         self.overlap
     }
 
+    /// Replaces the scan parameters in place, keeping the
+    /// already-validated backend and overlap schedule. Only the new
+    /// parameters are validated; the backend is not reconstructed, so a
+    /// long-lived detector (e.g. a serving lane) can be retargeted
+    /// between batches without paying construction cost. On error the
+    /// detector is left unchanged.
+    pub fn reconfigure(&mut self, params: ScanParams) -> Result<(), ParamError> {
+        params.validate()?;
+        self.params = params;
+        Ok(())
+    }
+
+    /// Decomposes the detector into its configuration, for callers that
+    /// want to rebuild it wholesale (the inverse of
+    /// [`SweepDetector::new`] + [`SweepDetector::with_overlap`]).
+    pub fn into_parts(self) -> (ScanParams, Backend, OverlapMode) {
+        (self.params, self.backend, self.overlap)
+    }
+
     /// Runs the complete Fig. 3 flow on the configured backend.
     pub fn detect(&self, alignment: &Alignment) -> DetectionOutcome {
         let _span = omega_obs::span!("accel.detect");

@@ -9,11 +9,49 @@
 //! replicate is scanned exactly as a standalone run would scan it, so
 //! per-replicate results are bit-identical to independent invocations.
 
+use std::fmt;
+
 use omega_core::{ParamError, ScanParams, ScanStats};
 use omega_genome::Alignment;
 use omega_gpu_sim::OverlapMode;
 
 use crate::backend::{Backend, DetectionOutcome, SweepDetector};
+
+/// Failure to retarget an existing detector mid-batch.
+///
+/// Distinct from the [`ParamError`] a fresh construction returns: the
+/// backend here is already validated and alive (a serving lane, say),
+/// and only the *new* parameters were rejected, so the caller can keep
+/// the detector and fail just the offending request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReconfigureError {
+    /// The replacement parameters failed validation; the detector keeps
+    /// its previous configuration.
+    IncompatibleParams {
+        /// Label of the (still valid) backend the reset targeted.
+        backend: String,
+        /// The underlying parameter rejection.
+        source: ParamError,
+    },
+}
+
+impl fmt::Display for ReconfigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigureError::IncompatibleParams { backend, source } => {
+                write!(f, "cannot retarget live {backend} detector: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReconfigureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReconfigureError::IncompatibleParams { source, .. } => Some(source),
+        }
+    }
+}
 
 /// Aggregated outcome of scanning a replicate batch.
 #[derive(Debug, Clone)]
@@ -75,10 +113,10 @@ impl BatchOutcome {
     /// figure of merit).
     pub fn replicates_per_second(&self) -> f64 {
         let t = self.total_seconds();
-        if t == 0.0 {
-            0.0
-        } else {
+        if t > 0.0 {
             self.replicates.len() as f64 / t
+        } else {
+            0.0
         }
     }
 }
@@ -110,6 +148,23 @@ impl BatchDetector {
     /// The underlying per-replicate detector.
     pub fn detector(&self) -> &SweepDetector {
         &self.detector
+    }
+
+    /// Retargets the driver to new scan parameters, keeping the
+    /// already-validated backend and overlap schedule (no detector
+    /// reconstruction). Incompatible parameters yield a typed
+    /// [`ReconfigureError`] and leave the driver unchanged, so a
+    /// long-lived lane can reject one bad request and keep serving.
+    pub fn reset(&mut self, params: ScanParams) -> Result<(), ReconfigureError> {
+        let backend = self.detector.backend().label();
+        self.detector
+            .reconfigure(params)
+            .map_err(|source| ReconfigureError::IncompatibleParams { backend, source })
+    }
+
+    /// Decomposes the driver into its configuration.
+    pub fn into_parts(self) -> (ScanParams, Backend, OverlapMode) {
+        self.detector.into_parts()
     }
 
     /// Scans every replicate the iterator yields, stopping at the first
@@ -203,6 +258,53 @@ mod tests {
         let batch = BatchDetector::new(params(), Backend::Cpu).unwrap();
         let err = batch.run(items).unwrap_err();
         assert_eq!(err, "bad replicate");
+    }
+
+    #[test]
+    fn reset_retargets_without_rebuilding() {
+        let a = random_alignment(40, 16, 3);
+        let mut batch = BatchDetector::new(params(), Backend::Cpu).unwrap();
+        let wide = batch.run([ok(a.clone())]).unwrap();
+
+        let narrow_params = ScanParams { grid: 4, ..params() };
+        batch.reset(narrow_params).unwrap();
+        assert_eq!(*batch.detector().params(), narrow_params);
+        let narrow = batch.run([ok(a.clone())]).unwrap();
+
+        // The reset batch is bit-identical to a freshly built one.
+        let fresh = BatchDetector::new(narrow_params, Backend::Cpu).unwrap();
+        let expected = fresh.run([ok(a)]).unwrap();
+        assert_eq!(narrow.replicates[0].results.len(), expected.replicates[0].results.len());
+        for (x, y) in narrow.replicates[0].results.iter().zip(&expected.replicates[0].results) {
+            assert_eq!(x.omega.to_bits(), y.omega.to_bits());
+            assert_eq!(x.pos_bp, y.pos_bp);
+        }
+        assert_ne!(wide.replicates[0].results.len(), narrow.replicates[0].results.len());
+    }
+
+    #[test]
+    fn reset_rejects_incompatible_params_with_typed_error() {
+        let mut batch = BatchDetector::new(params(), Backend::Cpu).unwrap();
+        let err = batch.reset(ScanParams { grid: 0, ..params() }).unwrap_err();
+        let ReconfigureError::IncompatibleParams { backend, source } = &err;
+        assert!(backend.contains("CPU"));
+        assert!(source.to_string().contains("grid"));
+        assert!(err.to_string().contains("retarget"));
+        // The driver keeps its previous (valid) configuration.
+        assert_eq!(*batch.detector().params(), params());
+        let a = random_alignment(30, 12, 9);
+        assert!(batch.run([ok(a)]).is_ok());
+    }
+
+    #[test]
+    fn into_parts_round_trips_configuration() {
+        let batch = BatchDetector::new(params(), Backend::Gpu(GpuDevice::tesla_k80()))
+            .unwrap()
+            .with_overlap(OverlapMode::DoubleBuffered);
+        let (p, backend, overlap) = batch.into_parts();
+        assert_eq!(p, params());
+        assert!(matches!(backend, Backend::Gpu(_)));
+        assert_eq!(overlap, OverlapMode::DoubleBuffered);
     }
 
     #[test]

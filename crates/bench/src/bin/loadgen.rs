@@ -1,0 +1,320 @@
+//! `loadgen` — closed-loop load generator for the omega-serve daemon,
+//! writing latency percentiles and throughput to `BENCH_serve.json`
+//! (schema documented in DESIGN.md).
+//!
+//! Boots an in-process daemon on an ephemeral port (so the run is
+//! hermetic and the metrics registry belongs to this process alone) and
+//! drives it in two phases:
+//!
+//! 1. **Fill**: `DISTINCT` clients concurrently submit distinct ms
+//!    payloads and poll each job to completion — every submission is a
+//!    cache miss and the concurrent arrivals exercise the batching
+//!    scheduler.
+//! 2. **Replay**: `CLIENTS` threads each issue `REQUESTS_PER_CLIENT`
+//!    requests round-robining over the phase-1 payloads — every request
+//!    is a cache hit served inline.
+//!
+//! Exit status enforces the *deterministic* fields only: zero transport
+//! or HTTP errors, and exact cache hit/miss counts (`DISTINCT` misses,
+//! `CLIENTS * REQUESTS_PER_CLIENT` hits). Latency and throughput are
+//! reported but never gated — wall-clock numbers move with the host.
+//!
+//! Usage: `loadgen [OUT.json] [-clients N]`
+
+use std::io::{Read, Write as _};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use omega_serve::{ServeConfig, ServeHandle};
+
+const DISTINCT: usize = 6;
+const DEFAULT_CLIENTS: usize = 16;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+/// Deterministic ms-format payload `i`: a small LCG fills a replicate
+/// with `i`-dependent sites so every payload digests differently.
+fn payload(i: usize) -> String {
+    let n_samples = 8;
+    let n_sites = 12 + i;
+    let mut state = 0x9e37_79b9_u64.wrapping_add(i as u64);
+    let mut next = || {
+        state =
+            state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+        state >> 33
+    };
+    let mut positions = String::new();
+    for s in 0..n_sites {
+        if s > 0 {
+            positions.push(' ');
+        }
+        let frac = (s as f64 + 0.5) / n_sites as f64;
+        positions.push_str(&format!("{frac:.6}"));
+    }
+    let mut out =
+        format!("ms {n_samples} 1\n{i}\n\n//\nsegsites: {n_sites}\npositions: {positions}\n");
+    for _ in 0..n_samples {
+        for _ in 0..n_sites {
+            out.push(if next() % 2 == 0 { '0' } else { '1' });
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn scan_body(i: usize) -> String {
+    format!("{{\"format\":\"ms\",\"payload\":{:?},\"params\":{{\"grid\":4}}}}", payload(i))
+}
+
+/// One HTTP round-trip: returns (status, body).
+fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read: {e}"))?;
+    let text = String::from_utf8_lossy(&raw);
+    let status: u16 = text
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("unparseable response: {text:?}"))?;
+    let body = match text.find("\r\n\r\n") {
+        Some(at) => text[at + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, body))
+}
+
+fn post_scan(addr: std::net::SocketAddr, body: &str) -> Result<(u16, String), String> {
+    let request = format!(
+        "POST /scan HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    http(addr, &request)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), String> {
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n"))
+}
+
+/// Submits payload `i` and polls the job to a terminal state. Returns
+/// submit-to-done latency.
+fn fill_one(addr: std::net::SocketAddr, i: usize) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    let (status, body) = post_scan(addr, &scan_body(i))?;
+    if status != 202 {
+        return Err(format!("fill expected 202, got {status}: {body}"));
+    }
+    let parsed = omega_obs::parse_json(&body).map_err(|e| e.to_string())?;
+    let id = parsed
+        .get("job")
+        .and_then(|v| v.as_str())
+        .ok_or_else(|| format!("no job id in {body}"))?
+        .to_string();
+    loop {
+        let (status, body) = get(addr, &format!("/jobs/{id}"))?;
+        if status != 200 {
+            return Err(format!("poll expected 200, got {status}: {body}"));
+        }
+        let parsed = omega_obs::parse_json(&body).map_err(|e| e.to_string())?;
+        match parsed.get("state").and_then(|v| v.as_str()) {
+            Some("done") => return Ok(t0.elapsed()),
+            Some("queued" | "running") => std::thread::sleep(Duration::from_millis(2)),
+            other => return Err(format!("job {id} reached {other:?}: {body}")),
+        }
+    }
+}
+
+/// One replay request; must be an inline cache hit (200, state done).
+fn replay_one(addr: std::net::SocketAddr, i: usize) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    let (status, body) = post_scan(addr, &scan_body(i))?;
+    if status != 200 {
+        return Err(format!("replay expected 200 (cache hit), got {status}: {body}"));
+    }
+    Ok(t0.elapsed())
+}
+
+fn percentile(sorted_ns: &[u64], p: f64) -> u64 {
+    if sorted_ns.is_empty() {
+        return 0;
+    }
+    let rank = (p / 100.0 * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+struct PhaseResult {
+    latencies_ns: Vec<u64>,
+    errors: Vec<String>,
+    wall: Duration,
+}
+
+fn run_phase<F>(n_threads: usize, per_thread: usize, work: F) -> PhaseResult
+where
+    F: Fn(usize, usize) -> Result<Duration, String> + Send + Sync + 'static,
+{
+    let work = Arc::new(work);
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..n_threads)
+        .map(|t| {
+            let work = Arc::clone(&work);
+            std::thread::spawn(move || {
+                let mut lat = Vec::new();
+                let mut errs = Vec::new();
+                for r in 0..per_thread {
+                    match work(t, r) {
+                        Ok(d) => lat.push(d.as_nanos() as u64),
+                        Err(e) => errs.push(e),
+                    }
+                }
+                (lat, errs)
+            })
+        })
+        .collect();
+    let mut latencies_ns = Vec::new();
+    let mut errors = Vec::new();
+    for h in handles {
+        match h.join() {
+            Ok((lat, errs)) => {
+                latencies_ns.extend(lat);
+                errors.extend(errs);
+            }
+            Err(_) => errors.push("client thread panicked".to_string()),
+        }
+    }
+    latencies_ns.sort_unstable();
+    PhaseResult { latencies_ns, errors, wall: t0.elapsed() }
+}
+
+fn phase_json(name: &str, requests: usize, r: &PhaseResult) -> String {
+    let secs = r.wall.as_secs_f64();
+    omega_obs::JsonObject::new()
+        .string("phase", name)
+        .u64("requests", requests as u64)
+        .u64("errors", r.errors.len() as u64)
+        .u64("p50_ns", percentile(&r.latencies_ns, 50.0))
+        .u64("p95_ns", percentile(&r.latencies_ns, 95.0))
+        .u64("p99_ns", percentile(&r.latencies_ns, 99.0))
+        .f64("wall_seconds", secs)
+        .f64("throughput_rps", if secs > 0.0 { requests as f64 / secs } else { 0.0 })
+        .finish()
+}
+
+fn stat_counter(stats: &omega_obs::JsonValue, name: &str) -> u64 {
+    stats.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn run(out_path: &str, clients: usize) -> Result<(), String> {
+    let handle: ServeHandle = omega_serve::start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_capacity: DISTINCT.max(clients) * 2,
+        ..Default::default()
+    })
+    .map_err(|e| format!("cannot boot daemon: {e}"))?;
+    let addr = handle.addr();
+
+    let (status, _) = get(addr, "/healthz")?;
+    if status != 200 {
+        return Err(format!("healthz returned {status}"));
+    }
+
+    println!("loadgen: daemon on {addr}, fill {DISTINCT} distinct payloads");
+    let fill = run_phase(DISTINCT, 1, move |t, _| fill_one(addr, t));
+
+    let replays = clients * REQUESTS_PER_CLIENT;
+    println!("loadgen: replay {replays} requests across {clients} clients");
+    let replay = run_phase(clients, REQUESTS_PER_CLIENT, move |t, r| {
+        replay_one(addr, (t * REQUESTS_PER_CLIENT + r) % DISTINCT)
+    });
+
+    let (status, stats_body) = get(addr, "/stats")?;
+    if status != 200 {
+        return Err(format!("stats returned {status}"));
+    }
+    let stats = omega_obs::parse_json(&stats_body).map_err(|e| e.to_string())?;
+    let hits = stat_counter(&stats, "serve.cache_hits");
+    let misses = stat_counter(&stats, "serve.cache_misses");
+    let rejected = stat_counter(&stats, "serve.rejected");
+
+    handle.shutdown();
+
+    let total_errors = fill.errors.len() + replay.errors.len();
+    for e in fill.errors.iter().chain(&replay.errors).take(5) {
+        eprintln!("loadgen: error: {e}");
+    }
+
+    let json = omega_obs::JsonObject::new()
+        .string("bench", "serve_loadgen")
+        .u64("clients", clients as u64)
+        .u64("distinct_payloads", DISTINCT as u64)
+        .u64("requests_per_client", REQUESTS_PER_CLIENT as u64)
+        .raw("fill", &phase_json("fill", DISTINCT, &fill))
+        .raw("replay", &phase_json("replay", replays, &replay))
+        .raw(
+            "cache",
+            &omega_obs::JsonObject::new()
+                .u64("hits", hits)
+                .u64("misses", misses)
+                .u64("expected_hits", replays as u64)
+                .u64("expected_misses", DISTINCT as u64)
+                .finish(),
+        )
+        .u64("rejected", rejected)
+        .u64("errors", total_errors as u64)
+        .finish();
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!(
+        "loadgen: fill p50 {:.3} ms, replay p50 {:.3} ms / p99 {:.3} ms, {:.0} rps",
+        percentile(&fill.latencies_ns, 50.0) as f64 / 1e6,
+        percentile(&replay.latencies_ns, 50.0) as f64 / 1e6,
+        percentile(&replay.latencies_ns, 99.0) as f64 / 1e6,
+        replays as f64 / replay.wall.as_secs_f64().max(1e-9)
+    );
+    println!("wrote {out_path}");
+
+    // Gates: only the fields that are deterministic by construction.
+    if total_errors > 0 {
+        return Err(format!("{total_errors} request errors"));
+    }
+    if misses != DISTINCT as u64 || hits != replays as u64 {
+        return Err(format!(
+            "cache counts off: {misses} misses (want {DISTINCT}), {hits} hits (want {replays})"
+        ));
+    }
+    if rejected != 0 {
+        return Err(format!("{rejected} rejections with an uncontended queue"));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut out_path = "BENCH_serve.json".to_string();
+    let mut clients = DEFAULT_CLIENTS;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "-clients" => {
+                i += 1;
+                clients = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("loadgen: -clients expects a count >= 1");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            other => out_path = other.to_string(),
+        }
+        i += 1;
+    }
+    match run(&out_path, clients) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("loadgen: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

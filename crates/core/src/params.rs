@@ -18,7 +18,7 @@ pub const DENOMINATOR_OFFSET: f32 = 0.00001;
 /// * `min_snps_per_side` — minimum SNPs required in each of the L and R
 ///   subregions for a combination to be scored (≥ 2, since a region needs
 ///   at least one SNP pair to have any intra-region LD).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ScanParams {
     /// Number of ω positions along the region.
     pub grid: usize,

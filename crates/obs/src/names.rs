@@ -53,6 +53,20 @@ pub const INSTRUMENTS: &[&str] = &[
     "scan.scorable_positions",
     "scan.sequential",
     "scan.steals",
+    "serve.batch_size",
+    "serve.cache_evictions",
+    "serve.cache_hits",
+    "serve.cache_misses",
+    "serve.jobs",
+    "serve.lane.cpu",
+    "serve.lane.fpga",
+    "serve.lane.gpu",
+    "serve.latency.cpu",
+    "serve.latency.fpga",
+    "serve.latency.gpu",
+    "serve.queue_depth",
+    "serve.rejected",
+    "serve.request",
     "transfer.overlapped_bytes",
 ];
 

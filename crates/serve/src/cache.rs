@@ -1,0 +1,233 @@
+//! Content-addressed result cache with LRU eviction under a byte budget.
+//!
+//! Keys are *content* addresses: the FNV-1a digest of the request payload
+//! plus the exact scan parameters, backend, and overlap mode — everything
+//! that influences the (deterministic) result bytes. Because scans are
+//! bit-identical for identical inputs, a hit can be served verbatim
+//! without touching a detector.
+//!
+//! The cache is budgeted in bytes, not entries: result JSON for a large
+//! grid dwarfs one for a small grid, so an entry count would let memory
+//! use drift unbounded. Eviction is least-recently-used; insertion of a
+//! value larger than the whole budget is refused rather than evicting
+//! everything. Hits, misses, and evictions feed the
+//! `serve.cache_hits` / `serve.cache_misses` / `serve.cache_evictions`
+//! counters.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use omega_core::ScanParams;
+use omega_gpu_sim::OverlapMode;
+
+/// Everything that determines the bytes of a scan result.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// FNV-1a 64 digest over (format, region length, payload bytes).
+    pub payload_digest: u64,
+    /// Exact scan parameters.
+    pub params: ScanParams,
+    /// Backend label, including the device name (e.g. "GPU (Tesla K80)").
+    pub backend: String,
+    /// Whether transfers were overlapped (affects timing metadata only,
+    /// but keyed anyway so `/stats` timing figures stay attributable).
+    pub overlapped: bool,
+}
+
+impl CacheKey {
+    /// Builds a key from the request facets.
+    pub fn new(
+        payload_digest: u64,
+        params: ScanParams,
+        backend: String,
+        overlap: OverlapMode,
+    ) -> Self {
+        CacheKey {
+            payload_digest,
+            params,
+            backend,
+            overlapped: overlap == OverlapMode::DoubleBuffered,
+        }
+    }
+
+    /// Bytes this key contributes to the budget (struct + string heap).
+    fn cost(&self) -> usize {
+        std::mem::size_of::<CacheKey>() + self.backend.len()
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    value: Arc<String>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<CacheKey, Entry>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Point-in-time cache occupancy figures for `/stats`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Bytes currently held (values + key overhead).
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub capacity_bytes: usize,
+    /// Resident entries.
+    pub entries: usize,
+}
+
+/// The shared cache. Cheap to clone handles via `Arc` at the call site;
+/// internally one mutex (the hot path is a hash lookup + counter bump,
+/// far from contention at the request rates one daemon sees).
+#[derive(Debug)]
+pub struct ResultCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: usize,
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity_bytes` of results.
+    pub fn with_capacity(capacity_bytes: usize) -> Self {
+        ResultCache { inner: Mutex::new(Inner::default()), capacity_bytes }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        // A poisoned lock means a panic elsewhere; the map itself is
+        // still structurally sound, so serving stale-but-valid results
+        // beats taking the daemon down.
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Looks up `key`, bumping its recency. Counts a hit or a miss.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                omega_obs::counter!("serve.cache_hits").inc();
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                omega_obs::counter!("serve.cache_misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Inserts `value` under `key`, evicting least-recently-used entries
+    /// until the budget holds. A value that alone exceeds the budget is
+    /// not inserted (the cache never overcommits). Re-inserting an
+    /// existing key replaces the value.
+    pub fn insert(&self, key: CacheKey, value: Arc<String>) {
+        let cost = key.cost() + value.len();
+        if cost > self.capacity_bytes {
+            return;
+        }
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if let Some(old) = inner.map.remove(&key) {
+            inner.bytes -= old.bytes;
+        }
+        while inner.bytes + cost > self.capacity_bytes {
+            let Some(lru_key) =
+                inner.map.iter().min_by_key(|(_, e)| e.last_used).map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            if let Some(evicted) = inner.map.remove(&lru_key) {
+                inner.bytes -= evicted.bytes;
+                omega_obs::counter!("serve.cache_evictions").inc();
+            }
+        }
+        inner.bytes += cost;
+        inner.map.insert(key, Entry { value, bytes: cost, last_used: tick });
+    }
+
+    /// Current occupancy.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            bytes: inner.bytes,
+            capacity_bytes: self.capacity_bytes,
+            entries: inner.map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey::new(digest, ScanParams::default(), "CPU".into(), OverlapMode::Serialized)
+    }
+
+    fn val(len: usize) -> Arc<String> {
+        Arc::new("x".repeat(len))
+    }
+
+    #[test]
+    fn hit_returns_the_same_arc() {
+        let cache = ResultCache::with_capacity(4096);
+        let v = val(10);
+        cache.insert(key(1), Arc::clone(&v));
+        let got = cache.get(&key(1)).unwrap();
+        assert!(Arc::ptr_eq(&got, &v));
+        assert!(cache.get(&key(2)).is_none());
+    }
+
+    #[test]
+    fn lru_eviction_respects_recency() {
+        let overhead = key(0).cost();
+        // Room for exactly two entries of 100 bytes each.
+        let cache = ResultCache::with_capacity(2 * (overhead + 100));
+        cache.insert(key(1), val(100));
+        cache.insert(key(2), val(100));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert!(cache.get(&key(1)).is_some());
+        cache.insert(key(3), val(100));
+        assert!(cache.get(&key(1)).is_some());
+        assert!(cache.get(&key(2)).is_none());
+        assert!(cache.get(&key(3)).is_some());
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn oversized_value_is_refused() {
+        let cache = ResultCache::with_capacity(64);
+        cache.insert(key(1), val(1000));
+        assert!(cache.get(&key(1)).is_none());
+        assert_eq!(cache.stats().bytes, 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_double_counting() {
+        let cache = ResultCache::with_capacity(4096);
+        cache.insert(key(1), val(100));
+        let b1 = cache.stats().bytes;
+        cache.insert(key(1), val(100));
+        assert_eq!(cache.stats().bytes, b1);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn distinct_params_are_distinct_keys() {
+        let cache = ResultCache::with_capacity(4096);
+        cache.insert(key(1), val(10));
+        let other = CacheKey::new(
+            1,
+            ScanParams { grid: 7, ..ScanParams::default() },
+            "CPU".into(),
+            OverlapMode::Serialized,
+        );
+        assert!(cache.get(&other).is_none());
+    }
+}

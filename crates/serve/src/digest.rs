@@ -1,0 +1,77 @@
+//! Content digests for the result cache.
+//!
+//! Cache keys must identify request *content*, not request identity, so
+//! the same replicate uploaded twice hashes to the same key. FNV-1a is
+//! used because it is tiny, dependency-free, and deterministic across
+//! platforms; the cache key additionally carries the scan parameters and
+//! backend verbatim, so a 64-bit digest only has to separate payloads.
+
+/// FNV-1a 64-bit offset basis.
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a 64-bit hasher.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// Fresh hasher at the offset basis.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds `bytes` into the digest.
+    pub fn update(&mut self, bytes: &[u8]) -> &mut Self {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// The current digest value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One-shot digest of a byte string.
+pub fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn incremental_equals_one_shot() {
+        let mut h = Fnv64::new();
+        h.update(b"split ").update(b"input");
+        assert_eq!(h.finish(), fnv64(b"split input"));
+    }
+
+    #[test]
+    fn distinct_payloads_diverge() {
+        assert_ne!(fnv64(b"replicate 1"), fnv64(b"replicate 2"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Minimal HTTP/1.1 over `std::net`: exactly what the daemon needs, and
+//! nothing the offline vendor policy would have to grow for.
+//!
+//! Supported: one request per connection (`Connection: close`
+//! semantics), `Content-Length` bodies, header and body size limits
+//! enforced *before* buffering. Unsupported (rejected with 4xx/501, not
+//! panics): chunked transfer encoding, multiline headers, pipelining.
+//! Parsing is deliberately strict — this daemon sits behind trusted
+//! infrastructure, and a strict parser is a smaller attack surface than
+//! a lenient one.
+
+use std::io::{BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Hard cap on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token.
+    pub method: String,
+    /// Path, query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read. Each maps to one response status.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Syntactically broken request (status 400).
+    BadRequest(String),
+    /// Headers exceeded [`MAX_HEAD_BYTES`] (status 431).
+    HeadersTooLarge,
+    /// Body exceeded the configured limit (status 413).
+    BodyTooLarge {
+        /// The configured cap the declared length exceeded.
+        limit: usize,
+    },
+    /// Declared `Transfer-Encoding` we do not implement (status 501).
+    UnsupportedTransferEncoding,
+    /// Socket-level failure mid-request (connection is dropped).
+    Io(String),
+}
+
+impl HttpError {
+    /// The response status line for this error.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequest(_) => (400, "Bad Request"),
+            HttpError::HeadersTooLarge => (431, "Request Header Fields Too Large"),
+            HttpError::BodyTooLarge { .. } => (413, "Payload Too Large"),
+            HttpError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+            HttpError::Io(_) => (400, "Bad Request"),
+        }
+    }
+
+    /// Human-readable detail for the error body.
+    pub fn detail(&self) -> String {
+        match self {
+            HttpError::BadRequest(m) => m.clone(),
+            HttpError::HeadersTooLarge => format!("headers exceed {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge { limit } => format!("body exceeds {limit} bytes"),
+            HttpError::UnsupportedTransferEncoding => {
+                "only Content-Length bodies are supported".to_string()
+            }
+            HttpError::Io(m) => m.clone(),
+        }
+    }
+}
+
+/// Reads one request off `stream`. `Ok(None)` means the peer closed
+/// before sending anything (a clean no-op).
+pub fn read_request(
+    stream: &mut TcpStream,
+    max_body_bytes: usize,
+) -> Result<Option<Request>, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = Vec::new();
+    // Read byte-wise up to the blank line; bounded so a hostile peer
+    // cannot balloon the buffer.
+    loop {
+        let mut byte = [0u8; 1];
+        match reader.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Ok(None);
+                }
+                return Err(HttpError::BadRequest("connection closed mid-headers".into()));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Io(e.to_string())),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(HttpError::HeadersTooLarge);
+        }
+        if head.ends_with(b"\r\n\r\n") || head.ends_with(b"\n\n") {
+            break;
+        }
+    }
+    let head_text = std::str::from_utf8(&head)
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 headers".into()))?;
+    let mut lines = head_text.lines();
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty() || target.is_empty() || !version.starts_with("HTTP/1") {
+        return Err(HttpError::BadRequest(format!("malformed request line {request_line:?}")));
+    }
+    if !target.starts_with('/') {
+        return Err(HttpError::BadRequest(format!("target must be absolute, got {target:?}")));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::BadRequest(format!("malformed header line {line:?}")));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        let value = value.trim();
+        match name.as_str() {
+            "content-length" => {
+                content_length = value
+                    .parse()
+                    .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+            }
+            "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => {
+                return Err(HttpError::UnsupportedTransferEncoding);
+            }
+            _ => {}
+        }
+    }
+    // The limit gates on the *declared* length, before any buffering.
+    if content_length > max_body_bytes {
+        return Err(HttpError::BodyTooLarge { limit: max_body_bytes });
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| HttpError::Io(e.to_string()))?;
+    Ok(Some(Request { method, path, body }))
+}
+
+/// Writes one response and flushes. Always closes after (the daemon
+/// speaks `Connection: close`).
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+) -> std::io::Result<()> {
+    let mut out = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+         Content-Length: {}\r\nConnection: close\r\n",
+        body.len()
+    );
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out.push_str("\r\n");
+    out.push_str(body);
+    stream.write_all(out.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    /// Runs `read_request` against raw client bytes via a loopback pair.
+    fn parse_raw(input: &[u8], max_body: usize) -> Result<Option<Request>, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let input = input.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&input).unwrap();
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let out = read_request(&mut server_side, max_body);
+        client.join().unwrap();
+        out
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /scan HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse_raw(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/scan");
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn strips_query_and_handles_bare_lf() {
+        let raw = b"GET /stats?pretty=1 HTTP/1.1\n\n";
+        let req = parse_raw(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.path, "/stats");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn malformed_inputs_are_typed_errors() {
+        assert!(matches!(parse_raw(b"TOTAL GARBAGE\r\n\r\n", 1024), Err(HttpError::BadRequest(_))));
+        assert!(matches!(
+            parse_raw(b"GET noslash HTTP/1.1\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            parse_raw(b"GET / HTTP/1.1\r\nbroken header line\r\n\r\n", 1024),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_read() {
+        let raw = b"POST /scan HTTP/1.1\r\nContent-Length: 999999\r\n\r\n";
+        assert_eq!(parse_raw(raw, 64).unwrap_err(), HttpError::BodyTooLarge { limit: 64 });
+    }
+
+    #[test]
+    fn oversized_headers_are_rejected() {
+        let mut raw = b"GET / HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat_n(b'a', MAX_HEAD_BYTES + 10));
+        raw.extend_from_slice(b"\r\n\r\n");
+        assert_eq!(parse_raw(&raw, 1024).unwrap_err(), HttpError::HeadersTooLarge);
+    }
+
+    #[test]
+    fn chunked_encoding_is_rejected_as_unimplemented() {
+        let raw = b"POST /scan HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
+        assert_eq!(parse_raw(raw, 1024).unwrap_err(), HttpError::UnsupportedTransferEncoding);
+        assert_eq!(HttpError::UnsupportedTransferEncoding.status().0, 501);
+    }
+
+    #[test]
+    fn empty_connection_is_a_clean_none() {
+        assert!(parse_raw(b"", 1024).unwrap().is_none());
+    }
+}

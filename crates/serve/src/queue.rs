@@ -1,0 +1,234 @@
+//! Bounded per-backend job queues with admission control.
+//!
+//! Each backend (cpu / gpu-sim / fpga-sim) gets its own lane: a bounded
+//! FIFO drained by a dedicated worker. Separate lanes are the
+//! head-of-line-blocking fix — a slow FPGA-sim batch cannot delay CPU
+//! jobs, because CPU jobs never sit behind it. Admission control is
+//! explicit: a full lane rejects the submission *at the door* with a
+//! [`SubmitError::QueueFull`] (surfaced as HTTP 429 + `Retry-After`)
+//! instead of queueing unbounded work the daemon cannot finish.
+//!
+//! Lanes support pausing (maintenance: accept-and-hold without running)
+//! and draining (graceful shutdown: reject new work, finish what's
+//! queued). Queue depth is exported through the `serve.queue_depth`
+//! gauge; rejections count into `serve.rejected`.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use crate::job::{BackendKind, JobId, ScanRequest};
+
+/// One admitted job waiting for its lane worker.
+#[derive(Debug)]
+pub struct Submission {
+    /// Job table id.
+    pub id: JobId,
+    /// The validated request.
+    pub request: ScanRequest,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The target lane is at capacity; retry after backoff.
+    QueueFull {
+        /// Jobs currently queued in the lane.
+        queued: usize,
+        /// The lane's capacity.
+        capacity: usize,
+    },
+    /// The daemon is draining for shutdown; no new work is admitted.
+    Draining,
+}
+
+#[derive(Debug, Default)]
+struct Lane {
+    queue: Mutex<VecDeque<Submission>>,
+    ready: Condvar,
+}
+
+/// The three backend lanes.
+#[derive(Debug)]
+pub struct Lanes {
+    lanes: [Lane; 3],
+    capacity: usize,
+    draining: AtomicBool,
+    paused: AtomicBool,
+}
+
+impl Lanes {
+    /// Lanes with `capacity` queued jobs each.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Lanes {
+            lanes: [Lane::default(), Lane::default(), Lane::default()],
+            capacity,
+            draining: AtomicBool::new(false),
+            paused: AtomicBool::new(false),
+        }
+    }
+
+    /// Per-lane capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    fn lock_lane(&self, kind: BackendKind) -> std::sync::MutexGuard<'_, VecDeque<Submission>> {
+        self.lanes[kind.index()].queue.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn publish_depth(&self) {
+        let depth: usize = BackendKind::ALL.iter().map(|&k| self.lock_lane(k).len()).sum();
+        omega_obs::gauge!("serve.queue_depth").set(depth as i64);
+    }
+
+    /// Admits `submission` to its lane, or rejects it. Admission is the
+    /// only place capacity is checked, so accepted work always runs
+    /// (or expires on its own deadline).
+    pub fn submit(&self, submission: Submission) -> Result<(), SubmitError> {
+        if self.draining.load(Ordering::SeqCst) {
+            omega_obs::counter!("serve.rejected").inc();
+            return Err(SubmitError::Draining);
+        }
+        let kind = submission.request.kind;
+        {
+            let mut queue = self.lock_lane(kind);
+            if queue.len() >= self.capacity {
+                omega_obs::counter!("serve.rejected").inc();
+                return Err(SubmitError::QueueFull {
+                    queued: queue.len(),
+                    capacity: self.capacity,
+                });
+            }
+            queue.push_back(submission);
+        }
+        self.publish_depth();
+        self.lanes[kind.index()].ready.notify_all();
+        Ok(())
+    }
+
+    /// Blocks until lane `kind` has work (or the daemon drains dry),
+    /// then drains the whole lane in one batch — the coalescing window
+    /// the scheduler batches over. Returns `None` when the lane is done
+    /// for good (draining and empty).
+    pub fn pop_batch(&self, kind: BackendKind) -> Option<Vec<Submission>> {
+        let lane = &self.lanes[kind.index()];
+        let mut queue = lane.queue.lock().unwrap_or_else(|p| p.into_inner());
+        loop {
+            if !self.paused.load(Ordering::SeqCst) && !queue.is_empty() {
+                let batch: Vec<Submission> = queue.drain(..).collect();
+                drop(queue);
+                self.publish_depth();
+                return Some(batch);
+            }
+            if self.draining.load(Ordering::SeqCst) && queue.is_empty() {
+                return None;
+            }
+            // Timed wait so pause/drain flag flips are observed even if
+            // a notification races the wait.
+            let (q, _timeout) = lane
+                .ready
+                .wait_timeout(queue, Duration::from_millis(50))
+                .unwrap_or_else(|p| p.into_inner());
+            queue = q;
+        }
+    }
+
+    /// Holds queued work without rejecting submissions (admission
+    /// control still applies). Used for maintenance and by tests that
+    /// need a deterministically full queue.
+    pub fn pause(&self) {
+        self.paused.store(true, Ordering::SeqCst);
+    }
+
+    /// Resumes paused lanes.
+    pub fn resume(&self) {
+        self.paused.store(false, Ordering::SeqCst);
+        for lane in &self.lanes {
+            lane.ready.notify_all();
+        }
+    }
+
+    /// Enters drain mode: new submissions are rejected, queued work is
+    /// finished, and workers exit once their lane is dry.
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // A paused daemon must still drain, or shutdown would hang.
+        self.paused.store(false, Ordering::SeqCst);
+        for lane in &self.lanes {
+            lane.ready.notify_all();
+        }
+    }
+
+    /// Whether drain mode is on.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Total queued jobs across lanes.
+    pub fn depth(&self) -> usize {
+        BackendKind::ALL.iter().map(|&k| self.lock_lane(k).len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::parse_scan_request;
+
+    fn request() -> ScanRequest {
+        let payload = "ms 4 1\n1\n\n//\nsegsites: 3\npositions: 0.1 0.4 0.8\n101\n010\n110\n001\n";
+        parse_scan_request(&format!("{{\"format\":\"ms\",\"payload\":{payload:?}}}")).unwrap()
+    }
+
+    fn submission(id: u64) -> Submission {
+        Submission { id: JobId(id), request: request() }
+    }
+
+    #[test]
+    fn capacity_is_enforced_per_lane() {
+        let lanes = Lanes::with_capacity(2);
+        lanes.submit(submission(1)).unwrap();
+        lanes.submit(submission(2)).unwrap();
+        let err = lanes.submit(submission(3)).unwrap_err();
+        assert_eq!(err, SubmitError::QueueFull { queued: 2, capacity: 2 });
+        assert_eq!(lanes.depth(), 2);
+    }
+
+    #[test]
+    fn pop_batch_drains_everything_queued() {
+        let lanes = Lanes::with_capacity(8);
+        for i in 0..3 {
+            lanes.submit(submission(i)).unwrap();
+        }
+        let batch = lanes.pop_batch(BackendKind::Cpu).unwrap();
+        assert_eq!(batch.len(), 3);
+        assert_eq!(lanes.depth(), 0);
+    }
+
+    #[test]
+    fn drain_rejects_new_and_finishes_old() {
+        let lanes = Lanes::with_capacity(8);
+        lanes.submit(submission(1)).unwrap();
+        lanes.begin_drain();
+        assert_eq!(lanes.submit(submission(2)).unwrap_err(), SubmitError::Draining);
+        // The queued job still comes out, then the lane reports done.
+        assert_eq!(lanes.pop_batch(BackendKind::Cpu).unwrap().len(), 1);
+        assert!(lanes.pop_batch(BackendKind::Cpu).is_none());
+        assert!(lanes.pop_batch(BackendKind::Gpu).is_none());
+    }
+
+    #[test]
+    fn pause_holds_work_without_rejecting() {
+        let lanes = std::sync::Arc::new(Lanes::with_capacity(8));
+        lanes.pause();
+        lanes.submit(submission(1)).unwrap();
+        let l2 = std::sync::Arc::clone(&lanes);
+        let popper = std::thread::spawn(move || l2.pop_batch(BackendKind::Cpu));
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(!popper.is_finished(), "paused lane must not release work");
+        lanes.resume();
+        assert_eq!(popper.join().unwrap().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,387 @@
+//! The daemon: TCP accept loop, routing, and lifecycle.
+//!
+//! Endpoints:
+//!
+//! * `POST /scan` — submit a job (JSON body; see [`crate::job`]). Cache
+//!   hits complete immediately (200); misses queue (202); a full lane
+//!   rejects with 429 + `Retry-After`; a draining daemon with 503.
+//! * `GET /jobs/<id>` — job state, result, and timing.
+//! * `GET /stats` — the metrics registry, queue and cache occupancy,
+//!   and the serve instrument inventory, as JSON.
+//! * `GET /healthz` — liveness.
+//!
+//! Shutdown is graceful by construction: [`ServeHandle::shutdown`] stops
+//! admission first (new submissions get 503), then joins the lane
+//! workers — which by the lane contract finish every admitted job —
+//! and only then tears down the acceptor.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use omega_obs::JsonObject;
+
+use crate::cache::{CacheKey, ResultCache};
+use crate::http::{read_request, write_response, HttpError, Request};
+use crate::job::{job_json, parse_scan_request, BackendKind, JobId, JobTable};
+use crate::queue::{Lanes, Submission, SubmitError};
+use crate::scheduler::run_lane;
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Per-lane queue capacity (admission-control bound).
+    pub queue_capacity: usize,
+    /// Result-cache byte budget.
+    pub cache_capacity_bytes: usize,
+    /// Largest accepted request body.
+    pub max_body_bytes: usize,
+    /// `Retry-After` hint (seconds) on 429 responses.
+    pub retry_after_secs: u64,
+    /// Start with lanes paused (accept-and-hold; tests and maintenance).
+    pub start_paused: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            queue_capacity: 64,
+            cache_capacity_bytes: 32 << 20,
+            max_body_bytes: 8 << 20,
+            retry_after_secs: 1,
+            start_paused: false,
+        }
+    }
+}
+
+struct Shared {
+    lanes: Lanes,
+    table: JobTable,
+    cache: ResultCache,
+    config: ServeConfig,
+    shutting_down: AtomicBool,
+}
+
+/// Touches every serve instrument once so `/stats` always lists the
+/// full inventory, even before the first request.
+fn register_instruments() {
+    omega_obs::counter!("serve.jobs").add(0);
+    omega_obs::counter!("serve.rejected").add(0);
+    omega_obs::counter!("serve.cache_hits").add(0);
+    omega_obs::counter!("serve.cache_misses").add(0);
+    omega_obs::counter!("serve.cache_evictions").add(0);
+    omega_obs::gauge!("serve.queue_depth").set(0);
+    let _ = omega_obs::histogram!("serve.batch_size");
+    let _ = omega_obs::histogram!("serve.latency.cpu");
+    let _ = omega_obs::histogram!("serve.latency.gpu");
+    let _ = omega_obs::histogram!("serve.latency.fpga");
+}
+
+/// Renders `/stats`: the full metrics snapshot plus daemon-local
+/// occupancy figures and the serve instrument inventory.
+fn stats_json(shared: &Shared) -> String {
+    let snap = omega_obs::snapshot();
+    let mut counters = JsonObject::new();
+    for (name, v) in &snap.counters {
+        counters = counters.u64(name, *v);
+    }
+    let mut gauges = JsonObject::new();
+    for (name, v) in &snap.gauges {
+        gauges = gauges.raw(name, &v.to_string());
+    }
+    let mut histograms = JsonObject::new();
+    for (name, h) in &snap.histograms {
+        let entry = JsonObject::new()
+            .u64("count", h.count())
+            .u64("sum", h.sum)
+            .f64("mean", h.mean())
+            .u64_array("buckets", h.counts.iter().copied())
+            .finish();
+        histograms = histograms.raw(name, &entry);
+    }
+    let queue = JsonObject::new()
+        .u64("depth", shared.lanes.depth() as u64)
+        .u64("capacity_per_lane", shared.lanes.capacity() as u64)
+        .raw("draining", if shared.lanes.is_draining() { "true" } else { "false" })
+        .finish();
+    let cache_stats = shared.cache.stats();
+    let cache = JsonObject::new()
+        .u64("bytes", cache_stats.bytes as u64)
+        .u64("capacity_bytes", cache_stats.capacity_bytes as u64)
+        .u64("entries", cache_stats.entries as u64)
+        .finish();
+    let mut instruments = String::from("[");
+    for (i, name) in omega_obs::INSTRUMENTS.iter().filter(|n| n.starts_with("serve.")).enumerate() {
+        if i > 0 {
+            instruments.push(',');
+        }
+        instruments.push('"');
+        instruments.push_str(name);
+        instruments.push('"');
+    }
+    instruments.push(']');
+    JsonObject::new()
+        .raw("counters", &counters.finish())
+        .raw("gauges", &gauges.finish())
+        .raw("histograms", &histograms.finish())
+        .raw("queue", &queue)
+        .raw("cache", &cache)
+        .raw("instruments", &instruments)
+        .finish()
+}
+
+fn error_body(message: &str) -> String {
+    JsonObject::new().string("error", message).finish()
+}
+
+/// Routes one parsed request. Returns (status, reason, extra headers,
+/// body).
+fn route(
+    shared: &Shared,
+    request: &Request,
+) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            (200, "OK", vec![], JsonObject::new().string("status", "ok").finish())
+        }
+        ("GET", "/stats") => (200, "OK", vec![], stats_json(shared)),
+        ("POST", "/scan") => handle_scan(shared, &request.body),
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id_text = &path["/jobs/".len()..];
+            match JobId::parse(id_text).and_then(|id| shared.table.get(id).map(|r| (id, r))) {
+                Some((id, record)) => (200, "OK", vec![], job_json(id, &record)),
+                None => (404, "Not Found", vec![], error_body(&format!("no job {id_text:?}"))),
+            }
+        }
+        ("POST" | "GET", _) => (404, "Not Found", vec![], error_body("unknown path")),
+        _ => (405, "Method Not Allowed", vec![], error_body("only GET and POST are supported")),
+    }
+}
+
+fn handle_scan(
+    shared: &Shared,
+    body: &[u8],
+) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return (400, "Bad Request", vec![], error_body("body is not UTF-8")),
+    };
+    let request = match parse_scan_request(text) {
+        Ok(r) => r,
+        Err(e) => return (400, "Bad Request", vec![], error_body(&e.to_string())),
+    };
+
+    let key = CacheKey::new(
+        request.payload_digest,
+        request.params,
+        request.backend_label.clone(),
+        request.overlap,
+    );
+    if let Some(result) = shared.cache.get(&key) {
+        let id = shared.table.create_cached(request.kind, result);
+        let record = shared.table.get(id);
+        let body = match record {
+            Some(r) => job_json(id, &r),
+            None => error_body("job record vanished"),
+        };
+        return (200, "OK", vec![], body);
+    }
+
+    let id = shared.table.create(request.kind);
+    match shared.lanes.submit(Submission { id, request }) {
+        Ok(()) => {
+            let body = match shared.table.get(id) {
+                Some(r) => job_json(id, &r),
+                None => error_body("job record vanished"),
+            };
+            (202, "Accepted", vec![], body)
+        }
+        Err(SubmitError::QueueFull { queued, capacity }) => {
+            shared.table.remove(id);
+            let retry = shared.config.retry_after_secs.max(1);
+            let body = JsonObject::new()
+                .string("error", "queue full")
+                .u64("queued", queued as u64)
+                .u64("capacity", capacity as u64)
+                .u64("retry_after_secs", retry)
+                .finish();
+            (429, "Too Many Requests", vec![("Retry-After", retry.to_string())], body)
+        }
+        Err(SubmitError::Draining) => {
+            shared.table.remove(id);
+            (503, "Service Unavailable", vec![], error_body("daemon is draining"))
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _span = omega_obs::span!("serve.request");
+    // A stalled peer must not pin a handler thread forever.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    match read_request(&mut stream, shared.config.max_body_bytes) {
+        Ok(Some(request)) => {
+            let (status, reason, headers, body) = route(shared, &request);
+            let _ = write_response(&mut stream, status, reason, &headers, &body);
+        }
+        Ok(None) => {}
+        Err(e @ HttpError::Io(_)) => {
+            // Socket already broken; nothing useful to write.
+            let _ = e;
+        }
+        Err(e) => {
+            let (status, reason) = e.status();
+            let _ = write_response(&mut stream, status, reason, &[], &error_body(&e.detail()));
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle does *not* stop the daemon;
+/// call [`ServeHandle::shutdown`] (or let the process exit).
+pub struct ServeHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServeHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Holds queued work (admission continues). See [`Lanes::pause`].
+    pub fn pause(&self) {
+        self.shared.lanes.pause();
+    }
+
+    /// Releases held work.
+    pub fn resume(&self) {
+        self.shared.lanes.resume();
+    }
+
+    /// Total queued jobs across lanes.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.lanes.depth()
+    }
+
+    /// Graceful shutdown: reject new work, finish every admitted job,
+    /// then stop accepting. Returns the drain report — every job's
+    /// final state — once all threads have exited.
+    pub fn shutdown(mut self) -> Vec<(crate::job::JobId, crate::job::JobState)> {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.lanes.begin_drain();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        // Unblock the acceptor's blocking `accept` with a throwaway
+        // connection, then reap it.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        self.shared.table.states()
+    }
+
+    /// Blocks on the accept loop (daemon mode: runs until the process
+    /// is killed).
+    pub fn wait(mut self) {
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
+}
+
+/// Boots the daemon: binds, spawns the three lane workers and the
+/// acceptor, and returns a handle.
+pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
+    register_instruments();
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        lanes: Lanes::with_capacity(config.queue_capacity),
+        table: JobTable::default(),
+        cache: ResultCache::with_capacity(config.cache_capacity_bytes),
+        config: config.clone(),
+        shutting_down: AtomicBool::new(false),
+    });
+    if config.start_paused {
+        shared.lanes.pause();
+    }
+
+    let mut workers = Vec::new();
+    for kind in BackendKind::ALL {
+        let shared = Arc::clone(&shared);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("serve-lane-{}", kind.as_str()))
+                .spawn(move || run_lane(kind, &shared.lanes, &shared.table, &shared.cache))?,
+        );
+    }
+
+    let acceptor_shared = Arc::clone(&shared);
+    let acceptor =
+        std::thread::Builder::new().name("serve-accept".to_string()).spawn(move || {
+            for stream in listener.incoming() {
+                if acceptor_shared.shutting_down.load(Ordering::SeqCst) {
+                    break;
+                }
+                match stream {
+                    Ok(stream) => {
+                        let shared = Arc::clone(&acceptor_shared);
+                        let spawned = std::thread::Builder::new()
+                            .name("serve-conn".to_string())
+                            .spawn(move || handle_connection(&shared, stream));
+                        if spawned.is_err() {
+                            // Thread exhaustion: shed load rather than die.
+                            continue;
+                        }
+                    }
+                    Err(_) => continue,
+                }
+            }
+        })?;
+
+    Ok(ServeHandle { addr, shared, acceptor: Some(acceptor), workers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServeConfig::default();
+        assert!(c.queue_capacity > 0);
+        assert!(c.cache_capacity_bytes > 0);
+        assert!(c.max_body_bytes > 0);
+    }
+
+    #[test]
+    fn stats_json_is_valid_and_lists_serve_instruments() {
+        register_instruments();
+        let shared = Shared {
+            lanes: Lanes::with_capacity(4),
+            table: JobTable::default(),
+            cache: ResultCache::with_capacity(1024),
+            config: ServeConfig::default(),
+            shutting_down: AtomicBool::new(false),
+        };
+        let json = stats_json(&shared);
+        let v = omega_obs::parse_json(&json).unwrap();
+        let instruments = v.get("instruments").unwrap().as_array().unwrap();
+        let listed: Vec<&str> = instruments.iter().filter_map(|x| x.as_str()).collect();
+        for name in omega_obs::INSTRUMENTS.iter().filter(|n| n.starts_with("serve.")) {
+            assert!(listed.contains(name), "{name} missing from /stats instruments");
+        }
+        assert!(v.get("counters").unwrap().get("serve.jobs").is_some());
+        assert!(v.get("queue").unwrap().get("capacity_per_lane").is_some());
+        assert!(v.get("cache").unwrap().get("capacity_bytes").is_some());
+    }
+}

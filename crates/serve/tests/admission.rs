@@ -1,0 +1,68 @@
+//! Admission control under deterministic contention. Own file = own
+//! process, because the `serve.rejected` assertion reads the
+//! process-global metrics registry.
+
+mod common;
+
+use omega_serve::{start, JobState, ServeConfig};
+
+/// With lanes paused and capacity K, K+1 concurrent submissions admit
+/// exactly K jobs and reject exactly one with a 429 + `Retry-After`
+/// hint; nothing panics, and the admitted jobs all survive to
+/// completion on drain.
+#[test]
+fn full_queue_rejects_exactly_one_submission_with_retry_hint() {
+    const CAPACITY: usize = 3;
+    let handle = start(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        queue_capacity: CAPACITY,
+        retry_after_secs: 2,
+        start_paused: true,
+        ..Default::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    let clients: Vec<_> = (0..CAPACITY as u64 + 1)
+        .map(|tag| std::thread::spawn(move || common::post_scan(addr, &common::scan_body(tag, 4))))
+        .collect();
+    let responses: Vec<(u16, String, String)> =
+        clients.into_iter().map(|c| c.join().expect("client thread")).collect();
+
+    let admitted: Vec<&(u16, String, String)> =
+        responses.iter().filter(|(s, _, _)| *s == 202).collect();
+    let rejected: Vec<&(u16, String, String)> =
+        responses.iter().filter(|(s, _, _)| *s == 429).collect();
+    assert_eq!(admitted.len(), CAPACITY, "exactly the capacity is admitted: {responses:?}");
+    assert_eq!(rejected.len(), 1, "exactly one submission is rejected: {responses:?}");
+
+    // The rejection carries the retry hint in both header and body.
+    let (_, headers, body) = rejected[0];
+    assert!(
+        headers.lines().any(|l| l.eq_ignore_ascii_case("retry-after: 2")),
+        "Retry-After header missing: {headers:?}"
+    );
+    let parsed = omega_obs::parse_json(body).unwrap();
+    assert_eq!(parsed.get("retry_after_secs").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(parsed.get("capacity").and_then(|v| v.as_u64()), Some(CAPACITY as u64));
+
+    // The registry agrees: one rejection, and the rejected job left no
+    // orphan record behind (only admitted ids exist).
+    let (status, _, stats_body) = common::get(addr, "/stats");
+    assert_eq!(status, 200);
+    let stats = omega_obs::parse_json(&stats_body).unwrap();
+    let rejected_count = stats
+        .get("counters")
+        .and_then(|c| c.get("serve.rejected"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0);
+    assert_eq!(rejected_count, 1);
+
+    // Drain completes every admitted job.
+    let report = handle.shutdown();
+    assert_eq!(report.len(), CAPACITY, "only admitted jobs have records: {report:?}");
+    assert!(
+        report.iter().all(|(_, state)| *state == JobState::Done),
+        "drain must finish admitted work: {report:?}"
+    );
+}

@@ -1,0 +1,106 @@
+//! `/stats` and cache-counter behaviour. Lives in its own file (= its
+//! own process) because the metrics registry is process-global: counter
+//! delta assertions here must not race submissions made by other
+//! integration tests.
+
+mod common;
+
+use omega_serve::{start, ServeConfig};
+
+fn counter(stats: &omega_obs::JsonValue, name: &str) -> u64 {
+    stats.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn histogram_count(stats: &omega_obs::JsonValue, name: &str) -> u64 {
+    stats
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .and_then(|h| h.get("count"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+fn fetch_stats(addr: std::net::SocketAddr) -> omega_obs::JsonValue {
+    let (status, _, body) = common::get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    omega_obs::parse_json(&body).expect("stats body is valid JSON")
+}
+
+/// A repeat request bumps `serve.cache_hits` and does not invoke a
+/// detector: no new batch is recorded and the miss count is unchanged.
+#[test]
+fn cache_hit_increments_counter_without_running_a_batch() {
+    let handle =
+        start(ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() }).unwrap();
+    let addr = handle.addr();
+    let body = common::scan_body(31, 4);
+
+    let (status, _, first) = common::post_scan(addr, &body);
+    assert_eq!(status, 202, "{first}");
+    common::poll_done(addr, &common::job_id(&first));
+
+    let before = fetch_stats(addr);
+    let hits0 = counter(&before, "serve.cache_hits");
+    let misses0 = counter(&before, "serve.cache_misses");
+    let batches0 = histogram_count(&before, "serve.batch_size");
+    assert!(misses0 >= 1, "first submission must have missed");
+
+    let (status, _, second) = common::post_scan(addr, &body);
+    assert_eq!(status, 200, "{second}");
+
+    let after = fetch_stats(addr);
+    assert_eq!(counter(&after, "serve.cache_hits"), hits0 + 1, "hit counter must increment");
+    assert_eq!(counter(&after, "serve.cache_misses"), misses0, "a hit is not a miss");
+    assert_eq!(
+        histogram_count(&after, "serve.batch_size"),
+        batches0,
+        "a cache hit must not invoke a detector"
+    );
+    handle.shutdown();
+}
+
+/// `/stats` is valid JSON and lists every serve instrument, including
+/// spans (which have no metrics-snapshot entry) via the inventory array.
+#[test]
+fn stats_lists_every_serve_instrument() {
+    let handle =
+        start(ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() }).unwrap();
+    let stats = fetch_stats(handle.addr());
+
+    let listed: Vec<String> = stats
+        .get("instruments")
+        .and_then(|v| v.as_array())
+        .expect("instruments array present")
+        .iter()
+        .filter_map(|v| v.as_str().map(str::to_string))
+        .collect();
+    for name in omega_obs::INSTRUMENTS.iter().filter(|n| n.starts_with("serve.")) {
+        assert!(listed.iter().any(|l| l == name), "{name} missing from /stats instruments");
+    }
+
+    // Counters/gauges/histograms registered at boot appear with values
+    // even before any request touches them.
+    for name in [
+        "serve.jobs",
+        "serve.rejected",
+        "serve.cache_hits",
+        "serve.cache_misses",
+        "serve.cache_evictions",
+    ] {
+        assert!(
+            stats.get("counters").and_then(|c| c.get(name)).is_some(),
+            "{name} missing from counters"
+        );
+    }
+    assert!(stats.get("gauges").and_then(|g| g.get("serve.queue_depth")).is_some());
+    for name in ["serve.batch_size", "serve.latency.cpu", "serve.latency.gpu", "serve.latency.fpga"]
+    {
+        assert!(
+            stats.get("histograms").and_then(|h| h.get(name)).is_some(),
+            "{name} missing from histograms"
+        );
+    }
+    assert!(stats.get("queue").and_then(|q| q.get("capacity_per_lane")).is_some());
+    assert!(stats.get("cache").and_then(|c| c.get("capacity_bytes")).is_some());
+    handle.shutdown();
+}

@@ -17,6 +17,17 @@
 //! Observability: `-trace PATH` streams span and metrics events to a JSON
 //! Lines file (schema in DESIGN.md), `-metrics` prints the metrics
 //! registry as a table after the scan.
+//!
+//! Daemon mode:
+//!
+//! ```text
+//! omegaplus serve [-addr HOST:PORT] [-queue N] [-cache-mb N]
+//!                 [-max-body-mb N] [-retry-after SECS]
+//! ```
+//!
+//! boots the omega-serve HTTP daemon (POST /scan, GET /jobs/<id>,
+//! GET /stats, GET /healthz) and blocks until killed. See DESIGN.md's
+//! "Serving layer" section.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -391,8 +402,75 @@ fn run(cli: &Cli) -> Result<(), String> {
     Ok(())
 }
 
+const SERVE_USAGE: &str = "usage: omegaplus serve [-addr HOST:PORT] [-queue N] \
+[-cache-mb N] [-max-body-mb N] [-retry-after SECS]";
+
+/// Parses `omegaplus serve` flags into a daemon configuration.
+fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>, String> {
+    let mut config = omega_serve::ServeConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let mut num = |name: &str| -> Result<String, String> {
+            let v = args.get(i).cloned().ok_or_else(|| format!("{name} expects a value"))?;
+            i += 1;
+            Ok(v)
+        };
+        match flag.as_str() {
+            "-addr" => config.addr = num("-addr")?,
+            "-queue" => config.queue_capacity = num("-queue")?.parse().map_err(|_| "bad -queue")?,
+            "-cache-mb" => {
+                let mb: usize = num("-cache-mb")?.parse().map_err(|_| "bad -cache-mb")?;
+                config.cache_capacity_bytes = mb << 20;
+            }
+            "-max-body-mb" => {
+                let mb: usize = num("-max-body-mb")?.parse().map_err(|_| "bad -max-body-mb")?;
+                config.max_body_bytes = mb << 20;
+            }
+            "-retry-after" => {
+                config.retry_after_secs =
+                    num("-retry-after")?.parse().map_err(|_| "bad -retry-after")?
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
+        }
+    }
+    if config.queue_capacity == 0 {
+        return Err("-queue must be >= 1".into());
+    }
+    Ok(Some(config))
+}
+
+fn run_serve(args: &[String]) -> ExitCode {
+    match parse_serve_args(args) {
+        Ok(None) => {
+            println!("{SERVE_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(config)) => match omega_serve::start(config) {
+            Ok(handle) => {
+                eprintln!("omegaplus serve: listening on http://{}", handle.addr());
+                handle.wait();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("omegaplus serve: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("omegaplus serve: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return run_serve(&args[1..]);
+    }
     match parse_args(&args) {
         Ok(None) => {
             println!("{USAGE}");
