@@ -75,6 +75,13 @@ pub struct DetectionOutcome {
     /// is off). The saving is already reflected in `ld_seconds` /
     /// `omega_seconds`; this records how much was hidden.
     pub overlap_hidden_seconds: f64,
+    /// Modelled seconds of host↔device data movement (GPU H2D + D2H across
+    /// both stages, before any overlap discount). Already included in
+    /// `ld_seconds`/`omega_seconds`; exposed separately so the serving
+    /// layer can attribute a transfer stage per request. 0 for the CPU
+    /// backend and for the FPGA model, whose streaming transfers are
+    /// inseparable from its pipeline fill.
+    pub transfer_seconds: f64,
     /// Workload counters.
     pub stats: ScanStats,
 }
@@ -208,6 +215,7 @@ impl SweepDetector {
         let mut cpu_omega_seconds = 0.0f64;
         let mut accel_ld_seconds = 0.0f64;
         let mut accel_omega_seconds = 0.0f64;
+        let mut transfer_seconds = 0.0f64;
         let mut host_other = 0.0f64;
         // Per-position accelerator costs fold into the overlap schedule;
         // in Serialized mode these resolve to exactly the summed totals.
@@ -231,6 +239,7 @@ impl SweepDetector {
                         let cost =
                             ld.estimate_update(mstats.new_pairs.max(1), transferred, n_samples);
                         accel_ld_seconds += cost.total().get();
+                        transfer_seconds += cost.transfer_total().get();
                         gpu_pipeline.push(&cost);
                     }
                     if fpga.is_some() {
@@ -255,6 +264,7 @@ impl SweepDetector {
                         };
                         let cost = engine.estimate_dynamic(&dims).cost;
                         accel_omega_seconds += cost.total().get();
+                        transfer_seconds += cost.transfer_total().get();
                         gpu_pipeline.push(&cost);
                     }
                     if let Some(engine) = &fpga {
@@ -337,6 +347,7 @@ impl SweepDetector {
             omega_seconds,
             other_seconds,
             overlap_hidden_seconds,
+            transfer_seconds,
             stats,
         }
     }
@@ -411,6 +422,21 @@ mod tests {
             SweepDetector::new(params(), Backend::Fpga(FpgaDevice::zcu102())).unwrap().detect(&a);
         assert!(f.ld_seconds > 0.0);
         assert!(f.omega_seconds > 0.0);
+    }
+
+    #[test]
+    fn transfer_seconds_attributed_only_on_gpu() {
+        let a = random_alignment(60, 24, 6);
+        let g =
+            SweepDetector::new(params(), Backend::Gpu(GpuDevice::tesla_k80())).unwrap().detect(&a);
+        assert!(g.transfer_seconds > 0.0, "GPU path models PCIe movement");
+        // Transfer is a component of the stage times, never larger.
+        assert!(g.transfer_seconds <= g.ld_seconds + g.omega_seconds + 1e-12);
+        let c = SweepDetector::new(params(), Backend::Cpu).unwrap().detect(&a);
+        assert_eq!(c.transfer_seconds, 0.0);
+        let f =
+            SweepDetector::new(params(), Backend::Fpga(FpgaDevice::zcu102())).unwrap().detect(&a);
+        assert_eq!(f.transfer_seconds, 0.0);
     }
 
     #[test]

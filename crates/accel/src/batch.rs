@@ -68,6 +68,9 @@ pub struct BatchOutcome {
     pub other_seconds: f64,
     /// Summed seconds the overlap schedule hid across replicates.
     pub overlap_hidden_seconds: f64,
+    /// Summed modelled host↔device transfer seconds across replicates
+    /// (see [`DetectionOutcome::transfer_seconds`]).
+    pub transfer_seconds: f64,
     /// Workload counters accumulated across replicates.
     pub stats: ScanStats,
 }
@@ -81,6 +84,7 @@ impl BatchOutcome {
             omega_seconds: 0.0,
             other_seconds: 0.0,
             overlap_hidden_seconds: 0.0,
+            transfer_seconds: 0.0,
             stats: ScanStats::default(),
         }
     }
@@ -90,6 +94,7 @@ impl BatchOutcome {
         self.omega_seconds += outcome.omega_seconds;
         self.other_seconds += outcome.other_seconds;
         self.overlap_hidden_seconds += outcome.overlap_hidden_seconds;
+        self.transfer_seconds += outcome.transfer_seconds;
         self.stats.accumulate(&outcome.stats);
         self.replicates.push(outcome);
     }

@@ -14,17 +14,34 @@
 //!    requests round-robining over the phase-1 payloads — every request
 //!    is a cache hit served inline.
 //!
-//! Exit status enforces the *deterministic* fields only: zero transport
-//! or HTTP errors, and exact cache hit/miss counts (`DISTINCT` misses,
-//! `CLIENTS * REQUESTS_PER_CLIENT` hits). Latency and throughput are
-//! reported but never gated — wall-clock numbers move with the host.
+//! With `--trace-audit` the run additionally exercises the telemetry
+//! plane: the fill phase is traced (`X-Omega-Trace` headers), the
+//! replay runs `AUDIT_ROUNDS` *mixed* rounds in which every client
+//! alternates untraced and traced requests, every recorded span tree is
+//! pulled back through `GET /traces` + `GET /traces/<id>` and verified
+//! well-formed client-side, `GET /metrics` must parse as Prometheus
+//! text exposition, and tracing overhead must stay within
+//! `MAX_TRACING_OVERHEAD`. The overhead gate is *paired*: because both
+//! populations interleave request-by-request inside the same wall-clock
+//! window, host noise (scheduler jitter, frequency drift) hits them
+//! equally, and the ratio of their median latencies isolates the cost
+//! of the traced path itself. Throughput at fixed concurrency is
+//! inverse latency, so each side's rps is derived as
+//! `clients / median_latency` and the gate keeps traced rps within 5%
+//! of untraced.
 //!
-//! Usage: `loadgen [OUT.json] [-clients N]`
+//! Exit status enforces the *deterministic* fields only — zero
+//! transport or HTTP errors and exact cache hit/miss counts — plus, in
+//! audit mode, the span-tree/exposition checks and the overhead gate.
+//! Plain latency and throughput are reported but never gated.
+//!
+//! Usage: `loadgen [OUT.json] [-clients N] [--trace-audit]`
 
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
 use std::process::ExitCode;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use omega_serve::{ServeConfig, ServeHandle};
@@ -32,6 +49,18 @@ use omega_serve::{ServeConfig, ServeHandle};
 const DISTINCT: usize = 6;
 const DEFAULT_CLIENTS: usize = 16;
 const REQUESTS_PER_CLIENT: usize = 8;
+/// Mixed replay rounds in audit mode; each pools more paired samples
+/// into the latency medians.
+const AUDIT_ROUNDS: usize = 3;
+/// Requests per client per audit-mode replay round (alternating
+/// untraced/traced, so each side gets half). Larger than the plain
+/// replay so the medians have enough samples to be stable.
+const AUDIT_REQUESTS_PER_CLIENT: usize = 32;
+/// Audit-mode floor on traced/untraced replay throughput, where each
+/// side's throughput is derived from its median paired latency.
+const MAX_TRACING_OVERHEAD: f64 = 0.05;
+/// Audit-mode minimum number of verified span trees.
+const MIN_AUDITED_TRACES: usize = 100;
 
 /// Deterministic ms-format payload `i`: a small LCG fills a replicate
 /// with `i`-dependent sites so every payload digests differently.
@@ -67,6 +96,22 @@ fn scan_body(i: usize) -> String {
     format!("{{\"format\":\"ms\",\"payload\":{:?},\"params\":{{\"grid\":4}}}}", payload(i))
 }
 
+/// A fresh client-side `X-Omega-Trace` header value (unique trace id,
+/// no parent span).
+fn client_trace_header() -> String {
+    static SEQ: AtomicU64 = AtomicU64::new(1);
+    static BASE: OnceLock<u64> = OnceLock::new();
+    let base = *BASE.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+            | 1
+    });
+    let id = base.wrapping_add(SEQ.fetch_add(1, Ordering::Relaxed) << 1).max(1);
+    format!("{id:016x}-{:016x}", 0u64)
+}
+
 /// One HTTP round-trip: returns (status, body).
 fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), String> {
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
@@ -86,9 +131,18 @@ fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), Stri
     Ok((status, body))
 }
 
-fn post_scan(addr: std::net::SocketAddr, body: &str) -> Result<(u16, String), String> {
+fn post_scan(
+    addr: std::net::SocketAddr,
+    body: &str,
+    traced: bool,
+) -> Result<(u16, String), String> {
+    let trace_line = if traced {
+        format!("X-Omega-Trace: {}\r\n", client_trace_header())
+    } else {
+        String::new()
+    };
     let request = format!(
-        "POST /scan HTTP/1.1\r\nHost: loadgen\r\nContent-Length: {}\r\n\r\n{body}",
+        "POST /scan HTTP/1.1\r\nHost: loadgen\r\n{trace_line}Content-Length: {}\r\n\r\n{body}",
         body.len()
     );
     http(addr, &request)
@@ -100,9 +154,9 @@ fn get(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), String> 
 
 /// Submits payload `i` and polls the job to a terminal state. Returns
 /// submit-to-done latency.
-fn fill_one(addr: std::net::SocketAddr, i: usize) -> Result<Duration, String> {
+fn fill_one(addr: std::net::SocketAddr, i: usize, traced: bool) -> Result<Duration, String> {
     let t0 = Instant::now();
-    let (status, body) = post_scan(addr, &scan_body(i))?;
+    let (status, body) = post_scan(addr, &scan_body(i), traced)?;
     if status != 202 {
         return Err(format!("fill expected 202, got {status}: {body}"));
     }
@@ -127,9 +181,9 @@ fn fill_one(addr: std::net::SocketAddr, i: usize) -> Result<Duration, String> {
 }
 
 /// One replay request; must be an inline cache hit (200, state done).
-fn replay_one(addr: std::net::SocketAddr, i: usize) -> Result<Duration, String> {
+fn replay_one(addr: std::net::SocketAddr, i: usize, traced: bool) -> Result<Duration, String> {
     let t0 = Instant::now();
-    let (status, body) = post_scan(addr, &scan_body(i))?;
+    let (status, body) = post_scan(addr, &scan_body(i), traced)?;
     if status != 200 {
         return Err(format!("replay expected 200 (cache hit), got {status}: {body}"));
     }
@@ -148,6 +202,12 @@ struct PhaseResult {
     latencies_ns: Vec<u64>,
     errors: Vec<String>,
     wall: Duration,
+}
+
+impl PhaseResult {
+    fn rps(&self, requests: usize) -> f64 {
+        requests as f64 / self.wall.as_secs_f64().max(1e-9)
+    }
 }
 
 fn run_phase<F>(n_threads: usize, per_thread: usize, work: F) -> PhaseResult
@@ -187,6 +247,68 @@ where
     PhaseResult { latencies_ns, errors, wall: t0.elapsed() }
 }
 
+/// One mixed audit round: per-request latencies split by whether the
+/// request carried an `X-Omega-Trace` header.
+struct AuditRound {
+    untraced_ns: Vec<u64>,
+    traced_ns: Vec<u64>,
+    errors: Vec<String>,
+    wall: Duration,
+}
+
+/// Runs one paired round: every client alternates untraced and traced
+/// requests, so both populations share the same wall-clock window and
+/// host conditions.
+fn run_audit_round(addr: std::net::SocketAddr, clients: usize, per_client: usize) -> AuditRound {
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut untraced = Vec::new();
+                let mut traced = Vec::new();
+                let mut errs = Vec::new();
+                for r in 0..per_client {
+                    let is_traced = r % 2 == 1;
+                    match replay_one(addr, (t * per_client + r) % DISTINCT, is_traced) {
+                        Ok(d) => {
+                            let ns = d.as_nanos() as u64;
+                            if is_traced {
+                                traced.push(ns);
+                            } else {
+                                untraced.push(ns);
+                            }
+                        }
+                        Err(e) => errs.push(e),
+                    }
+                }
+                (untraced, traced, errs)
+            })
+        })
+        .collect();
+    let mut round = AuditRound {
+        untraced_ns: Vec::new(),
+        traced_ns: Vec::new(),
+        errors: Vec::new(),
+        wall: t0.elapsed(),
+    };
+    for h in handles {
+        match h.join() {
+            Ok((u, t, errs)) => {
+                round.untraced_ns.extend(u);
+                round.traced_ns.extend(t);
+                round.errors.extend(errs);
+            }
+            Err(_) => round.errors.push("audit client thread panicked".to_string()),
+        }
+    }
+    round.wall = t0.elapsed();
+    round
+}
+
+fn median(sorted_ns: &[u64]) -> u64 {
+    percentile(sorted_ns, 50.0)
+}
+
 fn phase_json(name: &str, requests: usize, r: &PhaseResult) -> String {
     let secs = r.wall.as_secs_f64();
     omega_obs::JsonObject::new()
@@ -205,28 +327,171 @@ fn stat_counter(stats: &omega_obs::JsonValue, name: &str) -> u64 {
     stats.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
 }
 
-fn run(out_path: &str, clients: usize) -> Result<(), String> {
+/// Client-side structural audit of one `GET /traces/<id>` body: unique
+/// span ids, every parent chain reaches the root, and wall-kind
+/// children sum to at most their parent's duration.
+fn verify_trace_tree(v: &omega_obs::JsonValue) -> Result<(), String> {
+    let root = v.get("root").ok_or("trace has no root span")?;
+    let root_id = root.get("id").and_then(|x| x.as_u64()).ok_or("root span has no id")?;
+    let root_dur = root.get("dur_ns").and_then(|x| x.as_u64()).ok_or("root span has no dur_ns")?;
+    let spans = v.get("spans").and_then(|s| s.as_array()).ok_or("trace has no spans array")?;
+
+    struct Span {
+        id: u64,
+        parent: u64,
+        dur_ns: u64,
+        wall: bool,
+    }
+    let mut parsed: Vec<Span> = Vec::with_capacity(spans.len());
+    for s in spans {
+        parsed.push(Span {
+            id: s.get("id").and_then(|x| x.as_u64()).ok_or("span has no id")?,
+            parent: s.get("parent").and_then(|x| x.as_u64()).ok_or("span has no parent")?,
+            dur_ns: s.get("dur_ns").and_then(|x| x.as_u64()).ok_or("span has no dur_ns")?,
+            wall: s.get("kind").and_then(|x| x.as_str()) == Some("wall"),
+        });
+    }
+
+    let mut ids = vec![root_id];
+    for s in &parsed {
+        if ids.contains(&s.id) {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+        ids.push(s.id);
+    }
+    for s in &parsed {
+        let mut at = s.id;
+        let mut hops = 0;
+        while at != root_id {
+            at = match parsed.iter().find(|x| x.id == at) {
+                Some(x) => x.parent,
+                None => return Err(format!("span {} is orphaned", s.id)),
+            };
+            hops += 1;
+            if hops > parsed.len() + 1 {
+                return Err(format!("span {} parent chain cycles", s.id));
+            }
+        }
+    }
+    for &parent_id in &ids {
+        let parent_dur = if parent_id == root_id {
+            root_dur
+        } else {
+            match parsed.iter().find(|x| x.id == parent_id) {
+                Some(x) if x.wall => x.dur_ns,
+                _ => continue,
+            }
+        };
+        let child_sum: u64 =
+            parsed.iter().filter(|s| s.parent == parent_id && s.wall).map(|s| s.dur_ns).sum();
+        if child_sum > parent_dur {
+            return Err(format!(
+                "wall children of span {parent_id} sum to {child_sum} ns > {parent_dur} ns"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The `--trace-audit` verification pass: pulls every recorded trace,
+/// verifies the trees, and parses the Prometheus exposition. Returns
+/// (verified trace count, exposition sample count).
+fn audit_telemetry(addr: std::net::SocketAddr) -> Result<(usize, usize), String> {
+    let (status, index_body) = get(addr, "/traces")?;
+    if status != 200 {
+        return Err(format!("/traces returned {status}"));
+    }
+    let index = omega_obs::parse_json(&index_body).map_err(|e| format!("/traces: {e}"))?;
+    let traces =
+        index.get("traces").and_then(|t| t.as_array()).ok_or("/traces body has no traces array")?;
+
+    let mut verified = 0usize;
+    for summary in traces {
+        let hex =
+            summary.get("trace").and_then(|t| t.as_str()).ok_or("trace summary has no trace id")?;
+        let (status, body) = get(addr, &format!("/traces/{hex}"))?;
+        if status != 200 {
+            return Err(format!("/traces/{hex} returned {status}"));
+        }
+        let tree = omega_obs::parse_json(&body).map_err(|e| format!("/traces/{hex}: {e}"))?;
+        verify_trace_tree(&tree).map_err(|e| format!("trace {hex} malformed: {e}"))?;
+        verified += 1;
+    }
+
+    let (status, metrics_body) = get(addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("/metrics returned {status}"));
+    }
+    let samples = omega_obs::parse_prometheus(&metrics_body)
+        .map_err(|e| format!("/metrics does not parse: {e}"))?;
+    if samples == 0 {
+        return Err("/metrics exposition is empty".into());
+    }
+    Ok((verified, samples))
+}
+
+fn run(out_path: &str, clients: usize, trace_audit: bool) -> Result<(), String> {
     let handle: ServeHandle = omega_serve::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
         queue_capacity: DISTINCT.max(clients) * 2,
+        trace_capacity: 4096,
         ..Default::default()
     })
     .map_err(|e| format!("cannot boot daemon: {e}"))?;
     let addr = handle.addr();
 
-    let (status, _) = get(addr, "/healthz")?;
+    let (status, health_body) = get(addr, "/healthz")?;
     if status != 200 {
         return Err(format!("healthz returned {status}"));
     }
+    let health = omega_obs::parse_json(&health_body).map_err(|e| format!("healthz: {e}"))?;
+    if health.get("uptime_secs").and_then(|v| v.as_u64()).is_none() {
+        return Err(format!("healthz has no uptime_secs: {health_body}"));
+    }
 
     println!("loadgen: daemon on {addr}, fill {DISTINCT} distinct payloads");
-    let fill = run_phase(DISTINCT, 1, move |t, _| fill_one(addr, t));
+    let fill = run_phase(DISTINCT, 1, move |t, _| fill_one(addr, t, trace_audit));
 
-    let replays = clients * REQUESTS_PER_CLIENT;
+    let per_client = if trace_audit { AUDIT_REQUESTS_PER_CLIENT } else { REQUESTS_PER_CLIENT };
+    let replays = clients * per_client;
+
     println!("loadgen: replay {replays} requests across {clients} clients");
-    let replay = run_phase(clients, REQUESTS_PER_CLIENT, move |t, r| {
-        replay_one(addr, (t * REQUESTS_PER_CLIENT + r) % DISTINCT)
-    });
+    let replay: PhaseResult;
+    let rounds_total: usize;
+    // Pooled paired latencies across all audit rounds (empty otherwise).
+    let mut untraced_ns: Vec<u64> = Vec::new();
+    let mut traced_ns: Vec<u64> = Vec::new();
+    if trace_audit {
+        println!("loadgen: {AUDIT_ROUNDS} mixed rounds, clients alternate untraced/traced");
+        let mut all_ns: Vec<u64> = Vec::new();
+        let mut errors: Vec<String> = Vec::new();
+        let mut wall = Duration::ZERO;
+        for round in 0..AUDIT_ROUNDS {
+            let mut r = run_audit_round(addr, clients, per_client);
+            r.untraced_ns.sort_unstable();
+            r.traced_ns.sort_unstable();
+            println!(
+                "loadgen: round {round}: untraced p50 {:.3} ms, traced p50 {:.3} ms",
+                median(&r.untraced_ns) as f64 / 1e6,
+                median(&r.traced_ns) as f64 / 1e6
+            );
+            wall += r.wall;
+            all_ns.extend(r.untraced_ns.iter().chain(r.traced_ns.iter()));
+            untraced_ns.extend(r.untraced_ns);
+            traced_ns.extend(r.traced_ns);
+            errors.extend(r.errors);
+        }
+        all_ns.sort_unstable();
+        untraced_ns.sort_unstable();
+        traced_ns.sort_unstable();
+        replay = PhaseResult { latencies_ns: all_ns, errors, wall };
+        rounds_total = AUDIT_ROUNDS;
+    } else {
+        replay = run_phase(clients, per_client, move |t, r| {
+            replay_one(addr, (t * per_client + r) % DISTINCT, false)
+        });
+        rounds_total = 1;
+    }
 
     let (status, stats_body) = get(addr, "/stats")?;
     if status != 200 {
@@ -237,6 +502,8 @@ fn run(out_path: &str, clients: usize) -> Result<(), String> {
     let misses = stat_counter(&stats, "serve.cache_misses");
     let rejected = stat_counter(&stats, "serve.rejected");
 
+    let audit = if trace_audit { Some(audit_telemetry(addr)?) } else { None };
+
     handle.shutdown();
 
     let total_errors = fill.errors.len() + replay.errors.len();
@@ -244,25 +511,55 @@ fn run(out_path: &str, clients: usize) -> Result<(), String> {
         eprintln!("loadgen: error: {e}");
     }
 
-    let json = omega_obs::JsonObject::new()
+    // Paired throughput: at fixed concurrency, rps = clients / latency.
+    // Derived from the median of each interleaved population so the
+    // comparison is immune to shared host noise.
+    let untraced_med = median(&untraced_ns);
+    let traced_med = median(&traced_ns);
+    let untraced_rps = if trace_audit {
+        clients as f64 / (untraced_med as f64 / 1e9).max(1e-9)
+    } else {
+        replay.rps(rounds_total * replays)
+    };
+    let traced_rps = if traced_med > 0 { clients as f64 / (traced_med as f64 / 1e9) } else { 0.0 };
+
+    let mut json = omega_obs::JsonObject::new()
         .string("bench", "serve_loadgen")
         .u64("clients", clients as u64)
         .u64("distinct_payloads", DISTINCT as u64)
-        .u64("requests_per_client", REQUESTS_PER_CLIENT as u64)
+        .u64("requests_per_client", per_client as u64)
         .raw("fill", &phase_json("fill", DISTINCT, &fill))
-        .raw("replay", &phase_json("replay", replays, &replay))
+        .raw("replay", &phase_json("replay", rounds_total * replays, &replay))
         .raw(
             "cache",
             &omega_obs::JsonObject::new()
                 .u64("hits", hits)
                 .u64("misses", misses)
-                .u64("expected_hits", replays as u64)
+                .u64("expected_hits", (rounds_total * replays) as u64)
                 .u64("expected_misses", DISTINCT as u64)
                 .finish(),
         )
         .u64("rejected", rejected)
-        .u64("errors", total_errors as u64)
-        .finish();
+        .u64("errors", total_errors as u64);
+    if let Some((verified, samples)) = audit {
+        let overhead =
+            if untraced_rps > 0.0 { 1.0 - (traced_rps / untraced_rps).min(1.0) } else { 0.0 };
+        json = json.raw(
+            "trace_audit",
+            &omega_obs::JsonObject::new()
+                .u64("verified_traces", verified as u64)
+                .u64("metrics_samples", samples as u64)
+                .u64("mixed_rounds", AUDIT_ROUNDS as u64)
+                .u64("untraced_p50_ns", untraced_med)
+                .u64("traced_p50_ns", traced_med)
+                .f64("untraced_rps", untraced_rps)
+                .f64("traced_rps", traced_rps)
+                .f64("overhead_fraction", overhead)
+                .f64("max_overhead_fraction", MAX_TRACING_OVERHEAD)
+                .finish(),
+        );
+    }
+    let json = json.finish();
     std::fs::write(out_path, format!("{json}\n"))
         .map_err(|e| format!("cannot write {out_path}: {e}"))?;
     println!(
@@ -270,21 +567,40 @@ fn run(out_path: &str, clients: usize) -> Result<(), String> {
         percentile(&fill.latencies_ns, 50.0) as f64 / 1e6,
         percentile(&replay.latencies_ns, 50.0) as f64 / 1e6,
         percentile(&replay.latencies_ns, 99.0) as f64 / 1e6,
-        replays as f64 / replay.wall.as_secs_f64().max(1e-9)
+        untraced_rps
     );
     println!("wrote {out_path}");
 
-    // Gates: only the fields that are deterministic by construction.
+    // Gates: only the fields that are deterministic by construction
+    // (plus, in audit mode, the telemetry-plane checks).
     if total_errors > 0 {
         return Err(format!("{total_errors} request errors"));
     }
-    if misses != DISTINCT as u64 || hits != replays as u64 {
+    let expected_hits = (rounds_total * replays) as u64;
+    if misses != DISTINCT as u64 || hits != expected_hits {
         return Err(format!(
-            "cache counts off: {misses} misses (want {DISTINCT}), {hits} hits (want {replays})"
+            "cache counts off: {misses} misses (want {DISTINCT}), {hits} hits \
+             (want {expected_hits})"
         ));
     }
     if rejected != 0 {
         return Err(format!("{rejected} rejections with an uncontended queue"));
+    }
+    if let Some((verified, _)) = audit {
+        if verified < MIN_AUDITED_TRACES {
+            return Err(format!("only {verified} traces verified (want >= {MIN_AUDITED_TRACES})"));
+        }
+        if traced_rps < (1.0 - MAX_TRACING_OVERHEAD) * untraced_rps {
+            return Err(format!(
+                "tracing overhead too high: traced {traced_rps:.0} rps vs untraced \
+                 {untraced_rps:.0} rps (floor {:.0}%)",
+                (1.0 - MAX_TRACING_OVERHEAD) * 100.0
+            ));
+        }
+        println!(
+            "loadgen: trace audit ok — {verified} trees verified, traced {traced_rps:.0} rps \
+             vs untraced {untraced_rps:.0} rps"
+        );
     }
     Ok(())
 }
@@ -292,6 +608,7 @@ fn run(out_path: &str, clients: usize) -> Result<(), String> {
 fn main() -> ExitCode {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut clients = DEFAULT_CLIENTS;
+    let mut trace_audit = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -306,11 +623,12 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--trace-audit" => trace_audit = true,
             other => out_path = other.to_string(),
         }
         i += 1;
     }
-    match run(&out_path, clients) {
+    match run(&out_path, clients, trace_audit) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("loadgen: {e}");

@@ -276,6 +276,7 @@ impl OmegaScanner {
         // The per-run maximum only covers worker time; the true wall time
         // also includes planning and queue setup, measured here.
         timings.total = start.elapsed();
+        omega_obs::histogram!("scan.parallel_ns").record(timings.total.as_nanos() as u64);
         ScanOutcome { results, timings, stats }
     }
 }

@@ -74,6 +74,7 @@ impl OmegaScanner {
         let (results, mut timings, stats) =
             scan_positions(alignment, &self.params, plan.positions());
         timings.total = start.elapsed();
+        omega_obs::histogram!("scan.sequential_ns").record(timings.total.as_nanos() as u64);
         ScanOutcome { results, timings, stats }
     }
 }

@@ -199,6 +199,9 @@ impl FpgaOmegaEngine {
         let seconds =
             cycles.at_clock_hz(self.device.clock_hz()) + Seconds(sw_scores as f64 / HOST_SW_RATE);
         record_fpga_metrics(cycles, hw_scores, sw_scores, any, self.pipeline.latency());
+        // Modelled ω stage time, exposed next to the serve/gpu stage
+        // histograms so `/metrics` can compare backends per stage.
+        omega_obs::histogram!("fpga.stage.omega_ns").record(seconds.to_nanos().get());
         FpgaRun { best: None, hw_scores, sw_scores, cycles, seconds }
     }
 }

@@ -75,6 +75,21 @@ impl GpuCost {
         self.kernel
     }
 
+    /// Total PCIe movement time, both directions (H2D + D2H).
+    pub fn transfer_total(&self) -> Seconds {
+        self.h2d + self.d2h
+    }
+
+    /// Records this cost's kernel and transfer stage times into the
+    /// process metrics registry (`gpu.stage.*` histograms, modelled ns),
+    /// so cost-model estimates show up in `/metrics` alongside measured
+    /// serve-stage latencies.
+    pub fn observe_stages(&self) {
+        omega_obs::histogram!("gpu.stage.kernel_ns").record(self.kernel.to_nanos().get());
+        omega_obs::histogram!("gpu.stage.transfer_ns")
+            .record(self.transfer_total().to_nanos().get());
+    }
+
     /// Element-wise accumulation.
     pub fn accumulate(&mut self, other: &GpuCost) {
         self.host_prep += other.host_prep;

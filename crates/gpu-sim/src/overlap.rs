@@ -92,6 +92,7 @@ impl TransferPipeline {
 
     /// Queues one task's cost.
     pub fn push(&mut self, cost: &GpuCost) {
+        cost.observe_stages();
         let transfer = cost.h2d + cost.d2h;
         self.serialized_seconds += cost.total();
         self.host_seconds += cost.host_prep + cost.host_reduce;

@@ -34,16 +34,19 @@
 //! std::fs::remove_file(&path).ok();
 //! ```
 
+pub mod expo;
 mod json;
 mod metrics;
 pub mod names;
 mod sink;
 mod span;
+pub mod trace;
 
+pub use expo::{parse_prometheus, render_prometheus};
 pub use json::{parse as parse_json, JsonError, JsonObject, JsonValue};
 pub use metrics::{
-    metrics_table, registry, snapshot, Counter, Gauge, Histogram, HistogramSnapshot,
-    MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
+    bucket_upper_bound, metrics_table, registry, snapshot, Counter, Gauge, Histogram,
+    HistogramSnapshot, MetricsSnapshot, Registry, HISTOGRAM_BUCKETS,
 };
 pub use names::{is_registered, INSTRUMENTS};
 pub use sink::{
@@ -51,3 +54,6 @@ pub use sink::{
     TraceError, TraceEvent,
 };
 pub use span::{spans_enabled, Span};
+pub use trace::{
+    recorder, CompletedTrace, FlightRecorder, RequestTrace, SpanRecord, StageSpan, TraceContext,
+};

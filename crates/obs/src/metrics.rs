@@ -75,6 +75,18 @@ impl Default for Histogram {
     }
 }
 
+/// Inclusive upper bound of bucket `i` — the largest value it counts,
+/// i.e. `4^(i+1) - 1` — with the open-ended last bucket reporting
+/// `u64::MAX`. These are the boundaries percentiles and the Prometheus
+/// exposition quote.
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    if i + 1 >= HISTOGRAM_BUCKETS {
+        u64::MAX
+    } else {
+        4u64.pow(i as u32 + 1) - 1
+    }
+}
+
 /// Bucket index for a sample: floor(log4(v)) clamped to the bucket range.
 #[inline]
 fn bucket_index(v: u64) -> usize {
@@ -126,6 +138,26 @@ impl HistogramSnapshot {
             self.sum as f64 / n as f64
         }
     }
+
+    /// Exact percentile over the bucketed data: the upper boundary of the
+    /// bucket holding the `p`-th percentile sample (`p` in `[0, 100]`,
+    /// clamped). This is the tightest claim the fixed buckets support —
+    /// the true sample is ≤ the returned boundary. Returns 0 when empty.
+    pub fn percentile(&self, p: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((p.clamp(0.0, 100.0) / 100.0) * n as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
 }
 
 /// The process-wide registry mapping names to instruments.
@@ -139,19 +171,19 @@ pub struct Registry {
 impl Registry {
     /// Registers (or retrieves) the counter `name`.
     pub fn counter(&self, name: &'static str) -> &'static Counter {
-        let mut map = self.counters.lock().expect("metrics registry poisoned");
+        let mut map = self.counters.lock().unwrap_or_else(|p| p.into_inner());
         map.entry(name).or_insert_with(|| Box::leak(Box::new(Counter::default())))
     }
 
     /// Registers (or retrieves) the gauge `name`.
     pub fn gauge(&self, name: &'static str) -> &'static Gauge {
-        let mut map = self.gauges.lock().expect("metrics registry poisoned");
+        let mut map = self.gauges.lock().unwrap_or_else(|p| p.into_inner());
         map.entry(name).or_insert_with(|| Box::leak(Box::new(Gauge::default())))
     }
 
     /// Registers (or retrieves) the histogram `name`.
     pub fn histogram(&self, name: &'static str) -> &'static Histogram {
-        let mut map = self.histograms.lock().expect("metrics registry poisoned");
+        let mut map = self.histograms.lock().unwrap_or_else(|p| p.into_inner());
         map.entry(name).or_insert_with(|| Box::leak(Box::new(Histogram::default())))
     }
 }
@@ -179,7 +211,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut counters: Vec<(String, u64)> = reg
         .counters
         .lock()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .iter()
         .map(|(name, c)| (name.to_string(), c.get()))
         .collect();
@@ -187,7 +219,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut gauges: Vec<(String, i64)> = reg
         .gauges
         .lock()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .iter()
         .map(|(name, g)| (name.to_string(), g.get()))
         .collect();
@@ -195,7 +227,7 @@ pub fn snapshot() -> MetricsSnapshot {
     let mut histograms: Vec<(String, HistogramSnapshot)> = reg
         .histograms
         .lock()
-        .expect("metrics registry poisoned")
+        .unwrap_or_else(|p| p.into_inner())
         .iter()
         .map(|(name, h)| (name.to_string(), h.snapshot()))
         .collect();
@@ -298,6 +330,47 @@ mod tests {
         assert_eq!(s.counts[20_usize.min(HISTOGRAM_BUCKETS - 1)], 1);
         assert_eq!(s.count(), 4);
         assert_eq!(s.sum, 10 + (1 << 40));
+    }
+
+    #[test]
+    fn bucket_upper_bounds_tile_the_range() {
+        assert_eq!(bucket_upper_bound(0), 3);
+        assert_eq!(bucket_upper_bound(1), 15);
+        assert_eq!(bucket_upper_bound(14), 4u64.pow(15) - 1);
+        assert_eq!(bucket_upper_bound(HISTOGRAM_BUCKETS - 1), u64::MAX);
+        for i in 0..HISTOGRAM_BUCKETS - 1 {
+            // The bound is the largest value still indexed into bucket i.
+            assert_eq!(bucket_index(bucket_upper_bound(i)), i);
+            assert_eq!(bucket_index(bucket_upper_bound(i) + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn percentiles_come_from_bucket_boundaries() {
+        let empty = Histogram::default().snapshot();
+        assert_eq!(empty.percentile(50.0), 0);
+
+        let h = Histogram::default();
+        // 90 samples in bucket 0, 9 in bucket 2, 1 in bucket 5.
+        for _ in 0..90 {
+            h.record(2);
+        }
+        for _ in 0..9 {
+            h.record(20);
+        }
+        h.record(2000);
+        let s = h.snapshot();
+        assert_eq!(s.percentile(50.0), 3);
+        assert_eq!(s.percentile(90.0), 3);
+        assert_eq!(s.percentile(95.0), 63);
+        assert_eq!(s.percentile(99.0), 63);
+        assert_eq!(s.percentile(100.0), 4095);
+        assert_eq!(s.percentile(0.0), 3, "p0 is the first non-empty bucket");
+
+        // A sample in the open-ended last bucket reports u64::MAX.
+        let top = Histogram::default();
+        top.record(u64::MAX);
+        assert_eq!(top.snapshot().percentile(100.0), u64::MAX);
     }
 
     #[test]

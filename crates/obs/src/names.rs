@@ -27,6 +27,7 @@ pub const INSTRUMENTS: &[&str] = &[
     "fpga.pipeline.cycles",
     "fpga.pipeline.inputs",
     "fpga.pipeline.stall_cycles",
+    "fpga.stage.omega_ns",
     "fpga.sw_scores",
     "fpga.task",
     "gpu.estimate",
@@ -34,30 +35,45 @@ pub const INSTRUMENTS: &[&str] = &[
     "gpu.kernel2.launches",
     "gpu.ld.block",
     "gpu.ld.pairs",
+    "gpu.stage.kernel_ns",
+    "gpu.stage.transfer_ns",
     "gpu.task",
     "gpu.task.scores",
     "gpu.transfer.bytes",
     "matrix.advance",
     "matrix.cells_reused",
     "matrix.r2_pairs",
+    "obs.trace.completed",
+    "obs.trace.dropped",
     "omega.evaluations",
     "omega.kernel",
     "omega.kernel_lanes",
     "omega_max",
     "scan.batch_replicates",
     "scan.parallel",
+    "scan.parallel_ns",
     "scan.position",
     "scan.positions",
     "scan.replicates",
     "scan.reuse_lost_at_seams",
     "scan.scorable_positions",
     "scan.sequential",
+    "scan.sequential_ns",
     "scan.steals",
     "serve.batch_size",
     "serve.cache_evictions",
     "serve.cache_hits",
+    "serve.cache_lookup",
+    "serve.cache_lookup_ns",
     "serve.cache_misses",
+    "serve.coalesce",
+    "serve.coalesce_ns",
     "serve.jobs",
+    "serve.kernel",
+    "serve.kernel_ns",
+    "serve.kernel_ns.cpu",
+    "serve.kernel_ns.fpga",
+    "serve.kernel_ns.gpu",
     "serve.lane.cpu",
     "serve.lane.fpga",
     "serve.lane.gpu",
@@ -65,8 +81,12 @@ pub const INSTRUMENTS: &[&str] = &[
     "serve.latency.fpga",
     "serve.latency.gpu",
     "serve.queue_depth",
+    "serve.queue_wait",
+    "serve.queue_wait_ns",
     "serve.rejected",
     "serve.request",
+    "serve.transfer",
+    "serve.transfer_ns",
     "transfer.overlapped_bytes",
 ];
 

@@ -32,7 +32,7 @@ static SINK: Mutex<Option<BufWriter<File>>> = Mutex::new(None);
 /// Replaces (after flushing) any previously installed sink.
 pub fn install_jsonl(path: &Path) -> io::Result<()> {
     let file = File::create(path)?;
-    let mut sink = SINK.lock().expect("trace sink poisoned");
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(mut old) = sink.take() {
         old.flush()?;
     }
@@ -47,7 +47,7 @@ pub fn install_jsonl(path: &Path) -> io::Result<()> {
 /// Disables span recording, flushes, and closes the sink.
 pub fn uninstall() -> io::Result<()> {
     SPANS_ENABLED.store(false, Ordering::Relaxed);
-    let mut sink = SINK.lock().expect("trace sink poisoned");
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(mut w) = sink.take() {
         w.flush()?;
     }
@@ -56,7 +56,7 @@ pub fn uninstall() -> io::Result<()> {
 
 /// Flushes buffered events without closing the sink.
 pub fn flush() -> io::Result<()> {
-    let mut sink = SINK.lock().expect("trace sink poisoned");
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(w) = sink.as_mut() {
         w.flush()?;
     }
@@ -64,7 +64,7 @@ pub fn flush() -> io::Result<()> {
 }
 
 fn write_line(line: &str) {
-    let mut sink = SINK.lock().expect("trace sink poisoned");
+    let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(w) = sink.as_mut() {
         // A failed trace write must not abort the scan; drop the event.
         let _ = writeln!(w, "{line}");

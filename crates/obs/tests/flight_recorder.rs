@@ -1,0 +1,94 @@
+//! The flight recorder's ring buffer must never exceed its configured
+//! capacity, even while many threads complete traces concurrently and
+//! readers snapshot mid-stream.
+
+use std::sync::Arc;
+
+use omega_obs::trace::FlightRecorder;
+use omega_obs::{CompletedTrace, SpanRecord};
+
+fn trace(id: u64) -> CompletedTrace {
+    CompletedTrace {
+        trace_id: id,
+        root: SpanRecord {
+            id: 1,
+            parent: 0,
+            name: "serve.request",
+            start_ns: 0,
+            dur_ns: id,
+            modelled: false,
+        },
+        spans: Vec::new(),
+        attrs: Vec::new(),
+    }
+}
+
+#[test]
+fn ring_never_exceeds_capacity_under_concurrent_completion() {
+    const CAPACITY: usize = 32;
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 500;
+
+    let rec = Arc::new(FlightRecorder::with_capacity(CAPACITY));
+    std::thread::scope(|s| {
+        for w in 0..WRITERS {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..PER_WRITER {
+                    rec.push(trace(w * PER_WRITER + i + 1));
+                }
+            });
+        }
+        // Concurrent readers observe the bound at every snapshot.
+        for _ in 0..2 {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for _ in 0..5_000 {
+                    let len = rec.len();
+                    assert!(len <= CAPACITY, "recorder held {len} > capacity {CAPACITY}");
+                    assert!(rec.recent(usize::MAX).len() <= CAPACITY);
+                }
+            });
+        }
+    });
+
+    assert_eq!(rec.len(), CAPACITY, "ends exactly full after 4000 pushes");
+    // The survivors are real pushed traces and lookups still work.
+    let recent = rec.recent(usize::MAX);
+    assert_eq!(recent.len(), CAPACITY);
+    for t in &recent {
+        assert!(rec.get(t.trace_id).is_some());
+    }
+}
+
+#[test]
+fn shrinking_capacity_mid_flight_trims_and_holds() {
+    let rec = Arc::new(FlightRecorder::with_capacity(64));
+    std::thread::scope(|s| {
+        for w in 0..4u64 {
+            let rec = Arc::clone(&rec);
+            s.spawn(move || {
+                for i in 0..200 {
+                    rec.push(trace(w * 1000 + i + 1));
+                }
+            });
+        }
+        let rec = Arc::clone(&rec);
+        s.spawn(move || {
+            for cap in [64usize, 16, 8, 24] {
+                rec.set_capacity(cap);
+                assert!(rec.len() <= 64);
+                std::thread::yield_now();
+            }
+        });
+    });
+    assert!(rec.len() <= rec.capacity());
+}
+
+#[test]
+fn zero_capacity_disables_capture() {
+    let rec = FlightRecorder::with_capacity(0);
+    rec.push(trace(1));
+    assert!(rec.is_empty());
+    assert!(rec.get(1).is_none());
+}

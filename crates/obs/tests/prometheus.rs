@@ -1,0 +1,86 @@
+//! Property tests for the Prometheus text exposition: whatever the
+//! registry holds — including hostile instrument names — the rendered
+//! document must parse cleanly, never contain a NaN sample, and always
+//! escape label values.
+
+use omega_obs::expo::{escape_label_value, render_prometheus};
+use omega_obs::{parse_prometheus, HistogramSnapshot, MetricsSnapshot, HISTOGRAM_BUCKETS};
+use proptest::prelude::*;
+use proptest::TestCaseError;
+
+fn arb_histogram() -> impl Strategy<Value = HistogramSnapshot> {
+    (proptest::collection::vec(0u64..1_000_000, HISTOGRAM_BUCKETS), 0u64..u64::MAX / 2).prop_map(
+        |(counts, sum)| {
+            let mut h = HistogramSnapshot { counts: [0; HISTOGRAM_BUCKETS], sum };
+            h.counts.copy_from_slice(&counts);
+            h
+        },
+    )
+}
+
+/// Strings over a deliberately hostile alphabet: control characters
+/// (including newline), quotes, backslashes, spaces, braces, and
+/// non-ASCII codepoints — everything the renderer must sanitize — with a
+/// chance of a trailing backend suffix the renderer lifts into a label.
+fn arb_name() -> impl Strategy<Value = String> {
+    (proptest::collection::vec(0u32..0x300, 0usize..25), 0u8..4).prop_map(|(codes, suffix)| {
+        let mut name: String = codes.into_iter().filter_map(char::from_u32).collect();
+        name.push_str(match suffix {
+            1 => ".cpu",
+            2 => ".gpu",
+            3 => ".fpga",
+            _ => "",
+        });
+        name
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exposition_always_parses_and_never_emits_nan(
+        counters in proptest::collection::vec((arb_name(), 0u64..u64::MAX), 0usize..8),
+        gauges in proptest::collection::vec((arb_name(), i64::MIN..i64::MAX), 0usize..8),
+        histograms in proptest::collection::vec((arb_name(), arb_histogram()), 0usize..4),
+    ) {
+        let snap = MetricsSnapshot { counters, gauges, histograms };
+        let text = render_prometheus(&snap);
+        let samples = match parse_prometheus(&text) {
+            Ok(n) => n,
+            Err(e) => {
+                return Err(TestCaseError::Fail(format!("{e}\n--- document ---\n{text}")));
+            }
+        };
+        // Every histogram series contributes its buckets plus _sum and
+        // _count (families can merge, so this is a lower bound).
+        prop_assert!(samples >= snap.histograms.len() * (HISTOGRAM_BUCKETS + 2));
+        prop_assert!(!text.contains("NaN"), "NaN leaked into exposition:\n{text}");
+    }
+
+    #[test]
+    fn label_values_escape_and_round_trip(
+        codes in proptest::collection::vec(0u32..0x300, 0usize..40),
+    ) {
+        let value: String = codes.into_iter().filter_map(char::from_u32).collect();
+        let escaped = escape_label_value(&value);
+        // No raw newlines, unescaped quotes, or dangling backslashes.
+        prop_assert!(!escaped.contains('\n'), "raw newline survived escaping");
+        let mut chars = escaped.chars();
+        while let Some(c) = chars.next() {
+            if c == '"' {
+                return Err(TestCaseError::Fail("unescaped quote".to_string()));
+            }
+            if c == '\\' {
+                let next = chars.next();
+                prop_assert!(
+                    matches!(next, Some('\\' | '"' | 'n')),
+                    "dangling backslash escape: {next:?}"
+                );
+            }
+        }
+        // A synthetic sample line built with the escaped value parses.
+        let line = format!("m{{label=\"{escaped}\"}} 1\n");
+        prop_assert!(parse_prometheus(&line).is_ok(), "line rejected: {line:?}");
+    }
+}

@@ -24,6 +24,8 @@ pub struct Request {
     pub path: String,
     /// Raw body bytes (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Raw `X-Omega-Trace` header value, if the caller sent one.
+    pub trace_header: Option<String>,
 }
 
 /// Why a request could not be read. Each maps to one response status.
@@ -116,6 +118,7 @@ pub fn read_request(
     let path = target.split('?').next().unwrap_or(target).to_string();
 
     let mut content_length = 0usize;
+    let mut trace_header = None;
     for line in lines {
         if line.is_empty() {
             break;
@@ -134,6 +137,7 @@ pub fn read_request(
             "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => {
                 return Err(HttpError::UnsupportedTransferEncoding);
             }
+            "x-omega-trace" => trace_header = Some(value.to_string()),
             _ => {}
         }
     }
@@ -143,7 +147,7 @@ pub fn read_request(
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| HttpError::Io(e.to_string()))?;
-    Ok(Some(Request { method, path, body }))
+    Ok(Some(Request { method, path, body, trace_header }))
 }
 
 /// Writes one response and flushes. Always closes after (the daemon
@@ -152,11 +156,12 @@ pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
     reason: &str,
+    content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
 ) -> std::io::Result<()> {
     let mut out = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: application/json\r\n\
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
          Content-Length: {}\r\nConnection: close\r\n",
         body.len()
     );
@@ -199,6 +204,15 @@ mod tests {
         assert_eq!(req.method, "POST");
         assert_eq!(req.path, "/scan");
         assert_eq!(req.body, b"abcd");
+        assert!(req.trace_header.is_none());
+    }
+
+    #[test]
+    fn trace_header_is_captured_case_insensitively() {
+        let raw =
+            b"GET /stats HTTP/1.1\r\nx-OMEGA-trace: 00000000deadbeef-0000000000000001\r\n\r\n";
+        let req = parse_raw(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.trace_header.as_deref(), Some("00000000deadbeef-0000000000000001"));
     }
 
     #[test]

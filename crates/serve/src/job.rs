@@ -318,6 +318,9 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Submission instant (latency accounting).
     pub submitted: Instant,
+    /// Trace id when the request opted into tracing (wire hex on the
+    /// job body, joinable against `GET /traces/<id>`).
+    pub trace_id: Option<u64>,
 }
 
 /// The job table: id allocation plus state shared between the HTTP
@@ -344,6 +347,7 @@ impl JobTable {
             timing: None,
             error: None,
             submitted: Instant::now(),
+            trace_id: None,
         };
         self.lock().insert(id, record);
         omega_obs::counter!("serve.jobs").inc();
@@ -399,6 +403,17 @@ pub fn job_latency_histogram(kind: BackendKind) -> &'static omega_obs::Histogram
     }
 }
 
+/// Per-backend kernel-stage wall-time histogram (nanoseconds per
+/// coalesced detector run). The exposition layer folds the backend
+/// suffix into a `backend` label on one `omega_serve_kernel_ns` family.
+pub fn kernel_stage_histogram(kind: BackendKind) -> &'static omega_obs::Histogram {
+    match kind {
+        BackendKind::Cpu => omega_obs::histogram!("serve.kernel_ns.cpu"),
+        BackendKind::Gpu => omega_obs::histogram!("serve.kernel_ns.gpu"),
+        BackendKind::Fpga => omega_obs::histogram!("serve.kernel_ns.fpga"),
+    }
+}
+
 /// Serialises the functional part of a batch outcome deterministically:
 /// identical inputs yield identical bytes (floats via shortest
 /// round-trip, plus the raw bits for audit). Timing is deliberately
@@ -447,6 +462,7 @@ pub fn timing_json(outcome: &BatchOutcome) -> String {
         .f64("omega_seconds", outcome.omega_seconds)
         .f64("other_seconds", outcome.other_seconds)
         .f64("overlap_hidden_seconds", outcome.overlap_hidden_seconds)
+        .f64("transfer_seconds", outcome.transfer_seconds)
         .f64("total_seconds", outcome.total_seconds())
         .finish()
 }
@@ -466,6 +482,9 @@ pub fn job_json(id: JobId, record: &JobRecord) -> String {
     }
     if let Some(error) = &record.error {
         obj = obj.string("error", error);
+    }
+    if let Some(trace_id) = record.trace_id {
+        obj = obj.string("trace", &format!("{trace_id:016x}"));
     }
     obj.finish()
 }

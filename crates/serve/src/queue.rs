@@ -15,8 +15,10 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
+
+use omega_obs::RequestTrace;
 
 use crate::job::{BackendKind, JobId, ScanRequest};
 
@@ -27,6 +29,9 @@ pub struct Submission {
     pub id: JobId,
     /// The validated request.
     pub request: ScanRequest,
+    /// Request trace, when the caller opted into tracing. Crosses the
+    /// handler → lane-worker thread boundary with the job.
+    pub trace: Option<Arc<RequestTrace>>,
 }
 
 /// Why a submission was not admitted.
@@ -170,6 +175,11 @@ impl Lanes {
     pub fn depth(&self) -> usize {
         BackendKind::ALL.iter().map(|&k| self.lock_lane(k).len()).sum()
     }
+
+    /// Queued jobs in one lane (the `/healthz` per-lane depth report).
+    pub fn depth_of(&self, kind: BackendKind) -> usize {
+        self.lock_lane(kind).len()
+    }
 }
 
 #[cfg(test)]
@@ -183,7 +193,7 @@ mod tests {
     }
 
     fn submission(id: u64) -> Submission {
-        Submission { id: JobId(id), request: request() }
+        Submission { id: JobId(id), request: request(), trace: None }
     }
 
     #[test]

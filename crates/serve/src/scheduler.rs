@@ -16,14 +16,15 @@
 
 use std::convert::Infallible;
 use std::sync::Arc;
+use std::time::Instant;
 
 use omega_accel::{BatchDetector, BatchOutcome};
 use omega_core::{ScanParams, ScanStats};
 use omega_gpu_sim::OverlapMode;
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::job::{job_latency_histogram, make_backend, BackendKind, JobState, JobTable};
-use crate::job::{result_json, timing_json};
+use crate::job::{job_latency_histogram, kernel_stage_histogram, make_backend};
+use crate::job::{result_json, timing_json, BackendKind, JobState, JobTable};
 use crate::queue::{Lanes, Submission};
 
 /// Jobs that batch into one detector run share this configuration.
@@ -93,11 +94,13 @@ fn job_outcome(whole: &BatchOutcome, start: usize, len: usize) -> BatchOutcome {
     let mut omega = 0.0f64;
     let mut other = 0.0f64;
     let mut hidden = 0.0f64;
+    let mut transfer = 0.0f64;
     for rep in &replicates {
         ld += rep.ld_seconds;
         omega += rep.omega_seconds;
         other += rep.other_seconds;
         hidden += rep.overlap_hidden_seconds;
+        transfer += rep.transfer_seconds;
         stats.accumulate(&rep.stats);
     }
     BatchOutcome {
@@ -107,16 +110,28 @@ fn job_outcome(whole: &BatchOutcome, start: usize, len: usize) -> BatchOutcome {
         omega_seconds: omega,
         other_seconds: other,
         overlap_hidden_seconds: hidden,
+        transfer_seconds: transfer,
         stats,
     }
 }
 
-fn fail_group(table: &JobTable, members: &[Submission], message: &str) {
+/// Closes a traced job's request trace with a terminal state annotation.
+fn finish_trace(sub: &Submission, kind: BackendKind, state: JobState) {
+    if let Some(trace) = &sub.trace {
+        trace.annotate("job", &sub.id.to_string());
+        trace.annotate("backend", kind.as_str());
+        trace.annotate("state", state.as_str());
+        trace.finish();
+    }
+}
+
+fn fail_group(table: &JobTable, kind: BackendKind, members: &[Submission], message: &str) {
     for sub in members {
         table.update(sub.id, |r| {
             r.state = JobState::Failed;
             r.error = Some(message.to_string());
         });
+        finish_trace(sub, kind, JobState::Failed);
     }
 }
 
@@ -127,6 +142,7 @@ fn run_group(
     current: &mut Option<LaneDetector>,
     table: &JobTable,
     cache: &ResultCache,
+    pickup: Instant,
 ) {
     // Deadline check happens at pickup: a job whose deadline passed
     // while queued expires without costing detector time.
@@ -142,6 +158,7 @@ fn run_group(
                 r.state = JobState::Expired;
                 r.error = Some("deadline exceeded before a lane picked the job up".to_string());
             });
+            finish_trace(&sub, kind, JobState::Expired);
         } else {
             live.push(sub);
         }
@@ -150,14 +167,26 @@ fn run_group(
         return;
     }
 
+    // Queue-wait stage: submission instant → lane pickup. Recorded into
+    // the histogram for every job; traced jobs also get the span.
+    for sub in &live {
+        let Some(submitted) = table.get(sub.id).map(|r| r.submitted) else { continue };
+        let wait_ns = pickup.saturating_duration_since(submitted).as_nanos() as u64;
+        omega_obs::histogram!("serve.queue_wait_ns").record(wait_ns);
+        if let Some(trace) = &sub.trace {
+            let start_ns = trace.offset_of(submitted);
+            trace.record_wall("serve.queue_wait", trace.root_span(), start_ns, wait_ns);
+        }
+    }
+
     let overlap =
         if key.overlap_on { OverlapMode::DoubleBuffered } else { OverlapMode::Serialized };
     if let Err(message) = obtain_detector(kind, key, current, overlap) {
-        fail_group(table, &live, &message);
+        fail_group(table, kind, &live, &message);
         return;
     }
     let Some(lane) = current.as_ref() else {
-        fail_group(table, &live, "internal: lane detector unavailable");
+        fail_group(table, kind, &live, "internal: lane detector unavailable");
         return;
     };
 
@@ -173,6 +202,23 @@ fn run_group(
         ranges.push((alignments.len(), sub.request.alignments.len()));
         alignments.extend(sub.request.alignments.iter().cloned());
     }
+
+    // Coalesce stage: pickup → run start (grouping, detector obtain or
+    // retarget, batch assembly).
+    let run_start = Instant::now();
+    let coalesce_ns = run_start.saturating_duration_since(pickup).as_nanos() as u64;
+    omega_obs::histogram!("serve.coalesce_ns").record(coalesce_ns);
+    for sub in &live {
+        if let Some(trace) = &sub.trace {
+            trace.record_wall(
+                "serve.coalesce",
+                trace.root_span(),
+                trace.offset_of(pickup),
+                coalesce_ns,
+            );
+        }
+    }
+
     let outcome = {
         let _lane_span = match kind {
             BackendKind::Cpu => omega_obs::span!("serve.lane.cpu"),
@@ -185,8 +231,36 @@ fn run_group(
         }
     };
 
+    // Kernel stage: the coalesced detector run's wall time, charged to
+    // every member (they share the batch).
+    let kernel_ns = run_start.elapsed().as_nanos() as u64;
+    omega_obs::histogram!("serve.kernel_ns").record(kernel_ns);
+    kernel_stage_histogram(kind).record(kernel_ns);
+
     for (sub, (start, len)) in live.iter().zip(ranges) {
         let per_job = job_outcome(&outcome, start, len);
+        let transfer_ns = (per_job.transfer_seconds * 1e9) as u64;
+        if transfer_ns > 0 {
+            omega_obs::histogram!("serve.transfer_ns").record(transfer_ns);
+        }
+        if let Some(trace) = &sub.trace {
+            let kernel_span = trace.record_wall(
+                "serve.kernel",
+                trace.root_span(),
+                trace.offset_of(run_start),
+                kernel_ns,
+            );
+            if transfer_ns > 0 {
+                // Modelled: simulator cost-model time, not contained in
+                // the kernel span's wall clock.
+                trace.record_modelled(
+                    "serve.transfer",
+                    kernel_span,
+                    trace.offset_of(run_start),
+                    transfer_ns,
+                );
+            }
+        }
         let result = Arc::new(result_json(&per_job));
         let timing = timing_json(&per_job);
         cache.insert(
@@ -204,6 +278,7 @@ fn run_group(
             r.timing = Some(timing);
             job_latency_histogram(kind).record(r.submitted.elapsed().as_nanos() as u64);
         });
+        finish_trace(sub, kind, JobState::Done);
     }
 }
 
@@ -211,8 +286,9 @@ fn run_group(
 pub fn run_lane(kind: BackendKind, lanes: &Lanes, table: &JobTable, cache: &ResultCache) {
     let mut current: Option<LaneDetector> = None;
     while let Some(batch) = lanes.pop_batch(kind) {
+        let pickup = Instant::now();
         for (key, members) in group_submissions(batch) {
-            run_group(kind, &key, members, &mut current, table, cache);
+            run_group(kind, &key, members, &mut current, table, cache, pickup);
         }
     }
 }
@@ -232,7 +308,7 @@ mod tests {
     fn submit(lanes: &Lanes, table: &JobTable, body: &str) -> crate::job::JobId {
         let request = parse_scan_request(body).unwrap();
         let id = table.create(request.kind);
-        lanes.submit(Submission { id, request }).unwrap();
+        lanes.submit(Submission { id, request, trace: None }).unwrap();
         id
     }
 
@@ -242,9 +318,9 @@ mod tests {
         let b = parse_scan_request(&request_body("0.2 0.5 0.9", 4)).unwrap();
         let c = parse_scan_request(&request_body("0.1 0.4 0.8", 8)).unwrap();
         let groups = group_submissions(vec![
-            Submission { id: crate::job::JobId(1), request: a },
-            Submission { id: crate::job::JobId(2), request: c },
-            Submission { id: crate::job::JobId(3), request: b },
+            Submission { id: crate::job::JobId(1), request: a, trace: None },
+            Submission { id: crate::job::JobId(2), request: c, trace: None },
+            Submission { id: crate::job::JobId(3), request: b, trace: None },
         ]);
         assert_eq!(groups.len(), 2);
         assert_eq!(groups[0].1.len(), 2, "same-config jobs coalesce");

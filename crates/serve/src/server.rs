@@ -5,10 +5,17 @@
 //! * `POST /scan` — submit a job (JSON body; see [`crate::job`]). Cache
 //!   hits complete immediately (200); misses queue (202); a full lane
 //!   rejects with 429 + `Retry-After`; a draining daemon with 503.
+//!   Sending an `X-Omega-Trace` header opts the request into tracing:
+//!   the response echoes the trace context and the completed span tree
+//!   lands in the flight recorder.
 //! * `GET /jobs/<id>` — job state, result, and timing.
-//! * `GET /stats` — the metrics registry, queue and cache occupancy,
-//!   and the serve instrument inventory, as JSON.
-//! * `GET /healthz` — liveness.
+//! * `GET /stats` — the metrics registry (with exact bucket-boundary
+//!   percentiles), queue and cache occupancy, and the serve instrument
+//!   inventory, as JSON.
+//! * `GET /metrics` — the same registry in Prometheus text exposition.
+//! * `GET /traces` — flight-recorder index (most recent traces).
+//! * `GET /traces/<hex-id>` — one completed trace's full span tree.
+//! * `GET /healthz` — liveness, uptime, build info, per-lane depths.
 //!
 //! Shutdown is graceful by construction: [`ServeHandle::shutdown`] stops
 //! admission first (new submissions get 503), then joins the lane
@@ -20,9 +27,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-use omega_obs::JsonObject;
+use omega_obs::{JsonObject, RequestTrace, TraceContext};
 
 use crate::cache::{CacheKey, ResultCache};
 use crate::http::{read_request, write_response, HttpError, Request};
@@ -45,6 +52,11 @@ pub struct ServeConfig {
     pub retry_after_secs: u64,
     /// Start with lanes paused (accept-and-hold; tests and maintenance).
     pub start_paused: bool,
+    /// Flight-recorder capacity (completed traces held for `/traces`;
+    /// 0 disables capture).
+    pub trace_capacity: usize,
+    /// Trace every request, not just those sending `X-Omega-Trace`.
+    pub trace_all: bool,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +68,8 @@ impl Default for ServeConfig {
             max_body_bytes: 8 << 20,
             retry_after_secs: 1,
             start_paused: false,
+            trace_capacity: 256,
+            trace_all: false,
         }
     }
 }
@@ -66,6 +80,7 @@ struct Shared {
     cache: ResultCache,
     config: ServeConfig,
     shutting_down: AtomicBool,
+    started: Instant,
 }
 
 /// Touches every serve instrument once so `/stats` always lists the
@@ -76,11 +91,21 @@ fn register_instruments() {
     omega_obs::counter!("serve.cache_hits").add(0);
     omega_obs::counter!("serve.cache_misses").add(0);
     omega_obs::counter!("serve.cache_evictions").add(0);
+    omega_obs::counter!("obs.trace.completed").add(0);
+    omega_obs::counter!("obs.trace.dropped").add(0);
     omega_obs::gauge!("serve.queue_depth").set(0);
     let _ = omega_obs::histogram!("serve.batch_size");
     let _ = omega_obs::histogram!("serve.latency.cpu");
     let _ = omega_obs::histogram!("serve.latency.gpu");
     let _ = omega_obs::histogram!("serve.latency.fpga");
+    let _ = omega_obs::histogram!("serve.queue_wait_ns");
+    let _ = omega_obs::histogram!("serve.coalesce_ns");
+    let _ = omega_obs::histogram!("serve.kernel_ns");
+    let _ = omega_obs::histogram!("serve.kernel_ns.cpu");
+    let _ = omega_obs::histogram!("serve.kernel_ns.gpu");
+    let _ = omega_obs::histogram!("serve.kernel_ns.fpga");
+    let _ = omega_obs::histogram!("serve.transfer_ns");
+    let _ = omega_obs::histogram!("serve.cache_lookup_ns");
 }
 
 /// Renders `/stats`: the full metrics snapshot plus daemon-local
@@ -101,6 +126,10 @@ fn stats_json(shared: &Shared) -> String {
             .u64("count", h.count())
             .u64("sum", h.sum)
             .f64("mean", h.mean())
+            .u64("p50", h.percentile(50.0))
+            .u64("p90", h.percentile(90.0))
+            .u64("p95", h.percentile(95.0))
+            .u64("p99", h.percentile(99.0))
             .u64_array("buckets", h.counts.iter().copied())
             .finish();
         histograms = histograms.raw(name, &entry);
@@ -140,41 +169,118 @@ fn error_body(message: &str) -> String {
     JsonObject::new().string("error", message).finish()
 }
 
-/// Routes one parsed request. Returns (status, reason, extra headers,
-/// body).
-fn route(
-    shared: &Shared,
-    request: &Request,
-) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
-    match (request.method.as_str(), request.path.as_str()) {
-        ("GET", "/healthz") => {
-            (200, "OK", vec![], JsonObject::new().string("status", "ok").finish())
-        }
-        ("GET", "/stats") => (200, "OK", vec![], stats_json(shared)),
-        ("POST", "/scan") => handle_scan(shared, &request.body),
-        ("GET", path) if path.starts_with("/jobs/") => {
-            let id_text = &path["/jobs/".len()..];
-            match JobId::parse(id_text).and_then(|id| shared.table.get(id).map(|r| (id, r))) {
-                Some((id, record)) => (200, "OK", vec![], job_json(id, &record)),
-                None => (404, "Not Found", vec![], error_body(&format!("no job {id_text:?}"))),
-            }
-        }
-        ("POST" | "GET", _) => (404, "Not Found", vec![], error_body("unknown path")),
-        _ => (405, "Method Not Allowed", vec![], error_body("only GET and POST are supported")),
+/// One routed response, ready to serialise.
+struct Response {
+    status: u16,
+    reason: &'static str,
+    content_type: &'static str,
+    headers: Vec<(&'static str, String)>,
+    body: String,
+}
+
+impl Response {
+    fn json(status: u16, reason: &'static str, body: String) -> Response {
+        Response { status, reason, content_type: "application/json", headers: Vec::new(), body }
+    }
+
+    fn not_found(message: &str) -> Response {
+        Response::json(404, "Not Found", error_body(message))
     }
 }
 
-fn handle_scan(
-    shared: &Shared,
-    body: &[u8],
-) -> (u16, &'static str, Vec<(&'static str, String)>, String) {
-    let text = match std::str::from_utf8(body) {
+/// Renders `/healthz`: liveness plus uptime, build identity, and the
+/// current per-lane queue depths.
+fn healthz_json(shared: &Shared) -> String {
+    let mut queues = JsonObject::new();
+    for kind in BackendKind::ALL {
+        queues = queues.u64(kind.as_str(), shared.lanes.depth_of(kind) as u64);
+    }
+    let build = JsonObject::new()
+        .string("name", env!("CARGO_PKG_NAME"))
+        .string("version", env!("CARGO_PKG_VERSION"))
+        .finish();
+    JsonObject::new()
+        .string("status", "ok")
+        .u64("uptime_secs", shared.started.elapsed().as_secs())
+        .raw("build", &build)
+        .raw("queue_depths", &queues.finish())
+        .raw("draining", if shared.lanes.is_draining() { "true" } else { "false" })
+        .finish()
+}
+
+/// Renders the `/traces` flight-recorder index, most recent last.
+fn traces_index_json() -> String {
+    let recorder = omega_obs::recorder();
+    let traces = recorder.recent(usize::MAX);
+    let mut list = String::from("[");
+    for (i, t) in traces.iter().enumerate() {
+        if i > 0 {
+            list.push(',');
+        }
+        list.push_str(&t.summary_json());
+    }
+    list.push(']');
+    JsonObject::new()
+        .u64("count", traces.len() as u64)
+        .u64("capacity", recorder.capacity() as u64)
+        .raw("traces", &list)
+        .finish()
+}
+
+/// Routes one parsed request.
+fn route(shared: &Shared, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "OK", healthz_json(shared)),
+        ("GET", "/stats") => Response::json(200, "OK", stats_json(shared)),
+        ("GET", "/metrics") => Response {
+            status: 200,
+            reason: "OK",
+            content_type: "text/plain; version=0.0.4",
+            headers: Vec::new(),
+            body: omega_obs::render_prometheus(&omega_obs::snapshot()),
+        },
+        ("GET", "/traces") => Response::json(200, "OK", traces_index_json()),
+        ("POST", "/scan") => handle_scan(shared, request),
+        ("GET", path) if path.starts_with("/traces/") => {
+            let id_text = &path["/traces/".len()..];
+            match u64::from_str_radix(id_text, 16).ok().and_then(|id| omega_obs::recorder().get(id))
+            {
+                Some(trace) => Response::json(200, "OK", trace.json()),
+                None => Response::not_found(&format!("no trace {id_text:?}")),
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let id_text = &path["/jobs/".len()..];
+            match JobId::parse(id_text).and_then(|id| shared.table.get(id).map(|r| (id, r))) {
+                Some((id, record)) => Response::json(200, "OK", job_json(id, &record)),
+                None => Response::not_found(&format!("no job {id_text:?}")),
+            }
+        }
+        ("POST" | "GET", _) => Response::not_found("unknown path"),
+        _ => {
+            Response::json(405, "Method Not Allowed", error_body("only GET and POST are supported"))
+        }
+    }
+}
+
+fn handle_scan(shared: &Shared, http_request: &Request) -> Response {
+    let text = match std::str::from_utf8(&http_request.body) {
         Ok(t) => t,
-        Err(_) => return (400, "Bad Request", vec![], error_body("body is not UTF-8")),
+        Err(_) => return Response::json(400, "Bad Request", error_body("body is not UTF-8")),
     };
     let request = match parse_scan_request(text) {
         Ok(r) => r,
-        Err(e) => return (400, "Bad Request", vec![], error_body(&e.to_string())),
+        Err(e) => return Response::json(400, "Bad Request", error_body(&e.to_string())),
+    };
+
+    // Tracing is opt-in: any X-Omega-Trace header (or trace_all) starts
+    // a request trace; a well-formed header additionally joins the
+    // caller's trace id and parent span.
+    let inbound = http_request.trace_header.as_deref().and_then(TraceContext::parse);
+    let trace = (http_request.trace_header.is_some() || shared.config.trace_all)
+        .then(|| RequestTrace::begin("serve.request", inbound));
+    let trace_headers = |t: &Option<Arc<RequestTrace>>| -> Vec<(&'static str, String)> {
+        t.iter().map(|t| ("X-Omega-Trace", t.context().header_value())).collect()
     };
 
     let key = CacheKey::new(
@@ -183,27 +289,49 @@ fn handle_scan(
         request.backend_label.clone(),
         request.overlap,
     );
-    if let Some(result) = shared.cache.get(&key) {
+    let lookup_started = Instant::now();
+    let cached = shared.cache.get(&key);
+    let lookup_ns = lookup_started.elapsed().as_nanos() as u64;
+    omega_obs::histogram!("serve.cache_lookup_ns").record(lookup_ns);
+    if let Some(t) = &trace {
+        t.record_wall("serve.cache_lookup", t.root_span(), t.offset_of(lookup_started), lookup_ns);
+        t.annotate("cache", if cached.is_some() { "hit" } else { "miss" });
+        t.annotate("backend", request.kind.as_str());
+    }
+
+    if let Some(result) = cached {
         let id = shared.table.create_cached(request.kind, result);
-        let record = shared.table.get(id);
-        let body = match record {
+        if let Some(t) = &trace {
+            shared.table.update(id, |r| r.trace_id = Some(t.trace_id()));
+            t.annotate("job", &id.to_string());
+            t.annotate("state", "done");
+            t.finish();
+        }
+        let body = match shared.table.get(id) {
             Some(r) => job_json(id, &r),
             None => error_body("job record vanished"),
         };
-        return (200, "OK", vec![], body);
+        return Response { headers: trace_headers(&trace), ..Response::json(200, "OK", body) };
     }
 
     let id = shared.table.create(request.kind);
-    match shared.lanes.submit(Submission { id, request }) {
+    if let Some(t) = &trace {
+        shared.table.update(id, |r| r.trace_id = Some(t.trace_id()));
+    }
+    match shared.lanes.submit(Submission { id, request, trace: trace.clone() }) {
         Ok(()) => {
             let body = match shared.table.get(id) {
                 Some(r) => job_json(id, &r),
                 None => error_body("job record vanished"),
             };
-            (202, "Accepted", vec![], body)
+            Response { headers: trace_headers(&trace), ..Response::json(202, "Accepted", body) }
         }
         Err(SubmitError::QueueFull { queued, capacity }) => {
             shared.table.remove(id);
+            if let Some(t) = &trace {
+                t.annotate("state", "rejected");
+                t.finish();
+            }
             let retry = shared.config.retry_after_secs.max(1);
             let body = JsonObject::new()
                 .string("error", "queue full")
@@ -211,11 +339,20 @@ fn handle_scan(
                 .u64("capacity", capacity as u64)
                 .u64("retry_after_secs", retry)
                 .finish();
-            (429, "Too Many Requests", vec![("Retry-After", retry.to_string())], body)
+            let mut headers = trace_headers(&trace);
+            headers.push(("Retry-After", retry.to_string()));
+            Response { headers, ..Response::json(429, "Too Many Requests", body) }
         }
         Err(SubmitError::Draining) => {
             shared.table.remove(id);
-            (503, "Service Unavailable", vec![], error_body("daemon is draining"))
+            if let Some(t) = &trace {
+                t.annotate("state", "rejected");
+                t.finish();
+            }
+            Response {
+                headers: trace_headers(&trace),
+                ..Response::json(503, "Service Unavailable", error_body("daemon is draining"))
+            }
         }
     }
 }
@@ -226,8 +363,15 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     match read_request(&mut stream, shared.config.max_body_bytes) {
         Ok(Some(request)) => {
-            let (status, reason, headers, body) = route(shared, &request);
-            let _ = write_response(&mut stream, status, reason, &headers, &body);
+            let response = route(shared, &request);
+            let _ = write_response(
+                &mut stream,
+                response.status,
+                response.reason,
+                response.content_type,
+                &response.headers,
+                &response.body,
+            );
         }
         Ok(None) => {}
         Err(e @ HttpError::Io(_)) => {
@@ -236,7 +380,14 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
         Err(e) => {
             let (status, reason) = e.status();
-            let _ = write_response(&mut stream, status, reason, &[], &error_body(&e.detail()));
+            let _ = write_response(
+                &mut stream,
+                status,
+                reason,
+                "application/json",
+                &[],
+                &error_body(&e.detail()),
+            );
         }
     }
 }
@@ -302,6 +453,7 @@ impl ServeHandle {
 /// acceptor, and returns a handle.
 pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
     register_instruments();
+    omega_obs::recorder().set_capacity(config.trace_capacity);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
     let shared = Arc::new(Shared {
@@ -310,6 +462,7 @@ pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
         cache: ResultCache::with_capacity(config.cache_capacity_bytes),
         config: config.clone(),
         shutting_down: AtomicBool::new(false),
+        started: Instant::now(),
     });
     if config.start_paused {
         shared.lanes.pause();
@@ -372,6 +525,7 @@ mod tests {
             cache: ResultCache::with_capacity(1024),
             config: ServeConfig::default(),
             shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
         };
         let json = stats_json(&shared);
         let v = omega_obs::parse_json(&json).unwrap();
@@ -383,5 +537,30 @@ mod tests {
         assert!(v.get("counters").unwrap().get("serve.jobs").is_some());
         assert!(v.get("queue").unwrap().get("capacity_per_lane").is_some());
         assert!(v.get("cache").unwrap().get("capacity_bytes").is_some());
+        let batch = v.get("histograms").unwrap().get("serve.batch_size").unwrap();
+        for pct in ["p50", "p90", "p95", "p99"] {
+            assert!(batch.get(pct).is_some(), "{pct} missing from histogram entry");
+        }
+    }
+
+    #[test]
+    fn healthz_reports_uptime_build_and_depths() {
+        register_instruments();
+        let shared = Shared {
+            lanes: Lanes::with_capacity(4),
+            table: JobTable::default(),
+            cache: ResultCache::with_capacity(1024),
+            config: ServeConfig::default(),
+            shutting_down: AtomicBool::new(false),
+            started: Instant::now(),
+        };
+        let v = omega_obs::parse_json(&healthz_json(&shared)).unwrap();
+        assert_eq!(v.get("status").unwrap().as_str(), Some("ok"));
+        assert!(v.get("uptime_secs").unwrap().as_u64().is_some());
+        assert!(v.get("build").unwrap().get("version").unwrap().as_str().is_some());
+        let depths = v.get("queue_depths").unwrap();
+        for lane in ["cpu", "gpu", "fpga"] {
+            assert_eq!(depths.get(lane).unwrap().as_u64(), Some(0));
+        }
     }
 }

@@ -23,11 +23,13 @@
 //! ```text
 //! omegaplus serve [-addr HOST:PORT] [-queue N] [-cache-mb N]
 //!                 [-max-body-mb N] [-retry-after SECS]
+//!                 [-trace-capacity N] [-trace-all]
 //! ```
 //!
 //! boots the omega-serve HTTP daemon (POST /scan, GET /jobs/<id>,
-//! GET /stats, GET /healthz) and blocks until killed. See DESIGN.md's
-//! "Serving layer" section.
+//! GET /stats, GET /metrics, GET /traces, GET /traces/<id>,
+//! GET /healthz) and blocks until killed. See DESIGN.md's "Serving
+//! layer" and "Telemetry plane" sections.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Write};
@@ -403,7 +405,7 @@ fn run(cli: &Cli) -> Result<(), String> {
 }
 
 const SERVE_USAGE: &str = "usage: omegaplus serve [-addr HOST:PORT] [-queue N] \
-[-cache-mb N] [-max-body-mb N] [-retry-after SECS]";
+[-cache-mb N] [-max-body-mb N] [-retry-after SECS] [-trace-capacity N] [-trace-all]";
 
 /// Parses `omegaplus serve` flags into a daemon configuration.
 fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>, String> {
@@ -432,6 +434,11 @@ fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>,
                 config.retry_after_secs =
                     num("-retry-after")?.parse().map_err(|_| "bad -retry-after")?
             }
+            "-trace-capacity" => {
+                config.trace_capacity =
+                    num("-trace-capacity")?.parse().map_err(|_| "bad -trace-capacity")?
+            }
+            "-trace-all" => config.trace_all = true,
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
         }
