@@ -99,29 +99,31 @@ impl DetectionOutcome {
 
     /// Fraction of LD+ω time spent on LD.
     pub fn ld_share(&self) -> f64 {
+        // Stage seconds are non-negative, so strict sign tests are
+        // total-order-safe zero checks throughout these ratios.
         let k = self.ld_seconds + self.omega_seconds;
-        if k == 0.0 {
-            0.0
-        } else {
+        if k > 0.0 {
             self.ld_seconds / k
+        } else {
+            0.0
         }
     }
 
     /// ω throughput in scores/second.
     pub fn omega_throughput(&self) -> f64 {
-        if self.omega_seconds == 0.0 {
-            0.0
-        } else {
+        if self.omega_seconds > 0.0 {
             self.stats.omega_evaluations as f64 / self.omega_seconds
+        } else {
+            0.0
         }
     }
 
     /// LD throughput in r² scores/second.
     pub fn ld_throughput(&self) -> f64 {
-        if self.ld_seconds == 0.0 {
-            0.0
-        } else {
+        if self.ld_seconds > 0.0 {
             self.stats.r2_pairs as f64 / self.ld_seconds
+        } else {
+            0.0
         }
     }
 }

@@ -16,10 +16,12 @@
 pub mod backend;
 pub mod batch;
 pub mod power;
+pub mod predict;
 pub mod workload;
 
 pub use backend::{Backend, DetectionOutcome, SweepDetector, FPGA_LD_SAMPLE_SCORES_PER_SEC};
 pub use batch::{BatchDetector, BatchOutcome, ReconfigureError};
 pub use omega_gpu_sim::OverlapMode;
 pub use power::{calibrate_threshold, detection_power, false_positive_rate, OmegaThreshold};
+pub use predict::{AutoLane, CostPredictor, Prediction};
 pub use workload::WorkloadClass;

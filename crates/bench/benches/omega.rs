@@ -2,10 +2,10 @@
 //! paper's Table III/IV "ω" columns measure.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use omega_bench::dataset;
+use omega_bench::BENCH_CONFIG;
 use omega_core::{
     omega_max, omega_score, BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, RegionMatrix,
-    ScanParams, TaskView,
+    TaskView,
 };
 use std::hint::black_box;
 
@@ -21,15 +21,9 @@ fn bench_omega_score(c: &mut Criterion) {
 fn bench_omega_max(c: &mut Criterion) {
     let mut group = c.benchmark_group("omega_max_position");
     group.sample_size(10);
-    for snps in [256usize, 1_024] {
-        let a = dataset(snps, 50, 44);
-        let params = ScanParams {
-            grid: 1,
-            min_win: 0,
-            max_win: 1_000_000,
-            min_snps_per_side: 2,
-            threads: 1,
-        };
+    for snps in BENCH_CONFIG.workloads {
+        let a = BENCH_CONFIG.workload_dataset(snps);
+        let params = BENCH_CONFIG.position_params();
         let plan = GridPlan::build(&a, &params).positions()[0];
         // Use the midpoint plan for a balanced window.
         let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(snps - 1)) / 2, &params);
@@ -49,15 +43,9 @@ fn bench_omega_max(c: &mut Criterion) {
 fn bench_omega_kernel(c: &mut Criterion) {
     let mut group = c.benchmark_group("omega_kernel_position");
     group.sample_size(10);
-    for snps in [256usize, 1_024] {
-        let a = dataset(snps, 50, 44);
-        let params = ScanParams {
-            grid: 1,
-            min_win: 0,
-            max_win: 1_000_000,
-            min_snps_per_side: 2,
-            threads: 1,
-        };
+    for snps in BENCH_CONFIG.workloads {
+        let a = BENCH_CONFIG.workload_dataset(snps);
+        let params = BENCH_CONFIG.position_params();
         let plan = GridPlan::build(&a, &params).positions()[0];
         let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(snps - 1)) / 2, &params);
         let plan = if mid.is_scorable(2) { mid } else { plan };

@@ -2,12 +2,15 @@
 //! records the vectorized-kernel speedup over the scalar reference loop
 //! in `BENCH_omega.json` (schema documented in DESIGN.md).
 //!
-//! Runs the same single-position workloads as `benches/omega.rs`
-//! (dataset seed 44, 50 samples, exhaustive window), times the scalar
-//! `omega_max` loop and the `OmegaKernel` lane sweep over identical
-//! matrix/border inputs, and writes per-workload ns/score plus the
-//! speedup. Exits non-zero when the minimum speedup across workloads
-//! falls below the 2× acceptance bar, so the number in the committed
+//! Runs the same single-position workloads as `benches/omega.rs` (both
+//! draw their dataset shape from `omega_bench::BENCH_CONFIG`), times the
+//! scalar `omega_max` loop and the `OmegaKernel` lane sweep over
+//! identical matrix/border inputs, and writes per-workload ns/score plus
+//! the speedup. It also measures the LD stage (matrix rebuild: r²
+//! popcounts plus the Eq. 3 DP) and emits both measured CPU rates as the
+//! `"calibration"` object that `backend=auto` cost prediction reads.
+//! Exits non-zero when the minimum speedup across workloads falls below
+//! the configured acceptance bar, so the number in the committed
 //! baseline is enforced, not aspirational.
 
 use std::fmt::Write as _;
@@ -16,19 +19,11 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use omega_accel::{Backend, BatchDetector, BatchOutcome, OverlapMode};
-use omega_bench::dataset;
+use omega_bench::BENCH_CONFIG;
 use omega_core::{
-    omega_max, BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, RegionMatrix, ScanParams,
-    TaskView,
+    omega_max, BorderSet, GridPlan, MatrixBuildTiming, OmegaKernel, RegionMatrix, TaskView,
 };
 use omega_gpu_sim::GpuDevice;
-
-const N_SAMPLES: usize = 50;
-const SEED: u64 = 44;
-const REPS: usize = 7;
-const MIN_SPEEDUP: f64 = 2.0;
-/// Replicates in the batched-throughput figure.
-const BATCH_REPLICATES: usize = 4;
 
 struct WorkloadResult {
     n_snps: usize,
@@ -43,10 +38,10 @@ impl WorkloadResult {
     }
 }
 
-/// Best-of-`REPS` wall time of `f`, in seconds.
-fn time_best<F: FnMut() -> f32>(mut f: F) -> f64 {
+/// Best-of-`BENCH_CONFIG.reps` wall time of `f`, in seconds.
+fn time_best<T, F: FnMut() -> T>(mut f: F) -> f64 {
     let mut best = f64::INFINITY;
-    for _ in 0..REPS {
+    for _ in 0..BENCH_CONFIG.reps {
         let t0 = Instant::now();
         black_box(f());
         best = best.min(t0.elapsed().as_secs_f64());
@@ -55,9 +50,8 @@ fn time_best<F: FnMut() -> f32>(mut f: F) -> f64 {
 }
 
 fn measure(n_snps: usize) -> WorkloadResult {
-    let a = dataset(n_snps, N_SAMPLES, SEED);
-    let params =
-        ScanParams { grid: 1, min_win: 0, max_win: 1_000_000, min_snps_per_side: 2, threads: 1 };
+    let a = BENCH_CONFIG.workload_dataset(n_snps);
+    let params = BENCH_CONFIG.position_params();
     let first = GridPlan::build(&a, &params).positions()[0];
     let mid = GridPlan::plan_at(&a, (a.position(0) + a.position(n_snps - 1)) / 2, &params);
     let plan = if mid.is_scorable(2) { mid } else { first };
@@ -85,6 +79,21 @@ fn measure(n_snps: usize) -> WorkloadResult {
     }
 }
 
+/// Measured CPU LD rate: best-of-reps wall time of a from-scratch matrix
+/// rebuild over the largest workload, divided by the fresh r² pairs it
+/// computes. This is the `cpu_ld_ns_per_pair` half of the calibration
+/// record.
+fn measure_ld_ns_per_pair() -> f64 {
+    let n_snps = BENCH_CONFIG.workloads[BENCH_CONFIG.workloads.len() - 1];
+    let a = BENCH_CONFIG.workload_dataset(n_snps);
+    let mut m = RegionMatrix::new();
+    let mut t = MatrixBuildTiming::default();
+    let pairs = m.rebuild(&a, 0, n_snps, &mut t).new_pairs;
+    assert!(pairs > 0, "calibration workload computes fresh pairs");
+    let best_s = time_best(|| m.rebuild(&a, 0, n_snps, &mut t).new_pairs);
+    best_s * 1e9 / pairs as f64
+}
+
 /// Modelled GPU seconds of the accelerator stages (LD + ω), which are
 /// deterministic; `other_seconds` contains measured host time and is
 /// excluded so the committed baseline is stable.
@@ -101,10 +110,12 @@ struct BatchFigures {
 /// Batched multi-replicate throughput on the modelled Tesla K80, with
 /// transfers serialized vs. double-buffered behind compute.
 fn measure_batch() -> BatchFigures {
-    let reps: Vec<_> =
-        (0..BATCH_REPLICATES).map(|i| dataset(256, N_SAMPLES, SEED + 1 + i as u64)).collect();
-    let params =
-        ScanParams { grid: 8, min_win: 0, max_win: 1_000_000, min_snps_per_side: 2, threads: 1 };
+    let reps: Vec<_> = (0..BENCH_CONFIG.batch_replicates)
+        .map(|i| {
+            omega_bench::dataset(256, BENCH_CONFIG.n_samples, BENCH_CONFIG.seed + 1 + i as u64)
+        })
+        .collect();
+    let params = omega_core::ScanParams { grid: 8, ..BENCH_CONFIG.position_params() };
     let run = |mode: OverlapMode| {
         BatchDetector::new(params, Backend::Gpu(GpuDevice::tesla_k80()))
             .unwrap()
@@ -122,15 +133,22 @@ fn measure_batch() -> BatchFigures {
 }
 
 fn main() -> ExitCode {
-    let results: Vec<WorkloadResult> = [256usize, 1_024].iter().map(|&n| measure(n)).collect();
+    let cfg = BENCH_CONFIG;
+    let results: Vec<WorkloadResult> = cfg.workloads.iter().map(|&n| measure(n)).collect();
     let batch = measure_batch();
+    let ld_ns_per_pair = measure_ld_ns_per_pair();
+    // The calibration ω rate comes from the largest workload: per-score
+    // overhead amortizes with size, matching the jobs `auto` prices.
+    let omega_ns_per_score = results.last().map(|r| r.kernel_ns_per_score).unwrap_or(f64::NAN);
+    let simd_level = omega_core::simd::active_level().as_str();
 
     let mut json = String::new();
     json.push_str("{\n");
     let _ = writeln!(json, "  \"bench\": \"omega_kernel_vs_scalar\",");
     let _ = writeln!(
         json,
-        "  \"dataset\": {{\"n_samples\": {N_SAMPLES}, \"seed\": {SEED}, \"reps\": {REPS}}},"
+        "  \"dataset\": {{\"n_samples\": {}, \"seed\": {}, \"reps\": {}}},",
+        cfg.n_samples, cfg.seed, cfg.reps
     );
     json.push_str("  \"workloads\": [\n");
     for (i, r) in results.iter().enumerate() {
@@ -149,17 +167,23 @@ fn main() -> ExitCode {
     json.push_str("  ],\n");
     let _ = writeln!(
         json,
-        "  \"batch\": {{\"replicates\": {BATCH_REPLICATES}, \"backend\": \"gpu_k80\", \
+        "  \"calibration\": {{\"cpu_omega_ns_per_score\": {omega_ns_per_score:.3}, \
+         \"cpu_ld_ns_per_pair\": {ld_ns_per_pair:.3}, \"simd_level\": {simd_level:?}}},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"batch\": {{\"replicates\": {}, \"backend\": \"gpu_k80\", \
          \"serialized_model_seconds\": {:.6}, \"overlapped_model_seconds\": {:.6}, \
          \"hidden_seconds\": {:.6}, \"replicates_per_model_second\": {:.3}}},",
+        cfg.batch_replicates,
         batch.serialized_seconds,
         batch.overlapped_seconds,
         batch.hidden_seconds,
-        BATCH_REPLICATES as f64 / batch.overlapped_seconds
+        cfg.batch_replicates as f64 / batch.overlapped_seconds
     );
     let min = results.iter().map(WorkloadResult::speedup).fold(f64::INFINITY, f64::min);
     let _ = writeln!(json, "  \"min_speedup\": {min:.3},");
-    let _ = writeln!(json, "  \"required_speedup\": {MIN_SPEEDUP:.1}");
+    let _ = writeln!(json, "  \"required_speedup\": {:.1}", cfg.min_speedup);
     json.push_str("}\n");
 
     for r in &results {
@@ -174,8 +198,15 @@ fn main() -> ExitCode {
     }
 
     println!(
+        "calibration ({simd_level})  omega {omega_ns_per_score:.3} ns/score  \
+         ld {ld_ns_per_pair:.3} ns/pair"
+    );
+    println!(
         "batch ({} reps, gpu_k80)  serialized {:.6}s  overlapped {:.6}s  hidden {:.6}s",
-        BATCH_REPLICATES, batch.serialized_seconds, batch.overlapped_seconds, batch.hidden_seconds
+        cfg.batch_replicates,
+        batch.serialized_seconds,
+        batch.overlapped_seconds,
+        batch.hidden_seconds
     );
 
     let out = std::env::args().nth(1).unwrap_or_else(|| "BENCH_omega.json".to_string());
@@ -185,8 +216,8 @@ fn main() -> ExitCode {
     }
     println!("wrote {out}");
 
-    if min < MIN_SPEEDUP {
-        eprintln!("bench_omega: min speedup {min:.2}x below the {MIN_SPEEDUP:.1}x bar");
+    if min < cfg.min_speedup {
+        eprintln!("bench_omega: min speedup {min:.2}x below the {:.1}x bar", cfg.min_speedup);
         return ExitCode::FAILURE;
     }
     if batch.overlapped_seconds > batch.serialized_seconds + 1e-12 {

@@ -20,11 +20,61 @@ use rand::{rngs::StdRng, SeedableRng};
 /// Region length used by harness datasets.
 pub const REGION_BP: u64 = 1_000_000;
 
+/// Shared benchmark configuration. Both benchmark entry points — the
+/// criterion benches in `benches/omega.rs` and the `bench_omega` gate
+/// that writes `BENCH_omega.json` — draw their dataset shape,
+/// repetition counts, and acceptance floor from this one record, so the
+/// committed baseline and the interactive benches always measure the
+/// same workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Sequences per dataset.
+    pub n_samples: usize,
+    /// Dataset RNG seed.
+    pub seed: u64,
+    /// Best-of repetitions for wall-clock measurements.
+    pub reps: usize,
+    /// Replicates in the batched-throughput figure.
+    pub batch_replicates: usize,
+    /// Single-position workload sizes, in SNPs.
+    pub workloads: [usize; 2],
+    /// Acceptance floor for the kernel-vs-scalar speedup gate.
+    pub min_speedup: f64,
+}
+
+/// The committed baseline configuration. `min_speedup` assumes the
+/// explicit-SIMD sweep is active; hosts without AVX2 (or runs forced
+/// scalar via `OMEGA_FORCE_SCALAR`) will fail the gate by design.
+pub const BENCH_CONFIG: BenchConfig = BenchConfig {
+    n_samples: 50,
+    seed: 44,
+    reps: 7,
+    batch_replicates: 4,
+    workloads: [256, 1_024],
+    // Above the 4.2× the autovectorized scalar loop reached before the
+    // explicit-AVX2 sweep; the small (256-SNP) workload bounds the min.
+    min_speedup: 4.3,
+};
+
+impl BenchConfig {
+    /// Single-position workload dataset at `n_snps` sites.
+    pub fn workload_dataset(&self, n_snps: usize) -> Alignment {
+        dataset(n_snps, self.n_samples, self.seed)
+    }
+
+    /// Exhaustive single-position scan parameters (windows wide enough
+    /// to cover the whole region, as in the paper's evaluation).
+    pub fn position_params(&self) -> ScanParams {
+        ScanParams { grid: 1, min_win: 0, max_win: REGION_BP, min_snps_per_side: 2, threads: 1 }
+    }
+}
+
 /// Generates the paper's GPU-evaluation dataset shape: `n_snps` sites
 /// over a fixed number of sequences, deterministic in `seed`.
 pub fn dataset(n_snps: usize, n_samples: usize, seed: u64) -> Alignment {
     let params = NeutralParams { n_samples, theta: 1.0, rho: 0.0, region_len_bp: REGION_BP };
     let mut rng = StdRng::seed_from_u64(seed);
+    // lint:allow(no-panic-lib): harness-only path with fixed valid parameters; abort on bugs
     simulate_fixed_sites(&params, n_snps, &mut rng).expect("valid simulation parameters")
 }
 
@@ -118,6 +168,20 @@ pub fn fmt_rate(scores_per_sec: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn bench_config_matches_helpers() {
+        let c = BENCH_CONFIG;
+        let a = c.workload_dataset(64);
+        assert_eq!(a.n_sites(), 64);
+        assert_eq!(a.n_samples(), c.n_samples);
+        assert_eq!(a.positions(), dataset(64, c.n_samples, c.seed).positions());
+        let p = c.position_params();
+        assert_eq!(p.grid, 1);
+        assert_eq!(p.max_win, REGION_BP);
+        assert!(c.min_speedup > 1.0);
+        assert!(c.workloads[0] < c.workloads[1]);
+    }
 
     #[test]
     fn dataset_is_deterministic_and_sized() {

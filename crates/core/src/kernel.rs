@@ -212,7 +212,15 @@ impl OmegaWorkload for TaskView<'_> {
 /// [`omega_score`] with the per-`a` and per-`b` invariants passed in
 /// precomputed (each by the identical expression, so rounding matches).
 #[inline(always)]
-fn lane_score(ls: f32, lf: f32, comb_l: f32, ts: f32, rs: f32, rf: f32, comb_r: f32) -> f32 {
+pub(crate) fn lane_score(
+    ls: f32,
+    lf: f32,
+    comb_l: f32,
+    ts: f32,
+    rs: f32,
+    rf: f32,
+    comb_r: f32,
+) -> f32 {
     let cross = (ts - ls - rs).max(0.0);
     let num = (ls + rs) / (comb_l + comb_r);
     let den = cross / (lf * rf) + DENOMINATOR_OFFSET;
@@ -287,6 +295,15 @@ impl OmegaKernel {
 
         omega_obs::counter!("omega.kernel_lanes").add(evaluated);
         omega_obs::counter!("omega.evaluations").add(evaluated);
+        match crate::simd::active_level() {
+            crate::simd::SimdLevel::Avx2 => {
+                omega_obs::counter!("kernel.simd_runs").inc();
+                omega_obs::counter!("kernel.simd_scores").add(evaluated);
+            }
+            crate::simd::SimdLevel::Scalar => {
+                omega_obs::counter!("kernel.simd_fallback_runs").inc();
+            }
+        }
         best.map(|(_, a, b)| OmegaMax {
             // Recompute the winner through the same datapath (bitwise
             // equal to the lane that won the key sweep).
@@ -304,11 +321,35 @@ impl OmegaKernel {
     }
 }
 
-/// Branch-light argmax over one row: returns the total-order key of the
-/// row maximum and the offset (into the passed slices) of its first
-/// occurrence. All slices have the same non-zero length.
+/// Argmax over one row: dispatches to the explicit AVX2 sweep when the
+/// host supports it (see [`crate::simd`]) and otherwise to the portable
+/// scalar code. Both return identical bits.
 #[inline]
 fn lane_sweep(
+    ls: f32,
+    lf: f32,
+    comb_l: f32,
+    ts: &[f32],
+    rs: &[f32],
+    rf: &[f32],
+    comb_r: &[f32],
+) -> (u32, usize) {
+    #[cfg(target_arch = "x86_64")]
+    if crate::simd::avx2_active() {
+        // SAFETY: `avx2_active` only returns true after runtime AVX2
+        // detection (the force override cannot bypass it).
+        return unsafe { crate::simd::sweep_avx2_unchecked(ls, lf, comb_l, ts, rs, rf, comb_r) };
+    }
+    lane_sweep_scalar(ls, lf, comb_l, ts, rs, rf, comb_r)
+}
+
+/// Branch-light scalar argmax over one row: returns the total-order key
+/// of the row maximum and the offset (into the passed slices) of its
+/// first occurrence. All slices have the same non-zero length. This is
+/// the mandatory fallback of — and the bit-exact reference for — the
+/// AVX2 sweep in [`crate::simd`].
+#[inline]
+pub fn lane_sweep_scalar(
     ls: f32,
     lf: f32,
     comb_l: f32,

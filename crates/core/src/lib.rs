@@ -49,6 +49,7 @@ pub mod params;
 pub mod profile;
 pub mod report;
 pub mod scan;
+pub mod simd;
 pub mod units;
 
 pub use grid::{BorderSet, GridPlan, PositionPlan};
@@ -57,7 +58,8 @@ pub use matrix::{MatrixBuildStats, MatrixBuildTiming, RegionMatrix};
 pub use omega::{omega_max, omega_score, OmegaMax, OmegaTask, OmegaWorkload};
 pub use parallel::RunQueue;
 pub use params::{ParamError, ScanParams, DENOMINATOR_OFFSET};
-pub use profile::{throughput, ScanStats, Timings};
+pub use profile::{throughput, Calibration, ScanStats, Timings};
 pub use report::{Report, SweepCall};
 pub use scan::{OmegaScanner, PositionResult, ScanOutcome};
+pub use simd::SimdLevel;
 pub use units::{Bytes, Cycles, Nanos, Seconds};

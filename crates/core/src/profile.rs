@@ -42,11 +42,14 @@ impl Timings {
 
     /// Fraction of the LD+ω kernel time spent on LD.
     pub fn ld_share(&self) -> f64 {
+        // Durations are non-negative, so a strict sign test is a
+        // total-order-safe zero check here.
         let k = (self.ld() + self.omega).as_secs_f64();
-        if k == 0.0 {
-            return 0.0;
+        if k > 0.0 {
+            self.ld().as_secs_f64() / k
+        } else {
+            0.0
         }
-        self.ld().as_secs_f64() / k
     }
 
     /// Element-wise accumulation (for merging per-thread timings).
@@ -110,6 +113,76 @@ pub fn throughput(evaluations: u64, elapsed: Duration) -> f64 {
         return 0.0;
     }
     evaluations as f64 / elapsed.as_secs_f64()
+}
+
+/// Measured CPU kernel unit costs — the profile record behind
+/// `backend=auto` scheduling.
+///
+/// `bench_omega` measures both rates on this host and writes them as the
+/// `"calibration"` object of `BENCH_omega.json`; the cost predictor in
+/// `omega-accel` multiplies them by a job's workload shape (ω score and
+/// fresh-r²-pair counts) to predict CPU seconds, next to the gpu-sim /
+/// fpga-sim cost models' modelled seconds. Hosts without a measured
+/// record fall back to conservative single-core defaults, which biases
+/// `auto` toward the accelerators — the safe direction when the CPU is
+/// unprofiled.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Calibration {
+    /// Measured CPU ω-kernel cost, in nanoseconds per evaluated score.
+    pub cpu_omega_ns_per_score: f64,
+    /// Measured CPU LD cost (r² popcounts plus the Eq. 3 DP recurrence),
+    /// in nanoseconds per fresh pair.
+    pub cpu_ld_ns_per_pair: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration { cpu_omega_ns_per_score: 5.0, cpu_ld_ns_per_pair: 60.0 }
+    }
+}
+
+impl Calibration {
+    /// Environment variable naming an alternative calibration file.
+    pub const ENV_PATH: &'static str = "OMEGA_CALIBRATION";
+
+    /// Default calibration file name, as written by `bench_omega`.
+    pub const DEFAULT_PATH: &'static str = "BENCH_omega.json";
+
+    /// Parses the `"calibration"` object out of a `BENCH_omega.json`
+    /// document. `None` when the document is unparseable, the object is
+    /// absent (pre-calibration baselines), or a rate is non-finite or
+    /// non-positive.
+    pub fn from_bench_json(text: &str) -> Option<Calibration> {
+        let v = omega_obs::parse_json(text).ok()?;
+        let c = v.get("calibration")?;
+        let omega_ns = c.get("cpu_omega_ns_per_score")?.as_f64()?;
+        let ld_ns = c.get("cpu_ld_ns_per_pair")?.as_f64()?;
+        if !omega_ns.is_finite() || !ld_ns.is_finite() || omega_ns <= 0.0 || ld_ns <= 0.0 {
+            return None;
+        }
+        Some(Calibration { cpu_omega_ns_per_score: omega_ns, cpu_ld_ns_per_pair: ld_ns })
+    }
+
+    /// Reads a calibration record from a `BENCH_omega.json` file.
+    pub fn load(path: &std::path::Path) -> Option<Calibration> {
+        Self::from_bench_json(&std::fs::read_to_string(path).ok()?)
+    }
+
+    /// The process-default calibration: `$OMEGA_CALIBRATION` if set,
+    /// else `BENCH_omega.json` in the working directory, else the
+    /// built-in defaults.
+    pub fn load_default() -> Calibration {
+        let path = std::env::var(Self::ENV_PATH).unwrap_or_else(|_| Self::DEFAULT_PATH.to_string());
+        Self::load(std::path::Path::new(&path)).unwrap_or_default()
+    }
+
+    /// Predicted CPU seconds for a workload of `omega_scores` ω
+    /// evaluations and `r2_pairs` fresh LD pairs.
+    pub fn cpu_seconds(&self, omega_scores: u64, r2_pairs: u64) -> f64 {
+        (omega_scores as f64 * self.cpu_omega_ns_per_score
+            + r2_pairs as f64 * self.cpu_ld_ns_per_pair)
+            * 1e-9
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +265,37 @@ mod tests {
     fn throughput_computation() {
         assert_eq!(throughput(1000, Duration::from_secs(2)), 500.0);
         assert_eq!(throughput(1000, Duration::ZERO), 0.0);
+    }
+
+    #[test]
+    fn calibration_parses_bench_json() {
+        let text = r#"{
+            "bench": "omega_kernel_vs_scalar",
+            "calibration": {"cpu_omega_ns_per_score": 1.25, "cpu_ld_ns_per_pair": 48.5}
+        }"#;
+        let c = Calibration::from_bench_json(text).unwrap();
+        assert!((c.cpu_omega_ns_per_score - 1.25).abs() < 1e-12);
+        assert!((c.cpu_ld_ns_per_pair - 48.5).abs() < 1e-12);
+        // 1e9 scores at 1.25 ns plus 1e6 pairs at 48.5 ns.
+        let secs = c.cpu_seconds(1_000_000_000, 1_000_000);
+        assert!((secs - (1.25 + 0.0485)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn calibration_rejects_bad_records() {
+        assert_eq!(Calibration::from_bench_json("not json"), None);
+        assert_eq!(Calibration::from_bench_json("{}"), None, "pre-calibration baseline");
+        assert_eq!(
+            Calibration::from_bench_json(
+                r#"{"calibration": {"cpu_omega_ns_per_score": 0.0, "cpu_ld_ns_per_pair": 1.0}}"#
+            ),
+            None,
+            "non-positive rate"
+        );
+        assert_eq!(
+            Calibration::from_bench_json(r#"{"calibration": {"cpu_omega_ns_per_score": 1.0}}"#),
+            None,
+            "missing member"
+        );
     }
 }

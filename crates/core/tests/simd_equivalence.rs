@@ -1,0 +1,224 @@
+//! Pins the AVX2 lane sweep to the scalar reference, bit for bit, over
+//! adversarial inputs: exact ties, subnormals, infinities, zeros of
+//! both signs, and every block-remainder shape below and around the
+//! 8-lane width. Also exercises the forced-fallback dispatch: the
+//! scalar path must stay available — and correct — on AVX2 hosts.
+//!
+//! NaN *inputs* are excluded by construction: when two NaNs with
+//! distinct payloads meet in an addition, LLVM is free to commute the
+//! operands (its IR does not pin NaN payload propagation), so the
+//! scalar reference itself returns different NaN bits at different
+//! optimization levels — there is no stable reference to pin against.
+//! Production data cannot contain NaN inputs (r² sums are finite);
+//! NaNs only arise *inside* the datapath as 0/0, which is the
+//! deterministic hardware default quiet NaN on both paths — that case
+//! is pinned separately by `internally_generated_nans_are_bit_exact`.
+
+use omega_core::grid::GridPlan;
+use omega_core::kernel::lane_sweep_scalar;
+use omega_core::omega::omega_max;
+use omega_core::simd::{self, SimdLevel};
+use omega_core::{BorderSet, MatrixBuildTiming, OmegaKernel, RegionMatrix, ScanParams, TaskView};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// Bit patterns that stress the total-order key and the `max(0.0)`
+/// clamp: zeros of both signs, infinities, boundary normals, and
+/// subnormals. No NaNs — see the module docs.
+const SPECIAL_BITS: [u32; 10] = [
+    0x0000_0000, // +0.0
+    0x8000_0000, // -0.0
+    0x7f80_0000, // +inf
+    0xff80_0000, // -inf
+    0x0080_0000, // smallest normal
+    0x0000_0001, // smallest subnormal
+    0x007f_ffff, // largest subnormal
+    0x3f80_0000, // 1.0
+    0xbf80_0000, // -1.0
+    0x7f7f_ffff, // f32::MAX
+];
+
+/// Adversarial f32 values: 50 % specials, 50 % arbitrary non-NaN bit
+/// patterns (which cover further subnormals by construction; a raw NaN
+/// pattern is demoted to a sign-preserving subnormal).
+fn adversarial_f32() -> impl Strategy<Value = f32> {
+    (0u32..2 * SPECIAL_BITS.len() as u32, 0u32..u32::MAX).prop_map(|(sel, raw)| match SPECIAL_BITS
+        .get(sel as usize)
+    {
+        Some(&bits) => f32::from_bits(bits),
+        None => {
+            let v = f32::from_bits(raw);
+            if v.is_nan() {
+                f32::from_bits(raw & 0x807f_ffff)
+            } else {
+                v
+            }
+        }
+    })
+}
+
+type RowWorkload = (f32, f32, f32, Vec<f32>, Vec<f32>, Vec<f32>, Vec<f32>);
+
+/// A row workload: shared scalars plus four equal-length slices. Row
+/// lengths sweep every remainder class of the 8-lane block width and
+/// both sides of the 16-element two-stream threshold.
+fn row_workload() -> impl Strategy<Value = RowWorkload> {
+    (1usize..41).prop_flat_map(|n| {
+        (
+            (adversarial_f32(), adversarial_f32(), adversarial_f32()),
+            (
+                proptest::collection::vec(adversarial_f32(), n),
+                proptest::collection::vec(adversarial_f32(), n),
+                proptest::collection::vec(adversarial_f32(), n),
+                proptest::collection::vec(adversarial_f32(), n),
+            ),
+        )
+            .prop_map(|((ls, lf, comb_l), (ts, rs, rf, comb_r))| {
+                (ls, lf, comb_l, ts, rs, rf, comb_r)
+            })
+    })
+}
+
+/// A tie-heavy row: a tiny pool of column tuples sampled with repeats,
+/// so the same exact score shows up at many indices and first-wins
+/// resolution is load-bearing.
+fn tied_row_workload() -> impl Strategy<Value = RowWorkload> {
+    (
+        (adversarial_f32(), adversarial_f32(), adversarial_f32()),
+        (
+            proptest::collection::vec(adversarial_f32(), 1..4),
+            proptest::collection::vec(adversarial_f32(), 1..4),
+            proptest::collection::vec(adversarial_f32(), 1..4),
+            proptest::collection::vec(adversarial_f32(), 1..4),
+        ),
+        proptest::collection::vec(0usize..3, 1..41),
+    )
+        .prop_map(|((ls, lf, comb_l), (tp, rp, fp, cp), picks)| {
+            let pick = |pool: &[f32], i: usize| pool[i % pool.len()];
+            let ts: Vec<f32> = picks.iter().map(|&i| pick(&tp, i)).collect();
+            let rs: Vec<f32> = picks.iter().map(|&i| pick(&rp, i)).collect();
+            let rf: Vec<f32> = picks.iter().map(|&i| pick(&fp, i)).collect();
+            let comb_r: Vec<f32> = picks.iter().map(|&i| pick(&cp, i)).collect();
+            (ls, lf, comb_l, ts, rs, rf, comb_r)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn avx2_sweep_bitwise_equals_scalar(workload in row_workload()) {
+        let (ls, lf, comb_l, ts, rs, rf, comb_r) = workload;
+        if let Some(simd) = simd::sweep_avx2(ls, lf, comb_l, &ts, &rs, &rf, &comb_r) {
+            let scalar = lane_sweep_scalar(ls, lf, comb_l, &ts, &rs, &rf, &comb_r);
+            prop_assert_eq!(simd, scalar, "key/index divergence on n={}", ts.len());
+        }
+    }
+
+    #[test]
+    fn avx2_sweep_first_wins_exact_ties(workload in tied_row_workload()) {
+        let (ls, lf, comb_l, ts, rs, rf, comb_r) = workload;
+        if let Some(simd) = simd::sweep_avx2(ls, lf, comb_l, &ts, &rs, &rf, &comb_r) {
+            let scalar = lane_sweep_scalar(ls, lf, comb_l, &ts, &rs, &rf, &comb_r);
+            prop_assert_eq!(simd, scalar, "tie resolution divergence on n={}", ts.len());
+        }
+    }
+}
+
+/// NaNs the datapath *generates* (0/0 in the denominator and in the
+/// final ratio) are the hardware default quiet NaN on both paths, so
+/// bit identity holds for them even though NaN inputs are out of
+/// contract. Rows mix NaN-scoring lanes (`rf = 0` with zero cross term
+/// and `ls = -rs`, driving num, den, and w through 0/0) with finite
+/// lanes at every lane offset, in rows spanning the block remainders.
+#[test]
+fn internally_generated_nans_are_bit_exact() {
+    for n in [1usize, 7, 8, 9, 15, 16, 17, 24, 31, 40] {
+        for nan_stride in [1usize, 2, 3, 5] {
+            let ls = 1.5f32;
+            let lf = 2.0f32;
+            let comb_l = 3.0f32;
+            let mut ts = Vec::new();
+            let mut rs = Vec::new();
+            let mut rf = Vec::new();
+            let mut comb_r = Vec::new();
+            for j in 0..n {
+                if j % nan_stride == 0 {
+                    // cross = (0 - ls + ls).max(0) = 0, so den =
+                    // 0/(lf·0) + offset = NaN; num = (ls - ls)/(comb_l
+                    // - comb_l) = 0/0 = NaN; w = NaN/NaN. Every NaN is
+                    // the hardware default quiet NaN from a division,
+                    // identical bits on the scalar and packed paths.
+                    ts.push(0.0);
+                    rs.push(-ls);
+                    rf.push(0.0);
+                    comb_r.push(-comb_l);
+                } else {
+                    ts.push(4.0 + j as f32);
+                    rs.push(0.5);
+                    rf.push(1.0 + j as f32);
+                    comb_r.push(2.0);
+                }
+            }
+            let Some(simd_res) = simd::sweep_avx2(ls, lf, comb_l, &ts, &rs, &rf, &comb_r) else {
+                return; // Host without AVX2: nothing to compare.
+            };
+            let scalar_res = lane_sweep_scalar(ls, lf, comb_l, &ts, &rs, &rf, &comb_r);
+            assert_eq!(simd_res, scalar_res, "n={n} nan_stride={nan_stride}");
+        }
+    }
+}
+
+fn random_alignment(n_sites: usize, seed: u64) -> omega_genome::Alignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let params = omega_mssim::NeutralParams {
+        n_samples: 24,
+        theta: 1.0,
+        rho: 0.0,
+        region_len_bp: 100 * n_sites as u64 + 100,
+    };
+    omega_mssim::simulate_fixed_sites(&params, n_sites, &mut rng).unwrap()
+}
+
+/// Kernel runs bit-identical to the scalar `omega_max` reference with
+/// the dispatcher pinned to the scalar fallback — proving the fallback
+/// is complete even on hosts where AVX2 would normally be selected.
+/// Also covers the forced-AVX2 override in the same test body: both
+/// cases mutate the process-wide dispatch override, so they must not
+/// run on concurrent harness threads.
+#[test]
+fn forced_scalar_fallback_matches_reference() {
+    simd::force_level(Some(SimdLevel::Avx2));
+    if simd::avx2_supported() {
+        assert_eq!(simd::active_level(), SimdLevel::Avx2);
+    } else {
+        // The override is detection-guarded: it can never select an
+        // instruction set the host lacks.
+        assert_eq!(simd::active_level(), SimdLevel::Scalar);
+    }
+
+    simd::force_level(Some(SimdLevel::Scalar));
+    assert_eq!(simd::active_level(), SimdLevel::Scalar);
+
+    let params =
+        ScanParams { grid: 1, min_win: 0, max_win: 10_000, min_snps_per_side: 2, threads: 1 };
+    let mut kernel = OmegaKernel::new();
+    for seed in 0..6u64 {
+        let a = random_alignment(96, seed);
+        let plan = GridPlan::plan_at(&a, a.region_len() / 2, &params);
+        let Some(b) = BorderSet::build(&a, &plan, &params) else { continue };
+        if b.n_combinations() == 0 {
+            continue;
+        }
+        let mut m = RegionMatrix::new();
+        let mut t = MatrixBuildTiming::default();
+        m.rebuild(&a, plan.lo, plan.hi, &mut t);
+        let reference = omega_max(&m, &b).unwrap();
+        let got = kernel.run(&TaskView::new(&m, &b, &plan)).unwrap();
+        assert_eq!(got.omega.to_bits(), reference.omega.to_bits(), "seed {seed}");
+        assert_eq!(got.left_border, reference.left_border, "seed {seed}");
+        assert_eq!(got.right_border, reference.right_border, "seed {seed}");
+    }
+
+    simd::force_level(None);
+}

@@ -167,11 +167,13 @@ impl FpgaOmegaEngine {
         FpgaRun { best, hw_scores, sw_scores, cycles, seconds }
     }
 
-    /// Analytic cycle/time estimate for a position given the valid
-    /// right-side trip count of every left-border iteration — usable at
-    /// paper-scale workloads without functional execution.
-    pub fn estimate(&self, rb_counts: impl IntoIterator<Item = u64>) -> FpgaRun {
-        let _span = omega_obs::span!("fpga.estimate");
+    /// The shared analytic cycle budget of [`FpgaOmegaEngine::estimate`]
+    /// and [`FpgaOmegaEngine::estimate_seconds`]: per-iteration unrolled
+    /// trips, the RS prefetch burst, and one pipeline fill.
+    fn analytic_cycles(
+        &self,
+        rb_counts: impl IntoIterator<Item = u64>,
+    ) -> (Cycles, u64, u64, bool) {
         let unroll = self.device.unroll as u64;
         let latency = Cycles(u64::from(self.pipeline.latency()));
         let mut cycles = Cycles::ZERO;
@@ -196,6 +198,15 @@ impl FpgaOmegaEngine {
         if hw_scores > 0 {
             cycles += latency;
         }
+        (cycles, hw_scores, sw_scores, any)
+    }
+
+    /// Analytic cycle/time estimate for a position given the valid
+    /// right-side trip count of every left-border iteration — usable at
+    /// paper-scale workloads without functional execution.
+    pub fn estimate(&self, rb_counts: impl IntoIterator<Item = u64>) -> FpgaRun {
+        let _span = omega_obs::span!("fpga.estimate");
+        let (cycles, hw_scores, sw_scores, any) = self.analytic_cycles(rb_counts);
         let seconds =
             cycles.at_clock_hz(self.device.clock_hz()) + Seconds(sw_scores as f64 / HOST_SW_RATE);
         record_fpga_metrics(cycles, hw_scores, sw_scores, any, self.pipeline.latency());
@@ -203,6 +214,16 @@ impl FpgaOmegaEngine {
         // histograms so `/metrics` can compare backends per stage.
         omega_obs::histogram!("fpga.stage.omega_ns").record(seconds.to_nanos().get());
         FpgaRun { best: None, hw_scores, sw_scores, cycles, seconds }
+    }
+
+    /// Metric-free analytic seconds — the `backend=auto` predictor's
+    /// fast path. Identical arithmetic to [`FpgaOmegaEngine::estimate`],
+    /// but a prediction consult must not inflate the `fpga.*` counters
+    /// and stage histograms that describe *executed* work, so nothing is
+    /// recorded.
+    pub fn estimate_seconds(&self, rb_counts: impl IntoIterator<Item = u64>) -> Seconds {
+        let (cycles, _, sw_scores, _) = self.analytic_cycles(rb_counts);
+        cycles.at_clock_hz(self.device.clock_hz()) + Seconds(sw_scores as f64 / HOST_SW_RATE)
     }
 }
 

@@ -101,26 +101,17 @@ impl GpuOmegaEngine {
         run
     }
 
-    /// Analytic cost of a position with the given dimensions — no
-    /// functional execution, usable at paper-scale workloads.
-    pub fn estimate(&self, dims: &TaskDims, kind: KernelKind) -> KernelRun {
-        let _span = omega_obs::span!("gpu.estimate");
+    /// The shared cost arithmetic of [`GpuOmegaEngine::estimate`] and
+    /// [`GpuOmegaEngine::estimate_quiet`].
+    fn estimate_cost(&self, dims: &TaskDims, kind: KernelKind) -> KernelRun {
         let plan = match kind {
             KernelKind::One => BufferPlan::kernel1(dims),
             KernelKind::Two => BufferPlan::kernel2(dims, self.device()),
         };
         let kernel = match kind {
-            KernelKind::One => {
-                omega_obs::counter!("gpu.kernel1.launches").inc();
-                self.model.kernel1_time(plan.items)
-            }
-            KernelKind::Two => {
-                omega_obs::counter!("gpu.kernel2.launches").inc();
-                self.model.kernel2_time(plan.scheduled_scores(), plan.items)
-            }
+            KernelKind::One => self.model.kernel1_time(plan.items),
+            KernelKind::Two => self.model.kernel2_time(plan.scheduled_scores(), plan.items),
         };
-        omega_obs::counter!("gpu.transfer.bytes").add((plan.input_bytes + plan.output_bytes).get());
-        omega_obs::histogram!("gpu.task.scores").record(dims.n_valid);
         let cost = GpuCost {
             host_prep: self.model.host_prep_time(plan.input_bytes),
             h2d: self.model.transfer_time(plan.input_bytes),
@@ -132,9 +123,32 @@ impl GpuOmegaEngine {
         KernelRun { kind, best: None, scores: dims.n_valid, items: plan.items, cost }
     }
 
+    /// Analytic cost of a position with the given dimensions — no
+    /// functional execution, usable at paper-scale workloads.
+    pub fn estimate(&self, dims: &TaskDims, kind: KernelKind) -> KernelRun {
+        let _span = omega_obs::span!("gpu.estimate");
+        match kind {
+            KernelKind::One => omega_obs::counter!("gpu.kernel1.launches").inc(),
+            KernelKind::Two => omega_obs::counter!("gpu.kernel2.launches").inc(),
+        }
+        let run = self.estimate_cost(dims, kind);
+        omega_obs::counter!("gpu.transfer.bytes").add(run.cost.transfer_bytes.get());
+        omega_obs::histogram!("gpu.task.scores").record(dims.n_valid);
+        run
+    }
+
     /// Analytic cost with dynamic dispatch.
     pub fn estimate_dynamic(&self, dims: &TaskDims) -> KernelRun {
         self.estimate(dims, self.dispatch_kind(dims.n_valid))
+    }
+
+    /// Metric-free dynamic-dispatch estimate — the `backend=auto`
+    /// predictor's fast path. Identical arithmetic to
+    /// [`GpuOmegaEngine::estimate_dynamic`], but a prediction consult
+    /// must not inflate the `gpu.*` launch counters, transfer bytes, or
+    /// task-size histogram that describe *executed* work.
+    pub fn estimate_quiet(&self, dims: &TaskDims) -> KernelRun {
+        self.estimate_cost(dims, self.dispatch_kind(dims.n_valid))
     }
 
     /// Runs a whole scan's worth of tasks with dynamic dispatch,

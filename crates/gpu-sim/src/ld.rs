@@ -48,11 +48,25 @@ impl GpuLd {
         snps_transferred: u64,
         n_samples: u64,
     ) -> GpuCost {
+        omega_obs::counter!("gpu.ld.pairs").add(new_pairs);
+        let cost = self.estimate_update_quiet(new_pairs, snps_transferred, n_samples);
+        omega_obs::counter!("gpu.transfer.bytes").add(cost.transfer_bytes.get());
+        cost
+    }
+
+    /// Metric-free variant of [`GpuLd::estimate_update`] — the
+    /// `backend=auto` predictor's fast path. A prediction consult must
+    /// not inflate `gpu.ld.pairs` / `gpu.transfer.bytes`, which describe
+    /// *executed* work.
+    pub fn estimate_update_quiet(
+        &self,
+        new_pairs: u64,
+        snps_transferred: u64,
+        n_samples: u64,
+    ) -> GpuCost {
         let words = n_samples.div_ceil(64).max(1);
         let snp_bytes = Bytes(snps_transferred * words * 8 * 2);
         let out_bytes = Bytes(new_pairs * 4);
-        omega_obs::counter!("gpu.ld.pairs").add(new_pairs);
-        omega_obs::counter!("gpu.transfer.bytes").add((snp_bytes + out_bytes).get());
         GpuCost {
             host_prep: self.model.host_prep_time(snp_bytes),
             h2d: self.model.transfer_time(snp_bytes),

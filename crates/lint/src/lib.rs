@@ -53,6 +53,7 @@ pub const RULES: &[&str] =
 /// Kernel-datapath files for `no-f64-kernel` (repo-relative).
 const KERNEL_DATAPATH: &[&str] = &[
     "crates/core/src/kernel.rs",
+    "crates/core/src/simd.rs",
     "crates/fpga-sim/src/pipeline.rs",
     "crates/fpga-sim/src/stages.rs",
     "crates/gpu-sim/src/kernels.rs",

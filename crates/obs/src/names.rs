@@ -40,6 +40,9 @@ pub const INSTRUMENTS: &[&str] = &[
     "gpu.task",
     "gpu.task.scores",
     "gpu.transfer.bytes",
+    "kernel.simd_fallback_runs",
+    "kernel.simd_runs",
+    "kernel.simd_scores",
     "matrix.advance",
     "matrix.cells_reused",
     "matrix.r2_pairs",
@@ -60,6 +63,12 @@ pub const INSTRUMENTS: &[&str] = &[
     "scan.sequential",
     "scan.sequential_ns",
     "scan.steals",
+    "serve.auto_error_pct",
+    "serve.auto_predict_ns",
+    "serve.auto_routed",
+    "serve.auto_routed.cpu",
+    "serve.auto_routed.fpga",
+    "serve.auto_routed.gpu",
     "serve.batch_size",
     "serve.cache_evictions",
     "serve.cache_hits",

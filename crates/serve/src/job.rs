@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use omega_accel::{Backend, BatchOutcome};
+use omega_accel::{AutoLane, Backend, BatchOutcome, CostPredictor};
 use omega_core::ScanParams;
 use omega_fpga_sim::FpgaDevice;
 use omega_genome::ms::{read_ms, MsReadOptions};
@@ -121,6 +121,13 @@ pub struct ScanRequest {
     pub payload_digest: u64,
     /// Optional per-request deadline, relative to submission.
     pub deadline: Option<std::time::Duration>,
+    /// Whether `kind` was chosen by the `backend=auto` cost predictor
+    /// rather than the client.
+    pub auto_routed: bool,
+    /// The predictor's runtime estimate for the chosen lane (seconds of
+    /// modelled/measured LD+ω); set only for auto-routed jobs, compared
+    /// against the actual stage time after the run.
+    pub predicted_seconds: Option<f64>,
 }
 
 /// Builds the concrete backend for a validated request.
@@ -195,14 +202,27 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
     let length = get_u64(&v, "length")?;
     let params = parse_params(&v)?;
 
-    let kind = match v.get("backend").and_then(JsonValue::as_str).unwrap_or("cpu") {
-        "cpu" => BackendKind::Cpu,
-        "gpu" => BackendKind::Gpu,
-        "fpga" => BackendKind::Fpga,
+    // The lane selector validates before the payload is parsed (so a bad
+    // selector is reported even alongside a bad payload); `auto` defers
+    // the actual choice until the alignments exist to predict over.
+    let explicit = match v.get("backend").and_then(JsonValue::as_str).unwrap_or("cpu") {
+        "cpu" => Some(BackendKind::Cpu),
+        "gpu" => Some(BackendKind::Gpu),
+        "fpga" => Some(BackendKind::Fpga),
+        "auto" => None,
         other => return Err(RequestError::UnknownSelector("backend", other.to_string())),
     };
     let device = v.get("device").and_then(JsonValue::as_str).unwrap_or("").to_string();
-    let backend_label = make_backend(kind, &device)?.label();
+    if explicit.is_none() && !device.is_empty() {
+        return Err(RequestError::BadField(
+            "device",
+            "cannot be combined with backend \"auto\" (the router picks the lane)".into(),
+        ));
+    }
+    // Explicit device selectors still fail fast, before payload parsing.
+    if let Some(kind) = explicit {
+        make_backend(kind, &device)?;
+    }
 
     let overlap = match v.get("overlap").and_then(JsonValue::as_str).unwrap_or("off") {
         "on" => OverlapMode::DoubleBuffered,
@@ -239,6 +259,37 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
         return Err(RequestError::EmptyInput);
     }
 
+    // Auto routing: price the job on every lane and take the predicted
+    // fastest. Resolving the label *here* means an auto job's cache key
+    // and result bytes are exactly those of the equivalent explicit
+    // request — routing is invisible downstream of admission.
+    let (kind, auto_routed, predicted_seconds) = match explicit {
+        Some(kind) => (kind, false, None),
+        None => {
+            let t0 = Instant::now();
+            let prediction = CostPredictor::global().predict_batch(&alignments, &params);
+            omega_obs::histogram!("serve.auto_predict_ns").record(t0.elapsed().as_nanos() as u64);
+            let lane = prediction.fastest();
+            omega_obs::counter!("serve.auto_routed").inc();
+            let kind = match lane {
+                AutoLane::Cpu => {
+                    omega_obs::counter!("serve.auto_routed.cpu").inc();
+                    BackendKind::Cpu
+                }
+                AutoLane::Gpu => {
+                    omega_obs::counter!("serve.auto_routed.gpu").inc();
+                    BackendKind::Gpu
+                }
+                AutoLane::Fpga => {
+                    omega_obs::counter!("serve.auto_routed.fpga").inc();
+                    BackendKind::Fpga
+                }
+            };
+            (kind, true, Some(prediction.seconds_for(lane)))
+        }
+    };
+    let backend_label = make_backend(kind, &device)?.label();
+
     let mut digest = Fnv64::new();
     digest.update(format.as_bytes());
     digest.update(&length.unwrap_or(0).to_le_bytes());
@@ -253,6 +304,8 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
         alignments,
         payload_digest: digest.finish(),
         deadline,
+        auto_routed,
+        predicted_seconds,
     })
 }
 

@@ -239,6 +239,15 @@ fn run_group(
 
     for (sub, (start, len)) in live.iter().zip(ranges) {
         let per_job = job_outcome(&outcome, start, len);
+        // Auto-routed jobs: absolute prediction error against the stage
+        // time the predictor actually modelled (LD+ω), in percent.
+        if let Some(predicted) = sub.request.predicted_seconds {
+            let actual = per_job.ld_seconds + per_job.omega_seconds;
+            if actual > 0.0 {
+                let err_pct = ((predicted - actual).abs() / actual * 100.0) as u64;
+                omega_obs::histogram!("serve.auto_error_pct").record(err_pct);
+            }
+        }
         let transfer_ns = (per_job.transfer_seconds * 1e9) as u64;
         if transfer_ns > 0 {
             omega_obs::histogram!("serve.transfer_ns").record(transfer_ns);

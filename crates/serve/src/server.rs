@@ -91,6 +91,10 @@ fn register_instruments() {
     omega_obs::counter!("serve.cache_hits").add(0);
     omega_obs::counter!("serve.cache_misses").add(0);
     omega_obs::counter!("serve.cache_evictions").add(0);
+    omega_obs::counter!("serve.auto_routed").add(0);
+    omega_obs::counter!("serve.auto_routed.cpu").add(0);
+    omega_obs::counter!("serve.auto_routed.gpu").add(0);
+    omega_obs::counter!("serve.auto_routed.fpga").add(0);
     omega_obs::counter!("obs.trace.completed").add(0);
     omega_obs::counter!("obs.trace.dropped").add(0);
     omega_obs::gauge!("serve.queue_depth").set(0);
@@ -106,6 +110,8 @@ fn register_instruments() {
     let _ = omega_obs::histogram!("serve.kernel_ns.fpga");
     let _ = omega_obs::histogram!("serve.transfer_ns");
     let _ = omega_obs::histogram!("serve.cache_lookup_ns");
+    let _ = omega_obs::histogram!("serve.auto_predict_ns");
+    let _ = omega_obs::histogram!("serve.auto_error_pct");
 }
 
 /// Renders `/stats`: the full metrics snapshot plus daemon-local

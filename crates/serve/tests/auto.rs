@@ -1,0 +1,127 @@
+//! `backend=auto` routing end to end. Lives in its own file (= its own
+//! process) because the routing-counter assertions read the
+//! process-global metrics registry.
+
+mod common;
+
+use omega_serve::{start, ServeConfig};
+
+fn counter(stats: &omega_obs::JsonValue, name: &str) -> u64 {
+    stats.get("counters").and_then(|c| c.get(name)).and_then(|v| v.as_u64()).unwrap_or(0)
+}
+
+fn histogram_count(stats: &omega_obs::JsonValue, name: &str) -> u64 {
+    stats
+        .get("histograms")
+        .and_then(|h| h.get(name))
+        .and_then(|h| h.get("count"))
+        .and_then(|v| v.as_u64())
+        .unwrap_or(0)
+}
+
+fn fetch_stats(addr: std::net::SocketAddr) -> omega_obs::JsonValue {
+    let (status, _, body) = common::get(addr, "/stats");
+    assert_eq!(status, 200, "{body}");
+    omega_obs::parse_json(&body).expect("stats body is valid JSON")
+}
+
+/// Request body with windows wide enough that the sparse ms payload has
+/// scorable positions (so the scan does real LD+ω work and the
+/// prediction-error sample is recorded).
+fn routed_body(tag: u64, grid: usize, backend: &str) -> String {
+    format!(
+        "{{\"format\":\"ms\",\"payload\":{:?},\
+         \"params\":{{\"grid\":{grid},\"max_win\":100000}},\"backend\":{backend:?}}}",
+        common::ms_payload(tag)
+    )
+}
+
+/// Extracts the raw `"result"` object from a job body, byte for byte,
+/// by brace matching (the result JSON contains no brace-bearing
+/// strings).
+fn raw_result(job_body: &str) -> String {
+    let at = job_body.find("\"result\":").expect("result present") + "\"result\":".len();
+    let bytes = job_body.as_bytes();
+    assert_eq!(bytes[at], b'{');
+    let mut depth = 0usize;
+    for (i, &b) in bytes[at..].iter().enumerate() {
+        match b {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return job_body[at..=at + i].to_string();
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("unterminated result object");
+}
+
+/// An auto job routes to a lane, produces bytes identical to an
+/// explicitly targeted request for the same payload (computed by an
+/// independent server instance, so no cache short-circuit), and the
+/// routing decision plus prediction accuracy show up in `/stats`.
+#[test]
+fn auto_routes_and_matches_explicit_backend() {
+    let router =
+        start(ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() }).unwrap();
+    let (status, _, submitted) = common::post_scan(router.addr(), &routed_body(71, 6, "auto"));
+    assert_eq!(status, 202, "{submitted}");
+    let job = common::poll_done(router.addr(), &common::job_id(&submitted));
+    let v = omega_obs::parse_json(&job).expect("job body parses");
+    assert_eq!(v.get("state").and_then(|s| s.as_str()), Some("done"), "{job}");
+    let routed = v.get("backend").and_then(|b| b.as_str()).expect("backend present").to_string();
+    assert!(
+        ["cpu", "gpu", "fpga"].contains(&routed.as_str()),
+        "auto resolved to a real lane, got {routed:?}"
+    );
+
+    // Independent server (fresh cache): the same payload explicitly
+    // targeted at the routed lane must produce byte-identical results.
+    let direct =
+        start(ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() }).unwrap();
+    let (status, _, submitted2) = common::post_scan(direct.addr(), &routed_body(71, 6, &routed));
+    assert!(status == 202 || status == 200, "{submitted2}");
+    let job2 = common::poll_done(direct.addr(), &common::job_id(&submitted2));
+    let result = raw_result(&job);
+    assert!(!result.contains("\"omega_evaluations\":0"), "the scan did real ω work: {result}");
+    assert_eq!(result, raw_result(&job2), "auto vs explicit result bytes");
+
+    // The registry (process-global, shared by both handles) reports the
+    // routing decision and the prediction-vs-actual error sample.
+    let stats = fetch_stats(router.addr());
+    let total = counter(&stats, "serve.auto_routed");
+    assert!(total >= 1, "auto_routed counted");
+    let per_lane = counter(&stats, "serve.auto_routed.cpu")
+        + counter(&stats, "serve.auto_routed.gpu")
+        + counter(&stats, "serve.auto_routed.fpga");
+    assert_eq!(per_lane, total, "per-lane counters partition the total");
+    let lane_counter = format!("serve.auto_routed.{routed}");
+    assert!(counter(&stats, &lane_counter) >= 1, "routed lane counted in {lane_counter}");
+    assert!(histogram_count(&stats, "serve.auto_predict_ns") >= 1, "prediction was timed");
+    assert!(
+        histogram_count(&stats, "serve.auto_error_pct") >= 1,
+        "prediction error recorded after the run"
+    );
+
+    router.shutdown();
+    direct.shutdown();
+}
+
+/// `auto` delegates device choice to the router; pinning a device is
+/// contradictory and rejected at admission.
+#[test]
+fn auto_with_device_is_rejected() {
+    let handle =
+        start(ServeConfig { addr: "127.0.0.1:0".to_string(), ..Default::default() }).unwrap();
+    let body = format!(
+        "{{\"format\":\"ms\",\"payload\":{:?},\"backend\":\"auto\",\"device\":\"k80\"}}",
+        common::ms_payload(3)
+    );
+    let (status, _, resp) = common::post_scan(handle.addr(), &body);
+    assert_eq!(status, 400, "{resp}");
+    assert!(resp.contains("device"), "{resp}");
+    handle.shutdown();
+}

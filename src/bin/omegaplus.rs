@@ -4,15 +4,19 @@
 //! ```text
 //! omegaplus -name RUN -input FILE [-format ms|fasta|vcf] [-length BP]
 //!           [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N]
-//!           [-threads N] [-backend cpu|gpu|fpga] [-device NAME]
+//!           [-threads N] [-backend cpu|gpu|fpga|auto] [-device NAME]
 //!           [-reps all|first|N] [-overlap on|off] [-report PATH]
 //! ```
 //!
 //! With `-backend gpu|fpga` the scan runs through the simulated
 //! accelerator backends and the summary reports the modelled LD/ω time
-//! split alongside the (identical) functional results. `-reps` selects
-//! how many `ms` replicates to scan (default: all, streamed one at a
-//! time); `-overlap on` schedules accelerator transfers behind compute.
+//! split alongside the (identical) functional results. `-backend auto`
+//! prices the workload on every lane with the `omega-accel` cost
+//! predictor (CPU rates from the `BENCH_omega.json` calibration record,
+//! accelerator rates from the simulator cost models) and runs on the
+//! predicted-fastest one. `-reps` selects how many `ms` replicates to
+//! scan (default: all, streamed one at a time); `-overlap on` schedules
+//! accelerator transfers behind compute.
 //!
 //! Observability: `-trace PATH` streams span and metrics events to a JSON
 //! Lines file (schema in DESIGN.md), `-metrics` prints the metrics
@@ -148,7 +152,7 @@ fn parse_args(args: &[String]) -> Result<Option<Cli>, String> {
 
 const USAGE: &str = "usage: omegaplus -name RUN -input FILE [-format ms|fasta|vcf] \
 [-length BP] [-grid N] [-minwin BP] [-maxwin BP] [-minsnps N] [-threads N] \
-[-backend cpu|gpu|fpga] [-device radeon|k80|zcu102|alveo] [-reps all|first|N] \
+[-backend cpu|gpu|fpga|auto] [-device radeon|k80|zcu102|alveo] [-reps all|first|N] \
 [-overlap on|off] [-maf F] [-report PATH] [-trace PATH] [-metrics]";
 
 /// Default region length for `ms` coordinate scaling when `-length` is
@@ -356,6 +360,39 @@ fn pick_backend(cli: &Cli) -> Result<Backend, String> {
     }
 }
 
+/// Resolves `-backend auto` by pricing the workload on every lane and
+/// reporting the decision. For `ms` inputs the first replicate is the
+/// shape proxy for the whole file (replicates from one simulation share
+/// their workload shape to first order).
+fn resolve_auto_backend(cli: &Cli) -> Result<Backend, String> {
+    if !cli.device.is_empty() {
+        return Err("-backend auto cannot be combined with -device (auto picks the lane)".into());
+    }
+    let alignment = if cli.format == "ms" {
+        let file = File::open(&cli.input).map_err(|e| format!("cannot open {}: {e}", cli.input))?;
+        let opts = MsReadOptions { region_len: cli.length.unwrap_or(DEFAULT_MS_LENGTH) };
+        let filter = SiteFilter { min_maf: cli.min_maf, ..SiteFilter::default() };
+        let mut replicates = MsReplicates::new(BufReader::new(file), opts);
+        match replicates.next() {
+            Some(Ok(a)) => filter.apply(&a),
+            Some(Err(e)) => return Err(e.to_string()),
+            None => return Err("ms input contains no replicates".into()),
+        }
+    } else {
+        load_single_alignment(cli)?
+    };
+    let prediction = omega_accel::CostPredictor::global().predict(&alignment, &cli.params);
+    let lane = prediction.fastest();
+    eprintln!(
+        "omegaplus: backend auto: predicted cpu {:.6}s  gpu {:.6}s  fpga {:.6}s -> {}",
+        prediction.cpu_seconds,
+        prediction.gpu_seconds,
+        prediction.fpga_seconds,
+        lane.as_str()
+    );
+    Ok(lane.backend())
+}
+
 fn run(cli: &Cli) -> Result<(), String> {
     // Output destinations are validated before any work happens, so a
     // mistyped directory fails in milliseconds, not after the scan.
@@ -367,7 +404,8 @@ fn run(cli: &Cli) -> Result<(), String> {
         omega_obs::install_jsonl(std::path::Path::new(path))
             .map_err(|e| format!("-trace {path}: {e}"))?;
     }
-    let backend = pick_backend(cli)?;
+    let backend =
+        if cli.backend_kind == "auto" { resolve_auto_backend(cli)? } else { pick_backend(cli)? };
     let detector = omega_accel::SweepDetector::new(cli.params, backend)
         .map_err(|e| e.to_string())?
         .with_overlap(cli.overlap);
