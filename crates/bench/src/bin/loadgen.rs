@@ -35,7 +35,19 @@
 //! audit mode, the span-tree/exposition checks and the overhead gate.
 //! Plain latency and throughput are reported but never gated.
 //!
-//! Usage: `loadgen [OUT.json] [-clients N] [--trace-audit]`
+//! With `--persist-audit` the run instead measures the durability
+//! layer's hot-path cost: two daemons (one with a `-data-dir`, one
+//! in-memory) serve alternating replay rounds from the same clients,
+//! and persistence-on throughput must stay within
+//! `MAX_PERSIST_OVERHEAD` of persistence-off. The persist daemon is
+//! then restarted on its data dir and must answer every payload as an
+//! inline warm-cache hit.
+//!
+//! All requests ride per-thread keep-alive connections; every output
+//! includes a `connection_reuse` record (requests, connections opened,
+//! reuse fraction).
+//!
+//! Usage: `loadgen [OUT.json] [-clients N] [--trace-audit | --persist-audit]`
 
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
@@ -61,6 +73,13 @@ const AUDIT_REQUESTS_PER_CLIENT: usize = 32;
 const MAX_TRACING_OVERHEAD: f64 = 0.05;
 /// Audit-mode minimum number of verified span trees.
 const MIN_AUDITED_TRACES: usize = 100;
+/// Paired rounds in `--persist-audit` mode.
+const PERSIST_ROUNDS: usize = 3;
+/// Replay requests per client per persist-audit round (per daemon).
+const PERSIST_REQUESTS_PER_CLIENT: usize = 32;
+/// Ceiling on the WAL/store hot-path cost: replay throughput with
+/// persistence on must stay within this fraction of `-no-persist`.
+const MAX_PERSIST_OVERHEAD: f64 = 0.05;
 
 /// Deterministic ms-format payload `i`: a small LCG fills a replicate
 /// with `i`-dependent sites so every payload digests differently.
@@ -112,23 +131,143 @@ fn client_trace_header() -> String {
     format!("{id:016x}-{:016x}", 0u64)
 }
 
-/// One HTTP round-trip: returns (status, body).
-fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), String> {
-    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
-    stream.write_all(request.as_bytes()).map_err(|e| format!("write: {e}"))?;
-    let mut raw = Vec::new();
-    stream.read_to_end(&mut raw).map_err(|e| format!("read: {e}"))?;
-    let text = String::from_utf8_lossy(&raw);
-    let status: u16 = text
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| format!("unparseable response: {text:?}"))?;
-    let body = match text.find("\r\n\r\n") {
-        Some(at) => text[at + 4..].to_string(),
-        None => String::new(),
+/// Connections opened / requests completed, across all client threads:
+/// the connection-reuse figures for `BENCH_serve.json`. A
+/// connection-per-request client keeps these equal; the keep-alive
+/// client amortises one connect over a whole thread's request stream.
+static CONNECTS_OPENED: AtomicU64 = AtomicU64::new(0);
+static REQUESTS_DONE: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    /// Each client thread holds one keep-alive connection (per address),
+    /// mirroring how a real closed-loop client would drive the daemon.
+    static CONN: std::cell::RefCell<Option<(std::net::SocketAddr, TcpStream)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack.windows(needle.len()).position(|w| w == needle)
+}
+
+/// Reads one framed response off a keep-alive connection: status line +
+/// headers, then exactly `Content-Length` bytes or the full chunked
+/// framing. Returns (status, body, connection-still-usable).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool)> {
+    use std::io::{Error, ErrorKind};
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut tmp = [0u8; 4096];
+    let mut fill = |buf: &mut Vec<u8>, stream: &mut TcpStream| -> std::io::Result<()> {
+        let n = stream.read(&mut tmp)?;
+        if n == 0 {
+            return Err(Error::new(ErrorKind::UnexpectedEof, "connection closed mid-response"));
+        }
+        buf.extend_from_slice(&tmp[..n]);
+        Ok(())
     };
-    Ok((status, body))
+    let head_end = loop {
+        if let Some(at) = find_subslice(&buf, b"\r\n\r\n") {
+            break at + 4;
+        }
+        fill(&mut buf, stream)?;
+    };
+    let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+    let status: u16 =
+        head.split_whitespace().nth(1).and_then(|s| s.parse().ok()).ok_or_else(|| {
+            Error::new(ErrorKind::InvalidData, format!("bad status line: {head:?}"))
+        })?;
+    let mut content_length: usize = 0;
+    let mut chunked = false;
+    let mut keep_alive = head.starts_with("HTTP/1.1");
+    for line in head.lines().skip(1) {
+        let Some((name, value)) = line.split_once(':') else { continue };
+        let value = value.trim();
+        match name.trim().to_ascii_lowercase().as_str() {
+            "content-length" => content_length = value.parse().unwrap_or(0),
+            "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
+            "connection" => keep_alive = value.eq_ignore_ascii_case("keep-alive"),
+            _ => {}
+        }
+    }
+    let mut rest = buf.split_off(head_end);
+    let body = if chunked {
+        let mut decoded = Vec::new();
+        loop {
+            let line_end = loop {
+                if let Some(at) = find_subslice(&rest, b"\r\n") {
+                    break at;
+                }
+                fill(&mut rest, stream)?;
+            };
+            let size_text = String::from_utf8_lossy(&rest[..line_end]).to_string();
+            let size = usize::from_str_radix(size_text.trim(), 16)
+                .map_err(|_| Error::new(ErrorKind::InvalidData, "bad chunk size"))?;
+            rest.drain(..line_end + 2);
+            if size == 0 {
+                while rest.len() < 2 {
+                    fill(&mut rest, stream)?;
+                }
+                break;
+            }
+            while rest.len() < size + 2 {
+                fill(&mut rest, stream)?;
+            }
+            decoded.extend_from_slice(&rest[..size]);
+            rest.drain(..size + 2);
+        }
+        decoded
+    } else {
+        while rest.len() < content_length {
+            fill(&mut rest, stream)?;
+        }
+        rest.truncate(content_length);
+        rest
+    };
+    Ok((status, String::from_utf8_lossy(&body).to_string(), keep_alive))
+}
+
+/// One HTTP round-trip over this thread's keep-alive connection:
+/// returns (status, body). A request that fails on a *reused*
+/// connection (the daemon may have timed an idle connection out)
+/// retries exactly once on a fresh one.
+fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), String> {
+    CONN.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        if slot.as_ref().is_some_and(|(a, _)| *a != addr) {
+            *slot = None;
+        }
+        let mut attempt = 0;
+        loop {
+            attempt += 1;
+            let reused = slot.is_some();
+            if slot.is_none() {
+                let stream = TcpStream::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let _ = stream.set_nodelay(true);
+                CONNECTS_OPENED.fetch_add(1, Ordering::Relaxed);
+                *slot = Some((addr, stream));
+            }
+            let outcome = match slot.as_mut() {
+                Some((_, stream)) => {
+                    stream.write_all(request.as_bytes()).and_then(|()| read_response(stream))
+                }
+                None => unreachable!("connection installed above"),
+            };
+            match outcome {
+                Ok((status, body, keep_alive)) => {
+                    REQUESTS_DONE.fetch_add(1, Ordering::Relaxed);
+                    if !keep_alive {
+                        *slot = None;
+                    }
+                    return Ok((status, body));
+                }
+                Err(e) => {
+                    *slot = None;
+                    if !reused || attempt >= 2 {
+                        return Err(format!("request: {e}"));
+                    }
+                }
+            }
+        }
+    })
 }
 
 fn post_scan(
@@ -430,6 +569,144 @@ fn audit_telemetry(addr: std::net::SocketAddr) -> Result<(usize, usize), String>
     Ok((verified, samples))
 }
 
+/// The `connection_reuse` record: how well the keep-alive client
+/// amortised TCP connects over requests.
+fn reuse_json() -> String {
+    let requests = REQUESTS_DONE.load(Ordering::Relaxed);
+    let connects = CONNECTS_OPENED.load(Ordering::Relaxed);
+    let reuse = if requests > 0 { 1.0 - (connects as f64 / requests as f64).min(1.0) } else { 0.0 };
+    omega_obs::JsonObject::new()
+        .u64("requests", requests)
+        .u64("connections", connects)
+        .f64("reuse_fraction", reuse)
+        .finish()
+}
+
+/// `--persist-audit`: measures the WAL/store hot-path cost with a
+/// paired comparison. Two daemons boot in-process — one on a fresh
+/// `-data-dir`, one fully in-memory — and the same clients replay
+/// cache-hit traffic against both in alternating rounds, so host noise
+/// hits both populations equally. The gate keeps persistence-on replay
+/// throughput (derived from median latency at fixed concurrency)
+/// within [`MAX_PERSIST_OVERHEAD`] of persistence-off. The persist
+/// daemon is then restarted on the same data dir and must serve every
+/// payload as an inline hit — the rehydration proof.
+fn run_persist_audit(out_path: &str, clients: usize) -> Result<(), String> {
+    let data_dir =
+        std::env::temp_dir().join(format!("omega-loadgen-persist-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data_dir);
+    let boot = |dir: Option<std::path::PathBuf>| -> Result<ServeHandle, String> {
+        omega_serve::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: DISTINCT.max(clients) * 2,
+            data_dir: dir,
+            ..Default::default()
+        })
+        .map_err(|e| format!("cannot boot daemon: {e}"))
+    };
+    let persist = boot(Some(data_dir.clone()))?;
+    let plain = boot(None)?;
+    let (persist_addr, plain_addr) = (persist.addr(), plain.addr());
+
+    println!("loadgen: persist audit — fill {DISTINCT} payloads on both daemons");
+    let fill_a = run_phase(DISTINCT, 1, move |t, _| fill_one(persist_addr, t, false));
+    let fill_b = run_phase(DISTINCT, 1, move |t, _| fill_one(plain_addr, t, false));
+    let mut errors: Vec<String> = Vec::new();
+    errors.extend(fill_a.errors.iter().cloned());
+    errors.extend(fill_b.errors.iter().cloned());
+
+    let per_client = PERSIST_REQUESTS_PER_CLIENT;
+    let mut persist_ns: Vec<u64> = Vec::new();
+    let mut plain_ns: Vec<u64> = Vec::new();
+    for round in 0..PERSIST_ROUNDS {
+        // Alternate which daemon goes first so drift cancels.
+        let order: [(std::net::SocketAddr, bool); 2] = if round % 2 == 0 {
+            [(persist_addr, true), (plain_addr, false)]
+        } else {
+            [(plain_addr, false), (persist_addr, true)]
+        };
+        for (addr, is_persist) in order {
+            let r = run_phase(clients, per_client, move |t, r| {
+                replay_one(addr, (t * per_client + r) % DISTINCT, false)
+            });
+            errors.extend(r.errors);
+            if is_persist {
+                persist_ns.extend(r.latencies_ns);
+            } else {
+                plain_ns.extend(r.latencies_ns);
+            }
+        }
+    }
+    persist_ns.sort_unstable();
+    plain_ns.sort_unstable();
+    let persist_med = median(&persist_ns);
+    let plain_med = median(&plain_ns);
+    let persist_rps = clients as f64 / (persist_med as f64 / 1e9).max(1e-9);
+    let plain_rps = clients as f64 / (plain_med as f64 / 1e9).max(1e-9);
+    println!(
+        "loadgen: replay p50 — persist {:.3} ms ({persist_rps:.0} rps), \
+         no-persist {:.3} ms ({plain_rps:.0} rps)",
+        persist_med as f64 / 1e6,
+        plain_med as f64 / 1e6
+    );
+
+    // Restart the persist daemon on the same data dir: every payload
+    // must come back as an inline hit without a detector run.
+    persist.shutdown();
+    let reborn = boot(Some(data_dir.clone()))?;
+    let reborn_addr = reborn.addr();
+    let rehydrated = run_phase(1, DISTINCT, move |_, r| replay_one(reborn_addr, r, false));
+    errors.extend(rehydrated.errors.iter().cloned());
+    let warm_hits = rehydrated.latencies_ns.len();
+    reborn.shutdown();
+    plain.shutdown();
+    let _ = std::fs::remove_dir_all(&data_dir);
+
+    for e in errors.iter().take(5) {
+        eprintln!("loadgen: error: {e}");
+    }
+    let overhead = if plain_rps > 0.0 { 1.0 - (persist_rps / plain_rps).min(1.0) } else { 0.0 };
+    let json = omega_obs::JsonObject::new()
+        .string("bench", "serve_loadgen_persist_audit")
+        .u64("clients", clients as u64)
+        .u64("distinct_payloads", DISTINCT as u64)
+        .u64("rounds", PERSIST_ROUNDS as u64)
+        .u64("requests_per_client", per_client as u64)
+        .u64("persist_p50_ns", persist_med)
+        .u64("no_persist_p50_ns", plain_med)
+        .f64("persist_rps", persist_rps)
+        .f64("no_persist_rps", plain_rps)
+        .f64("overhead_fraction", overhead)
+        .f64("max_overhead_fraction", MAX_PERSIST_OVERHEAD)
+        .u64("warm_restart_hits", warm_hits as u64)
+        .raw("connection_reuse", &reuse_json())
+        .u64("errors", errors.len() as u64)
+        .finish();
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    if !errors.is_empty() {
+        return Err(format!("{} request errors", errors.len()));
+    }
+    if warm_hits != DISTINCT {
+        return Err(format!("warm restart served {warm_hits}/{DISTINCT} payloads as inline hits"));
+    }
+    if persist_rps < (1.0 - MAX_PERSIST_OVERHEAD) * plain_rps {
+        return Err(format!(
+            "persistence hot-path too slow: {persist_rps:.0} rps vs {plain_rps:.0} rps \
+             no-persist (floor {:.0}%)",
+            (1.0 - MAX_PERSIST_OVERHEAD) * 100.0
+        ));
+    }
+    println!(
+        "loadgen: persist audit ok — overhead {:.1}% (cap {:.0}%), {warm_hits} warm hits",
+        overhead * 100.0,
+        MAX_PERSIST_OVERHEAD * 100.0
+    );
+    Ok(())
+}
+
 fn run(out_path: &str, clients: usize, trace_audit: bool) -> Result<(), String> {
     let handle: ServeHandle = omega_serve::start(ServeConfig {
         addr: "127.0.0.1:0".to_string(),
@@ -540,6 +817,7 @@ fn run(out_path: &str, clients: usize, trace_audit: bool) -> Result<(), String> 
                 .finish(),
         )
         .u64("rejected", rejected)
+        .raw("connection_reuse", &reuse_json())
         .u64("errors", total_errors as u64);
     if let Some((verified, samples)) = audit {
         let overhead =
@@ -609,6 +887,7 @@ fn main() -> ExitCode {
     let mut out_path = "BENCH_serve.json".to_string();
     let mut clients = DEFAULT_CLIENTS;
     let mut trace_audit = false;
+    let mut persist_audit = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -624,11 +903,17 @@ fn main() -> ExitCode {
                 };
             }
             "--trace-audit" => trace_audit = true,
+            "--persist-audit" => persist_audit = true,
             other => out_path = other.to_string(),
         }
         i += 1;
     }
-    match run(&out_path, clients, trace_audit) {
+    let result = if persist_audit {
+        run_persist_audit(&out_path, clients)
+    } else {
+        run(&out_path, clients, trace_audit)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("loadgen: {e}");

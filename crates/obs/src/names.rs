@@ -77,7 +77,10 @@ pub const INSTRUMENTS: &[&str] = &[
     "serve.cache_misses",
     "serve.coalesce",
     "serve.coalesce_ns",
+    "serve.http_conn_reuses",
     "serve.jobs",
+    "serve.jobs_evicted",
+    "serve.jobs_recovered",
     "serve.kernel",
     "serve.kernel_ns",
     "serve.kernel_ns.cpu",
@@ -94,8 +97,21 @@ pub const INSTRUMENTS: &[&str] = &[
     "serve.queue_wait_ns",
     "serve.rejected",
     "serve.request",
+    "serve.store_bytes",
+    "serve.store_errors",
+    "serve.store_hits",
+    "serve.store_misses",
+    "serve.store_rehydrated",
+    "serve.store_writes",
     "serve.transfer",
     "serve.transfer_ns",
+    "serve.wal_appends",
+    "serve.wal_bytes",
+    "serve.wal_compactions",
+    "serve.wal_corrupt_skipped",
+    "serve.wal_errors",
+    "serve.wal_fsync_ns",
+    "serve.wal_replayed",
     "transfer.overlapped_bytes",
 ];
 

@@ -13,12 +13,22 @@
 //! everything. Hits, misses, and evictions feed the
 //! `serve.cache_hits` / `serve.cache_misses` / `serve.cache_evictions`
 //! counters.
+//!
+//! With a [`crate::store::ResultStore`] attached (`-data-dir`), the
+//! cache becomes the memory tier of a two-tier design: inserts write
+//! through to disk, a memory miss falls through to a verified disk read
+//! (promoting the entry back into memory), and
+//! [`ResultCache::rehydrate`] warms the memory tier from disk at boot.
+//! Eviction then only sheds the memory copy — the result is still one
+//! disk read away, not a detector run away.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
 use omega_core::ScanParams;
 use omega_gpu_sim::OverlapMode;
+
+use crate::store::ResultStore;
 
 /// Everything that determines the bytes of a scan result.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -88,12 +98,49 @@ pub struct CacheStats {
 pub struct ResultCache {
     inner: Mutex<Inner>,
     capacity_bytes: usize,
+    store: Option<Arc<ResultStore>>,
 }
 
 impl ResultCache {
     /// A cache holding at most `capacity_bytes` of results.
     pub fn with_capacity(capacity_bytes: usize) -> Self {
-        ResultCache { inner: Mutex::new(Inner::default()), capacity_bytes }
+        ResultCache { inner: Mutex::new(Inner::default()), capacity_bytes, store: None }
+    }
+
+    /// A cache backed by a disk store: inserts write through, memory
+    /// misses fall through to verified disk reads.
+    pub fn with_store(capacity_bytes: usize, store: Arc<ResultStore>) -> Self {
+        ResultCache { inner: Mutex::new(Inner::default()), capacity_bytes, store: Some(store) }
+    }
+
+    /// The attached disk store, if any.
+    pub fn store(&self) -> Option<&Arc<ResultStore>> {
+        self.store.as_ref()
+    }
+
+    /// Warms the memory tier from the disk store, newest entries first
+    /// (they get the freshest recency, so budget pressure evicts the
+    /// oldest rehydrated results first). Returns how many entries were
+    /// loaded into memory.
+    pub fn rehydrate(&self) -> usize {
+        let Some(store) = &self.store else { return 0 };
+        let mut picked = Vec::new();
+        let mut budget = self.capacity_bytes;
+        for entry in store.entries() {
+            let cost = entry.key.cost() + entry.value.len();
+            if cost > budget {
+                continue;
+            }
+            budget -= cost;
+            picked.push(entry);
+        }
+        let loaded = picked.len();
+        // Insert oldest-first so newest entries end most recently used.
+        for entry in picked.into_iter().rev() {
+            self.insert_memory(entry.key, entry.value);
+        }
+        omega_obs::counter!("serve.store_rehydrated").add(loaded as u64);
+        loaded
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
@@ -103,29 +150,50 @@ impl ResultCache {
         self.inner.lock().unwrap_or_else(|p| p.into_inner())
     }
 
-    /// Looks up `key`, bumping its recency. Counts a hit or a miss.
+    /// Looks up `key`, bumping its recency. A memory miss falls through
+    /// to the disk store (when attached); a verified disk read counts as
+    /// a cache hit and promotes the entry back into memory. Counts a hit
+    /// or a miss.
     pub fn get(&self, key: &CacheKey) -> Option<Arc<String>> {
-        let mut inner = self.lock();
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(key) {
-            Some(entry) => {
+        {
+            let mut inner = self.lock();
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(key) {
                 entry.last_used = tick;
                 omega_obs::counter!("serve.cache_hits").inc();
-                Some(Arc::clone(&entry.value))
-            }
-            None => {
-                omega_obs::counter!("serve.cache_misses").inc();
-                None
+                return Some(Arc::clone(&entry.value));
             }
         }
+        // Disk fall-through happens outside the lock: a slow read must
+        // not serialise unrelated lookups.
+        if let Some(store) = &self.store {
+            if let Some(value) = store.read(key) {
+                self.insert_memory(key.clone(), Arc::clone(&value));
+                omega_obs::counter!("serve.cache_hits").inc();
+                return Some(value);
+            }
+        }
+        omega_obs::counter!("serve.cache_misses").inc();
+        None
     }
 
     /// Inserts `value` under `key`, evicting least-recently-used entries
     /// until the budget holds. A value that alone exceeds the budget is
     /// not inserted (the cache never overcommits). Re-inserting an
-    /// existing key replaces the value.
+    /// existing key replaces the value. With a store attached, the value
+    /// is written through to disk first (even budget-refused values: the
+    /// disk tier has no byte budget, so oversized results survive there).
     pub fn insert(&self, key: CacheKey, value: Arc<String>) {
+        if let Some(store) = &self.store {
+            store.write(&key, &value);
+        }
+        self.insert_memory(key, value);
+    }
+
+    /// Memory-tier insert (no write-through; rehydration and disk
+    /// promotion land here).
+    fn insert_memory(&self, key: CacheKey, value: Arc<String>) {
         let cost = key.cost() + value.len();
         if cost > self.capacity_bytes {
             return;

@@ -1,19 +1,35 @@
 //! Minimal HTTP/1.1 over `std::net`: exactly what the daemon needs, and
 //! nothing the offline vendor policy would have to grow for.
 //!
-//! Supported: one request per connection (`Connection: close`
-//! semantics), `Content-Length` bodies, header and body size limits
+//! Supported: persistent connections ([`HttpConn`] reads many requests
+//! off one socket; HTTP/1.1 defaults to keep-alive, `Connection: close`
+//! and HTTP/1.0 opt out), `Content-Length` bodies, chunked
+//! transfer-encoding on *responses* (large bodies stream in chunks
+//! instead of one contiguous buffer), and header/body size limits
 //! enforced *before* buffering. Unsupported (rejected with 4xx/501, not
-//! panics): chunked transfer encoding, multiline headers, pipelining.
-//! Parsing is deliberately strict — this daemon sits behind trusted
+//! panics): chunked request bodies, multiline headers, request
+//! pipelining beyond strict request-response turns. Parsing is
+//! deliberately strict — this daemon sits behind trusted
 //! infrastructure, and a strict parser is a smaller attack surface than
-//! a lenient one.
+//! a lenient one. In particular, conflicting duplicate `Content-Length`
+//! headers are rejected outright: with keep-alive enabled, a parser
+//! that silently picks one of two lengths is a request-smuggling
+//! primitive.
 
 use std::io::{BufReader, Read, Write};
 use std::net::TcpStream;
 
 /// Hard cap on the request line + headers block.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Response bodies at or above this size are sent with
+/// `Transfer-Encoding: chunked` (when the request allows it) in
+/// [`CHUNK_BYTES`] pieces, so a large per-replicate report streams to
+/// the peer without one contiguous header+body allocation.
+pub const CHUNKED_THRESHOLD_BYTES: usize = 32 * 1024;
+
+/// Chunk size for chunked responses.
+pub const CHUNK_BYTES: usize = 16 * 1024;
 
 /// A parsed request.
 #[derive(Debug, Clone)]
@@ -26,6 +42,12 @@ pub struct Request {
     pub body: Vec<u8>,
     /// Raw `X-Omega-Trace` header value, if the caller sent one.
     pub trace_header: Option<String>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default; `Connection: close` or HTTP/1.0 without
+    /// `Connection: keep-alive` opt out).
+    pub keep_alive: bool,
+    /// Whether the request was HTTP/1.1 (chunked responses are legal).
+    pub http11: bool,
 }
 
 /// Why a request could not be read. Each maps to one response status.
@@ -72,16 +94,38 @@ impl HttpError {
     }
 }
 
-/// Reads one request off `stream`. `Ok(None)` means the peer closed
-/// before sending anything (a clean no-op).
-pub fn read_request(
-    stream: &mut TcpStream,
-    max_body_bytes: usize,
-) -> Result<Option<Request>, HttpError> {
-    let mut reader = BufReader::new(stream);
+/// One server-side connection: a buffered reader that persists across
+/// requests, so bytes the kernel delivered after one request's body
+/// (the start of the next pipelined/keep-alive request) are not lost
+/// between reads.
+#[derive(Debug)]
+pub struct HttpConn {
+    reader: BufReader<TcpStream>,
+}
+
+impl HttpConn {
+    /// Wraps an accepted stream.
+    pub fn new(stream: TcpStream) -> HttpConn {
+        HttpConn { reader: BufReader::new(stream) }
+    }
+
+    /// The underlying stream, for writing responses.
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        self.reader.get_mut()
+    }
+
+    /// Reads one request. `Ok(None)` means the peer closed between
+    /// requests (a clean end of the connection).
+    pub fn read_request(&mut self, max_body_bytes: usize) -> Result<Option<Request>, HttpError> {
+        read_from(&mut self.reader, max_body_bytes)
+    }
+}
+
+fn read_from<R: Read>(reader: &mut R, max_body_bytes: usize) -> Result<Option<Request>, HttpError> {
     let mut head = Vec::new();
     // Read byte-wise up to the blank line; bounded so a hostile peer
-    // cannot balloon the buffer.
+    // cannot balloon the buffer. (Byte-wise over the connection's
+    // BufReader, so it never consumes bytes past the request head.)
     loop {
         let mut byte = [0u8; 1];
         match reader.read(&mut byte) {
@@ -92,7 +136,14 @@ pub fn read_request(
                 return Err(HttpError::BadRequest("connection closed mid-headers".into()));
             }
             Ok(_) => head.push(byte[0]),
-            Err(e) => return Err(HttpError::Io(e.to_string())),
+            Err(e) => {
+                if head.is_empty() {
+                    // An idle keep-alive connection timing out between
+                    // requests is a clean close, not an error.
+                    return Ok(None);
+                }
+                return Err(HttpError::Io(e.to_string()));
+            }
         }
         if head.len() > MAX_HEAD_BYTES {
             return Err(HttpError::HeadersTooLarge);
@@ -116,9 +167,11 @@ pub fn read_request(
         return Err(HttpError::BadRequest(format!("target must be absolute, got {target:?}")));
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
+    let http11 = version == "HTTP/1.1";
 
-    let mut content_length = 0usize;
+    let mut content_length: Option<usize> = None;
     let mut trace_header = None;
+    let mut connection_token: Option<String> = None;
     for line in lines {
         if line.is_empty() {
             break;
@@ -130,28 +183,65 @@ pub fn read_request(
         let value = value.trim();
         match name.as_str() {
             "content-length" => {
-                content_length = value
+                let parsed: usize = value
                     .parse()
                     .map_err(|_| HttpError::BadRequest(format!("bad Content-Length {value:?}")))?;
+                // Duplicate headers: identical repeats are tolerated
+                // (RFC 9112 §6.3), conflicting ones are the
+                // request-smuggling shape and must die here.
+                match content_length {
+                    Some(prev) if prev != parsed => {
+                        return Err(HttpError::BadRequest(format!(
+                            "conflicting Content-Length headers ({prev} then {parsed})"
+                        )));
+                    }
+                    _ => content_length = Some(parsed),
+                }
             }
             "transfer-encoding" if !value.eq_ignore_ascii_case("identity") => {
                 return Err(HttpError::UnsupportedTransferEncoding);
             }
+            "connection" => connection_token = Some(value.to_ascii_lowercase()),
             "x-omega-trace" => trace_header = Some(value.to_string()),
             _ => {}
         }
     }
+    let keep_alive = match connection_token.as_deref() {
+        Some(token) if token.split(',').any(|t| t.trim() == "close") => false,
+        Some(token) if token.split(',').any(|t| t.trim() == "keep-alive") => true,
+        _ => http11,
+    };
+    let content_length = content_length.unwrap_or(0);
     // The limit gates on the *declared* length, before any buffering.
     if content_length > max_body_bytes {
         return Err(HttpError::BodyTooLarge { limit: max_body_bytes });
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| HttpError::Io(e.to_string()))?;
-    Ok(Some(Request { method, path, body, trace_header }))
+    Ok(Some(Request { method, path, body, trace_header, keep_alive, http11 }))
 }
 
-/// Writes one response and flushes. Always closes after (the daemon
-/// speaks `Connection: close`).
+fn head_block(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    keep_alive: bool,
+) -> String {
+    let mut out = format!("HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n");
+    out.push_str(if keep_alive { "Connection: keep-alive\r\n" } else { "Connection: close\r\n" });
+    for (name, value) in extra_headers {
+        out.push_str(name);
+        out.push_str(": ");
+        out.push_str(value);
+        out.push_str("\r\n");
+    }
+    out
+}
+
+/// Writes one `Content-Length` response and flushes. `keep_alive`
+/// controls the `Connection` header — the caller owns the decision to
+/// read another request or drop the socket.
 pub fn write_response(
     stream: &mut TcpStream,
     status: u16,
@@ -159,21 +249,40 @@ pub fn write_response(
     content_type: &str,
     extra_headers: &[(&str, String)],
     body: &str,
+    keep_alive: bool,
 ) -> std::io::Result<()> {
-    let mut out = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n",
-        body.len()
-    );
-    for (name, value) in extra_headers {
-        out.push_str(name);
-        out.push_str(": ");
-        out.push_str(value);
-        out.push_str("\r\n");
-    }
-    out.push_str("\r\n");
-    out.push_str(body);
+    let mut out = head_block(status, reason, content_type, extra_headers, keep_alive);
+    out.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
     stream.write_all(out.as_bytes())?;
+    // The body is written directly from its own buffer — for cached
+    // results that is the cache's `Arc<String>` bytes, never a copy
+    // concatenated into the header allocation.
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Writes one response with `Transfer-Encoding: chunked`, streaming
+/// `body` in [`CHUNK_BYTES`] pieces. Used for large bodies so a
+/// multi-megabyte per-replicate report goes out as it is walked, not
+/// as one contiguous serialised buffer.
+pub fn write_chunked_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &str,
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    let mut out = head_block(status, reason, content_type, extra_headers, keep_alive);
+    out.push_str("Transfer-Encoding: chunked\r\n\r\n");
+    stream.write_all(out.as_bytes())?;
+    for chunk in body.as_bytes().chunks(CHUNK_BYTES) {
+        write!(stream, "{:x}\r\n", chunk.len())?;
+        stream.write_all(chunk)?;
+        stream.write_all(b"\r\n")?;
+    }
+    stream.write_all(b"0\r\n\r\n")?;
     stream.flush()
 }
 
@@ -182,7 +291,7 @@ mod tests {
     use super::*;
     use std::net::{TcpListener, TcpStream};
 
-    /// Runs `read_request` against raw client bytes via a loopback pair.
+    /// Runs the parser against raw client bytes via a loopback pair.
     fn parse_raw(input: &[u8], max_body: usize) -> Result<Option<Request>, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
@@ -191,8 +300,9 @@ mod tests {
             let mut s = TcpStream::connect(addr).unwrap();
             s.write_all(&input).unwrap();
         });
-        let (mut server_side, _) = listener.accept().unwrap();
-        let out = read_request(&mut server_side, max_body);
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = HttpConn::new(server_side);
+        let out = conn.read_request(max_body);
         client.join().unwrap();
         out
     }
@@ -205,6 +315,55 @@ mod tests {
         assert_eq!(req.path, "/scan");
         assert_eq!(req.body, b"abcd");
         assert!(req.trace_header.is_none());
+        assert!(req.keep_alive, "HTTP/1.1 defaults to keep-alive");
+        assert!(req.http11);
+    }
+
+    #[test]
+    fn connection_header_controls_keep_alive() {
+        let req = parse_raw(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n", 64).unwrap().unwrap();
+        assert!(!req.keep_alive);
+        let req = parse_raw(b"GET / HTTP/1.0\r\n\r\n", 64).unwrap().unwrap();
+        assert!(!req.keep_alive, "HTTP/1.0 defaults to close");
+        assert!(!req.http11);
+        let req =
+            parse_raw(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n", 64).unwrap().unwrap();
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST /scan HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nabcd";
+        match parse_raw(raw, 1024) {
+            Err(HttpError::BadRequest(m)) => assert!(m.contains("conflicting"), "{m}"),
+            other => panic!("expected BadRequest, got {other:?}"),
+        }
+        // Identical duplicates are tolerated (RFC 9112 §6.3).
+        let raw = b"POST /scan HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse_raw(raw, 1024).unwrap().unwrap();
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn keep_alive_reads_two_requests_off_one_connection() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(b"POST /a HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi").unwrap();
+            s.write_all(b"GET /b HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap();
+        });
+        let (server_side, _) = listener.accept().unwrap();
+        let mut conn = HttpConn::new(server_side);
+        let first = conn.read_request(1024).unwrap().unwrap();
+        assert_eq!(first.path, "/a");
+        assert_eq!(first.body, b"hi");
+        assert!(first.keep_alive);
+        let second = conn.read_request(1024).unwrap().unwrap();
+        assert_eq!(second.path, "/b");
+        assert!(!second.keep_alive);
+        assert!(conn.read_request(1024).unwrap().is_none(), "peer closed");
+        client.join().unwrap();
     }
 
     #[test]
@@ -255,7 +414,7 @@ mod tests {
     }
 
     #[test]
-    fn chunked_encoding_is_rejected_as_unimplemented() {
+    fn chunked_request_encoding_is_rejected_as_unimplemented() {
         let raw = b"POST /scan HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n";
         assert_eq!(parse_raw(raw, 1024).unwrap_err(), HttpError::UnsupportedTransferEncoding);
         assert_eq!(HttpError::UnsupportedTransferEncoding.status().0, 501);
@@ -264,5 +423,40 @@ mod tests {
     #[test]
     fn empty_connection_is_a_clean_none() {
         assert!(parse_raw(b"", 1024).unwrap().is_none());
+    }
+
+    #[test]
+    fn chunked_response_roundtrips() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let body: String = "x".repeat(CHUNK_BYTES * 2 + 100);
+        let expect = body.clone();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut stream = stream;
+            write_chunked_response(&mut stream, 200, "OK", "application/json", &[], &body, false)
+                .unwrap();
+        });
+        let mut s = TcpStream::connect(addr).unwrap();
+        let mut raw = Vec::new();
+        s.read_to_end(&mut raw).unwrap();
+        server.join().unwrap();
+        let text = String::from_utf8(raw).unwrap();
+        assert!(text.contains("Transfer-Encoding: chunked"));
+        let after = &text[text.find("\r\n\r\n").unwrap() + 4..];
+        // Decode the chunked framing.
+        let mut decoded = String::new();
+        let mut rest = after;
+        loop {
+            let nl = rest.find("\r\n").unwrap();
+            let len = usize::from_str_radix(&rest[..nl], 16).unwrap();
+            rest = &rest[nl + 2..];
+            if len == 0 {
+                break;
+            }
+            decoded.push_str(&rest[..len]);
+            rest = &rest[len + 2..];
+        }
+        assert_eq!(decoded, expect);
     }
 }

@@ -352,6 +352,11 @@ impl JobState {
             JobState::Expired => "expired",
         }
     }
+
+    /// Whether this state ends the job's lifecycle.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Failed | JobState::Expired)
+    }
 }
 
 /// One job's mutable record.
@@ -371,28 +376,88 @@ pub struct JobRecord {
     pub error: Option<String>,
     /// Submission instant (latency accounting).
     pub submitted: Instant,
+    /// When the job reached a terminal state (retention clock).
+    pub finished: Option<Instant>,
     /// Trace id when the request opted into tracing (wire hex on the
     /// job body, joinable against `GET /traces/<id>`).
     pub trace_id: Option<u64>,
 }
 
+/// Outcome of a job-id lookup, distinguishing "never existed" from
+/// "existed, since evicted" — the latter answers `410 Gone`, the former
+/// `404 Not Found`.
+#[derive(Debug, Clone)]
+pub enum JobLookup {
+    /// The record is live.
+    Found(JobRecord),
+    /// The id was allocated but its record has been evicted (bounded
+    /// retention) or removed (admission-time rejection).
+    Evicted,
+    /// The id was never allocated by this daemon.
+    Unknown,
+}
+
+/// Default cap on retained terminal job records.
+pub const DEFAULT_RETAIN_TERMINAL: usize = 1024;
+/// Default terminal-record age bound.
+pub const DEFAULT_RETAIN_FOR: std::time::Duration = std::time::Duration::from_secs(600);
+
+/// Age sweeps run at most once per this many terminal transitions, so
+/// the common case stays an O(1) counter check.
+const SWEEP_EVERY: usize = 64;
+
+#[derive(Debug, Default)]
+struct TableInner {
+    map: HashMap<u64, JobRecord>,
+    /// Terminal records currently retained (eviction trigger).
+    terminal: usize,
+    /// Terminal transitions since the last age sweep.
+    since_sweep: usize,
+}
+
 /// The job table: id allocation plus state shared between the HTTP
 /// handlers and the lane workers.
-#[derive(Debug, Default)]
+///
+/// Terminal records are retained *bounded*: at most `retain_terminal`
+/// of them, none older than `retain_for`. Without the bound, sustained
+/// traffic grows the map (and daemon memory) without limit — each
+/// completed job would pin its result JSON forever. Evicted ids answer
+/// `410 Gone` rather than `404`, so clients can tell "polled too late"
+/// from "never existed". Bounded retention is also what makes WAL
+/// compaction possible: the log only needs to cover what the table
+/// still remembers.
+#[derive(Debug)]
 pub struct JobTable {
     next: AtomicU64,
-    map: Mutex<HashMap<u64, JobRecord>>,
+    inner: Mutex<TableInner>,
+    retain_terminal: usize,
+    retain_for: std::time::Duration,
+}
+
+impl Default for JobTable {
+    fn default() -> Self {
+        JobTable::with_retention(DEFAULT_RETAIN_TERMINAL, DEFAULT_RETAIN_FOR)
+    }
 }
 
 impl JobTable {
-    fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<u64, JobRecord>> {
-        self.map.lock().unwrap_or_else(|p| p.into_inner())
+    /// A table retaining at most `retain_terminal` terminal records,
+    /// none older than `retain_for`.
+    pub fn with_retention(retain_terminal: usize, retain_for: std::time::Duration) -> Self {
+        JobTable {
+            next: AtomicU64::new(0),
+            inner: Mutex::new(TableInner::default()),
+            retain_terminal: retain_terminal.max(1),
+            retain_for,
+        }
     }
 
-    /// Allocates a job in `Queued` state.
-    pub fn create(&self, kind: BackendKind) -> JobId {
-        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
-        let record = JobRecord {
+    fn lock(&self) -> std::sync::MutexGuard<'_, TableInner> {
+        self.inner.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn fresh_record(kind: BackendKind) -> JobRecord {
+        JobRecord {
             state: JobState::Queued,
             kind,
             cached: false,
@@ -400,46 +465,136 @@ impl JobTable {
             timing: None,
             error: None,
             submitted: Instant::now(),
+            finished: None,
             trace_id: None,
-        };
-        self.lock().insert(id, record);
+        }
+    }
+
+    /// Allocates a job in `Queued` state.
+    pub fn create(&self, kind: BackendKind) -> JobId {
+        let id = self.next.fetch_add(1, Ordering::Relaxed) + 1;
+        self.lock().map.insert(id, Self::fresh_record(kind));
         omega_obs::counter!("serve.jobs").inc();
         JobId(id)
+    }
+
+    /// Re-creates a job under its pre-crash id (WAL recovery). The id
+    /// allocator is bumped past `id` so fresh allocations never collide.
+    pub fn create_with_id(&self, id: JobId, kind: BackendKind) {
+        self.next.fetch_max(id.0, Ordering::Relaxed);
+        self.lock().map.insert(id.0, Self::fresh_record(kind));
+        omega_obs::counter!("serve.jobs").inc();
+    }
+
+    /// Marks ids `<= floor` as allocated (recovery: ids a pre-crash
+    /// client may hold must not be re-issued, and must answer 410, not
+    /// 404, when their records did not survive).
+    pub fn reserve_through(&self, floor: u64) {
+        self.next.fetch_max(floor, Ordering::Relaxed);
     }
 
     /// Allocates a job already completed from the cache.
     pub fn create_cached(&self, kind: BackendKind, result: Arc<String>) -> JobId {
         let id = self.create(kind);
-        if let Some(r) = self.lock().get_mut(&id.0) {
+        self.update(id, |r| {
             r.state = JobState::Done;
             r.cached = true;
             r.result = Some(result);
-        }
+        });
         id
     }
 
     /// Snapshot of one record.
     pub fn get(&self, id: JobId) -> Option<JobRecord> {
-        self.lock().get(&id.0).cloned()
+        self.lock().map.get(&id.0).cloned()
     }
 
-    /// Applies `f` to the record, if present.
+    /// Looks up `id`, distinguishing evicted from never-allocated.
+    pub fn lookup(&self, id: JobId) -> JobLookup {
+        if let Some(r) = self.lock().map.get(&id.0) {
+            return JobLookup::Found(r.clone());
+        }
+        if id.0 >= 1 && id.0 <= self.next.load(Ordering::Relaxed) {
+            JobLookup::Evicted
+        } else {
+            JobLookup::Unknown
+        }
+    }
+
+    /// Applies `f` to the record, if present. A transition into a
+    /// terminal state stamps the retention clock and (amortised)
+    /// enforces the retention bounds.
     pub fn update(&self, id: JobId, f: impl FnOnce(&mut JobRecord)) {
-        if let Some(r) = self.lock().get_mut(&id.0) {
-            f(r);
+        let mut inner = self.lock();
+        let Some(r) = inner.map.get_mut(&id.0) else { return };
+        let was_terminal = r.state.is_terminal();
+        f(r);
+        let now_terminal = r.state.is_terminal();
+        if now_terminal && r.finished.is_none() {
+            r.finished = Some(Instant::now());
+        }
+        if now_terminal && !was_terminal {
+            inner.terminal += 1;
+            inner.since_sweep += 1;
+            if inner.terminal > self.retain_terminal || inner.since_sweep >= SWEEP_EVERY {
+                self.enforce_retention(&mut inner);
+            }
+        }
+    }
+
+    /// Evicts terminal records beyond the count cap (oldest-finished
+    /// first) and any older than the age bound.
+    fn enforce_retention(&self, inner: &mut TableInner) {
+        inner.since_sweep = 0;
+        let now = Instant::now();
+        let mut terminal: Vec<(u64, Instant)> = inner
+            .map
+            .iter()
+            .filter(|(_, r)| r.state.is_terminal())
+            .map(|(&id, r)| (id, r.finished.unwrap_or(r.submitted)))
+            .collect();
+        terminal.sort_by_key(|&(_, at)| at);
+        let over_cap = terminal.len().saturating_sub(self.retain_terminal);
+        let mut evicted = 0u64;
+        for (i, &(id, finished)) in terminal.iter().enumerate() {
+            let too_old = now.duration_since(finished) > self.retain_for;
+            if i < over_cap || too_old {
+                inner.map.remove(&id);
+                evicted += 1;
+            }
+        }
+        inner.terminal = terminal.len() - evicted as usize;
+        if evicted > 0 {
+            omega_obs::counter!("serve.jobs_evicted").add(evicted);
         }
     }
 
     /// Removes a record (used when admission control rejects a job that
     /// was provisionally created).
     pub fn remove(&self, id: JobId) {
-        self.lock().remove(&id.0);
+        let mut inner = self.lock();
+        if let Some(r) = inner.map.remove(&id.0) {
+            if r.state.is_terminal() {
+                inner.terminal = inner.terminal.saturating_sub(1);
+            }
+        }
     }
 
-    /// Snapshot of every job's (id, state) — the shutdown drain report.
+    /// Live records (the bounded-memory figure for `/stats`).
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether no records are live.
+    pub fn is_empty(&self) -> bool {
+        self.lock().map.is_empty()
+    }
+
+    /// Snapshot of every live job's (id, state) — the shutdown drain
+    /// report.
     pub fn states(&self) -> Vec<(JobId, JobState)> {
         let mut out: Vec<(JobId, JobState)> =
-            self.lock().iter().map(|(&id, r)| (JobId(id), r.state)).collect();
+            self.lock().map.iter().map(|(&id, r)| (JobId(id), r.state)).collect();
         out.sort_by_key(|(id, _)| *id);
         out
     }

@@ -16,6 +16,12 @@
 //!    (input digest, params, backend, overlap mode). A repeat request
 //!    returns the exact bytes of the first run without touching a
 //!    detector.
+//! 4. **Durability** ([`wal`] + [`store`], opt-in via `-data-dir`): a
+//!    write-ahead job log fsync'd on admission and terminal state, plus
+//!    an on-disk content-addressed result store the cache writes
+//!    through to. A killed daemon restarted on the same data dir
+//!    re-enqueues queued jobs, keeps finished results byte-identical,
+//!    and boots with a warm cache.
 //!
 //! Networking is a deliberately small hand-rolled HTTP/1.1 layer
 //! ([`http`]) over `std::net` — the workspace's offline vendor policy
@@ -42,9 +48,13 @@ pub mod job;
 pub mod queue;
 pub mod scheduler;
 pub mod server;
+pub mod store;
+pub mod wal;
 
 pub use cache::{CacheKey, CacheStats, ResultCache};
 pub use digest::fnv64;
-pub use job::{parse_scan_request, JobId, JobState, RequestError};
+pub use job::{parse_scan_request, JobId, JobLookup, JobState, RequestError};
 pub use queue::{Lanes, SubmitError};
 pub use server::{start, ServeConfig, ServeHandle};
+pub use store::ResultStore;
+pub use wal::{RecoveredState, Replay, Wal};

@@ -61,6 +61,7 @@ pub struct Lanes {
     capacity: usize,
     draining: AtomicBool,
     paused: AtomicBool,
+    poisoned: AtomicBool,
 }
 
 impl Lanes {
@@ -71,6 +72,7 @@ impl Lanes {
             capacity,
             draining: AtomicBool::new(false),
             paused: AtomicBool::new(false),
+            poisoned: AtomicBool::new(false),
         }
     }
 
@@ -113,14 +115,40 @@ impl Lanes {
         Ok(())
     }
 
+    /// Re-enqueues a job recovered from the write-ahead log at boot,
+    /// bypassing the capacity check: the job was already admitted (and
+    /// acknowledged with a 202) by the previous process, so rejecting
+    /// it now would silently drop acknowledged work. Runs before the
+    /// lane workers start, so ordering is exactly replay order.
+    pub fn restore(&self, submission: Submission) {
+        let kind = submission.request.kind;
+        self.lock_lane(kind).push_back(submission);
+        self.publish_depth();
+        self.lanes[kind.index()].ready.notify_all();
+    }
+
+    /// Simulated crash for recovery tests: lane workers stop picking up
+    /// work *immediately*, leaving queued submissions stranded exactly
+    /// as a SIGKILL would. Unlike [`Lanes::begin_drain`], queued work is
+    /// NOT finished.
+    pub fn poison(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        for lane in &self.lanes {
+            lane.ready.notify_all();
+        }
+    }
+
     /// Blocks until lane `kind` has work (or the daemon drains dry),
     /// then drains the whole lane in one batch — the coalescing window
     /// the scheduler batches over. Returns `None` when the lane is done
-    /// for good (draining and empty).
+    /// for good (draining and empty, or poisoned).
     pub fn pop_batch(&self, kind: BackendKind) -> Option<Vec<Submission>> {
         let lane = &self.lanes[kind.index()];
         let mut queue = lane.queue.lock().unwrap_or_else(|p| p.into_inner());
         loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                return None;
+            }
             if !self.paused.load(Ordering::SeqCst) && !queue.is_empty() {
                 let batch: Vec<Submission> = queue.drain(..).collect();
                 drop(queue);

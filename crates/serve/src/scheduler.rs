@@ -26,6 +26,8 @@ use crate::cache::{CacheKey, ResultCache};
 use crate::job::{job_latency_histogram, kernel_stage_histogram, make_backend};
 use crate::job::{result_json, timing_json, BackendKind, JobState, JobTable};
 use crate::queue::{Lanes, Submission};
+use crate::store::key_digest;
+use crate::wal::Wal;
 
 /// Jobs that batch into one detector run share this configuration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,12 +127,23 @@ fn finish_trace(sub: &Submission, kind: BackendKind, state: JobState) {
     }
 }
 
-fn fail_group(table: &JobTable, kind: BackendKind, members: &[Submission], message: &str) {
+/// The shared state a lane worker touches on every group: the job
+/// table, the result cache, and (when persistence is on) the WAL.
+struct LaneCtx<'a> {
+    table: &'a JobTable,
+    cache: &'a ResultCache,
+    wal: Option<&'a Wal>,
+}
+
+fn fail_group(ctx: &LaneCtx<'_>, kind: BackendKind, members: &[Submission], message: &str) {
     for sub in members {
-        table.update(sub.id, |r| {
+        ctx.table.update(sub.id, |r| {
             r.state = JobState::Failed;
             r.error = Some(message.to_string());
         });
+        if let Some(wal) = ctx.wal {
+            wal.append_terminal(sub.id.0, JobState::Failed, None);
+        }
         finish_trace(sub, kind, JobState::Failed);
     }
 }
@@ -140,10 +153,10 @@ fn run_group(
     key: &GroupKey,
     members: Vec<Submission>,
     current: &mut Option<LaneDetector>,
-    table: &JobTable,
-    cache: &ResultCache,
+    ctx: &LaneCtx<'_>,
     pickup: Instant,
 ) {
+    let LaneCtx { table, cache, wal } = *ctx;
     // Deadline check happens at pickup: a job whose deadline passed
     // while queued expires without costing detector time.
     let mut live: Vec<Submission> = Vec::with_capacity(members.len());
@@ -158,6 +171,9 @@ fn run_group(
                 r.state = JobState::Expired;
                 r.error = Some("deadline exceeded before a lane picked the job up".to_string());
             });
+            if let Some(wal) = wal {
+                wal.append_terminal(sub.id.0, JobState::Expired, None);
+            }
             finish_trace(&sub, kind, JobState::Expired);
         } else {
             live.push(sub);
@@ -182,11 +198,11 @@ fn run_group(
     let overlap =
         if key.overlap_on { OverlapMode::DoubleBuffered } else { OverlapMode::Serialized };
     if let Err(message) = obtain_detector(kind, key, current, overlap) {
-        fail_group(table, kind, &live, &message);
+        fail_group(ctx, kind, &live, &message);
         return;
     }
     let Some(lane) = current.as_ref() else {
-        fail_group(table, kind, &live, "internal: lane detector unavailable");
+        fail_group(ctx, kind, &live, "internal: lane detector unavailable");
         return;
     };
 
@@ -272,32 +288,46 @@ fn run_group(
         }
         let result = Arc::new(result_json(&per_job));
         let timing = timing_json(&per_job);
-        cache.insert(
-            CacheKey::new(
-                sub.request.payload_digest,
-                sub.request.params,
-                sub.request.backend_label.clone(),
-                sub.request.overlap,
-            ),
-            Arc::clone(&result),
+        let cache_key = CacheKey::new(
+            sub.request.payload_digest,
+            sub.request.params,
+            sub.request.backend_label.clone(),
+            sub.request.overlap,
         );
+        let digest = key_digest(&cache_key);
+        cache.insert(cache_key, Arc::clone(&result));
         table.update(sub.id, |r| {
             r.state = JobState::Done;
             r.result = Some(result);
             r.timing = Some(timing);
             job_latency_histogram(kind).record(r.submitted.elapsed().as_nanos() as u64);
         });
+        // The terminal record lands *after* the result is durable in the
+        // store (cache.insert writes through), so a recovered `done`
+        // record can always rehydrate its bytes.
+        if let Some(wal) = wal {
+            wal.append_terminal(sub.id.0, JobState::Done, Some(digest));
+        }
         finish_trace(sub, kind, JobState::Done);
     }
 }
 
-/// The lane worker loop: runs until the lanes drain dry.
-pub fn run_lane(kind: BackendKind, lanes: &Lanes, table: &JobTable, cache: &ResultCache) {
+/// The lane worker loop: runs until the lanes drain dry. With a WAL
+/// attached, every terminal transition appends a fsync'd `end` record
+/// so a restart never re-runs finished work.
+pub fn run_lane(
+    kind: BackendKind,
+    lanes: &Lanes,
+    table: &JobTable,
+    cache: &ResultCache,
+    wal: Option<&Wal>,
+) {
+    let ctx = LaneCtx { table, cache, wal };
     let mut current: Option<LaneDetector> = None;
     while let Some(batch) = lanes.pop_batch(kind) {
         let pickup = Instant::now();
         for (key, members) in group_submissions(batch) {
-            run_group(kind, &key, members, &mut current, table, cache, pickup);
+            run_group(kind, &key, members, &mut current, &ctx, pickup);
         }
     }
 }
@@ -345,7 +375,7 @@ mod tests {
         let id1 = submit(&lanes, &table, &request_body("0.1 0.4 0.8", 4));
         let id2 = submit(&lanes, &table, &request_body("0.2 0.5 0.9", 4));
         lanes.begin_drain();
-        run_lane(BackendKind::Cpu, &lanes, &table, &cache);
+        run_lane(BackendKind::Cpu, &lanes, &table, &cache, None);
         for id in [id1, id2] {
             let record = table.get(id).unwrap();
             assert_eq!(record.state, JobState::Done, "{:?}", record.error);
@@ -367,7 +397,7 @@ mod tests {
         let id = submit(&lanes, &table, &body);
         std::thread::sleep(std::time::Duration::from_millis(5));
         lanes.begin_drain();
-        run_lane(BackendKind::Cpu, &lanes, &table, &cache);
+        run_lane(BackendKind::Cpu, &lanes, &table, &cache, None);
         let record = table.get(id).unwrap();
         assert_eq!(record.state, JobState::Expired);
         assert!(record.result.is_none());

@@ -24,6 +24,7 @@
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -32,10 +33,15 @@ use std::time::{Duration, Instant};
 use omega_obs::{JsonObject, RequestTrace, TraceContext};
 
 use crate::cache::{CacheKey, ResultCache};
-use crate::http::{read_request, write_response, HttpError, Request};
-use crate::job::{job_json, parse_scan_request, BackendKind, JobId, JobTable};
+use crate::http::{
+    write_chunked_response, write_response, HttpConn, HttpError, Request, CHUNKED_THRESHOLD_BYTES,
+};
+use crate::job::{job_json, parse_scan_request, BackendKind, JobId, JobLookup, JobState, JobTable};
+use crate::job::{DEFAULT_RETAIN_FOR, DEFAULT_RETAIN_TERMINAL};
 use crate::queue::{Lanes, Submission, SubmitError};
 use crate::scheduler::run_lane;
+use crate::store::ResultStore;
+use crate::wal::{RecoveredState, Wal};
 
 /// Daemon configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +63,13 @@ pub struct ServeConfig {
     pub trace_capacity: usize,
     /// Trace every request, not just those sending `X-Omega-Trace`.
     pub trace_all: bool,
+    /// Durability root (`-data-dir`): holds the write-ahead job log and
+    /// the on-disk result store. `None` runs fully in-memory.
+    pub data_dir: Option<PathBuf>,
+    /// Cap on retained terminal job records.
+    pub retain_jobs: usize,
+    /// Age bound on retained terminal job records.
+    pub retain_job_secs: u64,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +83,9 @@ impl Default for ServeConfig {
             start_paused: false,
             trace_capacity: 256,
             trace_all: false,
+            data_dir: None,
+            retain_jobs: DEFAULT_RETAIN_TERMINAL,
+            retain_job_secs: DEFAULT_RETAIN_FOR.as_secs(),
         }
     }
 }
@@ -78,6 +94,7 @@ struct Shared {
     lanes: Lanes,
     table: JobTable,
     cache: ResultCache,
+    wal: Option<Wal>,
     config: ServeConfig,
     shutting_down: AtomicBool,
     started: Instant,
@@ -95,9 +112,25 @@ fn register_instruments() {
     omega_obs::counter!("serve.auto_routed.cpu").add(0);
     omega_obs::counter!("serve.auto_routed.gpu").add(0);
     omega_obs::counter!("serve.auto_routed.fpga").add(0);
+    omega_obs::counter!("serve.http_conn_reuses").add(0);
+    omega_obs::counter!("serve.jobs_evicted").add(0);
+    omega_obs::counter!("serve.jobs_recovered").add(0);
+    omega_obs::counter!("serve.store_errors").add(0);
+    omega_obs::counter!("serve.store_hits").add(0);
+    omega_obs::counter!("serve.store_misses").add(0);
+    omega_obs::counter!("serve.store_rehydrated").add(0);
+    omega_obs::counter!("serve.store_writes").add(0);
+    omega_obs::counter!("serve.wal_appends").add(0);
+    omega_obs::counter!("serve.wal_compactions").add(0);
+    omega_obs::counter!("serve.wal_corrupt_skipped").add(0);
+    omega_obs::counter!("serve.wal_errors").add(0);
+    omega_obs::counter!("serve.wal_replayed").add(0);
     omega_obs::counter!("obs.trace.completed").add(0);
     omega_obs::counter!("obs.trace.dropped").add(0);
     omega_obs::gauge!("serve.queue_depth").set(0);
+    omega_obs::gauge!("serve.store_bytes").set(0);
+    omega_obs::gauge!("serve.wal_bytes").set(0);
+    let _ = omega_obs::histogram!("serve.wal_fsync_ns");
     let _ = omega_obs::histogram!("serve.batch_size");
     let _ = omega_obs::histogram!("serve.latency.cpu");
     let _ = omega_obs::histogram!("serve.latency.gpu");
@@ -151,6 +184,15 @@ fn stats_json(shared: &Shared) -> String {
         .u64("capacity_bytes", cache_stats.capacity_bytes as u64)
         .u64("entries", cache_stats.entries as u64)
         .finish();
+    let persistence = match (&shared.wal, shared.cache.store()) {
+        (Some(wal), Some(store)) => JsonObject::new()
+            .raw("enabled", "true")
+            .u64("wal_bytes", wal.bytes())
+            .u64("wal_live_jobs", wal.live_jobs() as u64)
+            .u64("store_bytes", store.bytes())
+            .finish(),
+        _ => JsonObject::new().raw("enabled", "false").finish(),
+    };
     let mut instruments = String::from("[");
     for (i, name) in omega_obs::INSTRUMENTS.iter().filter(|n| n.starts_with("serve.")).enumerate() {
         if i > 0 {
@@ -167,6 +209,7 @@ fn stats_json(shared: &Shared) -> String {
         .raw("histograms", &histograms.finish())
         .raw("queue", &queue)
         .raw("cache", &cache)
+        .raw("persistence", &persistence)
         .raw("instruments", &instruments)
         .finish()
 }
@@ -257,8 +300,18 @@ fn route(shared: &Shared, request: &Request) -> Response {
         }
         ("GET", path) if path.starts_with("/jobs/") => {
             let id_text = &path["/jobs/".len()..];
-            match JobId::parse(id_text).and_then(|id| shared.table.get(id).map(|r| (id, r))) {
-                Some((id, record)) => Response::json(200, "OK", job_json(id, &record)),
+            match JobId::parse(id_text) {
+                Some(id) => match shared.table.lookup(id) {
+                    JobLookup::Found(record) => Response::json(200, "OK", job_json(id, &record)),
+                    // The id was real but its record aged out of bounded
+                    // retention: "polled too late", not "never existed".
+                    JobLookup::Evicted => Response::json(
+                        410,
+                        "Gone",
+                        error_body(&format!("job {id_text} has been evicted from retention")),
+                    ),
+                    JobLookup::Unknown => Response::not_found(&format!("no job {id_text:?}")),
+                },
                 None => Response::not_found(&format!("no job {id_text:?}")),
             }
         }
@@ -307,6 +360,12 @@ fn handle_scan(shared: &Shared, http_request: &Request) -> Response {
 
     if let Some(result) = cached {
         let id = shared.table.create_cached(request.kind, result);
+        // Cache hits complete inline and are not individually logged;
+        // an amortised id reservation (one fsync per block) is enough
+        // to keep a restarted daemon from re-issuing this id.
+        if let Some(wal) = &shared.wal {
+            wal.reserve_id(id.0);
+        }
         if let Some(t) = &trace {
             shared.table.update(id, |r| r.trace_id = Some(t.trace_id()));
             t.annotate("job", &id.to_string());
@@ -326,6 +385,12 @@ fn handle_scan(shared: &Shared, http_request: &Request) -> Response {
     }
     match shared.lanes.submit(Submission { id, request, trace: trace.clone() }) {
         Ok(()) => {
+            // The admit record is fsync'd *before* the 202 goes out:
+            // once the client holds the job id, a crash cannot lose the
+            // job. Rejected submissions (below) are never logged.
+            if let Some(wal) = &shared.wal {
+                wal.append_admit(id.0, text);
+            }
             let body = match shared.table.get(id) {
                 Some(r) => job_json(id, &r),
                 None => error_body("job record vanished"),
@@ -363,37 +428,80 @@ fn handle_scan(shared: &Shared, http_request: &Request) -> Response {
     }
 }
 
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _span = omega_obs::span!("serve.request");
-    // A stalled peer must not pin a handler thread forever.
+/// Serves one connection until the peer closes, asks to close, a
+/// request errors, or the daemon shuts down. HTTP/1.1 requests keep the
+/// connection alive between requests (loadgen's replay phase reuses one
+/// connection per client, which is where the per-request TCP handshake
+/// used to dominate). Large bodies stream out chunked.
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    // A stalled peer must not pin a handler thread forever; on an idle
+    // keep-alive connection the timeout reads as a clean close.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    match read_request(&mut stream, shared.config.max_body_bytes) {
-        Ok(Some(request)) => {
-            let response = route(shared, &request);
-            let _ = write_response(
-                &mut stream,
-                response.status,
-                response.reason,
-                response.content_type,
-                &response.headers,
-                &response.body,
-            );
-        }
-        Ok(None) => {}
-        Err(e @ HttpError::Io(_)) => {
-            // Socket already broken; nothing useful to write.
-            let _ = e;
-        }
-        Err(e) => {
-            let (status, reason) = e.status();
-            let _ = write_response(
-                &mut stream,
-                status,
-                reason,
-                "application/json",
-                &[],
-                &error_body(&e.detail()),
-            );
+    // Nagle + delayed ACK stalls keep-alive round-trips by ~40 ms when
+    // a response crosses two writes (head, then body).
+    let _ = stream.set_nodelay(true);
+    let mut conn = HttpConn::new(stream);
+    let mut served: u64 = 0;
+    loop {
+        let request = {
+            let _span = omega_obs::span!("serve.request");
+            conn.read_request(shared.config.max_body_bytes)
+        };
+        match request {
+            Ok(Some(request)) => {
+                if served > 0 {
+                    omega_obs::counter!("serve.http_conn_reuses").inc();
+                }
+                served += 1;
+                let keep_alive = request.keep_alive && !shared.shutting_down.load(Ordering::SeqCst);
+                let response = route(shared, &request);
+                let use_chunked = request.http11 && response.body.len() >= CHUNKED_THRESHOLD_BYTES;
+                let written = if use_chunked {
+                    write_chunked_response(
+                        conn.stream_mut(),
+                        response.status,
+                        response.reason,
+                        response.content_type,
+                        &response.headers,
+                        &response.body,
+                        keep_alive,
+                    )
+                } else {
+                    write_response(
+                        conn.stream_mut(),
+                        response.status,
+                        response.reason,
+                        response.content_type,
+                        &response.headers,
+                        &response.body,
+                        keep_alive,
+                    )
+                };
+                if written.is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Ok(None) => return,
+            Err(e @ HttpError::Io(_)) => {
+                // Socket already broken; nothing useful to write.
+                let _ = e;
+                return;
+            }
+            Err(e) => {
+                // Parse errors poison the framing (we cannot know where
+                // the next request starts), so the connection closes.
+                let (status, reason) = e.status();
+                let _ = write_response(
+                    conn.stream_mut(),
+                    status,
+                    reason,
+                    "application/json",
+                    &[],
+                    &error_body(&e.detail()),
+                    false,
+                );
+                return;
+            }
         }
     }
 }
@@ -453,23 +561,145 @@ impl ServeHandle {
             let _ = acceptor.join();
         }
     }
+
+    /// Simulated crash for recovery tests: stops the lane workers
+    /// *immediately* (queued jobs stay queued — and, with a WAL, stay
+    /// recoverable) and tears down the acceptor without draining.
+    /// Unlike [`ServeHandle::shutdown`], admitted work is abandoned,
+    /// exactly as `kill -9` would abandon it.
+    pub fn abort(mut self) {
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.lanes.poison();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+    }
 }
 
-/// Boots the daemon: binds, spawns the three lane workers and the
-/// acceptor, and returns a handle.
+/// Rebuilds daemon state from a WAL replay: queued jobs re-enter their
+/// lanes (bypassing admission — they were already acknowledged),
+/// finished jobs get their records back (results rehydrated from the
+/// store, byte-identical to the pre-crash response), and the id
+/// allocator is advanced past every id a pre-crash client could hold.
+fn recover(shared: &Shared, store: &ResultStore, replay: crate::wal::Replay) {
+    shared.table.reserve_through(replay.next_id.saturating_sub(1));
+    let mut recovered = 0u64;
+    for job in replay.jobs {
+        let id = JobId(job.id);
+        match job.state {
+            RecoveredState::Queued => match parse_scan_request(&job.body) {
+                Ok(request) => {
+                    shared.table.create_with_id(id, request.kind);
+                    shared.lanes.restore(Submission { id, request, trace: None });
+                    recovered += 1;
+                }
+                Err(e) => {
+                    // A body that parsed pre-crash but not now means the
+                    // log is damaged; fail the job visibly instead of
+                    // dropping it silently.
+                    shared.table.create_with_id(id, BackendKind::Cpu);
+                    shared.table.update(id, |r| {
+                        r.state = JobState::Failed;
+                        r.error = Some(format!("recovered job body no longer parses: {e}"));
+                    });
+                    if let Some(wal) = &shared.wal {
+                        wal.append_terminal(id.0, JobState::Failed, None);
+                    }
+                }
+            },
+            RecoveredState::Done { key } => {
+                let kind =
+                    parse_scan_request(&job.body).map(|r| r.kind).unwrap_or(BackendKind::Cpu);
+                shared.table.create_with_id(id, kind);
+                match store.read_by_digest(key) {
+                    Some((_, value)) => {
+                        shared.table.update(id, |r| {
+                            r.state = JobState::Done;
+                            r.result = Some(value);
+                        });
+                        recovered += 1;
+                    }
+                    None => {
+                        shared.table.update(id, |r| {
+                            r.state = JobState::Failed;
+                            r.error = Some("result bytes did not survive the restart".to_string());
+                        });
+                    }
+                }
+            }
+            RecoveredState::Failed => {
+                shared.table.create_with_id(id, BackendKind::Cpu);
+                shared.table.update(id, |r| {
+                    r.state = JobState::Failed;
+                    r.error = Some("failed before the restart".to_string());
+                });
+            }
+            RecoveredState::Expired => {
+                shared.table.create_with_id(id, BackendKind::Cpu);
+                shared.table.update(id, |r| {
+                    r.state = JobState::Expired;
+                    r.error = Some("expired before the restart".to_string());
+                });
+            }
+        }
+    }
+    if recovered > 0 {
+        omega_obs::counter!("serve.jobs_recovered").add(recovered);
+    }
+}
+
+/// Boots the daemon: binds, opens the durability layer (when
+/// configured), replays the write-ahead log, spawns the three lane
+/// workers and the acceptor, and returns a handle.
 pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
     register_instruments();
     omega_obs::recorder().set_capacity(config.trace_capacity);
     let listener = TcpListener::bind(&config.addr)?;
     let addr = listener.local_addr()?;
+
+    // Durability boots before the first connection is accepted, so a
+    // recovered job can never race a fresh submission for its id.
+    let mut wal = None;
+    let mut replay = None;
+    let mut store = None;
+    if let Some(dir) = &config.data_dir {
+        std::fs::create_dir_all(dir)?;
+        let s = Arc::new(ResultStore::open(&dir.join("store"))?);
+        let (w, r) = Wal::open_and_replay(&dir.join("jobs.wal"))?;
+        store = Some(s);
+        wal = Some(w);
+        replay = Some(r);
+    }
+    let cache = match &store {
+        Some(s) => ResultCache::with_store(config.cache_capacity_bytes, Arc::clone(s)),
+        None => ResultCache::with_capacity(config.cache_capacity_bytes),
+    };
+
     let shared = Arc::new(Shared {
         lanes: Lanes::with_capacity(config.queue_capacity),
-        table: JobTable::default(),
-        cache: ResultCache::with_capacity(config.cache_capacity_bytes),
+        table: JobTable::with_retention(
+            config.retain_jobs,
+            Duration::from_secs(config.retain_job_secs),
+        ),
+        cache,
+        wal,
         config: config.clone(),
         shutting_down: AtomicBool::new(false),
         started: Instant::now(),
     });
+    if let (Some(store), Some(replay)) = (&store, replay) {
+        shared.cache.rehydrate();
+        recover(&shared, store, replay);
+        if let Some(wal) = &shared.wal {
+            // Recovery replays terminal records too; compacting now
+            // bounds the next boot's replay to the live set.
+            wal.compact();
+        }
+    }
     if config.start_paused {
         shared.lanes.pause();
     }
@@ -478,9 +708,11 @@ pub fn start(config: ServeConfig) -> io::Result<ServeHandle> {
     for kind in BackendKind::ALL {
         let shared = Arc::clone(&shared);
         workers.push(
-            std::thread::Builder::new()
-                .name(format!("serve-lane-{}", kind.as_str()))
-                .spawn(move || run_lane(kind, &shared.lanes, &shared.table, &shared.cache))?,
+            std::thread::Builder::new().name(format!("serve-lane-{}", kind.as_str())).spawn(
+                move || {
+                    run_lane(kind, &shared.lanes, &shared.table, &shared.cache, shared.wal.as_ref())
+                },
+            )?,
         );
     }
 
@@ -529,6 +761,7 @@ mod tests {
             lanes: Lanes::with_capacity(4),
             table: JobTable::default(),
             cache: ResultCache::with_capacity(1024),
+            wal: None,
             config: ServeConfig::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),
@@ -556,6 +789,7 @@ mod tests {
             lanes: Lanes::with_capacity(4),
             table: JobTable::default(),
             cache: ResultCache::with_capacity(1024),
+            wal: None,
             config: ServeConfig::default(),
             shutting_down: AtomicBool::new(false),
             started: Instant::now(),

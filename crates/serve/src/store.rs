@@ -1,0 +1,354 @@
+//! On-disk content-addressed result store.
+//!
+//! The in-memory [`crate::cache::ResultCache`] is an LRU over a byte
+//! budget: eviction and restarts both discard results that cost real
+//! detector time. The store fixes both: every cached result is also
+//! written through to disk, keyed by a digest of the full cache key
+//! (payload digest, exact scan parameters, backend label, overlap
+//! mode), so an evicted or post-restart lookup falls through to disk
+//! and rehydrates the memory cache instead of re-running the scan.
+//!
+//! ## Layout
+//!
+//! One file per result under `<data-dir>/store/<16-hex-digest>.res`:
+//!
+//! ```text
+//! <header JSON line>\n<result JSON bytes>
+//! ```
+//!
+//! The header repeats every cache-key facet plus the body length and
+//! its FNV-1a checksum. Reads verify all of it: a digest collision
+//! (header key mismatch) or torn write (length/checksum mismatch) is a
+//! counted miss, never a wrong result — the contract is the same as the
+//! memory cache's: bytes out are exactly the bytes a fresh run would
+//! produce, or nothing.
+//!
+//! Writes go to a `.tmp` sibling, fsync, then rename, so a crash leaves
+//! either the old file, the new file, or a dangling `.tmp` the next
+//! boot ignores — never a half-written `.res`.
+
+use std::fs::File;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use omega_obs::{JsonObject, JsonValue};
+
+use crate::cache::CacheKey;
+use crate::digest::{fnv64, Fnv64};
+
+/// Stable 64-bit digest of a full cache key: the store filename and the
+/// WAL's `done` record key. Field order is fixed; changing it is a
+/// store-format break.
+pub fn key_digest(key: &CacheKey) -> u64 {
+    let mut h = Fnv64::new();
+    h.update(&key.payload_digest.to_le_bytes());
+    h.update(&(key.params.grid as u64).to_le_bytes());
+    h.update(&key.params.min_win.to_le_bytes());
+    h.update(&key.params.max_win.to_le_bytes());
+    h.update(&(key.params.min_snps_per_side as u64).to_le_bytes());
+    h.update(&(key.params.threads as u64).to_le_bytes());
+    h.update(key.backend.as_bytes());
+    h.update(&[u8::from(key.overlapped)]);
+    h.finish()
+}
+
+// 64-bit digests/checksums are hex *strings* in the header: the JSON
+// layer parses numbers as f64, which silently rounds above 2^53.
+fn header_json(key: &CacheKey, body: &str) -> String {
+    JsonObject::new()
+        .string("digest", &format!("{:016x}", key.payload_digest))
+        .u64("grid", key.params.grid as u64)
+        .u64("min_win", key.params.min_win)
+        .u64("max_win", key.params.max_win)
+        .u64("min_snps", key.params.min_snps_per_side as u64)
+        .u64("threads", key.params.threads as u64)
+        .string("backend", &key.backend)
+        .raw("overlapped", if key.overlapped { "true" } else { "false" })
+        .u64("len", body.len() as u64)
+        .string("sum", &format!("{:016x}", fnv64(body.as_bytes())))
+        .finish()
+}
+
+fn hex_u64(v: &JsonValue, field: &str) -> Option<u64> {
+    u64::from_str_radix(v.get(field)?.as_str()?, 16).ok()
+}
+
+fn key_from_header(v: &JsonValue) -> Option<CacheKey> {
+    Some(CacheKey {
+        payload_digest: hex_u64(v, "digest")?,
+        params: omega_core::ScanParams {
+            grid: v.get("grid")?.as_u64()? as usize,
+            min_win: v.get("min_win")?.as_u64()?,
+            max_win: v.get("max_win")?.as_u64()?,
+            min_snps_per_side: v.get("min_snps")?.as_u64()? as usize,
+            threads: v.get("threads")?.as_u64()? as usize,
+        },
+        backend: v.get("backend")?.as_str()?.to_string(),
+        overlapped: *v.get("overlapped")? == JsonValue::Bool(true),
+    })
+}
+
+/// One rehydratable entry found by a boot-time scan.
+#[derive(Debug)]
+pub struct StoredEntry {
+    /// The reconstructed cache key.
+    pub key: CacheKey,
+    /// The verified result bytes.
+    pub value: Arc<String>,
+    /// File modification time, for newest-first rehydration.
+    pub modified: std::time::SystemTime,
+}
+
+/// The disk store. All operations are infallible at the call site:
+/// errors degrade to counted misses (reads) or a counted write error
+/// that flips the store into a read-only degraded mode.
+#[derive(Debug)]
+pub struct ResultStore {
+    dir: PathBuf,
+    /// Resident bytes across all `.res` files (approximate; maintained
+    /// from the boot scan plus writes).
+    bytes: AtomicU64,
+    degraded: AtomicBool,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store directory.
+    pub fn open(dir: &Path) -> std::io::Result<ResultStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut bytes = 0u64;
+        for entry in std::fs::read_dir(dir)? {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "res") {
+                bytes += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            } else if path.extension().is_some_and(|e| e == "tmp") {
+                // A crash mid-write left this; the rename never happened.
+                let _ = std::fs::remove_file(&path);
+            }
+        }
+        omega_obs::gauge!("serve.store_bytes").set(bytes as i64);
+        Ok(ResultStore {
+            dir: dir.to_path_buf(),
+            bytes: AtomicU64::new(bytes),
+            degraded: AtomicBool::new(false),
+        })
+    }
+
+    fn path_of(&self, digest: u64) -> PathBuf {
+        self.dir.join(format!("{digest:016x}.res"))
+    }
+
+    /// Writes `value` under `key` (tmp + fsync + rename). Idempotent:
+    /// rewriting an existing key is a no-op cost-wise beyond the write.
+    pub fn write(&self, key: &CacheKey, value: &str) {
+        if self.degraded.load(Ordering::Relaxed) {
+            return;
+        }
+        let digest = key_digest(key);
+        let path = self.path_of(digest);
+        let existed = path.exists();
+        let tmp = self.dir.join(format!("{digest:016x}.tmp"));
+        let header = header_json(key, value);
+        let total = header.len() + 1 + value.len();
+        let result = (|| -> std::io::Result<()> {
+            let mut f = File::create(&tmp)?;
+            f.write_all(header.as_bytes())?;
+            f.write_all(b"\n")?;
+            f.write_all(value.as_bytes())?;
+            f.sync_data()?;
+            drop(f);
+            std::fs::rename(&tmp, &path)
+        })();
+        match result {
+            Ok(()) => {
+                if !existed {
+                    self.bytes.fetch_add(total as u64, Ordering::Relaxed);
+                }
+                omega_obs::counter!("serve.store_writes").inc();
+                omega_obs::gauge!("serve.store_bytes")
+                    .set(self.bytes.load(Ordering::Relaxed) as i64);
+            }
+            Err(e) => {
+                omega_obs::counter!("serve.store_errors").inc();
+                eprintln!("omega-serve: result store degraded (write failed: {e})");
+                self.degraded.store(true, Ordering::Relaxed);
+                let _ = std::fs::remove_file(&tmp);
+            }
+        }
+    }
+
+    fn read_verified(&self, path: &Path) -> Option<(CacheKey, String)> {
+        let mut raw = Vec::new();
+        File::open(path).ok()?.read_to_end(&mut raw).ok()?;
+        let nl = raw.iter().position(|&b| b == b'\n')?;
+        let header = std::str::from_utf8(&raw[..nl]).ok()?;
+        let v = omega_obs::parse_json(header).ok()?;
+        let key = key_from_header(&v)?;
+        let body = &raw[nl + 1..];
+        let len = v.get("len")?.as_u64()?;
+        let sum = hex_u64(&v, "sum")?;
+        if body.len() as u64 != len || fnv64(body) != sum {
+            return None;
+        }
+        let body = String::from_utf8(body.to_vec()).ok()?;
+        Some((key, body))
+    }
+
+    /// Looks up `key`, verifying the header matches (collision guard)
+    /// and the body checksums. Counted as a store hit or miss.
+    pub fn read(&self, key: &CacheKey) -> Option<Arc<String>> {
+        let path = self.path_of(key_digest(key));
+        if !path.exists() {
+            omega_obs::counter!("serve.store_misses").inc();
+            return None;
+        }
+        match self.read_verified(&path) {
+            Some((stored_key, body)) if stored_key == *key => {
+                omega_obs::counter!("serve.store_hits").inc();
+                Some(Arc::new(body))
+            }
+            Some(_) => {
+                // 64-bit digest collision: distinct key owns the slot.
+                omega_obs::counter!("serve.store_misses").inc();
+                None
+            }
+            None => {
+                omega_obs::counter!("serve.store_errors").inc();
+                omega_obs::counter!("serve.store_misses").inc();
+                None
+            }
+        }
+    }
+
+    /// Looks up a result by its key digest alone (WAL `done` records
+    /// carry only the digest). The header and checksum still verify.
+    pub fn read_by_digest(&self, digest: u64) -> Option<(CacheKey, Arc<String>)> {
+        let path = self.path_of(digest);
+        if !path.exists() {
+            return None;
+        }
+        self.read_verified(&path).map(|(key, body)| (key, Arc::new(body)))
+    }
+
+    /// Scans the store for rehydration, newest first. Corrupt files are
+    /// skipped (counted), not fatal.
+    pub fn entries(&self) -> Vec<StoredEntry> {
+        let mut out = Vec::new();
+        let Ok(dir) = std::fs::read_dir(&self.dir) else { return out };
+        for entry in dir {
+            let Ok(entry) = entry else { continue };
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "res") {
+                continue;
+            }
+            match self.read_verified(&path) {
+                Some((key, body)) => out.push(StoredEntry {
+                    key,
+                    value: Arc::new(body),
+                    modified: entry
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .unwrap_or(std::time::SystemTime::UNIX_EPOCH),
+                }),
+                None => {
+                    omega_obs::counter!("serve.store_errors").inc();
+                }
+            }
+        }
+        out.sort_by_key(|e| std::cmp::Reverse(e.modified));
+        out
+    }
+
+    /// Resident bytes (approximate).
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omega_core::ScanParams;
+
+    fn tmp_store(name: &str) -> ResultStore {
+        let dir =
+            std::env::temp_dir().join(format!("omega-store-test-{}-{name}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultStore::open(&dir).expect("open store")
+    }
+
+    fn key(digest: u64) -> CacheKey {
+        CacheKey {
+            payload_digest: digest,
+            params: ScanParams { threads: 1, ..ScanParams::default() },
+            backend: "CPU".to_string(),
+            overlapped: false,
+        }
+    }
+
+    #[test]
+    fn write_read_roundtrip_preserves_bytes() {
+        let store = tmp_store("roundtrip");
+        let body = "{\"backend\":\"CPU\",\"n_replicates\":1}";
+        store.write(&key(42), body);
+        let got = store.read(&key(42)).expect("hit");
+        assert_eq!(got.as_str(), body);
+        assert!(store.read(&key(43)).is_none());
+    }
+
+    #[test]
+    fn key_digest_separates_every_facet() {
+        let base = key(1);
+        let mut facets = Vec::new();
+        facets.push(key(2));
+        let mut k = key(1);
+        k.params.grid += 1;
+        facets.push(k);
+        let mut k = key(1);
+        k.backend = "GPU (Tesla K80)".to_string();
+        facets.push(k);
+        let mut k = key(1);
+        k.overlapped = true;
+        facets.push(k);
+        for other in facets {
+            assert_ne!(key_digest(&base), key_digest(&other), "{other:?}");
+        }
+    }
+
+    #[test]
+    fn corrupt_body_is_a_miss_not_garbage() {
+        let store = tmp_store("corrupt");
+        store.write(&key(7), "result-bytes-here");
+        let path = store.path_of(key_digest(&key(7)));
+        let mut raw = std::fs::read(&path).expect("read");
+        let at = raw.len() - 3;
+        raw[at] ^= 0x55;
+        std::fs::write(&path, &raw).expect("corrupt");
+        assert!(store.read(&key(7)).is_none());
+    }
+
+    #[test]
+    fn rehydration_scan_returns_verified_entries() {
+        let store = tmp_store("entries");
+        store.write(&key(1), "one");
+        store.write(&key(2), "two");
+        let entries = store.entries();
+        assert_eq!(entries.len(), 2);
+        for e in &entries {
+            let expect = if e.key.payload_digest == 1 { "one" } else { "two" };
+            assert_eq!(e.value.as_str(), expect);
+        }
+    }
+
+    #[test]
+    fn read_by_digest_recovers_key_and_value() {
+        let store = tmp_store("bydigest");
+        store.write(&key(9), "nine");
+        let (k, v) = store.read_by_digest(key_digest(&key(9))).expect("hit");
+        assert_eq!(k, key(9));
+        assert_eq!(v.as_str(), "nine");
+        assert!(store.read_by_digest(0xdead_beef).is_none());
+    }
+}

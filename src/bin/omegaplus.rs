@@ -443,7 +443,8 @@ fn run(cli: &Cli) -> Result<(), String> {
 }
 
 const SERVE_USAGE: &str = "usage: omegaplus serve [-addr HOST:PORT] [-queue N] \
-[-cache-mb N] [-max-body-mb N] [-retry-after SECS] [-trace-capacity N] [-trace-all]";
+[-cache-mb N] [-max-body-mb N] [-retry-after SECS] [-trace-capacity N] [-trace-all] \
+[-data-dir PATH] [-no-persist] [-retain-jobs N] [-retain-secs SECS]";
 
 /// Parses `omegaplus serve` flags into a daemon configuration.
 fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>, String> {
@@ -477,6 +478,15 @@ fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>,
                     num("-trace-capacity")?.parse().map_err(|_| "bad -trace-capacity")?
             }
             "-trace-all" => config.trace_all = true,
+            "-data-dir" => config.data_dir = Some(num("-data-dir")?.into()),
+            "-no-persist" => config.data_dir = None,
+            "-retain-jobs" => {
+                config.retain_jobs = num("-retain-jobs")?.parse().map_err(|_| "bad -retain-jobs")?
+            }
+            "-retain-secs" => {
+                config.retain_job_secs =
+                    num("-retain-secs")?.parse().map_err(|_| "bad -retain-secs")?
+            }
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
         }
