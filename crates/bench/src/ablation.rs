@@ -118,6 +118,7 @@ pub fn threshold_ablation() -> String {
         }
         let label = if mult.is_infinite() {
             "all K1".to_string()
+        // lint:allow(float-total-order): mult is an exact CLI-supplied constant (0.0 disables K1), not a computed score
         } else if mult == 0.0 {
             "all K2".to_string()
         } else {

@@ -98,12 +98,14 @@ pub fn avx2_supported() -> bool {
 /// The sweep implementation the kernel will dispatch to. Resolved once
 /// and cached; see the module docs for the resolution order.
 pub fn active_level() -> SimdLevel {
-    match LEVEL.load(Ordering::Relaxed) {
+    // Acquire/Release so a thread that reads a resolved level also sees
+    // everything the resolving thread did before publishing it.
+    match LEVEL.load(Ordering::Acquire) {
         LEVEL_SCALAR => SimdLevel::Scalar,
         LEVEL_AVX2 => SimdLevel::Avx2,
         _ => {
             let resolved = detect();
-            LEVEL.store(resolved, Ordering::Relaxed);
+            LEVEL.store(resolved, Ordering::Release);
             if resolved == LEVEL_AVX2 {
                 SimdLevel::Avx2
             } else {
@@ -124,7 +126,7 @@ pub fn force_level(level: Option<SimdLevel>) {
         Some(SimdLevel::Avx2) if avx2_supported() => LEVEL_AVX2,
         Some(SimdLevel::Avx2) => LEVEL_SCALAR,
     };
-    LEVEL.store(raw, Ordering::Relaxed);
+    LEVEL.store(raw, Ordering::Release);
 }
 
 /// `true` when the dispatcher will take the AVX2 path. Implies

@@ -67,8 +67,11 @@ impl OmegaPipeline {
         let mut next_in = 0usize;
         loop {
             // Retire whatever completes this cycle.
-            while in_flight.front().is_some_and(|&(ready, _)| ready == cycle) {
-                let (_, v) = in_flight.pop_front().expect("front checked above");
+            while let Some(&(ready, v)) = in_flight.front() {
+                if ready != cycle {
+                    break;
+                }
+                in_flight.pop_front();
                 out.push(v);
             }
             // Issue one input per cycle (II = 1).

@@ -72,10 +72,11 @@ impl SiteFrequencySpectrum {
     /// (fewer than 4 samples or no segregating sites).
     pub fn tajimas_d(&self) -> Option<f64> {
         let n = self.counts.len().saturating_sub(1);
-        let s = self.segregating_sites() as f64;
-        if n < 4 || s == 0.0 {
+        let sites = self.segregating_sites();
+        if n < 4 || sites == 0 {
             return None;
         }
+        let s = sites as f64;
         let nf = n as f64;
         let a1: f64 = (1..n).map(|i| 1.0 / i as f64).sum();
         let a2: f64 = (1..n).map(|i| 1.0 / (i * i) as f64).sum();

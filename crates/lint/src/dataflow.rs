@@ -1,0 +1,430 @@
+//! Intra-procedural dataflow over one function body.
+//!
+//! The engine's second structural pass: linearize a function body into
+//! an *event stream* — let-bindings with their initializer contents,
+//! method/path calls with receiver chains and flattened arguments,
+//! macro invocations, relational comparisons, and scope/statement
+//! boundaries. Function-level rules consume the stream in order, which
+//! gives them def-use chains (a binding's initializer mentions an
+//! earlier binding), call sequencing (event A precedes event B on this
+//! path), and guard lifetimes (a binding made in a scope dies at that
+//! scope's exit) without any of them re-walking tokens.
+//!
+//! The pass is approximate by design: it runs on the lexer's token
+//! trees, not a typed AST. Rules built on it must tolerate both missed
+//! events (a call spelled through a trait object) and extra ones (a
+//! tuple-struct constructor looks like a call). Like [`crate::scopes`],
+//! it never fails on garbled input — it just produces fewer events.
+
+use syn::{Delimiter, Span, TokenTree};
+
+use crate::scopes::Item;
+use crate::{ident_text, is_punct};
+
+/// A `let` statement or a plain `name = …` assignment.
+#[derive(Debug, Clone)]
+pub struct Binding {
+    /// Idents bound by the pattern (type-annotation idents excluded).
+    pub names: Vec<String>,
+    /// Every ident mentioned in the initializer, flattened.
+    pub init_idents: Vec<String>,
+    /// Every `name(…)` call made in the initializer, flattened.
+    pub init_calls: Vec<String>,
+}
+
+/// A method call `recv.method(args)` or path call `path::method(args)`.
+#[derive(Debug, Clone)]
+pub struct CallEvent {
+    /// Receiver/path idents, outermost first (`self.inner.lock()` →
+    /// `["self", "inner"]`; bare `drop(x)` → empty).
+    pub chain: Vec<String>,
+    pub method: String,
+    /// Idents anywhere in the argument list, flattened.
+    pub arg_idents: Vec<String>,
+    /// String-literal values anywhere in the argument list.
+    pub arg_strs: Vec<String>,
+    /// The let-binding whose statement this call occurs in, if any —
+    /// how a lock acquisition becomes a named, scope-lived guard.
+    pub binding: Option<String>,
+}
+
+/// A macro invocation `name!(…)` / `name![…]` / `name!{…}`.
+#[derive(Debug, Clone)]
+pub struct MacroEvent {
+    pub name: String,
+    pub arg_idents: Vec<String>,
+    pub arg_strs: Vec<String>,
+    /// Idents after the first top-level `;` in the arguments — the
+    /// length position of `vec![elem; len]`.
+    pub tail_idents: Vec<String>,
+}
+
+/// One linearized event.
+#[derive(Debug, Clone)]
+pub enum EventKind {
+    Bind(Binding),
+    Call(CallEvent),
+    Macro(MacroEvent),
+    /// `name` appears beside a relational operator (`<` `>` `<=` `>=`):
+    /// the code inspected its magnitude (a bound check, to the
+    /// untrusted-length rule).
+    Compare {
+        name: String,
+    },
+    ScopeEnter,
+    ScopeExit,
+    StmtEnd,
+}
+
+/// An event plus where it happened.
+#[derive(Debug, Clone)]
+pub struct Event {
+    pub kind: EventKind,
+    pub span: Span,
+}
+
+/// The analysis of one function body.
+#[derive(Debug)]
+pub struct FnAnalysis {
+    pub name: String,
+    pub events: Vec<Event>,
+}
+
+impl FnAnalysis {
+    /// Linearizes a function item's body.
+    pub fn build(item: &Item<'_>) -> FnAnalysis {
+        let mut events = Vec::new();
+        events.push(Event { kind: EventKind::ScopeEnter, span: item.body_span });
+        let mut binding = None;
+        walk_tokens(item.body, &mut events, true, &mut binding);
+        events.push(Event { kind: EventKind::ScopeExit, span: item.body_span });
+        FnAnalysis { name: item.name.clone().unwrap_or_default(), events }
+    }
+}
+
+/// Keywords that must not be mistaken for call names when followed by a
+/// parenthesized group.
+fn is_keyword(name: &str) -> bool {
+    matches!(name, "if" | "else" | "while" | "for" | "loop" | "match" | "return" | "fn" | "move")
+}
+
+fn walk_tokens(
+    tokens: &[TokenTree],
+    out: &mut Vec<Event>,
+    stmt_level: bool,
+    binding: &mut Option<String>,
+) {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.as_str() == "let" && stmt_level => {
+                if let Some(next_i) = emit_let(tokens, i, out, binding) {
+                    i = next_i;
+                    continue;
+                }
+            }
+            TokenTree::Ident(id)
+                if is_punct(tokens.get(i + 1), "!")
+                    && matches!(tokens.get(i + 2), Some(TokenTree::Group(_))) =>
+            {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 2) {
+                    let mut arg_idents = Vec::new();
+                    let mut arg_strs = Vec::new();
+                    flatten(g.tokens(), &mut arg_idents, &mut arg_strs, &mut Vec::new());
+                    let tail_idents = tail_after_semi(g.tokens());
+                    out.push(Event {
+                        kind: EventKind::Macro(MacroEvent {
+                            name: id.as_str().to_string(),
+                            arg_idents,
+                            arg_strs,
+                            tail_idents,
+                        }),
+                        span: id.span(),
+                    });
+                    // Calls inside macro arguments still count as calls.
+                    walk_tokens(g.tokens(), out, false, binding);
+                    i += 3;
+                    continue;
+                }
+            }
+            TokenTree::Ident(id)
+                if matches!(tokens.get(i + 1), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                    && !is_keyword(id.as_str())
+                    && ident_text(i.checked_sub(1).and_then(|p| tokens.get(p))) != Some("fn") =>
+            {
+                if let Some(TokenTree::Group(args)) = tokens.get(i + 1) {
+                    let mut arg_idents = Vec::new();
+                    let mut arg_strs = Vec::new();
+                    flatten(args.tokens(), &mut arg_idents, &mut arg_strs, &mut Vec::new());
+                    out.push(Event {
+                        kind: EventKind::Call(CallEvent {
+                            chain: chain_before(tokens, i),
+                            method: id.as_str().to_string(),
+                            arg_idents,
+                            arg_strs,
+                            binding: binding.clone(),
+                        }),
+                        span: id.span(),
+                    });
+                }
+            }
+            TokenTree::Punct(p) if p.as_str() == ";" && stmt_level => {
+                out.push(Event { kind: EventKind::StmtEnd, span: p.span() });
+                *binding = None;
+            }
+            TokenTree::Punct(p) if matches!(p.as_str(), "<" | ">" | "<=" | ">=") => {
+                let prev = i.checked_sub(1).and_then(|j| tokens.get(j));
+                for side in [prev, tokens.get(i + 1)] {
+                    if let Some(name) = ident_text(side) {
+                        out.push(Event {
+                            kind: EventKind::Compare { name: name.to_string() },
+                            span: p.span(),
+                        });
+                    }
+                }
+            }
+            TokenTree::Group(g) => match g.delimiter() {
+                Delimiter::Brace => {
+                    out.push(Event { kind: EventKind::ScopeEnter, span: g.span() });
+                    let mut inner_binding = None;
+                    walk_tokens(g.tokens(), out, true, &mut inner_binding);
+                    out.push(Event { kind: EventKind::ScopeExit, span: g.span() });
+                }
+                Delimiter::Parenthesis | Delimiter::Bracket => {
+                    walk_tokens(g.tokens(), out, false, binding);
+                }
+            },
+            _ => {}
+        }
+        i += 1;
+    }
+}
+
+/// Handles a `let` statement at `tokens[i]`: emits the [`Binding`]
+/// event, arms `binding` with the first bound name, and returns the
+/// index to resume from (just after the `=`, so initializer calls are
+/// walked normally). Returns `None` when the tokens do not form a
+/// recognizable binding (garbled input): the caller falls through.
+fn emit_let(
+    tokens: &[TokenTree],
+    i: usize,
+    out: &mut Vec<Event>,
+    binding: &mut Option<String>,
+) -> Option<usize> {
+    let span = match &tokens[i] {
+        TokenTree::Ident(id) => id.span(),
+        _ => return None,
+    };
+    let mut names = Vec::new();
+    let mut in_type = false;
+    let mut j = i + 1;
+    let mut eq_at = None;
+    while j < tokens.len() {
+        match &tokens[j] {
+            TokenTree::Punct(p) if p.as_str() == "=" => {
+                eq_at = Some(j);
+                break;
+            }
+            TokenTree::Punct(p) if p.as_str() == ";" => break,
+            TokenTree::Punct(p) if p.as_str() == ":" => in_type = true,
+            TokenTree::Ident(n) if !in_type && n.as_str() != "mut" => {
+                names.push(n.as_str().to_string());
+            }
+            TokenTree::Group(g) if !in_type => {
+                // Tuple/struct patterns: every ident inside binds.
+                flatten(g.tokens(), &mut names, &mut Vec::new(), &mut Vec::new());
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    let (init_idents, init_calls) = match eq_at {
+        Some(eq) => {
+            let end = stmt_end(tokens, eq + 1);
+            let mut idents = Vec::new();
+            let mut calls = Vec::new();
+            flatten(&tokens[eq + 1..end], &mut idents, &mut Vec::new(), &mut calls);
+            (idents, calls)
+        }
+        None => (Vec::new(), Vec::new()),
+    };
+    *binding = names.first().cloned();
+    out.push(Event { kind: EventKind::Bind(Binding { names, init_idents, init_calls }), span });
+    Some(eq_at.map_or(j, |eq| eq + 1))
+}
+
+/// First `;` at this nesting level from `from`, or the list's end.
+fn stmt_end(tokens: &[TokenTree], from: usize) -> usize {
+    for (k, t) in tokens.iter().enumerate().skip(from) {
+        if matches!(t, TokenTree::Punct(p) if p.as_str() == ";") {
+            return k;
+        }
+    }
+    tokens.len()
+}
+
+/// Flattens idents, string-literal values, and `name(…)` call names out
+/// of a token run, recursing through groups.
+fn flatten(
+    tokens: &[TokenTree],
+    idents: &mut Vec<String>,
+    strs: &mut Vec<String>,
+    calls: &mut Vec<String>,
+) {
+    for (k, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Ident(id) => {
+                idents.push(id.as_str().to_string());
+                if matches!(tokens.get(k + 1), Some(TokenTree::Group(g))
+                    if g.delimiter() == Delimiter::Parenthesis)
+                    && !is_keyword(id.as_str())
+                {
+                    calls.push(id.as_str().to_string());
+                }
+            }
+            TokenTree::Literal(l) => {
+                if let Some(v) = l.str_value() {
+                    strs.push(v.to_string());
+                }
+            }
+            TokenTree::Group(g) => flatten(g.tokens(), idents, strs, calls),
+            TokenTree::Punct(_) => {}
+        }
+    }
+}
+
+/// Idents after the first top-level `;` in a macro's arguments.
+fn tail_after_semi(tokens: &[TokenTree]) -> Vec<String> {
+    let semi = stmt_end(tokens, 0);
+    if semi >= tokens.len() {
+        return Vec::new();
+    }
+    let mut idents = Vec::new();
+    flatten(&tokens[semi + 1..], &mut idents, &mut Vec::new(), &mut Vec::new());
+    idents
+}
+
+/// Walks the receiver/path chain backwards from the call name at `i`:
+/// `self.inner.lock` → `["self", "inner"]`, `std::fs::rename` →
+/// `["std", "fs"]`, bare `drop` → empty. Index and call groups in the
+/// chain are stepped over so `self.lanes[k].queue.lock()` resolves to
+/// `[…, "queue"]`.
+fn chain_before(tokens: &[TokenTree], i: usize) -> Vec<String> {
+    let mut chain = Vec::new();
+    let mut j = i as isize - 1;
+    let connector = |t: Option<&TokenTree>| matches!(t, Some(TokenTree::Punct(p)) if matches!(p.as_str(), "." | "::" | "?"));
+    if j < 0 || !connector(tokens.get(j as usize)) {
+        return chain;
+    }
+    j -= 1;
+    while j >= 0 {
+        match &tokens[j as usize] {
+            TokenTree::Ident(id) => chain.push(id.as_str().to_string()),
+            TokenTree::Group(g)
+                if matches!(g.delimiter(), Delimiter::Bracket | Delimiter::Parenthesis) => {}
+            TokenTree::Punct(p) if matches!(p.as_str(), "." | "::" | "?") => {}
+            _ => break,
+        }
+        j -= 1;
+    }
+    chain.reverse();
+    chain
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scopes::ItemTree;
+
+    fn analyze(body: &str) -> FnAnalysis {
+        let src = format!("fn probe() {{ {body} }}\n");
+        let file = syn::parse_file(&src).expect("lexes");
+        let tokens: &'static [TokenTree] = Box::leak(file.tokens.into_boxed_slice());
+        let tree: &'static ItemTree<'static> = Box::leak(Box::new(ItemTree::parse(tokens)));
+        let fns = tree.functions();
+        FnAnalysis::build(fns[0])
+    }
+
+    fn calls(a: &FnAnalysis) -> Vec<(Vec<String>, String, Option<String>)> {
+        a.events
+            .iter()
+            .filter_map(|e| match &e.kind {
+                EventKind::Call(c) => Some((c.chain.clone(), c.method.clone(), c.binding.clone())),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn method_chain_and_binding() {
+        let a = analyze("let guard = self.inner.lock(); guard.push(1);");
+        let cs = calls(&a);
+        assert_eq!(cs[0].0, vec!["self", "inner"]);
+        assert_eq!(cs[0].1, "lock");
+        assert_eq!(cs[0].2.as_deref(), Some("guard"));
+        assert_eq!(cs[1].0, vec!["guard"]);
+        assert_eq!(cs[1].2, None, "binding dies at the statement end");
+    }
+
+    #[test]
+    fn path_call_and_indexed_chain() {
+        let a = analyze("std::fs::rename(&tmp, &path); self.lanes[k].queue.lock();");
+        let cs = calls(&a);
+        assert_eq!(cs[0].0, vec!["std", "fs"]);
+        assert_eq!(cs[0].1, "rename");
+        assert_eq!(cs[1].0, vec!["self", "lanes", "queue"]);
+        assert_eq!(cs[1].1, "lock");
+    }
+
+    #[test]
+    fn binding_records_initializer_contents() {
+        let a = analyze("let len: usize = header.trim().parse().unwrap_or(0);");
+        let bind = a
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Bind(b) => Some(b.clone()),
+                _ => None,
+            })
+            .expect("one binding");
+        assert_eq!(bind.names, vec!["len"], "type annotation idents are not names");
+        assert!(bind.init_calls.iter().any(|c| c == "parse"));
+        assert!(bind.init_idents.iter().any(|x| x == "header"));
+    }
+
+    #[test]
+    fn compares_and_scopes() {
+        let a = analyze("if len > max { resize(len); }");
+        let mut saw_compare = false;
+        let mut depth = 0usize;
+        let mut call_depth = None;
+        for e in &a.events {
+            match &e.kind {
+                EventKind::Compare { name } if name == "len" => saw_compare = true,
+                EventKind::ScopeEnter => depth += 1,
+                EventKind::ScopeExit => depth -= 1,
+                EventKind::Call(c) if c.method == "resize" => call_depth = Some(depth),
+                _ => {}
+            }
+        }
+        assert!(saw_compare);
+        assert_eq!(call_depth, Some(2), "call sits in the if-block scope inside the fn scope");
+        assert_eq!(depth, 0, "scopes balance");
+    }
+
+    #[test]
+    fn vec_macro_tail_is_the_length_position() {
+        let a = analyze("let body = vec![0u8; content_length];");
+        let mac = a
+            .events
+            .iter()
+            .find_map(|e| match &e.kind {
+                EventKind::Macro(m) => Some(m.clone()),
+                _ => None,
+            })
+            .expect("one macro");
+        assert_eq!(mac.name, "vec");
+        assert_eq!(mac.tail_idents, vec!["content_length"]);
+    }
+}

@@ -1,0 +1,237 @@
+//! The pre-engine (flat token-tree) linter, frozen.
+//!
+//! This is the v1 walker exactly as it shipped: a single recursive pass
+//! over the token tree with adjacency-matched rules. It exists for one
+//! reason — the parity regression test (`tests/legacy_parity.rs`) pins
+//! the five ported lexical rules to byte-identical findings against it,
+//! so the engine rewrite cannot silently change what the baseline keys
+//! mean. Nothing else may call into this module; new rules live in
+//! [`crate::rules`] on top of [`crate::engine`].
+
+use syn::{Delimiter, TokenTree};
+
+use crate::{
+    attr_is_cfg_test, classify, ident_text, is_float_literal, is_number, is_punct, is_score_ident,
+    is_unit_named, parse_waivers, FileClass, Finding, Registry,
+};
+
+/// Lints one file with the frozen v1 walker. Same contract as
+/// [`crate::lint_source`], restricted to the five v1 rules.
+pub fn lint_source_v1(
+    rel: &str,
+    src: &str,
+    registry: &Registry,
+) -> Result<Vec<Finding>, syn::Error> {
+    let file = syn::parse_file(src)?;
+    let mut ctx = Ctx { rel, class: classify(rel), registry, findings: Vec::new() };
+    walk(&file.tokens, &mut ctx);
+    let waivers = parse_waivers(src);
+    let mut findings = ctx.findings;
+    findings.retain(|f| {
+        !waivers.iter().any(|w| w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line))
+    });
+    findings.sort_by(|a, b| (a.line, a.column, a.rule).cmp(&(b.line, b.column, b.rule)));
+    Ok(findings)
+}
+
+struct Ctx<'a> {
+    rel: &'a str,
+    class: FileClass,
+    registry: &'a Registry,
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn push(&mut self, rule: &'static str, span: syn::Span, message: String) {
+        self.findings.push(Finding {
+            rule,
+            file: self.rel.to_string(),
+            line: span.line,
+            column: span.column,
+            message,
+        });
+    }
+}
+
+fn walk(tokens: &[TokenTree], ctx: &mut Ctx<'_>) {
+    let mut skip_next_brace = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        // `#[cfg(test)]` arms the skip of the next brace group (the
+        // gated mod/fn body). A `;` before any brace (the attribute
+        // applied to a non-block item) disarms it.
+        if is_punct(tokens.get(i), "#") {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    if attr_is_cfg_test(g) {
+                        skip_next_brace = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        if is_punct(tokens.get(i), ";") {
+            skip_next_brace = false;
+        }
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            if g.delimiter() == Delimiter::Brace && skip_next_brace {
+                skip_next_brace = false;
+                i += 1;
+                continue;
+            }
+        }
+
+        rules_at(tokens, i, ctx);
+
+        if let Some(TokenTree::Group(g)) = tokens.get(i) {
+            walk(g.tokens(), ctx);
+        }
+        i += 1;
+    }
+}
+
+fn rules_at(tokens: &[TokenTree], i: usize, ctx: &mut Ctx<'_>) {
+    let prev = if i > 0 { tokens.get(i - 1) } else { None };
+    let next = tokens.get(i + 1);
+    match &tokens[i] {
+        TokenTree::Ident(id) => {
+            let name = id.as_str();
+
+            // counter-registry: `span!("name")` and friends.
+            if matches!(name, "span" | "counter" | "gauge" | "histogram") && is_punct(next, "!") {
+                if let Some(TokenTree::Group(args)) = tokens.get(i + 2) {
+                    if args.delimiter() == Delimiter::Parenthesis {
+                        if let Some(TokenTree::Literal(l)) = args.tokens().first() {
+                            if let Some(instr) = l.str_value() {
+                                if !ctx.registry.is_registered(instr) {
+                                    ctx.push(
+                                        "counter-registry",
+                                        l.span(),
+                                        format!(
+                                            "instrument name {instr:?} is not in \
+                                             crates/obs/src/names.rs::INSTRUMENTS"
+                                        ),
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+
+            // float-total-order: partial orders on scores.
+            if name == "partial_cmp" {
+                ctx.push(
+                    "float-total-order",
+                    id.span(),
+                    "partial_cmp on floats; use f64::total_cmp or \
+                     core::kernel::total_order_key{,_f64}"
+                        .to_string(),
+                );
+            }
+
+            // no-panic-lib.
+            if ctx.class.lib_source {
+                if matches!(name, "unwrap" | "expect") && is_punct(prev, ".") {
+                    ctx.push(
+                        "no-panic-lib",
+                        id.span(),
+                        format!("`.{name}()` in library code; return a typed error instead"),
+                    );
+                }
+                if name == "panic" && is_punct(next, "!") {
+                    ctx.push(
+                        "no-panic-lib",
+                        id.span(),
+                        "`panic!` in library code; return a typed error instead".to_string(),
+                    );
+                }
+            }
+
+            // no-f64-kernel.
+            if ctx.class.kernel_datapath && name == "f64" {
+                ctx.push(
+                    "no-f64-kernel",
+                    id.span(),
+                    "f64 in the kernel datapath; the ω kernel is f32 end-to-end \
+                     (cross-backend bit-identity contract)"
+                        .to_string(),
+                );
+            }
+
+            if ctx.class.sim_crate {
+                // unit-hygiene (a): raw-unit-suffixed quantities.
+                if name.ends_with("_us") || name.ends_with("_ns") {
+                    ctx.push(
+                        "unit-hygiene",
+                        id.span(),
+                        format!(
+                            "raw unit-suffixed quantity `{name}`; use core::units \
+                             (Nanos/Seconds) instead"
+                        ),
+                    );
+                }
+                // unit-hygiene (c): ident op literal.
+                if is_unit_named(name)
+                    && (is_punct(next, "*") || is_punct(next, "/"))
+                    && is_number(tokens.get(i + 2))
+                {
+                    ctx.push(
+                        "unit-hygiene",
+                        id.span(),
+                        format!(
+                            "raw conversion arithmetic on `{name}`; unit crossings \
+                             belong to core::units methods"
+                        ),
+                    );
+                }
+            }
+        }
+        TokenTree::Punct(p) if matches!(p.as_str(), "==" | "!=") => {
+            let float_adjacent = is_float_literal(prev) || is_float_literal(next);
+            let score_adjacent = ident_text(prev).is_some_and(is_score_ident)
+                || ident_text(next).is_some_and(is_score_ident);
+            if float_adjacent || score_adjacent {
+                ctx.push(
+                    "float-total-order",
+                    p.span(),
+                    format!(
+                        "`{}` on a float/score operand; use f64::total_cmp or \
+                         core::kernel::total_order_key{{,_f64}}",
+                        p.as_str()
+                    ),
+                );
+            }
+        }
+        TokenTree::Literal(l) => {
+            // unit-hygiene (b): bare time-conversion constants.
+            if ctx.class.sim_crate && matches!(l.as_str(), "1e-6" | "1e-9") {
+                ctx.push(
+                    "unit-hygiene",
+                    l.span(),
+                    format!(
+                        "bare {} time-conversion constant; the blessed formulas \
+                         live in core::units",
+                        l.as_str()
+                    ),
+                );
+            }
+            // unit-hygiene (c): literal op ident.
+            if ctx.class.sim_crate
+                && is_number(Some(&tokens[i]))
+                && (is_punct(next, "*") || is_punct(next, "/"))
+                && ident_text(tokens.get(i + 2)).is_some_and(is_unit_named)
+            {
+                ctx.push(
+                    "unit-hygiene",
+                    l.span(),
+                    "raw conversion arithmetic on a unit-named quantity; unit \
+                     crossings belong to core::units methods"
+                        .to_string(),
+                );
+            }
+        }
+        _ => {}
+    }
+}

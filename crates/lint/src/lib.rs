@@ -4,10 +4,13 @@
 //! datapath is f32 end-to-end and bitwise-identical across backends,
 //! score comparisons must use total orders so NaN can never reorder a
 //! scan, library crates must surface errors instead of panicking,
-//! instrument names must come from one registry, and simulator
-//! accounting must go through the `core::units` newtypes. This crate
-//! walks every crate's sources as [`syn`] token trees and reports
-//! violations with `file:line:column` diagnostics.
+//! instrument names must come from one registry, simulator accounting
+//! must go through the `core::units` newtypes, and the serving stack's
+//! locks, WAL records, and wire-derived lengths must follow their
+//! protocols. This crate lexes every crate's sources as [`syn`] token
+//! trees, structures them with [`scopes`] (item tree) and [`dataflow`]
+//! (per-function event streams), and runs the [`rules`] pack over both
+//! views via [`engine`], reporting `file:line:column` diagnostics.
 //!
 //! Rules (ids are what waivers and the baseline refer to):
 //!
@@ -28,6 +31,20 @@
 //!   time-conversion constants, and no raw `*`/`/` arithmetic between a
 //!   `_cycles`/`_bytes`-named identifier and a numeric literal; unit
 //!   crossings belong to the named conversions in `core::units`.
+//! * **`lock-order`** — the declared partial order over the
+//!   workspace's mutex sites (serve lanes/jobs/cache/wal before the
+//!   obs trace/sink/metrics locks); acquiring against the order while
+//!   a guard is live, or re-acquiring a held site, is a finding.
+//! * **`wal-protocol`** — a terminal `Done` WAL record must be
+//!   sequenced after the store write on its path, and every `rename`
+//!   must complete the tmp+fsync+rename durable-replace triple.
+//! * **`untrusted-length`** — a length parsed or byte-decoded from
+//!   network/WAL input must pass a bound check (`<`-family compare,
+//!   `min`, `clamp`) before sizing a buffer (`with_capacity`,
+//!   `resize`, `vec![…; n]`, …).
+//! * **`atomic-ordering`** — `Ordering::Relaxed` on atomics used for
+//!   cross-thread publication, outside the named allowlist of pure
+//!   counters.
 //!
 //! Escapes, in order of preference:
 //!
@@ -46,8 +63,28 @@ use std::path::Path;
 
 use syn::{Delimiter, Group, TokenTree};
 
+pub mod dataflow;
+pub mod engine;
+pub mod legacy;
+pub mod rules;
+pub mod scopes;
+
 /// All rule ids, sorted.
-pub const RULES: &[&str] =
+pub const RULES: &[&str] = &[
+    "atomic-ordering",
+    "counter-registry",
+    "float-total-order",
+    "lock-order",
+    "no-f64-kernel",
+    "no-panic-lib",
+    "unit-hygiene",
+    "untrusted-length",
+    "wal-protocol",
+];
+
+/// The five v1 rules the engine ported (pinned byte-identical to
+/// [`legacy`] by the parity test).
+pub const PORTED_RULES: &[&str] =
     &["counter-registry", "float-total-order", "no-f64-kernel", "no-panic-lib", "unit-hygiene"];
 
 /// Kernel-datapath files for `no-f64-kernel` (repo-relative).
@@ -71,8 +108,17 @@ pub struct Finding {
 }
 
 impl Finding {
-    /// The baseline key: stable across column/message tweaks.
+    /// The baseline key. Includes the column so two same-rule findings
+    /// on one line cannot share a key (fixing one used to silently
+    /// waive the other).
     pub fn key(&self) -> String {
+        format!("{}:{}:{} {}", self.file, self.line, self.column, self.rule)
+    }
+
+    /// The pre-column (v1) baseline key. Old baselines are accepted
+    /// through this shim; `--write-baseline` rewrites them in the new
+    /// format.
+    pub fn legacy_key(&self) -> String {
         format!("{}:{} {}", self.file, self.line, self.rule)
     }
 }
@@ -206,14 +252,14 @@ pub fn parse_waivers(src: &str) -> Vec<Waiver> {
     out
 }
 
-/// Lints one file's source. `rel` is the repo-relative path that scopes
-/// the rules (see [`classify`]); waivers are applied before returning.
+/// Lints one file's source through the engine. `rel` is the
+/// repo-relative path that scopes the rules (see [`classify`]); waivers
+/// are applied before returning.
 pub fn lint_source(rel: &str, src: &str, registry: &Registry) -> Result<Vec<Finding>, syn::Error> {
     let file = syn::parse_file(src)?;
-    let mut ctx = Ctx { rel, class: classify(rel), registry, findings: Vec::new() };
-    walk(&file.tokens, &mut ctx);
+    let ctx = engine::FileCtx { rel, class: classify(rel), registry };
+    let mut findings = engine::run(&file, &ctx);
     let waivers = parse_waivers(src);
-    let mut findings = ctx.findings;
     findings.retain(|f| {
         !waivers.iter().any(|w| w.rule == f.rule && (w.line == f.line || w.line + 1 == f.line))
     });
@@ -221,31 +267,12 @@ pub fn lint_source(rel: &str, src: &str, registry: &Registry) -> Result<Vec<Find
     Ok(findings)
 }
 
-struct Ctx<'a> {
-    rel: &'a str,
-    class: FileClass,
-    registry: &'a Registry,
-    findings: Vec<Finding>,
-}
-
-impl Ctx<'_> {
-    fn push(&mut self, rule: &'static str, span: syn::Span, message: String) {
-        self.findings.push(Finding {
-            rule,
-            file: self.rel.to_string(),
-            line: span.line,
-            column: span.column,
-            message,
-        });
-    }
-}
-
-fn is_punct(t: Option<&TokenTree>, op: &str) -> bool {
+pub(crate) fn is_punct(t: Option<&TokenTree>, op: &str) -> bool {
     matches!(t, Some(TokenTree::Punct(p)) if p.as_str() == op)
 }
 
 /// Whether an attribute group is exactly `cfg(test)` (not `cfg(not(test))`).
-fn attr_is_cfg_test(g: &Group) -> bool {
+pub(crate) fn attr_is_cfg_test(g: &Group) -> bool {
     let toks = g.tokens();
     matches!(
         (toks.first(), toks.get(1)),
@@ -259,16 +286,16 @@ fn attr_is_cfg_test(g: &Group) -> bool {
 
 /// Whether an identifier names an ω/score quantity (the values whose
 /// comparisons must be total-order).
-fn is_score_ident(name: &str) -> bool {
+pub(crate) fn is_score_ident(name: &str) -> bool {
     let lower = name.to_ascii_lowercase();
     lower.contains("omega") || lower.contains("score")
 }
 
-fn is_float_literal(t: Option<&TokenTree>) -> bool {
+pub(crate) fn is_float_literal(t: Option<&TokenTree>) -> bool {
     matches!(t, Some(TokenTree::Literal(l)) if l.is_float())
 }
 
-fn ident_text(t: Option<&TokenTree>) -> Option<&str> {
+pub(crate) fn ident_text(t: Option<&TokenTree>) -> Option<&str> {
     match t {
         Some(TokenTree::Ident(id)) => Some(id.as_str()),
         _ => None,
@@ -277,210 +304,39 @@ fn ident_text(t: Option<&TokenTree>) -> Option<&str> {
 
 /// Whether an identifier carries a raw-unit suffix `unit-hygiene`
 /// polices with arithmetic adjacency.
-fn is_unit_named(name: &str) -> bool {
+pub(crate) fn is_unit_named(name: &str) -> bool {
     name.ends_with("_cycles") || name.ends_with("_bytes")
 }
 
-fn is_number(t: Option<&TokenTree>) -> bool {
+pub(crate) fn is_number(t: Option<&TokenTree>) -> bool {
     matches!(t, Some(TokenTree::Literal(l))
         if l.as_str().chars().next().is_some_and(|c| c.is_ascii_digit()))
-}
-
-fn walk(tokens: &[TokenTree], ctx: &mut Ctx<'_>) {
-    let mut skip_next_brace = false;
-    let mut i = 0;
-    while i < tokens.len() {
-        // `#[cfg(test)]` arms the skip of the next brace group (the
-        // gated mod/fn body). A `;` before any brace (the attribute
-        // applied to a non-block item) disarms it.
-        if is_punct(tokens.get(i), "#") {
-            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
-                if g.delimiter() == Delimiter::Bracket {
-                    if attr_is_cfg_test(g) {
-                        skip_next_brace = true;
-                    }
-                    i += 2;
-                    continue;
-                }
-            }
-        }
-        if is_punct(tokens.get(i), ";") {
-            skip_next_brace = false;
-        }
-        if let Some(TokenTree::Group(g)) = tokens.get(i) {
-            if g.delimiter() == Delimiter::Brace && skip_next_brace {
-                skip_next_brace = false;
-                i += 1;
-                continue;
-            }
-        }
-
-        rules_at(tokens, i, ctx);
-
-        if let Some(TokenTree::Group(g)) = tokens.get(i) {
-            walk(g.tokens(), ctx);
-        }
-        i += 1;
-    }
-}
-
-fn rules_at(tokens: &[TokenTree], i: usize, ctx: &mut Ctx<'_>) {
-    let prev = if i > 0 { tokens.get(i - 1) } else { None };
-    let next = tokens.get(i + 1);
-    match &tokens[i] {
-        TokenTree::Ident(id) => {
-            let name = id.as_str();
-
-            // counter-registry: `span!("name")` and friends.
-            if matches!(name, "span" | "counter" | "gauge" | "histogram") && is_punct(next, "!") {
-                if let Some(TokenTree::Group(args)) = tokens.get(i + 2) {
-                    if args.delimiter() == Delimiter::Parenthesis {
-                        if let Some(TokenTree::Literal(l)) = args.tokens().first() {
-                            if let Some(instr) = l.str_value() {
-                                if !ctx.registry.is_registered(instr) {
-                                    ctx.push(
-                                        "counter-registry",
-                                        l.span(),
-                                        format!(
-                                            "instrument name {instr:?} is not in \
-                                             crates/obs/src/names.rs::INSTRUMENTS"
-                                        ),
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-            }
-
-            // float-total-order: partial orders on scores.
-            if name == "partial_cmp" {
-                ctx.push(
-                    "float-total-order",
-                    id.span(),
-                    "partial_cmp on floats; use f64::total_cmp or \
-                     core::kernel::total_order_key{,_f64}"
-                        .to_string(),
-                );
-            }
-
-            // no-panic-lib.
-            if ctx.class.lib_source {
-                if matches!(name, "unwrap" | "expect") && is_punct(prev, ".") {
-                    ctx.push(
-                        "no-panic-lib",
-                        id.span(),
-                        format!("`.{name}()` in library code; return a typed error instead"),
-                    );
-                }
-                if name == "panic" && is_punct(next, "!") {
-                    ctx.push(
-                        "no-panic-lib",
-                        id.span(),
-                        "`panic!` in library code; return a typed error instead".to_string(),
-                    );
-                }
-            }
-
-            // no-f64-kernel.
-            if ctx.class.kernel_datapath && name == "f64" {
-                ctx.push(
-                    "no-f64-kernel",
-                    id.span(),
-                    "f64 in the kernel datapath; the ω kernel is f32 end-to-end \
-                     (cross-backend bit-identity contract)"
-                        .to_string(),
-                );
-            }
-
-            if ctx.class.sim_crate {
-                // unit-hygiene (a): raw-unit-suffixed quantities.
-                if name.ends_with("_us") || name.ends_with("_ns") {
-                    ctx.push(
-                        "unit-hygiene",
-                        id.span(),
-                        format!(
-                            "raw unit-suffixed quantity `{name}`; use core::units \
-                             (Nanos/Seconds) instead"
-                        ),
-                    );
-                }
-                // unit-hygiene (c): ident op literal.
-                if is_unit_named(name)
-                    && (is_punct(next, "*") || is_punct(next, "/"))
-                    && is_number(tokens.get(i + 2))
-                {
-                    ctx.push(
-                        "unit-hygiene",
-                        id.span(),
-                        format!(
-                            "raw conversion arithmetic on `{name}`; unit crossings \
-                             belong to core::units methods"
-                        ),
-                    );
-                }
-            }
-        }
-        TokenTree::Punct(p) if matches!(p.as_str(), "==" | "!=") => {
-            let float_adjacent = is_float_literal(prev) || is_float_literal(next);
-            let score_adjacent = ident_text(prev).is_some_and(is_score_ident)
-                || ident_text(next).is_some_and(is_score_ident);
-            if float_adjacent || score_adjacent {
-                ctx.push(
-                    "float-total-order",
-                    p.span(),
-                    format!(
-                        "`{}` on a float/score operand; use f64::total_cmp or \
-                         core::kernel::total_order_key{{,_f64}}",
-                        p.as_str()
-                    ),
-                );
-            }
-        }
-        TokenTree::Literal(l) => {
-            // unit-hygiene (b): bare time-conversion constants.
-            if ctx.class.sim_crate && matches!(l.as_str(), "1e-6" | "1e-9") {
-                ctx.push(
-                    "unit-hygiene",
-                    l.span(),
-                    format!(
-                        "bare {} time-conversion constant; the blessed formulas \
-                         live in core::units",
-                        l.as_str()
-                    ),
-                );
-            }
-            // unit-hygiene (c): literal op ident.
-            if ctx.class.sim_crate
-                && is_number(Some(&tokens[i]))
-                && (is_punct(next, "*") || is_punct(next, "/"))
-                && ident_text(tokens.get(i + 2)).is_some_and(is_unit_named)
-            {
-                ctx.push(
-                    "unit-hygiene",
-                    l.span(),
-                    "raw conversion arithmetic on a unit-named quantity; unit \
-                     crossings belong to core::units methods"
-                        .to_string(),
-                );
-            }
-        }
-        _ => {}
-    }
 }
 
 /// The baseline: keys of known legacy findings CI tolerates.
 pub mod baseline {
     use std::collections::HashSet;
 
-    /// Parses baseline text (one [`super::Finding::key`] per line;
-    /// blank lines and `#` comments ignored).
+    use super::Finding;
+
+    /// Parses baseline text (one finding key per line; blank lines and
+    /// `#` comments ignored). Keys may be in the current
+    /// `file:line:column rule` format or the pre-column v1 format —
+    /// [`covers`] accepts both.
     pub fn parse(text: &str) -> HashSet<String> {
         text.lines()
             .map(str::trim)
             .filter(|l| !l.is_empty() && !l.starts_with('#'))
             .map(str::to_string)
             .collect()
+    }
+
+    /// Whether the baseline exempts `f`, via its current key or —
+    /// compat shim for pre-column baselines — its v1 key. Regenerating
+    /// with `--write-baseline` emits current-format keys only, which
+    /// is how old baselines migrate.
+    pub fn covers(set: &HashSet<String>, f: &Finding) -> bool {
+        set.contains(&f.key()) || set.contains(&f.legacy_key())
     }
 
     /// Renders findings as baseline text, sorted.
@@ -494,6 +350,63 @@ pub mod baseline {
         for k in sorted {
             out.push_str(k);
             out.push('\n');
+        }
+        out
+    }
+}
+
+/// Machine-readable reports (`--format json` / `--format github`).
+pub mod report {
+    use super::Finding;
+
+    fn escape_json(s: &str, out: &mut String) {
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\r' => out.push_str("\\r"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+    }
+
+    /// Renders findings as a JSON array of objects with `rule`, `file`,
+    /// `line`, `column`, `message`, and `baselined` fields. Stable
+    /// field order; one finding per element in input order.
+    pub fn render_json(findings: &[(Finding, bool)]) -> String {
+        let mut out = String::from("[");
+        for (i, (f, baselined)) in findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n  {\"rule\":\"");
+            escape_json(f.rule, &mut out);
+            out.push_str("\",\"file\":\"");
+            escape_json(&f.file, &mut out);
+            out.push_str(&format!("\",\"line\":{},\"column\":{},\"message\":\"", f.line, f.column));
+            escape_json(&f.message, &mut out);
+            out.push_str(&format!("\",\"baselined\":{baselined}}}"));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Renders findings as GitHub Actions workflow annotations, so CI
+    /// failures link to file:line in the PR diff. New findings are
+    /// `::error`, baselined ones `::notice`.
+    pub fn render_github(findings: &[(Finding, bool)]) -> String {
+        let mut out = String::new();
+        for (f, baselined) in findings {
+            let level = if *baselined { "notice" } else { "error" };
+            // Annotation messages must be single-line; properties use
+            // %0A-style escapes but our messages never contain them.
+            out.push_str(&format!(
+                "::{level} file={},line={},col={},title=omega-lint {}::{}\n",
+                f.file, f.line, f.column, f.rule, f.message
+            ));
         }
         out
     }
@@ -669,15 +582,32 @@ mod tests {
     }
 
     #[test]
-    fn baseline_round_trip() {
+    fn baseline_round_trip_and_compat() {
         let keys = vec![
-            "crates/a/src/x.rs:10 no-panic-lib".to_string(),
-            "crates/a/src/b.rs:3 float-total-order".to_string(),
+            "crates/a/src/x.rs:10:5 no-panic-lib".to_string(),
+            "crates/a/src/b.rs:3:1 float-total-order".to_string(),
         ];
         let text = baseline::render(&keys);
         let parsed = baseline::parse(&text);
         assert_eq!(parsed.len(), 2);
-        assert!(parsed.contains("crates/a/src/x.rs:10 no-panic-lib"));
+        assert!(parsed.contains("crates/a/src/x.rs:10:5 no-panic-lib"));
+
+        let f = Finding {
+            rule: "no-panic-lib",
+            file: "crates/a/src/x.rs".into(),
+            line: 10,
+            column: 5,
+            message: "m".into(),
+        };
+        // Current-format key covers.
+        assert!(baseline::covers(&parsed, &f));
+        // Pre-column v1 key also covers (the migration shim).
+        let old = baseline::parse("crates/a/src/x.rs:10 no-panic-lib\n");
+        assert!(baseline::covers(&old, &f));
+        // A different column on the same line does NOT collide anymore.
+        let other_col = Finding { column: 30, ..f.clone() };
+        assert!(!baseline::covers(&parsed, &other_col));
+        assert!(baseline::covers(&old, &other_col), "v1 keys keep their line granularity");
     }
 
     #[test]
@@ -689,7 +619,23 @@ mod tests {
             column: 9,
             message: "m".into(),
         };
-        assert_eq!(f.key(), "crates/genome/src/ms.rs:7 no-panic-lib");
+        assert_eq!(f.key(), "crates/genome/src/ms.rs:7:9 no-panic-lib");
+        assert_eq!(f.legacy_key(), "crates/genome/src/ms.rs:7 no-panic-lib");
         assert_eq!(f.to_string(), "crates/genome/src/ms.rs:7:9: no-panic-lib: m");
+    }
+
+    #[test]
+    fn rules_const_is_sorted_and_complete() {
+        let mut sorted = RULES.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(RULES, sorted.as_slice());
+        assert_eq!(RULES.len(), 9);
+        let ids: Vec<&str> = rules::all().iter().map(|r| r.id()).collect();
+        for id in RULES {
+            assert!(ids.contains(id), "{id} has no rule impl");
+        }
+        for p in PORTED_RULES {
+            assert!(RULES.contains(p));
+        }
     }
 }

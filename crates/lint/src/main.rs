@@ -11,17 +11,27 @@
 //!   CI invocation documents its intent;
 //! * `--no-baseline` — report and fail on baselined findings too;
 //! * `--write-baseline` — rewrite `crates/lint/baseline.txt` from the
-//!   current findings and exit 0;
+//!   current findings (in the current `file:line:column rule` key
+//!   format — how pre-column baselines migrate) and exit 0;
+//! * `--format text|json|github` — output format: human text (default),
+//!   a JSON findings array, or GitHub Actions annotations;
 //! * `--root <path>` — repo root (default: two levels above this
 //!   crate's manifest).
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn main() -> ExitCode {
     let mut deny_new = false;
     let mut use_baseline = true;
     let mut write_baseline = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
 
     let mut args = std::env::args().skip(1);
@@ -30,6 +40,15 @@ fn main() -> ExitCode {
             "--deny-new" => deny_new = true,
             "--no-baseline" => use_baseline = false,
             "--write-baseline" => write_baseline = true,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("github") => format = Format::Github,
+                other => {
+                    eprintln!("omega-lint: --format needs text, json, or github (got {other:?})");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -40,7 +59,8 @@ fn main() -> ExitCode {
             other => {
                 eprintln!("omega-lint: unknown flag {other:?}");
                 eprintln!(
-                    "usage: omega-lint [--deny-new] [--no-baseline] [--write-baseline] [--root <path>]"
+                    "usage: omega-lint [--deny-new] [--no-baseline] [--write-baseline] \
+                     [--format text|json|github] [--root <path>]"
                 );
                 return ExitCode::FAILURE;
             }
@@ -93,22 +113,41 @@ fn main() -> ExitCode {
         Default::default()
     };
 
-    let mut new = 0usize;
-    let mut old = 0usize;
-    for f in &findings {
-        if baseline.contains(&f.key()) {
-            old += 1;
-            println!("{f} (baselined)");
-        } else {
-            new += 1;
-            println!("{f}");
+    let tagged: Vec<(omega_lint::Finding, bool)> = findings
+        .into_iter()
+        .map(|f| {
+            let baselined = omega_lint::baseline::covers(&baseline, &f);
+            (f, baselined)
+        })
+        .collect();
+    let new = tagged.iter().filter(|(_, b)| !b).count();
+    let old = tagged.len() - new;
+
+    match format {
+        Format::Text => {
+            for (f, baselined) in &tagged {
+                if *baselined {
+                    println!("{f} (baselined)");
+                } else {
+                    println!("{f}");
+                }
+            }
+            println!(
+                "omega-lint: {} finding(s): {new} new, {old} baselined, {} file error(s)",
+                tagged.len(),
+                errors.len()
+            );
+        }
+        Format::Json => print!("{}", omega_lint::report::render_json(&tagged)),
+        Format::Github => {
+            print!("{}", omega_lint::report::render_github(&tagged));
+            println!(
+                "omega-lint: {} finding(s): {new} new, {old} baselined, {} file error(s)",
+                tagged.len(),
+                errors.len()
+            );
         }
     }
-    println!(
-        "omega-lint: {} finding(s): {new} new, {old} baselined, {} file error(s)",
-        findings.len(),
-        errors.len()
-    );
 
     if new > 0 || !errors.is_empty() {
         ExitCode::FAILURE

@@ -1,0 +1,80 @@
+//! `atomic-ordering`: `Ordering::Relaxed` on an atomic that publishes
+//! state across threads is a finding; only pure counters may relax.
+//!
+//! Relaxed loads/stores are correct for values nothing else depends on
+//! — metric totals, id tickets, histogram buckets — because no other
+//! memory is published through them. Everything else (an enabled flag
+//! another thread's writes hide behind, a degraded marker gating I/O, a
+//! cached detection result) needs Release on the store and Acquire on
+//! the load, or a stale read reorders real work.
+//!
+//! The allowlist names the workspace's counter fields explicitly; an
+//! atomic outside it using `Relaxed` in any load/store/RMW is reported.
+//! Library sources only (binaries own their threads).
+
+use crate::dataflow::{EventKind, FnAnalysis};
+use crate::engine::{FileCtx, Sink};
+
+use super::Rule;
+
+const ATOMIC_METHODS: &[&str] = &[
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_max",
+    "fetch_min",
+    "fetch_and",
+    "fetch_or",
+    "fetch_xor",
+    "compare_exchange",
+    "compare_exchange_weak",
+];
+
+/// Pure-counter receivers: monotonic totals and ticket allocators whose
+/// value is the entire message. Nothing is published through them.
+const COUNTER_ALLOWLIST: &[&str] =
+    &["value", "counts", "sum", "bytes", "next", "next_span", "NEXT"];
+
+pub struct AtomicOrdering;
+
+impl Rule for AtomicOrdering {
+    fn id(&self) -> &'static str {
+        "atomic-ordering"
+    }
+
+    fn check_fn(&self, ctx: &FileCtx<'_>, fun: &FnAnalysis, sink: &mut Sink) {
+        if !ctx.class.lib_source {
+            return;
+        }
+        for event in &fun.events {
+            let EventKind::Call(c) = &event.kind else { continue };
+            if !ATOMIC_METHODS.contains(&c.method.as_str())
+                || !c.arg_idents.iter().any(|a| a == "Relaxed")
+            {
+                continue;
+            }
+            let receiver = c
+                .chain
+                .iter()
+                .rev()
+                .find(|r| r.as_str() != "self")
+                .map(String::as_str)
+                .unwrap_or("<unknown>");
+            if COUNTER_ALLOWLIST.contains(&receiver) {
+                continue;
+            }
+            sink.push(
+                "atomic-ordering",
+                event.span,
+                format!(
+                    "`Ordering::Relaxed` on `{receiver}.{}`: this atomic publishes state \
+                     across threads; use Release/Acquire (the Relaxed allowlist covers \
+                     pure counters only)",
+                    c.method
+                ),
+            );
+        }
+    }
+}

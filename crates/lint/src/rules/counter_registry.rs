@@ -1,0 +1,42 @@
+//! `counter-registry`: every name literal passed to `span!` /
+//! `counter!` / `gauge!` / `histogram!` must be listed in
+//! `crates/obs/src/names.rs::INSTRUMENTS` (`test.`-prefixed names are
+//! exempt). Ported from the v1 walker; matcher unchanged.
+
+use syn::{Delimiter, TokenTree};
+
+use crate::engine::{FileCtx, Sink};
+use crate::is_punct;
+
+use super::Rule;
+
+pub struct CounterRegistry;
+
+impl Rule for CounterRegistry {
+    fn id(&self) -> &'static str {
+        "counter-registry"
+    }
+
+    fn at_token(&self, ctx: &FileCtx<'_>, tokens: &[TokenTree], i: usize, sink: &mut Sink) {
+        let TokenTree::Ident(id) = &tokens[i] else { return };
+        let name = id.as_str();
+        if !matches!(name, "span" | "counter" | "gauge" | "histogram")
+            || !is_punct(tokens.get(i + 1), "!")
+        {
+            return;
+        }
+        let Some(TokenTree::Group(args)) = tokens.get(i + 2) else { return };
+        if args.delimiter() != Delimiter::Parenthesis {
+            return;
+        }
+        let Some(TokenTree::Literal(l)) = args.tokens().first() else { return };
+        let Some(instr) = l.str_value() else { return };
+        if !ctx.registry.is_registered(instr) {
+            sink.push(
+                "counter-registry",
+                l.span(),
+                format!("instrument name {instr:?} is not in crates/obs/src/names.rs::INSTRUMENTS"),
+            );
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! `float-total-order`: no `==`/`!=` against float operands or ω/score
+//! identifiers, and no `partial_cmp`, anywhere — NaN must never be able
+//! to reorder a scan. Ported from the v1 walker; matcher unchanged.
+
+use syn::TokenTree;
+
+use crate::engine::{FileCtx, Sink};
+use crate::{ident_text, is_float_literal, is_score_ident};
+
+use super::Rule;
+
+pub struct FloatTotalOrder;
+
+impl Rule for FloatTotalOrder {
+    fn id(&self) -> &'static str {
+        "float-total-order"
+    }
+
+    fn at_token(&self, _ctx: &FileCtx<'_>, tokens: &[TokenTree], i: usize, sink: &mut Sink) {
+        let prev = if i > 0 { tokens.get(i - 1) } else { None };
+        let next = tokens.get(i + 1);
+        match &tokens[i] {
+            TokenTree::Ident(id) if id.as_str() == "partial_cmp" => {
+                sink.push(
+                    "float-total-order",
+                    id.span(),
+                    "partial_cmp on floats; use f64::total_cmp or \
+                     core::kernel::total_order_key{,_f64}"
+                        .to_string(),
+                );
+            }
+            TokenTree::Punct(p) if matches!(p.as_str(), "==" | "!=") => {
+                let float_adjacent = is_float_literal(prev) || is_float_literal(next);
+                let score_adjacent = ident_text(prev).is_some_and(is_score_ident)
+                    || ident_text(next).is_some_and(is_score_ident);
+                if float_adjacent || score_adjacent {
+                    sink.push(
+                        "float-total-order",
+                        p.span(),
+                        format!(
+                            "`{}` on a float/score operand; use f64::total_cmp or \
+                             core::kernel::total_order_key{{,_f64}}",
+                            p.as_str()
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

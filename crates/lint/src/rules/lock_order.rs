@@ -1,0 +1,200 @@
+//! `lock-order`: a declared partial order over the workspace's mutex
+//! sites; acquiring against the order while a guard is live is a
+//! finding, as is re-acquiring a site already held (self-deadlock).
+//!
+//! The order is the serve → obs layering the daemon actually uses: the
+//! serving layer may log metrics while holding its own locks (the
+//! cache bumps `serve.cache_evictions` under its guard), so every
+//! serve-layer site ranks *before* the obs-layer sites, and within a
+//! layer sites rank in the order the request path touches them.
+//!
+//! Acquisitions are recognized from the dataflow event stream:
+//!
+//! * `….lock()` calls, mapped to a site by the receiver chain's last
+//!   field name (`queue`, `inner`, `counters`, …). A bare
+//!   `self.lock()` — every module's poison-recovering helper — maps to
+//!   the *file's own* site.
+//! * `lock_lane(…)`, the queue's per-lane helper.
+//! * `counter!`/`gauge!`/`histogram!` macro calls, which register
+//!   through the metrics registry's locks: modeled as a transient
+//!   acquisition of `obs.metrics`. `span!` emits through the sink:
+//!   transient `obs.sink`.
+//!
+//! A `let g = ….lock()` guard lives until its scope exits or `drop(g)`;
+//! an unbound acquisition is transient (released at the statement end).
+//! Receivers the site table does not know are ignored — the rule only
+//! orders the declared workspace topology, so arbitrary user mutexes
+//! cannot false-positive.
+
+use crate::dataflow::{EventKind, FnAnalysis};
+use crate::engine::{FileCtx, Sink};
+use crate::scopes::ScopeStack;
+
+use super::Rule;
+
+/// The declared acquisition order, rank ascending. A thread holding a
+/// site may only acquire sites that appear *later* in this table.
+const ORDER: &[&str] = &[
+    "serve.lanes",
+    "serve.jobs",
+    "serve.cache",
+    "serve.wal",
+    "obs.trace.spans",
+    "obs.trace.attrs",
+    "obs.trace.recorder",
+    "obs.sink",
+    "obs.metrics",
+];
+
+fn rank(site: &str) -> usize {
+    ORDER.iter().position(|s| *s == site).unwrap_or(ORDER.len())
+}
+
+/// The site a module's own mutex (`self.lock()` / `self.inner.lock()`)
+/// belongs to, by file.
+fn file_site(rel: &str) -> Option<&'static str> {
+    match rel {
+        "crates/serve/src/queue.rs" => Some("serve.lanes"),
+        "crates/serve/src/job.rs" => Some("serve.jobs"),
+        "crates/serve/src/cache.rs" => Some("serve.cache"),
+        "crates/serve/src/wal.rs" => Some("serve.wal"),
+        "crates/obs/src/trace.rs" => Some("obs.trace.recorder"),
+        "crates/obs/src/sink.rs" => Some("obs.sink"),
+        "crates/obs/src/metrics.rs" => Some("obs.metrics"),
+        _ => None,
+    }
+}
+
+/// Maps a `.lock()` receiver chain to a site.
+fn receiver_site(rel: &str, chain: &[String]) -> Option<&'static str> {
+    let last = chain.last().map(String::as_str)?;
+    match last {
+        "queue" | "lanes" => Some("serve.lanes"),
+        "counters" | "gauges" | "histograms" => Some("obs.metrics"),
+        "SINK" => Some("obs.sink"),
+        "spans" => Some("obs.trace.spans"),
+        "attrs" => Some("obs.trace.attrs"),
+        "self" | "inner" => file_site(rel),
+        _ => None,
+    }
+}
+
+struct Guard {
+    /// The let-binding holding the guard; `None` for transients.
+    name: Option<String>,
+    site: &'static str,
+}
+
+/// Chain continuations that return the guard itself (the workspace's
+/// poison-recovery idiom); anything else consuming the lock result
+/// means the guard is a temporary that dies at the statement end.
+const POISON_RECOVERY: &[&str] = &["unwrap_or_else", "unwrap", "expect"];
+
+/// Whether the lock acquired at `events[at]` is consumed by a further
+/// chained call before its statement ends — `….lock().unwrap_or_else(…)
+/// .iter().collect()` builds a `Vec`, it does not bind a guard.
+fn consumed_in_stmt(events: &[crate::dataflow::Event], at: usize) -> bool {
+    for event in &events[at + 1..] {
+        match &event.kind {
+            EventKind::StmtEnd | EventKind::ScopeEnter | EventKind::ScopeExit => return false,
+            EventKind::Call(c)
+                if c.chain.iter().any(|r| r == "lock")
+                    && !POISON_RECOVERY.contains(&c.method.as_str()) =>
+            {
+                return true;
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+pub struct LockOrder;
+
+impl LockOrder {
+    fn acquire(
+        &self,
+        site: &'static str,
+        span: syn::Span,
+        held: &ScopeStack<Guard>,
+        sink: &mut Sink,
+    ) {
+        for g in held.iter() {
+            if g.site == site {
+                sink.push(
+                    "lock-order",
+                    span,
+                    format!("re-acquires `{site}` while a `{site}` guard is live (self-deadlock)"),
+                );
+            } else if rank(site) < rank(g.site) {
+                sink.push(
+                    "lock-order",
+                    span,
+                    format!(
+                        "acquires `{site}` while `{}` is held, against the declared order \
+                         ({})",
+                        g.site,
+                        ORDER.join(" < ")
+                    ),
+                );
+            }
+        }
+    }
+}
+
+impl Rule for LockOrder {
+    fn id(&self) -> &'static str {
+        "lock-order"
+    }
+
+    fn check_fn(&self, ctx: &FileCtx<'_>, fun: &FnAnalysis, sink: &mut Sink) {
+        if !ctx.class.lib_source {
+            return;
+        }
+        let mut held: ScopeStack<Guard> = ScopeStack::new();
+        for (idx, event) in fun.events.iter().enumerate() {
+            match &event.kind {
+                EventKind::ScopeEnter => held.enter(),
+                EventKind::ScopeExit => held.exit(),
+                EventKind::StmtEnd => held.retire_innermost(|g| g.name.is_none()),
+                EventKind::Call(c) => {
+                    let site = match c.method.as_str() {
+                        "lock" => receiver_site(ctx.rel, &c.chain),
+                        "lock_lane" => Some("serve.lanes"),
+                        "drop" => {
+                            held.retire(|g| {
+                                g.name
+                                    .as_deref()
+                                    .is_some_and(|n| c.arg_idents.iter().any(|a| a == n))
+                            });
+                            None
+                        }
+                        _ => None,
+                    };
+                    if let Some(site) = site {
+                        self.acquire(site, event.span, &held, sink);
+                        let name = if consumed_in_stmt(&fun.events, idx) {
+                            None // temporary guard, dies at StmtEnd
+                        } else {
+                            c.binding.clone()
+                        };
+                        held.push(Guard { name, site });
+                    }
+                }
+                EventKind::Macro(m) => {
+                    let site = match m.name.as_str() {
+                        "counter" | "gauge" | "histogram" => Some("obs.metrics"),
+                        "span" => Some("obs.sink"),
+                        _ => None,
+                    };
+                    if let Some(site) = site {
+                        // Transient: the registry guard is released
+                        // inside the macro expansion; check only.
+                        self.acquire(site, event.span, &held, sink);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The rule pack: one module per rule, all implementing [`Rule`].
+//!
+//! A rule may hook either or both engine passes:
+//!
+//! * [`Rule::at_token`] — called at every token position the lexical
+//!   traversal visits (adjacency-window matching; the five v1 rules).
+//! * [`Rule::check_fn`] — called once per non-test function with its
+//!   linearized [`FnAnalysis`] event stream (the dataflow rules).
+//!
+//! Rules push raw findings into the [`Sink`]; waivers and the baseline
+//! are applied by the caller, so every rule stays waivable by id via
+//! `// lint:allow(rule-id): reason`.
+
+use syn::TokenTree;
+
+use crate::dataflow::FnAnalysis;
+use crate::engine::{FileCtx, Sink};
+
+pub mod atomic_ordering;
+pub mod counter_registry;
+pub mod float_total_order;
+pub mod lock_order;
+pub mod no_f64_kernel;
+pub mod no_panic_lib;
+pub mod unit_hygiene;
+pub mod untrusted_length;
+pub mod wal_protocol;
+
+/// One lint rule.
+pub trait Rule {
+    /// The stable id waivers and the baseline refer to.
+    fn id(&self) -> &'static str;
+
+    /// Lexical hook: inspect `tokens[i]` and its neighbours.
+    fn at_token(&self, _ctx: &FileCtx<'_>, _tokens: &[TokenTree], _i: usize, _sink: &mut Sink) {}
+
+    /// Function-level hook: consume one function's event stream.
+    fn check_fn(&self, _ctx: &FileCtx<'_>, _fun: &FnAnalysis, _sink: &mut Sink) {}
+}
+
+/// Every rule, in dispatch order. Lexical dispatch order matches the
+/// v1 walker's per-position match order for the ported rules; final
+/// finding order is normalized by the caller's sort regardless.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(counter_registry::CounterRegistry),
+        Box::new(float_total_order::FloatTotalOrder),
+        Box::new(no_panic_lib::NoPanicLib),
+        Box::new(no_f64_kernel::NoF64Kernel),
+        Box::new(unit_hygiene::UnitHygiene),
+        Box::new(lock_order::LockOrder),
+        Box::new(wal_protocol::WalProtocol),
+        Box::new(untrusted_length::UntrustedLength),
+        Box::new(atomic_ordering::AtomicOrdering),
+    ]
+}

@@ -1,0 +1,33 @@
+//! `no-f64-kernel`: no `f64` in the kernel-datapath files — the ω
+//! datapath is f32 end-to-end (the cross-backend bit-identity
+//! contract). Ported from the v1 walker; matcher unchanged.
+
+use syn::TokenTree;
+
+use crate::engine::{FileCtx, Sink};
+
+use super::Rule;
+
+pub struct NoF64Kernel;
+
+impl Rule for NoF64Kernel {
+    fn id(&self) -> &'static str {
+        "no-f64-kernel"
+    }
+
+    fn at_token(&self, ctx: &FileCtx<'_>, tokens: &[TokenTree], i: usize, sink: &mut Sink) {
+        if !ctx.class.kernel_datapath {
+            return;
+        }
+        let TokenTree::Ident(id) = &tokens[i] else { return };
+        if id.as_str() == "f64" {
+            sink.push(
+                "no-f64-kernel",
+                id.span(),
+                "f64 in the kernel datapath; the ω kernel is f32 end-to-end \
+                 (cross-backend bit-identity contract)"
+                    .to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! `no-panic-lib`: no `.unwrap()` / `.expect(…)` / `panic!` in library
+//! sources (binaries and `#[cfg(test)]` code are exempt). Ported from
+//! the v1 walker; matcher unchanged.
+
+use syn::TokenTree;
+
+use crate::engine::{FileCtx, Sink};
+use crate::is_punct;
+
+use super::Rule;
+
+pub struct NoPanicLib;
+
+impl Rule for NoPanicLib {
+    fn id(&self) -> &'static str {
+        "no-panic-lib"
+    }
+
+    fn at_token(&self, ctx: &FileCtx<'_>, tokens: &[TokenTree], i: usize, sink: &mut Sink) {
+        if !ctx.class.lib_source {
+            return;
+        }
+        let TokenTree::Ident(id) = &tokens[i] else { return };
+        let name = id.as_str();
+        let prev = if i > 0 { tokens.get(i - 1) } else { None };
+        if matches!(name, "unwrap" | "expect") && is_punct(prev, ".") {
+            sink.push(
+                "no-panic-lib",
+                id.span(),
+                format!("`.{name}()` in library code; return a typed error instead"),
+            );
+        }
+        if name == "panic" && is_punct(tokens.get(i + 1), "!") {
+            sink.push(
+                "no-panic-lib",
+                id.span(),
+                "`panic!` in library code; return a typed error instead".to_string(),
+            );
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! `unit-hygiene`: in the `gpu-sim`/`fpga-sim` simulators, no
+//! `_us`/`_ns`-suffixed raw quantities, no bare `1e-6`/`1e-9`
+//! time-conversion constants, and no raw `*`/`/` arithmetic between a
+//! `_cycles`/`_bytes`-named identifier and a numeric literal. Ported
+//! from the v1 walker; matcher unchanged (including the per-position
+//! emission order its two literal sub-checks share).
+
+use syn::TokenTree;
+
+use crate::engine::{FileCtx, Sink};
+use crate::{ident_text, is_number, is_punct, is_unit_named};
+
+use super::Rule;
+
+pub struct UnitHygiene;
+
+impl Rule for UnitHygiene {
+    fn id(&self) -> &'static str {
+        "unit-hygiene"
+    }
+
+    fn at_token(&self, ctx: &FileCtx<'_>, tokens: &[TokenTree], i: usize, sink: &mut Sink) {
+        if !ctx.class.sim_crate {
+            return;
+        }
+        let next = tokens.get(i + 1);
+        match &tokens[i] {
+            TokenTree::Ident(id) => {
+                let name = id.as_str();
+                // (a) raw-unit-suffixed quantities.
+                if name.ends_with("_us") || name.ends_with("_ns") {
+                    sink.push(
+                        "unit-hygiene",
+                        id.span(),
+                        format!(
+                            "raw unit-suffixed quantity `{name}`; use core::units \
+                             (Nanos/Seconds) instead"
+                        ),
+                    );
+                }
+                // (c) ident op literal.
+                if is_unit_named(name)
+                    && (is_punct(next, "*") || is_punct(next, "/"))
+                    && is_number(tokens.get(i + 2))
+                {
+                    sink.push(
+                        "unit-hygiene",
+                        id.span(),
+                        format!(
+                            "raw conversion arithmetic on `{name}`; unit crossings \
+                             belong to core::units methods"
+                        ),
+                    );
+                }
+            }
+            TokenTree::Literal(l) => {
+                // (b) bare time-conversion constants.
+                if matches!(l.as_str(), "1e-6" | "1e-9") {
+                    sink.push(
+                        "unit-hygiene",
+                        l.span(),
+                        format!(
+                            "bare {} time-conversion constant; the blessed formulas \
+                             live in core::units",
+                            l.as_str()
+                        ),
+                    );
+                }
+                // (c) literal op ident.
+                if is_number(Some(&tokens[i]))
+                    && (is_punct(next, "*") || is_punct(next, "/"))
+                    && ident_text(tokens.get(i + 2)).is_some_and(is_unit_named)
+                {
+                    sink.push(
+                        "unit-hygiene",
+                        l.span(),
+                        "raw conversion arithmetic on a unit-named quantity; unit \
+                         crossings belong to core::units methods"
+                            .to_string(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}

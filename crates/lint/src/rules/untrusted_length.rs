@@ -1,0 +1,105 @@
+//! `untrusted-length`: a length parsed or byte-decoded from the wire
+//! (HTTP Content-Length, the WAL's length prefix) must pass a bound
+//! check before it sizes a buffer.
+//!
+//! Taint discipline over one function's event stream, scoped to
+//! `crates/serve/src/` (minus `config.rs`, whose parses are operator
+//! CLI flags, not network input):
+//!
+//! * **Sources** — a binding whose initializer calls `parse` or one of
+//!   the `from_{le,be,ne}_bytes` decoders taints its names.
+//! * **Propagation** — a binding whose initializer mentions a tainted
+//!   ident taints its names, unless the initializer itself bounds the
+//!   value (`min`/`clamp`).
+//! * **Sanitizers** — a relational comparison against a tainted ident
+//!   (`if len > max { … }`) clears its taint from that point on, as
+//!   does `min`/`clamp` at the binding.
+//! * **Sinks** — a tainted ident reaching `with_capacity`, `resize`,
+//!   `reserve`, `reserve_exact`, `set_len`, or `take`, or the length
+//!   position of `vec![elem; len]`.
+//!
+//! The flow is linear (events in stream order), which matches how the
+//! serve code is written: check, then allocate.
+
+use std::collections::HashSet;
+
+use crate::dataflow::{EventKind, FnAnalysis};
+use crate::engine::{FileCtx, Sink};
+
+use super::Rule;
+
+const SOURCES: &[&str] = &["parse", "from_le_bytes", "from_be_bytes", "from_ne_bytes"];
+const BOUNDERS: &[&str] = &["min", "clamp"];
+const SINKS: &[&str] = &["with_capacity", "resize", "reserve", "reserve_exact", "set_len", "take"];
+
+pub struct UntrustedLength;
+
+impl Rule for UntrustedLength {
+    fn id(&self) -> &'static str {
+        "untrusted-length"
+    }
+
+    fn check_fn(&self, ctx: &FileCtx<'_>, fun: &FnAnalysis, sink: &mut Sink) {
+        if !ctx.rel.starts_with("crates/serve/src/")
+            || ctx.rel.ends_with("/config.rs")
+            || !ctx.class.lib_source
+        {
+            return;
+        }
+        let mut tainted: HashSet<String> = HashSet::new();
+        for event in &fun.events {
+            match &event.kind {
+                EventKind::Bind(b) => {
+                    let sourced = b.init_calls.iter().any(|c| SOURCES.contains(&c.as_str()));
+                    let bounded = b.init_calls.iter().any(|c| BOUNDERS.contains(&c.as_str()));
+                    let propagated = b.init_idents.iter().any(|x| tainted.contains(x));
+                    if (sourced || propagated) && !bounded {
+                        tainted.extend(b.names.iter().cloned());
+                    } else {
+                        // Rebinding to a clean/bounded value launders it.
+                        for n in &b.names {
+                            tainted.remove(n);
+                        }
+                    }
+                }
+                EventKind::Compare { name } => {
+                    tainted.remove(name);
+                }
+                EventKind::Call(c) if SINKS.contains(&c.method.as_str()) => {
+                    for arg in &c.arg_idents {
+                        if tainted.contains(arg) {
+                            sink.push(
+                                "untrusted-length",
+                                event.span,
+                                format!(
+                                    "`{arg}` flows from an untrusted parse/decode into \
+                                     `{}` without a bound check; compare against a limit \
+                                     or clamp it first",
+                                    c.method
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+                EventKind::Macro(m) if m.name == "vec" => {
+                    for arg in &m.tail_idents {
+                        if tainted.contains(arg) {
+                            sink.push(
+                                "untrusted-length",
+                                event.span,
+                                format!(
+                                    "`{arg}` flows from an untrusted parse/decode into the \
+                                     length of `vec![…; {arg}]` without a bound check; \
+                                     compare against a limit or clamp it first"
+                                ),
+                            );
+                            break;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

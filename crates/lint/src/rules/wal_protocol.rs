@@ -1,0 +1,113 @@
+//! `wal-protocol`: the serve layer's durability sequencing, statically.
+//!
+//! Two protocol clauses, both scoped to `crates/serve/src/`:
+//!
+//! 1. **Done-after-store** — a terminal WAL record for a *done* job
+//!    (`append_terminal(…, JobState::Done, …)`) must be sequenced after
+//!    a store/cache write on the same path. Recovery replays the WAL
+//!    against the store: a `Done` record whose result bytes were never
+//!    written is a job the daemon claims to have finished but cannot
+//!    serve. Failure/expiry terminals carry no result and are exempt.
+//! 2. **Durable-replace triple** — any `rename(…)` (the atomic-publish
+//!    step) must be preceded in the same function by an fsync
+//!    (`sync_data`/`sync_all`) and must involve a tmp staging file.
+//!    A rename without the fsync publishes a file whose contents may
+//!    still be in the page cache; a rename of a non-staged file is an
+//!    in-place overwrite wearing the triple's clothes.
+//!
+//! Both checks are per-function over the linearized event stream:
+//! "earlier" means earlier in the stream, which over-approximates
+//! "on every path" the way the rest of the engine does.
+
+use crate::dataflow::{CallEvent, EventKind, FnAnalysis};
+use crate::engine::{FileCtx, Sink};
+
+use super::Rule;
+
+/// Whether a call writes a result durably (store write-through or the
+/// cache's insert, which itself writes through to the store).
+fn is_store_write(c: &CallEvent) -> bool {
+    matches!(c.method.as_str(), "insert" | "write" | "put")
+        && c.chain.iter().any(|r| {
+            let r = r.to_ascii_lowercase();
+            r.contains("cache") || r.contains("store")
+        })
+}
+
+/// Whether an event mentions a tmp staging file anywhere: a `"tmp"`
+/// string literal (`with_extension("tmp")`), or a `tmp`-named binding
+/// or receiver.
+fn mentions_tmp(kind: &EventKind) -> bool {
+    let has = |s: &str| s.to_ascii_lowercase().contains("tmp");
+    match kind {
+        EventKind::Call(c) => {
+            c.arg_strs.iter().any(|s| has(s))
+                || c.arg_idents.iter().any(|s| has(s))
+                || c.chain.iter().any(|s| has(s))
+                || c.binding.as_deref().is_some_and(has)
+        }
+        EventKind::Bind(b) => {
+            b.names.iter().any(|s| has(s)) || b.init_idents.iter().any(|s| has(s))
+        }
+        EventKind::Macro(m) => m.arg_strs.iter().any(|s| has(s)),
+        _ => false,
+    }
+}
+
+pub struct WalProtocol;
+
+impl Rule for WalProtocol {
+    fn id(&self) -> &'static str {
+        "wal-protocol"
+    }
+
+    fn check_fn(&self, ctx: &FileCtx<'_>, fun: &FnAnalysis, sink: &mut Sink) {
+        if !ctx.rel.starts_with("crates/serve/src/") {
+            return;
+        }
+        let mut store_written = false;
+        let mut fsynced = false;
+        let mut tmp_seen = false;
+        for event in &fun.events {
+            if mentions_tmp(&event.kind) {
+                tmp_seen = true;
+            }
+            let EventKind::Call(c) = &event.kind else { continue };
+            if is_store_write(c) {
+                store_written = true;
+            }
+            match c.method.as_str() {
+                "sync_data" | "sync_all" => fsynced = true,
+                "append_terminal" if c.arg_idents.iter().any(|a| a == "Done") && !store_written => {
+                    sink.push(
+                        "wal-protocol",
+                        event.span,
+                        "terminal `Done` WAL record with no store/cache write earlier on \
+                         this path; the result must be durable before the WAL says so"
+                            .to_string(),
+                    );
+                }
+                "rename" => {
+                    if !fsynced {
+                        sink.push(
+                            "wal-protocol",
+                            event.span,
+                            "rename without a preceding fsync (sync_data/sync_all); the \
+                             durable-replace protocol is tmp + fsync + rename"
+                                .to_string(),
+                        );
+                    } else if !tmp_seen {
+                        sink.push(
+                            "wal-protocol",
+                            event.span,
+                            "rename without a tmp staging file; the durable-replace \
+                             protocol is tmp + fsync + rename"
+                                .to_string(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

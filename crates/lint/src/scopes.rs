@@ -1,0 +1,255 @@
+//! Item-tree and scope structure over a lexed file.
+//!
+//! The engine's first structural pass: group a file's token stream into
+//! *items* (functions and the containers — `mod`/`impl`/`trait` — that
+//! hold them), tracking `#[cfg(test)]` gating with the same
+//! arm-on-attribute / disarm-on-`;` semantics as the lexical walker.
+//! Function-level rules ([`crate::rules`]) run on the [`Item::Fn`]
+//! bodies this pass yields; test-gated subtrees are never analyzed.
+//!
+//! The pass is deliberately token-shaped, not grammar-shaped: it never
+//! fails, it just finds fewer items in garbled input. That is the
+//! contract the `engine_no_panic` proptest pins.
+
+use syn::{Delimiter, Group, Span, TokenTree};
+
+use crate::{attr_is_cfg_test, is_punct};
+
+/// What kind of item a brace group closes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ItemKind {
+    /// A `fn` body: the unit function-level rules analyze.
+    Fn,
+    /// A `mod`/`impl`/`trait` body: recursed for nested items.
+    Container,
+}
+
+/// One item: a named brace-group body plus its cfg gating.
+#[derive(Debug)]
+pub struct Item<'a> {
+    pub kind: ItemKind,
+    /// The `fn`/`mod`/`impl`/`trait` name, when one follows the keyword.
+    pub name: Option<String>,
+    /// Gated behind exactly `#[cfg(test)]`: excluded from analysis.
+    pub cfg_test: bool,
+    /// The brace-group body tokens (empty for cfg_test items).
+    pub body: &'a [TokenTree],
+    /// Where the body group starts.
+    pub body_span: Span,
+    /// Nested items (containers only).
+    pub children: Vec<Item<'a>>,
+}
+
+/// The item tree of one file.
+#[derive(Debug, Default)]
+pub struct ItemTree<'a> {
+    pub items: Vec<Item<'a>>,
+}
+
+impl<'a> ItemTree<'a> {
+    /// Parses a token list into items. Never panics: unrecognized token
+    /// runs are simply not items.
+    pub fn parse(tokens: &'a [TokenTree]) -> ItemTree<'a> {
+        ItemTree { items: parse_items(tokens) }
+    }
+
+    /// Every non-test function body, outermost first, recursing through
+    /// containers. `#[cfg(test)]` functions and everything inside
+    /// `#[cfg(test)]` containers are omitted.
+    pub fn functions(&self) -> Vec<&Item<'a>> {
+        let mut out = Vec::new();
+        collect_fns(&self.items, &mut out);
+        out
+    }
+}
+
+fn collect_fns<'t, 'a>(items: &'t [Item<'a>], out: &mut Vec<&'t Item<'a>>) {
+    for item in items {
+        if item.cfg_test {
+            continue;
+        }
+        match item.kind {
+            ItemKind::Fn => out.push(item),
+            ItemKind::Container => collect_fns(&item.children, out),
+        }
+    }
+}
+
+fn parse_items(tokens: &[TokenTree]) -> Vec<Item<'_>> {
+    let mut items = Vec::new();
+    // First item keyword seen since the last item boundary wins, so
+    // `fn f() -> impl Iterator<…> { … }` stays a Fn even though `impl`
+    // appears in its signature.
+    let mut kw: Option<ItemKind> = None;
+    let mut name: Option<String> = None;
+    let mut cfg_test = false;
+    let mut i = 0;
+    while i < tokens.len() {
+        if is_punct(tokens.get(i), "#") {
+            if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                if g.delimiter() == Delimiter::Bracket {
+                    if attr_is_cfg_test(g) {
+                        cfg_test = true;
+                    }
+                    i += 2;
+                    continue;
+                }
+            }
+        }
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_str() == ";" => {
+                // Attribute applied to a non-block item; boundary.
+                kw = None;
+                name = None;
+                cfg_test = false;
+            }
+            TokenTree::Ident(id) if kw.is_none() => match id.as_str() {
+                "fn" => {
+                    kw = Some(ItemKind::Fn);
+                    name = next_ident(tokens, i + 1);
+                }
+                "mod" | "impl" | "trait" => {
+                    kw = Some(ItemKind::Container);
+                    name = next_ident(tokens, i + 1);
+                }
+                _ => {}
+            },
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                if let Some(kind) = kw {
+                    items.push(make_item(kind, name.take(), cfg_test, g));
+                }
+                kw = None;
+                name = None;
+                cfg_test = false;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    items
+}
+
+fn make_item(kind: ItemKind, name: Option<String>, cfg_test: bool, g: &Group) -> Item<'_> {
+    let (body, children): (&[TokenTree], Vec<Item<'_>>) = if cfg_test {
+        // Test-gated bodies are dead to the engine, matching the
+        // lexical walker's skip.
+        (&[], Vec::new())
+    } else {
+        match kind {
+            ItemKind::Fn => (g.tokens(), Vec::new()),
+            ItemKind::Container => (g.tokens(), parse_items(g.tokens())),
+        }
+    };
+    Item { kind, name, cfg_test, body, body_span: g.span(), children }
+}
+
+fn next_ident(tokens: &[TokenTree], i: usize) -> Option<String> {
+    match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => Some(id.as_str().to_string()),
+        _ => None,
+    }
+}
+
+/// A stack of lexical scopes, each holding values that die when the
+/// scope closes. Used by lock-order for guard lifetimes.
+#[derive(Debug, Default)]
+pub struct ScopeStack<T> {
+    frames: Vec<Vec<T>>,
+}
+
+impl<T> ScopeStack<T> {
+    pub fn new() -> Self {
+        ScopeStack { frames: vec![Vec::new()] }
+    }
+
+    pub fn enter(&mut self) {
+        self.frames.push(Vec::new());
+    }
+
+    pub fn exit(&mut self) {
+        // The root frame survives unbalanced exits (garbled input).
+        if self.frames.len() > 1 {
+            self.frames.pop();
+        } else if let Some(root) = self.frames.first_mut() {
+            root.clear();
+        }
+    }
+
+    /// Pushes a value into the innermost live scope.
+    pub fn push(&mut self, value: T) {
+        if let Some(top) = self.frames.last_mut() {
+            top.push(value);
+        }
+    }
+
+    /// All live values, outermost first.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.frames.iter().flatten()
+    }
+
+    /// Drops every live value matching the predicate (e.g. `drop(g)`).
+    pub fn retire(&mut self, mut dead: impl FnMut(&T) -> bool) {
+        for frame in &mut self.frames {
+            frame.retain(|v| !dead(v));
+        }
+    }
+
+    /// Drops values in the innermost scope matching the predicate
+    /// (statement-transient values at a statement boundary).
+    pub fn retire_innermost(&mut self, mut dead: impl FnMut(&T) -> bool) {
+        if let Some(top) = self.frames.last_mut() {
+            top.retain(|v| !dead(v));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree(src: &str) -> Vec<String> {
+        let file = syn::parse_file(src).expect("lexes");
+        // Leak to satisfy the borrow for this test helper.
+        let tokens: &'static [TokenTree] = Box::leak(file.tokens.into_boxed_slice());
+        let tree = ItemTree::parse(tokens);
+        tree.functions().iter().map(|f| f.name.clone().unwrap_or_default()).collect()
+    }
+
+    #[test]
+    fn finds_fns_through_containers() {
+        let names = tree(
+            "fn top() { let x = 1; }\n\
+             mod m { pub fn inner() {} }\n\
+             impl Foo { fn method(&self) {} }\n\
+             trait T { fn default_method(&self) { self.x(); } }\n",
+        );
+        assert_eq!(names, vec!["top", "inner", "method", "default_method"]);
+    }
+
+    #[test]
+    fn cfg_test_items_are_dead() {
+        let names = tree(
+            "#[cfg(test)]\nmod tests { fn helper() {} }\n\
+             #[cfg(test)]\nfn gated() {}\n\
+             fn live() {}\n",
+        );
+        assert_eq!(names, vec!["live"]);
+        // cfg(not(test)) is NOT gated.
+        let names = tree("#[cfg(not(test))]\nmod m { fn f() {} }\n");
+        assert_eq!(names, vec!["f"]);
+    }
+
+    #[test]
+    fn impl_in_return_position_does_not_reclassify() {
+        let names = tree("fn maker() -> impl Iterator<Item = u32> { (0..3).into_iter() }\n");
+        assert_eq!(names, vec!["maker"]);
+    }
+
+    #[test]
+    fn attr_disarms_on_semicolon() {
+        // The cfg(test) attr applies to the extern-crate item ended by
+        // `;`; the following mod is live.
+        let names = tree("#[cfg(test)]\nuse std::fmt;\nmod m { fn f() {} }\n");
+        assert_eq!(names, vec!["f"]);
+    }
+}

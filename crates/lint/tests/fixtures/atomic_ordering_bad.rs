@@ -1,0 +1,16 @@
+//! Seeded atomic-ordering violations; linted as
+//! crates/serve/src/flags.rs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// A readiness flag other threads' work hides behind: publication, not
+/// a counter.
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn mark_ready() {
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Relaxed)
+}

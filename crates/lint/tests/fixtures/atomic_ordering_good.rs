@@ -1,0 +1,26 @@
+//! Correct atomic orderings; linted as crates/serve/src/flags.rs.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub struct Stats {
+    bytes: AtomicU64,
+}
+
+/// Release pairs with the Acquire in `is_ready`.
+pub fn mark_ready() {
+    READY.store(true, Ordering::Release);
+}
+
+pub fn is_ready() -> bool {
+    READY.load(Ordering::Acquire)
+}
+
+impl Stats {
+    /// A pure counter: its value is the entire message, so Relaxed is
+    /// correct and allowlisted.
+    pub fn record(&self, n: u64) {
+        self.bytes.fetch_add(n, Ordering::Relaxed);
+    }
+}

@@ -1,0 +1,16 @@
+//! The atomic-ordering violations from the bad fixture, each carrying
+//! an inline waiver; linted as crates/serve/src/flags.rs.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub static READY: AtomicBool = AtomicBool::new(false);
+
+pub fn mark_ready() {
+    // lint:allow(atomic-ordering): fixture demonstrates a waived relaxed store
+    READY.store(true, Ordering::Relaxed);
+}
+
+pub fn is_ready() -> bool {
+    // lint:allow(atomic-ordering): fixture demonstrates a waived relaxed load
+    READY.load(Ordering::Relaxed)
+}

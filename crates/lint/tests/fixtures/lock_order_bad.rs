@@ -1,0 +1,27 @@
+//! Seeded lock-order violations; linted as crates/serve/src/cache.rs.
+
+pub struct Cache {
+    inner: std::sync::Mutex<Vec<u64>>,
+    queue: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    /// Acquires `serve.lanes` while holding `serve.cache`: against the
+    /// declared order (lanes rank before cache).
+    pub fn out_of_order(&self) -> usize {
+        let guard = self.inner.lock();
+        let lane = self.queue.lock();
+        guard.len() + lane.len()
+    }
+
+    /// Re-acquires the file's own site while its guard is live.
+    pub fn self_deadlock(&self) -> usize {
+        let guard = self.inner.lock();
+        let again = self.lock();
+        guard.len() + again
+    }
+
+    fn lock(&self) -> usize {
+        0
+    }
+}

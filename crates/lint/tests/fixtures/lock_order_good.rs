@@ -1,0 +1,34 @@
+//! Clean lock usage; linted as crates/serve/src/cache.rs.
+
+pub struct Cache {
+    inner: std::sync::Mutex<Vec<u64>>,
+    queue: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    /// Holding `serve.cache` and then touching the metrics registry is
+    /// the declared direction (serve sites rank before obs sites).
+    pub fn forward_order(&self) -> usize {
+        let guard = self.inner.lock();
+        omega_obs::counter!("scan.steals").add(1);
+        guard.len()
+    }
+
+    /// Acquiring `serve.lanes` first and releasing it before taking the
+    /// cache lock respects the order.
+    pub fn sequenced(&self) -> usize {
+        let lane = self.queue.lock();
+        let n = lane.len();
+        drop(lane);
+        let guard = self.inner.lock();
+        guard.len() + n
+    }
+
+    /// A lock consumed mid-chain is a temporary, not a held guard: the
+    /// cache lock afterwards sees nothing live.
+    pub fn transient(&self) -> usize {
+        let lanes: usize = self.queue.lock().iter().count();
+        let guard = self.inner.lock();
+        guard.len() + lanes
+    }
+}

@@ -1,0 +1,27 @@
+//! The lock-order violations from the bad fixture, each carrying an
+//! inline waiver; linted as crates/serve/src/cache.rs.
+
+pub struct Cache {
+    inner: std::sync::Mutex<Vec<u64>>,
+    queue: std::sync::Mutex<Vec<u64>>,
+}
+
+impl Cache {
+    pub fn out_of_order(&self) -> usize {
+        let guard = self.inner.lock();
+        // lint:allow(lock-order): fixture demonstrates a waived inversion
+        let lane = self.queue.lock();
+        guard.len() + lane.len()
+    }
+
+    pub fn self_deadlock(&self) -> usize {
+        let guard = self.inner.lock();
+        // lint:allow(lock-order): fixture demonstrates a waived re-entry
+        let again = self.lock();
+        guard.len() + again
+    }
+
+    fn lock(&self) -> usize {
+        0
+    }
+}

@@ -1,0 +1,17 @@
+//! Seeded untrusted-length violations; linted as
+//! crates/serve/src/http.rs.
+
+/// Content-Length straight from the request header into the body
+/// allocation: a hostile peer sizes our heap.
+pub fn read_body(header: &str) -> Vec<u8> {
+    let content_length: usize = header.trim().parse().unwrap_or(0);
+    let body = vec![0u8; content_length];
+    body
+}
+
+/// A length prefix byte-decoded from the wire into `with_capacity`
+/// without any bound.
+pub fn prealloc(raw: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+    Vec::with_capacity(len)
+}

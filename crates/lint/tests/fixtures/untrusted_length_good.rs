@@ -1,0 +1,18 @@
+//! Bounded wire lengths; linted as crates/serve/src/http.rs.
+
+/// The comparison against `max` sanitizes `content_length` before it
+/// sizes the body.
+pub fn read_body(header: &str, max: usize) -> Option<Vec<u8>> {
+    let content_length: usize = header.trim().parse().ok()?;
+    if content_length > max {
+        return None;
+    }
+    Some(vec![0u8; content_length])
+}
+
+/// Clamping at the binding bounds the value before the allocation.
+pub fn prealloc(raw: &[u8], max: usize) -> Vec<u8> {
+    let raw_len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+    let len = raw_len.min(max);
+    Vec::with_capacity(len)
+}

@@ -1,0 +1,15 @@
+//! The untrusted-length violations from the bad fixture, each carrying
+//! an inline waiver; linted as crates/serve/src/http.rs.
+
+pub fn read_body(header: &str) -> Vec<u8> {
+    let content_length: usize = header.trim().parse().unwrap_or(0);
+    // lint:allow(untrusted-length): fixture demonstrates a waived raw allocation
+    let body = vec![0u8; content_length];
+    body
+}
+
+pub fn prealloc(raw: &[u8]) -> Vec<u8> {
+    let len = u32::from_le_bytes([raw[0], raw[1], raw[2], raw[3]]) as usize;
+    // lint:allow(untrusted-length): fixture demonstrates a waived raw capacity
+    Vec::with_capacity(len)
+}

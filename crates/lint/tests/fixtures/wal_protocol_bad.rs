@@ -1,0 +1,34 @@
+//! Seeded wal-protocol violations; linted as
+//! crates/serve/src/scheduler.rs.
+
+pub struct Scheduler {
+    wal: Wal,
+    cache: Cache,
+}
+
+pub struct Wal;
+pub struct Cache;
+pub enum JobState {
+    Done,
+}
+
+impl Scheduler {
+    /// Terminal `Done` record with no store/cache write before it: a
+    /// crash after the append leaves a WAL that promises a result the
+    /// store never received.
+    pub fn finish(&self, job_id: u64, now: u64) {
+        self.wal.append_terminal(job_id, JobState::Done, now);
+    }
+
+    /// Rename without the fsync step of the durable-replace triple: the
+    /// published file's contents may still be in the page cache.
+    pub fn publish(&self, dir: &std::path::Path) {
+        let tmp = dir.join("out.tmp");
+        let dst = dir.join("out.res");
+        let _ = std::fs::rename(&tmp, &dst);
+    }
+}
+
+impl Wal {
+    pub fn append_terminal(&self, _id: u64, _state: JobState, _now: u64) {}
+}

@@ -1,0 +1,31 @@
+//! The wal-protocol violations from the bad fixture, each carrying an
+//! inline waiver; linted as crates/serve/src/scheduler.rs.
+
+pub struct Scheduler {
+    wal: Wal,
+    cache: Cache,
+}
+
+pub struct Wal;
+pub struct Cache;
+pub enum JobState {
+    Done,
+}
+
+impl Scheduler {
+    pub fn finish(&self, job_id: u64, now: u64) {
+        // lint:allow(wal-protocol): fixture demonstrates a waived Done-before-store
+        self.wal.append_terminal(job_id, JobState::Done, now);
+    }
+
+    pub fn publish(&self, dir: &std::path::Path) {
+        let tmp = dir.join("out.tmp");
+        let dst = dir.join("out.res");
+        // lint:allow(wal-protocol): fixture demonstrates a waived fsync skip
+        let _ = std::fs::rename(&tmp, &dst);
+    }
+}
+
+impl Wal {
+    pub fn append_terminal(&self, _id: u64, _state: JobState, _now: u64) {}
+}

@@ -1,0 +1,100 @@
+//! Round-trips the CLI's machine-readable outputs: `--format json` must
+//! parse (with the workspace's own JSON parser) back to the findings the
+//! text format reports, and `--format github` must emit one workflow
+//! annotation per finding.
+
+use std::path::PathBuf;
+
+use omega_obs::{parse_json as parse, JsonValue};
+
+/// Seeds a minimal repo with one violation of each of three rules and
+/// returns its root.
+fn seed_repo(tag: &str) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("omega-lint-fmt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let obs_src = root.join("crates/obs/src");
+    std::fs::create_dir_all(&obs_src).expect("mkdir obs");
+    std::fs::write(
+        obs_src.join("names.rs"),
+        "pub const INSTRUMENTS: &[&str] = &[\n    \"scan.steals\",\n];\n",
+    )
+    .expect("write names.rs");
+    let lib_src = root.join("crates/demo/src");
+    std::fs::create_dir_all(&lib_src).expect("mkdir demo");
+    std::fs::write(
+        lib_src.join("lib.rs"),
+        "pub fn f(x: f64, v: Option<u8>) -> u8 {\n    if x == 0.0 { v.unwrap() } else { 0 }\n}\n",
+    )
+    .expect("write lib.rs");
+    // Escape-character coverage: a "message with quotes" in a waiver
+    // reason never reaches output, so seed a path that does not need it;
+    // the rule messages themselves contain backticks and parens.
+    root
+}
+
+fn run(root: &PathBuf, format: &str) -> (String, bool) {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_omega-lint"))
+        .args(["--deny-new", "--format", format, "--root"])
+        .arg(root)
+        .output()
+        .expect("run omega-lint");
+    (String::from_utf8_lossy(&out.stdout).into_owned(), out.status.success())
+}
+
+#[test]
+fn json_output_round_trips_through_the_obs_parser() {
+    let root = seed_repo("json");
+    let (stdout, ok) = run(&root, "json");
+    assert!(!ok, "seeded repo must fail the lint");
+
+    let value = parse(&stdout).unwrap_or_else(|e| panic!("CLI JSON must parse: {e}\n{stdout}"));
+    let JsonValue::Array(items) = &value else { panic!("top level must be an array") };
+    assert_eq!(items.len(), 2, "float-total-order + no-panic-lib: {stdout}");
+
+    let mut rules: Vec<String> = Vec::new();
+    for item in items {
+        let rule = item.get("rule").and_then(JsonValue::as_str).expect("rule field");
+        rules.push(rule.to_string());
+        assert_eq!(
+            item.get("file").and_then(JsonValue::as_str),
+            Some("crates/demo/src/lib.rs"),
+            "{stdout}"
+        );
+        let line = item.get("line").and_then(JsonValue::as_u64).expect("line field");
+        let column = item.get("column").and_then(JsonValue::as_u64).expect("column field");
+        assert!(line == 2 && column > 0, "both findings sit on line 2: {stdout}");
+        let message = item.get("message").and_then(JsonValue::as_str).expect("message field");
+        assert!(!message.is_empty());
+        assert_eq!(
+            item.get("baselined").map(|b| matches!(b, JsonValue::Bool(false))),
+            Some(true),
+            "no baseline in the seeded repo: {stdout}"
+        );
+    }
+    rules.sort();
+    assert_eq!(rules, ["float-total-order", "no-panic-lib"]);
+
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn github_output_emits_one_annotation_per_finding() {
+    let root = seed_repo("github");
+    let (stdout, ok) = run(&root, "github");
+    assert!(!ok, "seeded repo must fail the lint");
+
+    let annotations: Vec<&str> = stdout.lines().filter(|l| l.starts_with("::error ")).collect();
+    assert_eq!(annotations.len(), 2, "{stdout}");
+    for a in &annotations {
+        assert!(a.contains("file=crates/demo/src/lib.rs"), "{a}");
+        assert!(a.contains("line=2"), "{a}");
+        assert!(a.contains("title=omega-lint "), "{a}");
+    }
+    assert!(
+        annotations.iter().any(|a| a.contains("float-total-order"))
+            && annotations.iter().any(|a| a.contains("no-panic-lib")),
+        "{stdout}"
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -26,6 +26,19 @@ const CASES: &[(&str, &str, &str, usize)] = &[
     ("no_panic_lib", "crates/genome/src/ms.rs", "no-panic-lib", 3),
     ("counter_registry", "crates/core/src/parallel.rs", "counter-registry", 4),
     ("unit_hygiene", "crates/gpu-sim/src/cost.rs", "unit-hygiene", 8),
+    ("lock_order", "crates/serve/src/cache.rs", "lock-order", 2),
+    ("wal_protocol", "crates/serve/src/scheduler.rs", "wal-protocol", 2),
+    ("untrusted_length", "crates/serve/src/http.rs", "untrusted-length", 2),
+    ("atomic_ordering", "crates/serve/src/flags.rs", "atomic-ordering", 2),
+];
+
+/// The function-level rules ship negative fixtures too: correct code in
+/// the same files the bad fixtures are linted as.
+const GOOD: &[(&str, &str)] = &[
+    ("lock_order", "crates/serve/src/cache.rs"),
+    ("wal_protocol", "crates/serve/src/scheduler.rs"),
+    ("untrusted_length", "crates/serve/src/http.rs"),
+    ("atomic_ordering", "crates/serve/src/flags.rs"),
 ];
 
 #[test]
@@ -49,6 +62,29 @@ fn waivers_suppress_every_finding() {
     for &(stem, rel, _, _) in CASES {
         let findings = lint_fixture(&format!("{stem}_waived.rs"), rel);
         assert!(findings.is_empty(), "{stem}_waived.rs still fires: {findings:#?}");
+    }
+}
+
+#[test]
+fn good_fixtures_are_clean() {
+    for &(stem, rel) in GOOD {
+        let findings = lint_fixture(&format!("{stem}_good.rs"), rel);
+        assert!(findings.is_empty(), "{stem}_good.rs fires: {findings:#?}");
+    }
+}
+
+#[test]
+fn serve_scoped_rules_are_silent_elsewhere() {
+    // wal-protocol and untrusted-length are path-scoped to the serve
+    // crate; the same violations linted as another crate are silent.
+    // (lock-order and atomic-ordering are workspace-wide by design.)
+    for stem in ["wal_protocol", "untrusted_length"] {
+        let findings = lint_fixture(&format!("{stem}_bad.rs"), "crates/genome/src/freq.rs");
+        let scoped: Vec<_> = findings
+            .iter()
+            .filter(|f| f.rule == "wal-protocol" || f.rule == "untrusted-length")
+            .collect();
+        assert!(scoped.is_empty(), "{stem}_bad.rs fires outside serve: {scoped:#?}");
     }
 }
 

@@ -157,8 +157,13 @@ pub fn simulate_arg<R: Rng>(n: usize, rho: f64, rng: &mut R) -> Vec<BranchRecord
                 }
             }
             let lin = lineages.swap_remove(idx);
-            let lo = lin.segs.first().expect("lineages never hold zero segments").l;
-            let hi = lin.segs.last().unwrap().r;
+            // Lineages never hold zero segments (empty ones are never
+            // pushed); drop one defensively if the invariant breaks.
+            let (Some(lo), Some(hi)) =
+                (lin.segs.first().map(|s| s.l), lin.segs.last().map(|s| s.r))
+            else {
+                continue;
+            };
             let break_at = lo + rng.gen::<f64>() * (hi - lo);
             if break_at <= lo || break_at >= hi {
                 // Degenerate draw: put the lineage back untouched.

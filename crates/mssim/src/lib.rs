@@ -60,7 +60,9 @@ pub fn simulate_neutral<R: Rng>(
     rng: &mut R,
 ) -> Result<Alignment, SimError> {
     params.validate()?;
-    let muts = if params.rho == 0.0 {
+    // validate() guarantees rho is finite and non-negative, so <= is an
+    // exact zero test without a float equality.
+    let muts = if params.rho <= 0.0 {
         let t = tree::kingman(params.n_samples, rng);
         tree::mutations_poisson(&t, params.theta, rng)
     } else {
@@ -79,7 +81,8 @@ pub fn simulate_fixed_sites<R: Rng>(
     rng: &mut R,
 ) -> Result<Alignment, SimError> {
     params.validate()?;
-    let muts = if params.rho == 0.0 {
+    // See simulate_neutral: validate() makes <= an exact zero test.
+    let muts = if params.rho <= 0.0 {
         let t = tree::kingman(params.n_samples, rng);
         tree::mutations_fixed(&t, n_sites, rng)
     } else {

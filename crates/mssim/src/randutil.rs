@@ -15,7 +15,8 @@ pub fn exponential<R: Rng>(rng: &mut R, rate: f64) -> f64 {
 /// where lambda is large exactly when relative error matters least).
 pub fn poisson<R: Rng>(rng: &mut R, lambda: f64) -> u64 {
     assert!(lambda >= 0.0, "poisson mean must be non-negative");
-    if lambda == 0.0 {
+    // The assert above makes <= an exact zero test, no float equality.
+    if lambda <= 0.0 {
         return 0;
     }
     if lambda < 30.0 {

@@ -221,7 +221,7 @@ impl Parser<'_> {
         }
     }
 
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, b: u8) -> Result<(), JsonError> {
         if self.peek() == Some(b) {
             self.pos += 1;
             Ok(())
@@ -253,7 +253,7 @@ impl Parser<'_> {
     }
 
     fn object(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut map = BTreeMap::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
@@ -264,7 +264,7 @@ impl Parser<'_> {
             self.skip_ws();
             let key = self.string()?;
             self.skip_ws();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_ws();
             let value = self.value()?;
             map.insert(key, value);
@@ -281,7 +281,7 @@ impl Parser<'_> {
     }
 
     fn array(&mut self) -> Result<JsonValue, JsonError> {
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
@@ -304,7 +304,7 @@ impl Parser<'_> {
     }
 
     fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -348,10 +348,11 @@ impl Parser<'_> {
                     while self.pos < self.bytes.len() && (self.bytes[self.pos] & 0xC0) == 0x80 {
                         self.pos += 1;
                     }
-                    out.push_str(
-                        std::str::from_utf8(&self.bytes[start..self.pos])
-                            .expect("slicing on char boundaries"),
-                    );
+                    // Slicing tracks char boundaries, so this cannot fail
+                    // on &str input; degrade to a parse error regardless.
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
                 }
             }
         }
@@ -365,8 +366,8 @@ impl Parser<'_> {
         while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
             self.pos += 1;
         }
-        let text =
-            std::str::from_utf8(&self.bytes[start..self.pos]).expect("numeric bytes are ASCII");
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid UTF-8 in number"))?;
         text.parse::<f64>()
             .map(JsonValue::Number)
             .map_err(|_| JsonError { message: format!("bad number '{text}'"), offset: start })

@@ -40,13 +40,15 @@ pub fn install_jsonl(path: &Path) -> io::Result<()> {
     // Anchor the epoch no later than sink installation so span timestamps
     // are always representable.
     let _ = epoch();
-    SPANS_ENABLED.store(true, Ordering::Relaxed);
+    // Release pairs with the Acquire load in `spans_enabled()`: a thread
+    // that observes the flag also observes the installed sink.
+    SPANS_ENABLED.store(true, Ordering::Release);
     Ok(())
 }
 
 /// Disables span recording, flushes, and closes the sink.
 pub fn uninstall() -> io::Result<()> {
-    SPANS_ENABLED.store(false, Ordering::Relaxed);
+    SPANS_ENABLED.store(false, Ordering::Release);
     let mut sink = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if let Some(mut w) = sink.take() {
         w.flush()?;

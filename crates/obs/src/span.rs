@@ -1,8 +1,8 @@
 //! Lightweight tracing spans with RAII guards and thread-local nesting.
 //!
 //! `span!("name")` returns a guard; dropping it closes the span. When no
-//! sink is installed (the default), entering a span is a single relaxed
-//! atomic load — no clock read, no allocation — so instrumented hot paths
+//! sink is installed (the default), entering a span is a single atomic
+//! load — no clock read, no allocation — so instrumented hot paths
 //! cost nothing measurable (see `crates/bench/src/bin/obs_overhead.rs`).
 //!
 //! Nesting is tracked per thread: each thread keeps a stack of open span
@@ -20,9 +20,11 @@ use crate::sink;
 pub(crate) static SPANS_ENABLED: AtomicBool = AtomicBool::new(false);
 
 /// True when a sink is installed and spans are being recorded.
+/// Acquire pairs with the Release store in `sink::install_jsonl`, so a
+/// caller that sees `true` also sees the sink it is about to write to.
 #[inline]
 pub fn spans_enabled() -> bool {
-    SPANS_ENABLED.load(Ordering::Relaxed)
+    SPANS_ENABLED.load(Ordering::Acquire)
 }
 
 /// Process start reference: span timestamps are nanoseconds since this.

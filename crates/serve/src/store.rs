@@ -143,7 +143,9 @@ impl ResultStore {
     /// Writes `value` under `key` (tmp + fsync + rename). Idempotent:
     /// rewriting an existing key is a no-op cost-wise beyond the write.
     pub fn write(&self, key: &CacheKey, value: &str) {
-        if self.degraded.load(Ordering::Relaxed) {
+        // Acquire pairs with the Release below: a writer that sees the
+        // degraded flag also sees the failure that raised it.
+        if self.degraded.load(Ordering::Acquire) {
             return;
         }
         let digest = key_digest(key);
@@ -173,7 +175,7 @@ impl ResultStore {
             Err(e) => {
                 omega_obs::counter!("serve.store_errors").inc();
                 eprintln!("omega-serve: result store degraded (write failed: {e})");
-                self.degraded.store(true, Ordering::Relaxed);
+                self.degraded.store(true, Ordering::Release);
                 let _ = std::fs::remove_file(&tmp);
             }
         }
