@@ -189,8 +189,17 @@ impl SweepDetector {
 
     /// Runs the complete Fig. 3 flow on the configured backend.
     pub fn detect(&self, alignment: &Alignment) -> DetectionOutcome {
-        let _span = omega_obs::span!("accel.detect");
         let plan = GridPlan::build(alignment, &self.params);
+        self.detect_with_plan(alignment, &plan)
+    }
+
+    /// Runs the Fig. 3 flow over a caller-supplied grid plan. The cluster
+    /// shard path uses this to evaluate only the subset of the global
+    /// grid assigned to one worker, with positions recomputed from the
+    /// global geometry so results stay bit-identical to a single-node
+    /// scan.
+    pub fn detect_with_plan(&self, alignment: &Alignment, plan: &GridPlan) -> DetectionOutcome {
+        let _span = omega_obs::span!("accel.detect");
         omega_obs::counter!("accel.detect.runs").inc();
         omega_obs::counter!("accel.detect.positions").add(plan.len() as u64);
         omega_obs::gauge!("accel.grid_positions").set(plan.len() as i64);

@@ -17,6 +17,7 @@ pub mod backend;
 pub mod batch;
 pub mod power;
 pub mod predict;
+pub mod shard;
 pub mod workload;
 
 pub use backend::{Backend, DetectionOutcome, SweepDetector, FPGA_LD_SAMPLE_SCORES_PER_SEC};
@@ -24,4 +25,8 @@ pub use batch::{BatchDetector, BatchOutcome, ReconfigureError};
 pub use omega_gpu_sim::OverlapMode;
 pub use power::{calibrate_threshold, detection_power, false_positive_rate, OmegaThreshold};
 pub use predict::{AutoLane, CostPredictor, Prediction};
+pub use shard::{
+    merge_outcomes, partition, results_identical, shard_grid_plan, slice_alignment,
+    stats_identical, Partition, ShardPart, ShardSpec,
+};
 pub use workload::WorkloadClass;

@@ -1,0 +1,157 @@
+//! Property tests for the cluster shard layer: whatever the partition
+//! count, wherever the seams land, and whichever worker subset ends up
+//! computing each shard, the merged report must be bit-identical to a
+//! single-node scan — per-position result bits *and* the stats the
+//! serve report serializes.
+//!
+//! The shard path exercised here is the full coordinator wire path
+//! minus HTTP: slice the alignment, round-trip it through the exact
+//! `sites` text format the scatter ships, rebuild the global grid slice
+//! from the [`ShardSpec`] geometry, and merge with the partition's
+//! seam-loss correction.
+
+use omega_accel::{
+    merge_outcomes, partition, results_identical, shard_grid_plan, slice_alignment,
+    stats_identical, Backend, DetectionOutcome, SweepDetector,
+};
+use omega_core::ScanParams;
+use omega_genome::sites::{read_sites, write_sites};
+use omega_genome::{Alignment, SnpVec};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A random polymorphic alignment: strictly increasing positions with
+/// irregular gaps, so seams fall at different bp offsets per seed.
+fn random_alignment(seed: u64, n_sites: usize, n_samples: usize) -> Alignment {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let sites: Vec<SnpVec> = (0..n_sites)
+        .map(|_| loop {
+            let calls: Vec<u8> = (0..n_samples).map(|_| rng.gen_range(0..2)).collect();
+            let s = SnpVec::from_bits(&calls);
+            if !s.is_monomorphic() {
+                break s;
+            }
+        })
+        .collect();
+    let mut positions = Vec::with_capacity(n_sites);
+    let mut bp = 0u64;
+    for _ in 0..n_sites {
+        bp += rng.gen_range(5..200);
+        positions.push(bp);
+    }
+    Alignment::new(positions, sites, bp + rng.gen_range(1..500)).unwrap()
+}
+
+/// Computes every shard on a randomly chosen worker from a random
+/// non-empty subset of a 4-worker pool (each worker is its own detector
+/// instance), with each slice round-tripped through the `sites` wire
+/// format first. Which worker computes a shard — including re-runs
+/// after a simulated failover — must never change a byte.
+fn sharded_scan_over_workers(
+    alignment: &Alignment,
+    params: &ScanParams,
+    n_shards: usize,
+    subset_seed: u64,
+) -> Option<DetectionOutcome> {
+    let part = partition(alignment, params, n_shards)?;
+    let mut rng = StdRng::seed_from_u64(subset_seed);
+    let pool: Vec<SweepDetector> =
+        (0..4).map(|_| SweepDetector::new(*params, Backend::Cpu).unwrap()).collect();
+    let healthy: Vec<usize> = {
+        let mask = rng.gen_range(1u8..16);
+        (0..4).filter(|i| mask & (1 << i) != 0).collect()
+    };
+    let outcomes: Vec<DetectionOutcome> = (0..part.shards.len())
+        .map(|i| {
+            let s = &part.shards[i];
+            let slice = slice_alignment(alignment, s.site_lo, s.site_hi);
+            let slice = if slice.n_sites() > 0 {
+                // The scatter wire format: exact-u64 `sites` text.
+                let mut wire = Vec::new();
+                write_sites(&mut wire, std::slice::from_ref(&slice)).unwrap();
+                read_sites(wire.as_slice()).unwrap().into_iter().next().unwrap()
+            } else {
+                slice
+            };
+            let plan = shard_grid_plan(&slice, &part.spec(i), params).unwrap();
+            let worker = &pool[healthy[rng.gen_range(0..healthy.len())]];
+            worker.detect_with_plan(&slice, &plan)
+        })
+        .collect();
+    merge_outcomes(outcomes, part.broken_reuse)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    // Random partition counts, random seam placements (irregular site
+    // spacing x window sizes x grid densities), random worker subsets:
+    // the merged report equals the single-node scan bit-for-bit.
+    #[test]
+    fn sharded_scan_is_bit_identical(
+        seed in 0u64..1_000,
+        subset_seed in 0u64..1_000,
+        n_sites in 16usize..72,
+        n_samples in 4usize..20,
+        grid in 3usize..28,
+        max_win in 100u64..4_000,
+        n_shards in 1usize..10,
+    ) {
+        let params = ScanParams {
+            grid,
+            min_win: 0,
+            max_win,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let alignment = random_alignment(seed, n_sites, n_samples);
+        let whole = SweepDetector::new(params, Backend::Cpu).unwrap().detect(&alignment);
+        let merged = sharded_scan_over_workers(&alignment, &params, n_shards, subset_seed)
+            .expect("non-empty alignment and grid must partition");
+        prop_assert!(
+            results_identical(&merged.results, &whole.results),
+            "results diverged: seed {seed}, {n_shards} shards, grid {grid}, max_win {max_win}"
+        );
+        prop_assert!(
+            stats_identical(&merged.stats, &whole.stats),
+            "stats diverged: seed {seed}, {n_shards} shards: {:?} vs {:?}",
+            merged.stats,
+            whole.stats
+        );
+    }
+
+    // The partition layout itself is always a clean cover: contiguous,
+    // ascending, exactly the full grid, and every shard's site span
+    // holds every site its positions' windows can touch.
+    #[test]
+    fn partition_is_always_a_clean_cover(
+        seed in 0u64..1_000,
+        n_sites in 16usize..72,
+        grid in 3usize..28,
+        n_shards in 1usize..12,
+    ) {
+        let params = ScanParams {
+            grid,
+            min_win: 0,
+            max_win: 1_500,
+            min_snps_per_side: 2,
+            threads: 1,
+        };
+        let alignment = random_alignment(seed, n_sites, 10);
+        let part = partition(&alignment, &params, n_shards)
+            .expect("non-empty alignment and grid must partition");
+        prop_assert_eq!(part.shards.first().unwrap().grid_lo, 0);
+        prop_assert_eq!(part.shards.last().unwrap().grid_hi, grid);
+        for w in part.shards.windows(2) {
+            prop_assert_eq!(w[0].grid_hi, w[1].grid_lo);
+        }
+        for (i, s) in part.shards.iter().enumerate() {
+            prop_assert!(s.grid_lo < s.grid_hi, "shard {i} is empty");
+            prop_assert!(s.site_lo <= s.site_hi);
+            prop_assert!(s.site_hi <= alignment.n_sites());
+            let spec = part.spec(i);
+            prop_assert!(spec.is_valid());
+        }
+    }
+}

@@ -43,11 +43,29 @@
 //! then restarted on its data dir and must answer every payload as an
 //! inline warm-cache hit.
 //!
+//! With `--cluster` the run instead exercises the scatter-gather layer:
+//! three in-process `omega-serve` workers boot behind an
+//! `omega-cluster` coordinator, the fill phase warms the workers'
+//! affinity-routed caches, and the replay phase drives cache-bypassing
+//! requests (so every shard recomputes) through the coordinator and a
+//! one-worker baseline coordinator. Each response's `cluster` record
+//! carries the scatter's modelled wall time — `makespan_seconds`, the
+//! slowest shard's compute — and the gate requires the three-worker
+//! modelled replay time to beat the one-worker baseline by
+//! `MIN_CLUSTER_SPEEDUP`. A warm non-bypass round then re-requests every
+//! fill payload and reports how many shards came back from worker
+//! caches (the affinity evidence).
+//!
+//! Every mode honors worker back-pressure: a 429 response's
+//! `Retry-After` is slept (bounded) and the request retried exactly
+//! once instead of counting as an error; the `retries` record in the
+//! output says how often that path fired and recovered.
+//!
 //! All requests ride per-thread keep-alive connections; every output
 //! includes a `connection_reuse` record (requests, connections opened,
 //! reuse fraction).
 //!
-//! Usage: `loadgen [OUT.json] [-clients N] [--trace-audit | --persist-audit]`
+//! Usage: `loadgen [OUT.json] [-clients N] [--trace-audit | --persist-audit | --cluster]`
 
 use std::io::{Read, Write as _};
 use std::net::TcpStream;
@@ -80,12 +98,19 @@ const PERSIST_REQUESTS_PER_CLIENT: usize = 32;
 /// Ceiling on the WAL/store hot-path cost: replay throughput with
 /// persistence on must stay within this fraction of `-no-persist`.
 const MAX_PERSIST_OVERHEAD: f64 = 0.05;
+/// Workers behind the coordinator in `--cluster` mode.
+const CLUSTER_WORKERS: usize = 3;
+/// Replay requests per client per coordinator in `--cluster` mode.
+const CLUSTER_REQUESTS_PER_CLIENT: usize = 6;
+/// `--cluster` floor on modelled replay speedup over one worker
+/// (near-linear for three workers).
+const MIN_CLUSTER_SPEEDUP: f64 = 2.2;
+/// Ceiling on one honored `Retry-After` backoff sleep.
+const MAX_RETRY_BACKOFF_MS: u64 = 500;
 
 /// Deterministic ms-format payload `i`: a small LCG fills a replicate
 /// with `i`-dependent sites so every payload digests differently.
-fn payload(i: usize) -> String {
-    let n_samples = 8;
-    let n_sites = 12 + i;
+fn payload_shaped(i: usize, n_samples: usize, n_sites: usize) -> String {
     let mut state = 0x9e37_79b9_u64.wrapping_add(i as u64);
     let mut next = || {
         state =
@@ -111,8 +136,30 @@ fn payload(i: usize) -> String {
     out
 }
 
+fn payload(i: usize) -> String {
+    payload_shaped(i, 8, 12 + i)
+}
+
 fn scan_body(i: usize) -> String {
     format!("{{\"format\":\"ms\",\"payload\":{:?},\"params\":{{\"grid\":4}}}}", payload(i))
+}
+
+/// `--cluster` payload `i`: enough sites and grid positions that the
+/// weight-balanced partitioner can cut three near-equal shards.
+fn cluster_payload(i: usize) -> String {
+    payload_shaped(i, 16, 64 + 4 * i)
+}
+
+/// Cluster bodies pin the GPU lane: its per-shard cost is the simulator's
+/// *modelled* device time (deterministic in the workload shape), so the
+/// speedup gate measures the partition balance rather than host
+/// scheduling noise on a loaded runner.
+fn cluster_scan_body(i: usize, bypass: bool) -> String {
+    format!(
+        "{{\"format\":\"ms\",\"payload\":{:?},\"params\":{{\"grid\":32}},\"backend\":\"gpu\",\"cache\":{:?}}}",
+        cluster_payload(i),
+        if bypass { "bypass" } else { "use" }
+    )
 }
 
 /// A fresh client-side `X-Omega-Trace` header value (unique trace id,
@@ -151,8 +198,9 @@ fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
 
 /// Reads one framed response off a keep-alive connection: status line +
 /// headers, then exactly `Content-Length` bytes or the full chunked
-/// framing. Returns (status, body, connection-still-usable).
-fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool)> {
+/// framing. Returns (status, body, connection-still-usable,
+/// `Retry-After` seconds if the daemon sent one).
+fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool, Option<u64>)> {
     use std::io::{Error, ErrorKind};
     let mut buf: Vec<u8> = Vec::with_capacity(4096);
     let mut tmp = [0u8; 4096];
@@ -178,6 +226,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool)>
     let mut content_length: usize = 0;
     let mut chunked = false;
     let mut keep_alive = head.starts_with("HTTP/1.1");
+    let mut retry_after: Option<u64> = None;
     for line in head.lines().skip(1) {
         let Some((name, value)) = line.split_once(':') else { continue };
         let value = value.trim();
@@ -185,6 +234,7 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool)>
             "content-length" => content_length = value.parse().unwrap_or(0),
             "transfer-encoding" => chunked = value.eq_ignore_ascii_case("chunked"),
             "connection" => keep_alive = value.eq_ignore_ascii_case("keep-alive"),
+            "retry-after" => retry_after = value.parse().ok(),
             _ => {}
         }
     }
@@ -222,14 +272,14 @@ fn read_response(stream: &mut TcpStream) -> std::io::Result<(u16, String, bool)>
         rest.truncate(content_length);
         rest
     };
-    Ok((status, String::from_utf8_lossy(&body).to_string(), keep_alive))
+    Ok((status, String::from_utf8_lossy(&body).to_string(), keep_alive, retry_after))
 }
 
 /// One HTTP round-trip over this thread's keep-alive connection:
-/// returns (status, body). A request that fails on a *reused*
-/// connection (the daemon may have timed an idle connection out)
-/// retries exactly once on a fresh one.
-fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), String> {
+/// returns (status, body, Retry-After). A request that fails on a
+/// *reused* connection (the daemon may have timed an idle connection
+/// out) retries exactly once on a fresh one.
+fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String, Option<u64>), String> {
     CONN.with(|slot| {
         let mut slot = slot.borrow_mut();
         if slot.as_ref().is_some_and(|(a, _)| *a != addr) {
@@ -252,12 +302,12 @@ fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), Stri
                 None => unreachable!("connection installed above"),
             };
             match outcome {
-                Ok((status, body, keep_alive)) => {
+                Ok((status, body, keep_alive, retry_after)) => {
                     REQUESTS_DONE.fetch_add(1, Ordering::Relaxed);
                     if !keep_alive {
                         *slot = None;
                     }
-                    return Ok((status, body));
+                    return Ok((status, body, retry_after));
                 }
                 Err(e) => {
                     *slot = None;
@@ -270,11 +320,16 @@ fn http(addr: std::net::SocketAddr, request: &str) -> Result<(u16, String), Stri
     })
 }
 
-fn post_scan(
+/// Honored 429s (slept + retried) and how many of those retries then
+/// succeeded — the `retries` record in BENCH_serve.json.
+static RETRIES_HONORED: AtomicU64 = AtomicU64::new(0);
+static RETRIES_RECOVERED: AtomicU64 = AtomicU64::new(0);
+
+fn post_scan_once(
     addr: std::net::SocketAddr,
     body: &str,
     traced: bool,
-) -> Result<(u16, String), String> {
+) -> Result<(u16, String, Option<u64>), String> {
     let trace_line = if traced {
         format!("X-Omega-Trace: {}\r\n", client_trace_header())
     } else {
@@ -287,8 +342,30 @@ fn post_scan(
     http(addr, &request)
 }
 
+/// POSTs a scan, honoring back-pressure: one 429 sleeps the daemon's
+/// `Retry-After` (bounded by [`MAX_RETRY_BACKOFF_MS`]) and retries
+/// exactly once; the retry's status is final either way.
+fn post_scan(
+    addr: std::net::SocketAddr,
+    body: &str,
+    traced: bool,
+) -> Result<(u16, String), String> {
+    let (status, resp, retry_after) = post_scan_once(addr, body, traced)?;
+    if status != 429 {
+        return Ok((status, resp));
+    }
+    RETRIES_HONORED.fetch_add(1, Ordering::Relaxed);
+    let backoff_ms = retry_after.unwrap_or(1).saturating_mul(1000).min(MAX_RETRY_BACKOFF_MS);
+    std::thread::sleep(Duration::from_millis(backoff_ms));
+    let (status, resp, _) = post_scan_once(addr, body, traced)?;
+    if status < 400 {
+        RETRIES_RECOVERED.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok((status, resp))
+}
+
 fn get(addr: std::net::SocketAddr, path: &str) -> Result<(u16, String), String> {
-    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n"))
+    http(addr, &format!("GET {path} HTTP/1.1\r\nHost: loadgen\r\n\r\n")).map(|(s, b, _)| (s, b))
 }
 
 /// Submits payload `i` and polls the job to a terminal state. Returns
@@ -569,6 +646,16 @@ fn audit_telemetry(addr: std::net::SocketAddr) -> Result<(usize, usize), String>
     Ok((verified, samples))
 }
 
+/// The `retries` record: how often a 429's `Retry-After` was honored
+/// with a bounded backoff retry, and how often that retry succeeded.
+fn retries_json() -> String {
+    omega_obs::JsonObject::new()
+        .u64("honored_429", RETRIES_HONORED.load(Ordering::Relaxed))
+        .u64("recovered", RETRIES_RECOVERED.load(Ordering::Relaxed))
+        .u64("max_backoff_ms", MAX_RETRY_BACKOFF_MS)
+        .finish()
+}
+
 /// The `connection_reuse` record: how well the keep-alive client
 /// amortised TCP connects over requests.
 fn reuse_json() -> String {
@@ -680,6 +767,7 @@ fn run_persist_audit(out_path: &str, clients: usize) -> Result<(), String> {
         .f64("max_overhead_fraction", MAX_PERSIST_OVERHEAD)
         .u64("warm_restart_hits", warm_hits as u64)
         .raw("connection_reuse", &reuse_json())
+        .raw("retries", &retries_json())
         .u64("errors", errors.len() as u64)
         .finish();
     std::fs::write(out_path, format!("{json}\n"))
@@ -703,6 +791,257 @@ fn run_persist_audit(out_path: &str, clients: usize) -> Result<(), String> {
         "loadgen: persist audit ok — overhead {:.1}% (cap {:.0}%), {warm_hits} warm hits",
         overhead * 100.0,
         MAX_PERSIST_OVERHEAD * 100.0
+    );
+    Ok(())
+}
+
+/// Accumulated modelled scatter time across a phase's responses, in
+/// integer nanoseconds so concurrent clients can add atomically.
+#[derive(Default)]
+struct ModelClock {
+    makespan_ns: AtomicU64,
+    sum_ns: AtomicU64,
+}
+
+impl ModelClock {
+    fn add(&self, makespan_seconds: f64, sum_seconds: f64) {
+        self.makespan_ns.fetch_add((makespan_seconds * 1e9) as u64, Ordering::Relaxed);
+        self.sum_ns.fetch_add((sum_seconds * 1e9) as u64, Ordering::Relaxed);
+    }
+
+    fn makespan_seconds(&self) -> f64 {
+        self.makespan_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    fn sum_seconds(&self) -> f64 {
+        self.sum_ns.load(Ordering::Relaxed) as f64 / 1e9
+    }
+}
+
+/// One coordinator round-trip: must come back 200/done with a `cluster`
+/// record, whose modelled times feed `clock` and whose shard cache
+/// provenance feeds the counters.
+fn cluster_scan_one(
+    addr: std::net::SocketAddr,
+    i: usize,
+    bypass: bool,
+    clock: &ModelClock,
+    cached_shards: &AtomicU64,
+    total_shards: &AtomicU64,
+) -> Result<Duration, String> {
+    let t0 = Instant::now();
+    let (status, body) = post_scan(addr, &cluster_scan_body(i, bypass), false)?;
+    if status != 200 {
+        return Err(format!("cluster scan expected 200, got {status}: {body}"));
+    }
+    let parsed = omega_obs::parse_json(&body).map_err(|e| e.to_string())?;
+    if parsed.get("state").and_then(|v| v.as_str()) != Some("done") {
+        return Err(format!("cluster scan not done: {body}"));
+    }
+    let cluster = parsed.get("cluster").ok_or("response has no cluster record")?;
+    let makespan = cluster.get("makespan_seconds").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    let sum = cluster.get("sum_seconds").and_then(|v| v.as_f64()).unwrap_or(0.0);
+    clock.add(makespan, sum);
+    cached_shards.fetch_add(
+        cluster.get("cached_shards").and_then(|v| v.as_u64()).unwrap_or(0),
+        Ordering::Relaxed,
+    );
+    total_shards
+        .fetch_add(cluster.get("shards").and_then(|v| v.as_u64()).unwrap_or(0), Ordering::Relaxed);
+    Ok(t0.elapsed())
+}
+
+/// `--cluster`: boots [`CLUSTER_WORKERS`] workers behind a coordinator
+/// plus a one-worker baseline coordinator, replays cache-bypassing
+/// traffic through both, and gates the modelled scatter speedup
+/// (one-worker makespan over three-worker makespan, summed across the
+/// replay) at [`MIN_CLUSTER_SPEEDUP`]. A warm non-bypass round reports
+/// cache-affinity evidence: shards answered from worker caches.
+fn run_cluster(out_path: &str, clients: usize) -> Result<(), String> {
+    let boot_worker = |id: String| -> Result<ServeHandle, String> {
+        omega_serve::start(ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            queue_capacity: (clients * CLUSTER_WORKERS * 4).max(64),
+            worker_id: id,
+            ..Default::default()
+        })
+        .map_err(|e| format!("cannot boot worker: {e}"))
+    };
+    let boot_coordinator = |workers: Vec<String>| -> Result<omega_cluster::ClusterHandle, String> {
+        omega_cluster::start(omega_cluster::ClusterConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers,
+            ..Default::default()
+        })
+        .map_err(|e| format!("cannot boot coordinator: {e}"))
+    };
+
+    let workers: Vec<ServeHandle> =
+        (0..CLUSTER_WORKERS).map(|i| boot_worker(format!("w{i}"))).collect::<Result<_, _>>()?;
+    let coord = boot_coordinator(workers.iter().map(|w| w.addr().to_string()).collect())?;
+    let coord_addr = coord.addr();
+
+    let (status, health_body) = get(coord_addr, "/healthz")?;
+    if status != 200 {
+        return Err(format!("coordinator healthz returned {status}"));
+    }
+    let health = omega_obs::parse_json(&health_body).map_err(|e| format!("healthz: {e}"))?;
+    let healthy = health
+        .get("workers")
+        .and_then(|w| w.as_array())
+        .map(|ws| {
+            ws.iter()
+                .filter(|w| matches!(w.get("healthy"), Some(omega_obs::JsonValue::Bool(true))))
+                .count()
+        })
+        .unwrap_or(0);
+    if healthy != CLUSTER_WORKERS {
+        return Err(format!(
+            "coordinator sees {healthy}/{CLUSTER_WORKERS} healthy workers: {health_body}"
+        ));
+    }
+
+    println!(
+        "loadgen: coordinator on {coord_addr} over {CLUSTER_WORKERS} workers, \
+         fill {DISTINCT} payloads"
+    );
+    let fill_clock = Arc::new(ModelClock::default());
+    let fill = {
+        let clock = Arc::clone(&fill_clock);
+        let sink = Arc::new(AtomicU64::new(0));
+        run_phase(DISTINCT, 1, move |t, _| {
+            cluster_scan_one(coord_addr, t, false, &clock, &sink, &sink)
+        })
+    };
+
+    let per_client = CLUSTER_REQUESTS_PER_CLIENT;
+    let replays = clients * per_client;
+    println!("loadgen: cluster replay {replays} cache-bypass requests across {clients} clients");
+    let cluster_clock = Arc::new(ModelClock::default());
+    let replay = {
+        let clock = Arc::clone(&cluster_clock);
+        let sink = Arc::new(AtomicU64::new(0));
+        run_phase(clients, per_client, move |t, r| {
+            cluster_scan_one(
+                coord_addr,
+                (t * per_client + r) % DISTINCT,
+                true,
+                &clock,
+                &sink,
+                &sink,
+            )
+        })
+    };
+
+    // Affinity evidence: repeat every fill payload without bypass — the
+    // ring routes each shard back to the worker whose cache holds it.
+    let cached_shards = Arc::new(AtomicU64::new(0));
+    let total_shards = Arc::new(AtomicU64::new(0));
+    let warm = {
+        let clock = Arc::new(ModelClock::default());
+        let (cached, total) = (Arc::clone(&cached_shards), Arc::clone(&total_shards));
+        run_phase(1, DISTINCT, move |_, r| {
+            cluster_scan_one(coord_addr, r, false, &clock, &cached, &total)
+        })
+    };
+
+    // One-worker baseline: a fresh worker behind its own coordinator
+    // runs the same bypass replay; its makespan is the modelled
+    // single-node time for the identical request stream.
+    let solo_worker = boot_worker("solo".to_string())?;
+    let solo_coord = boot_coordinator(vec![solo_worker.addr().to_string()])?;
+    let solo_addr = solo_coord.addr();
+    println!("loadgen: one-worker baseline replay {replays} requests");
+    let solo_clock = Arc::new(ModelClock::default());
+    let solo = {
+        let clock = Arc::clone(&solo_clock);
+        let sink = Arc::new(AtomicU64::new(0));
+        run_phase(clients, per_client, move |t, r| {
+            cluster_scan_one(solo_addr, (t * per_client + r) % DISTINCT, true, &clock, &sink, &sink)
+        })
+    };
+
+    coord.shutdown();
+    solo_coord.shutdown();
+    for w in workers {
+        w.shutdown();
+    }
+    solo_worker.shutdown();
+
+    let mut errors: Vec<String> = Vec::new();
+    for phase in [&fill, &replay, &warm, &solo] {
+        errors.extend(phase.errors.iter().cloned());
+    }
+    for e in errors.iter().take(5) {
+        eprintln!("loadgen: error: {e}");
+    }
+
+    let cluster_makespan = cluster_clock.makespan_seconds();
+    let cluster_sum = cluster_clock.sum_seconds();
+    let solo_makespan = solo_clock.makespan_seconds();
+    let speedup = if cluster_makespan > 0.0 { solo_makespan / cluster_makespan } else { 0.0 };
+    let cached = cached_shards.load(Ordering::Relaxed);
+    let total = total_shards.load(Ordering::Relaxed);
+    println!(
+        "loadgen: modelled replay time {cluster_makespan:.6}s over {CLUSTER_WORKERS} workers vs \
+         {solo_makespan:.6}s over one ({speedup:.2}x); warm affinity {cached}/{total} shards cached"
+    );
+
+    let json = omega_obs::JsonObject::new()
+        .string("bench", "serve_loadgen_cluster")
+        .u64("workers", CLUSTER_WORKERS as u64)
+        .u64("clients", clients as u64)
+        .u64("distinct_payloads", DISTINCT as u64)
+        .u64("requests_per_client", per_client as u64)
+        .raw("fill", &phase_json("fill", DISTINCT, &fill))
+        .raw("replay", &phase_json("replay", replays, &replay))
+        .raw("solo_replay", &phase_json("solo_replay", replays, &solo))
+        .raw(
+            "cluster",
+            &omega_obs::JsonObject::new()
+                .f64("makespan_seconds", cluster_makespan)
+                .f64("sum_seconds", cluster_sum)
+                .f64(
+                    "parallel_efficiency",
+                    if cluster_makespan > 0.0 {
+                        cluster_sum / (cluster_makespan * CLUSTER_WORKERS as f64)
+                    } else {
+                        0.0
+                    },
+                )
+                .finish(),
+        )
+        .raw("solo", &omega_obs::JsonObject::new().f64("makespan_seconds", solo_makespan).finish())
+        .f64("speedup_vs_one_worker", speedup)
+        .f64("min_speedup", MIN_CLUSTER_SPEEDUP)
+        .raw(
+            "affinity",
+            &omega_obs::JsonObject::new()
+                .u64("warm_requests", DISTINCT as u64)
+                .u64("cached_shards", cached)
+                .u64("total_shards", total)
+                .finish(),
+        )
+        .raw("connection_reuse", &reuse_json())
+        .raw("retries", &retries_json())
+        .u64("errors", errors.len() as u64)
+        .finish();
+    std::fs::write(out_path, format!("{json}\n"))
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+    println!("wrote {out_path}");
+
+    if !errors.is_empty() {
+        return Err(format!("{} request errors", errors.len()));
+    }
+    if speedup < MIN_CLUSTER_SPEEDUP {
+        return Err(format!(
+            "cluster speedup {speedup:.2}x below the {MIN_CLUSTER_SPEEDUP:.1}x floor \
+             ({CLUSTER_WORKERS} workers)"
+        ));
+    }
+    println!(
+        "loadgen: cluster ok — {speedup:.2}x modelled speedup over one worker \
+         (floor {MIN_CLUSTER_SPEEDUP:.1}x)"
     );
     Ok(())
 }
@@ -818,6 +1157,7 @@ fn run(out_path: &str, clients: usize, trace_audit: bool) -> Result<(), String> 
         )
         .u64("rejected", rejected)
         .raw("connection_reuse", &reuse_json())
+        .raw("retries", &retries_json())
         .u64("errors", total_errors as u64);
     if let Some((verified, samples)) = audit {
         let overhead =
@@ -888,6 +1228,7 @@ fn main() -> ExitCode {
     let mut clients = DEFAULT_CLIENTS;
     let mut trace_audit = false;
     let mut persist_audit = false;
+    let mut cluster = false;
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < args.len() {
@@ -904,11 +1245,14 @@ fn main() -> ExitCode {
             }
             "--trace-audit" => trace_audit = true,
             "--persist-audit" => persist_audit = true,
+            "--cluster" => cluster = true,
             other => out_path = other.to_string(),
         }
         i += 1;
     }
-    let result = if persist_audit {
+    let result = if cluster {
+        run_cluster(&out_path, clients)
+    } else if persist_audit {
         run_persist_audit(&out_path, clients)
     } else {
         run(&out_path, clients, trace_audit)

@@ -56,6 +56,19 @@ pub struct GridPlan {
     positions: Vec<PositionPlan>,
 }
 
+/// Physical bp of grid position `i` out of `grid` equidistant positions
+/// between `first` and `last` (inclusive). This integer formula is the
+/// *only* definition of grid placement — the sharded coordinator recomputes
+/// positions on remote workers with the same call, so the sharded scan
+/// lands on bit-identical positions.
+pub fn grid_position_bp(first: u64, last: u64, grid: usize, i: usize) -> u64 {
+    if grid <= 1 {
+        (first + last) / 2
+    } else {
+        first + ((last - first) as u128 * i as u128 / (grid - 1) as u128) as u64
+    }
+}
+
 impl GridPlan {
     /// Places `params.grid` equidistant ω positions between the first and
     /// last SNP (inclusive), as OmegaPlus does, and resolves each window.
@@ -68,15 +81,15 @@ impl GridPlan {
         let last = alignment.position(n - 1);
         let g = params.grid;
         let positions = (0..g)
-            .map(|i| {
-                let pos_bp = if g == 1 {
-                    (first + last) / 2
-                } else {
-                    first + ((last - first) as u128 * i as u128 / (g - 1) as u128) as u64
-                };
-                Self::plan_at(alignment, pos_bp, params)
-            })
+            .map(|i| Self::plan_at(alignment, grid_position_bp(first, last, g, i), params))
             .collect();
+        GridPlan { positions }
+    }
+
+    /// A plan over caller-chosen positions (must be ascending by bp). Used
+    /// by the cluster shard path, where a worker rebuilds the subset of the
+    /// global grid that falls inside its shard.
+    pub fn from_positions(positions: Vec<PositionPlan>) -> GridPlan {
         GridPlan { positions }
     }
 

@@ -53,7 +53,9 @@ const SEAM_LOSS_BUDGET_PCT: u64 = 8;
 
 /// The process-wide scan pool, built lazily on first parallel scan.
 /// `None` records a failed build; scans then run on the global pool.
-fn scan_pool() -> Option<&'static rayon::ThreadPool> {
+/// Shared with the batch detector's replicate-parallel path so the
+/// process never holds two competing pools.
+pub fn scan_pool() -> Option<&'static rayon::ThreadPool> {
     static POOL: OnceLock<Option<rayon::ThreadPool>> = OnceLock::new();
     POOL.get_or_init(|| rayon::ThreadPoolBuilder::new().build().ok()).as_ref()
 }
@@ -109,8 +111,9 @@ impl RunQueue {
 /// Predicted relocation between two matrix-advancing positions: the cells
 /// [`crate::matrix::RegionMatrix::advance`] relocates when it moves from
 /// `prev`'s window to `cur`'s (`tri(overlap)`), zero when the windows
-/// don't overlap.
-fn seam_loss(prev: &PositionPlan, cur: &PositionPlan) -> u64 {
+/// don't overlap. Public because the cluster shard planner accounts the
+/// same loss at shard boundaries to keep merged stats exact.
+pub fn seam_loss(prev: &PositionPlan, cur: &PositionPlan) -> u64 {
     let overlap =
         if cur.lo >= prev.lo && cur.lo < prev.hi { prev.hi.min(cur.hi) - cur.lo } else { 0 };
     if overlap < 2 {

@@ -20,6 +20,7 @@ pub mod filter;
 pub mod freq;
 pub mod impute;
 pub mod ms;
+pub mod sites;
 pub mod vcf;
 
 pub use alignment::{Alignment, AlignmentBuilder};

@@ -1,0 +1,190 @@
+//! Exact-coordinate site text format for cluster shard payloads.
+//!
+//! Hudson's `ms` carries fractional positions that are scaled (and
+//! rounded) to bp on read, so slicing an `ms` payload and re-serializing
+//! it cannot guarantee the worker reconstructs the *same* integer
+//! coordinates the coordinator planned against. The `sites` format fixes
+//! that by carrying exact u64 bp positions:
+//!
+//! ```text
+//! sites <n_samples> <region_len>
+//! <pos_bp>\t<01N call string, one char per sample>
+//! ...
+//! ```
+//!
+//! A stream may hold several replicates (each introduced by its own
+//! `sites` header line). Positions must be ascending within a replicate;
+//! coordinates round-trip exactly through [`write_sites`]/[`read_sites`],
+//! which is the property the cluster bit-identity guarantee rests on.
+
+use std::io::{BufRead, Write};
+
+use crate::alignment::{Alignment, AlignmentBuilder};
+use crate::bitvec::{Allele, SnpVec};
+use crate::error::GenomeError;
+
+/// Parses every replicate in a `sites` stream.
+pub fn read_sites<R: BufRead>(reader: R) -> Result<Vec<Alignment>, GenomeError> {
+    let mut replicates = Vec::new();
+    let mut current: Option<(usize, AlignmentBuilder, u64)> = None;
+    for (ln, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix("sites ") {
+            if let Some((_, builder, _)) = current.take() {
+                replicates.push(builder.build()?);
+            }
+            let mut it = rest.split_whitespace();
+            let n_samples: usize = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| GenomeError::parse("sites", Some(ln + 1), "bad sample count"))?;
+            let region_len: u64 = it
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| GenomeError::parse("sites", Some(ln + 1), "bad region length"))?;
+            if n_samples == 0 {
+                return Err(GenomeError::parse("sites", Some(ln + 1), "zero samples"));
+            }
+            current = Some((n_samples, AlignmentBuilder::new().region_len(region_len), 0));
+            continue;
+        }
+        let Some((n_samples, builder, prev_bp)) = current.as_mut() else {
+            return Err(GenomeError::parse("sites", Some(ln + 1), "site row before header"));
+        };
+        let (pos_tok, calls_tok) = trimmed
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| GenomeError::parse("sites", Some(ln + 1), "expected '<bp> <calls>'"))?;
+        let pos_bp: u64 = pos_tok
+            .parse()
+            .map_err(|_| GenomeError::parse("sites", Some(ln + 1), "bad position"))?;
+        if pos_bp < *prev_bp {
+            return Err(GenomeError::parse("sites", Some(ln + 1), "positions must be ascending"));
+        }
+        *prev_bp = pos_bp;
+        let calls_tok = calls_tok.trim();
+        if calls_tok.len() != *n_samples {
+            return Err(GenomeError::parse(
+                "sites",
+                Some(ln + 1),
+                format!("row has {} calls, expected {n_samples}", calls_tok.len()),
+            ));
+        }
+        let mut calls = Vec::new();
+        for ch in calls_tok.chars() {
+            calls.push(match ch {
+                '0' => Allele::Zero,
+                '1' => Allele::One,
+                'N' | 'n' | '?' | '-' => Allele::Missing,
+                other => {
+                    return Err(GenomeError::parse(
+                        "sites",
+                        Some(ln + 1),
+                        format!("unexpected call character '{other}'"),
+                    ))
+                }
+            });
+        }
+        builder.push_site(pos_bp, SnpVec::from_calls(&calls));
+    }
+    if let Some((_, builder, _)) = current.take() {
+        replicates.push(builder.build()?);
+    }
+    if replicates.is_empty() {
+        return Err(GenomeError::parse("sites", None, "no 'sites' header found"));
+    }
+    Ok(replicates)
+}
+
+/// Writes alignments as `sites` text. Positions round-trip exactly.
+pub fn write_sites<W: Write>(w: &mut W, alignments: &[Alignment]) -> Result<(), GenomeError> {
+    for a in alignments {
+        writeln!(w, "sites {} {}", a.n_samples().max(1), a.region_len())?;
+        let mut row = String::with_capacity(a.n_samples());
+        for j in 0..a.n_sites() {
+            row.clear();
+            let site = a.site(j);
+            for s in 0..a.n_samples() {
+                row.push(match site.get(s) {
+                    Allele::Zero => '0',
+                    Allele::One => '1',
+                    Allele::Missing => 'N',
+                });
+            }
+            writeln!(w, "{}\t{row}", a.position(j))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn toy() -> Alignment {
+        let sites = vec![
+            SnpVec::from_calls(&[Allele::Zero, Allele::One, Allele::Missing]),
+            SnpVec::from_calls(&[Allele::One, Allele::One, Allele::Zero]),
+            SnpVec::from_calls(&[Allele::Zero, Allele::Zero, Allele::One]),
+        ];
+        Alignment::new(vec![17, 17, 9_000_000_123], sites, 10_000_000_000).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_exact_positions() {
+        let a = toy();
+        let mut out = Vec::new();
+        write_sites(&mut out, std::slice::from_ref(&a)).unwrap();
+        let back = read_sites(Cursor::new(out)).unwrap();
+        assert_eq!(back.len(), 1);
+        assert_eq!(back[0].positions(), a.positions());
+        assert_eq!(back[0].region_len(), a.region_len());
+        for j in 0..a.n_sites() {
+            assert_eq!(back[0].site(j), a.site(j));
+        }
+    }
+
+    #[test]
+    fn multi_replicate_stream() {
+        let a = toy();
+        let mut out = Vec::new();
+        write_sites(&mut out, &[a.clone(), a.clone()]).unwrap();
+        let back = read_sites(Cursor::new(out)).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back[0].positions(), back[1].positions());
+    }
+
+    #[test]
+    fn empty_replicate_roundtrips() {
+        let text = "sites 4 500\n";
+        let back = read_sites(Cursor::new(text)).unwrap();
+        assert_eq!(back[0].n_sites(), 0);
+        assert_eq!(back[0].region_len(), 500);
+    }
+
+    #[test]
+    fn row_before_header_rejected() {
+        assert!(read_sites(Cursor::new("5\t010\n")).is_err());
+    }
+
+    #[test]
+    fn descending_positions_rejected() {
+        assert!(read_sites(Cursor::new("sites 3 100\n50\t010\n40\t101\n")).is_err());
+    }
+
+    #[test]
+    fn wrong_call_count_rejected() {
+        assert!(read_sites(Cursor::new("sites 3 100\n50\t01\n")).is_err());
+    }
+
+    #[test]
+    fn garbage_rejected_without_panic() {
+        for text in ["", "sites\n", "sites x y\n", "sites 3 100\nzz\t010\n", "sites 0 9\n"] {
+            assert!(read_sites(Cursor::new(text)).is_err(), "{text:?}");
+        }
+    }
+}

@@ -22,6 +22,20 @@ pub const INSTRUMENTS: &[&str] = &[
     "accel.position",
     "bench.noop",
     "bench.noop.ops",
+    "cluster.conn_retries",
+    "cluster.failovers",
+    "cluster.local_shards",
+    "cluster.merge_ns",
+    "cluster.partition_ns",
+    "cluster.rejected",
+    "cluster.request_ns",
+    "cluster.requests",
+    "cluster.requests_failed",
+    "cluster.retries",
+    "cluster.shard_ns",
+    "cluster.shards_dispatched",
+    "cluster.worker_failures",
+    "cluster.workers_healthy",
     "fpga.estimate",
     "fpga.hw_scores",
     "fpga.pipeline.cycles",

@@ -25,6 +25,7 @@
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+use omega_accel::ShardSpec;
 use omega_core::ScanParams;
 use omega_gpu_sim::OverlapMode;
 
@@ -42,6 +43,10 @@ pub struct CacheKey {
     /// Whether transfers were overlapped (affects timing metadata only,
     /// but keyed anyway so `/stats` timing figures stay attributable).
     pub overlapped: bool,
+    /// Cluster shard geometry: a shard result covers only a slice of the
+    /// global grid, so it must never answer a whole-scan lookup (or a
+    /// different slice) with the same payload.
+    pub shard: Option<ShardSpec>,
 }
 
 impl CacheKey {
@@ -51,12 +56,14 @@ impl CacheKey {
         params: ScanParams,
         backend: String,
         overlap: OverlapMode,
+        shard: Option<ShardSpec>,
     ) -> Self {
         CacheKey {
             payload_digest,
             params,
             backend,
             overlapped: overlap == OverlapMode::DoubleBuffered,
+            shard,
         }
     }
 
@@ -235,7 +242,7 @@ mod tests {
     use super::*;
 
     fn key(digest: u64) -> CacheKey {
-        CacheKey::new(digest, ScanParams::default(), "CPU".into(), OverlapMode::Serialized)
+        CacheKey::new(digest, ScanParams::default(), "CPU".into(), OverlapMode::Serialized, None)
     }
 
     fn val(len: usize) -> Arc<String> {
@@ -295,7 +302,21 @@ mod tests {
             ScanParams { grid: 7, ..ScanParams::default() },
             "CPU".into(),
             OverlapMode::Serialized,
+            None,
         );
         assert!(cache.get(&other).is_none());
+    }
+
+    #[test]
+    fn shard_slices_are_distinct_keys() {
+        let cache = ResultCache::with_capacity(4096);
+        cache.insert(key(1), val(10));
+        let spec = ShardSpec { first_bp: 10, last_bp: 900, grid: 16, lo: 0, hi: 8 };
+        let sharded = CacheKey { shard: Some(spec), ..key(1) };
+        assert!(cache.get(&sharded).is_none(), "whole-scan entry must not answer a shard");
+        cache.insert(sharded.clone(), val(5));
+        let other_slice = CacheKey { shard: Some(ShardSpec { lo: 8, hi: 16, ..spec }), ..key(1) };
+        assert!(cache.get(&other_slice).is_none(), "slices must not cross-answer");
+        assert!(cache.get(&sharded).is_some());
     }
 }

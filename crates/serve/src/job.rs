@@ -18,10 +18,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
-use omega_accel::{AutoLane, Backend, BatchOutcome, CostPredictor};
+use omega_accel::{AutoLane, Backend, BatchOutcome, CostPredictor, ShardSpec};
 use omega_core::ScanParams;
 use omega_fpga_sim::FpgaDevice;
 use omega_genome::ms::{read_ms, MsReadOptions};
+use omega_genome::sites::read_sites;
 use omega_genome::vcf::{read_vcf_with, VcfReadOptions};
 use omega_genome::{fasta, Alignment};
 use omega_gpu_sim::{GpuDevice, OverlapMode};
@@ -128,6 +129,15 @@ pub struct ScanRequest {
     /// modelled/measured LD+ω); set only for auto-routed jobs, compared
     /// against the actual stage time after the run.
     pub predicted_seconds: Option<f64>,
+    /// Cluster shard geometry: when set, the job evaluates only this
+    /// slice of the *global* grid, with positions recomputed from the
+    /// global first/last-SNP coordinates (bit-identical to the
+    /// single-node plan). Shard requests carry exactly one replicate.
+    pub shard: Option<ShardSpec>,
+    /// `"cache":"bypass"` — skip the result-cache lookup so the scan
+    /// recomputes even on a warm cache (the cluster loadgen uses this to
+    /// measure real scatter-gather compute throughput).
+    pub cache_bypass: bool,
 }
 
 /// Builds the concrete backend for a validated request.
@@ -232,6 +242,44 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
 
     let deadline = get_u64(&v, "deadline_ms")?.map(std::time::Duration::from_millis);
 
+    let cache_bypass = match v.get("cache").and_then(JsonValue::as_str).unwrap_or("use") {
+        "use" => false,
+        "bypass" => true,
+        other => return Err(RequestError::UnknownSelector("cache mode", other.to_string())),
+    };
+
+    let shard = match v.get("shard") {
+        None | Some(JsonValue::Null) => None,
+        Some(s) => {
+            if s.as_object().is_none() {
+                return Err(RequestError::BadField("shard", "expected an object".into()));
+            }
+            let field = |name: &'static str| -> Result<u64, RequestError> {
+                get_u64(s, name)?.ok_or(RequestError::MissingField(name))
+            };
+            let spec = ShardSpec {
+                first_bp: field("first_bp")?,
+                last_bp: field("last_bp")?,
+                grid: field("grid")? as usize,
+                lo: field("lo")? as usize,
+                hi: field("hi")? as usize,
+            };
+            if !spec.is_valid() {
+                return Err(RequestError::BadField(
+                    "shard",
+                    "requires first_bp <= last_bp and lo < hi <= grid".into(),
+                ));
+            }
+            if spec.grid != params.grid {
+                return Err(RequestError::BadField(
+                    "shard",
+                    "shard grid must equal params.grid (the global grid)".into(),
+                ));
+            }
+            Some(spec)
+        }
+    };
+
     let alignments: Vec<Alignment> = match format.as_str() {
         "ms" => {
             let opts = MsReadOptions { region_len: length.unwrap_or(DEFAULT_MS_LENGTH) };
@@ -253,10 +301,22 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
                 .map_err(|e| RequestError::Payload(e.to_string()))?;
             vec![out.alignment]
         }
+        // Exact-coordinate shard payloads: positions are literal u64 bp,
+        // so the worker sees byte-for-byte the sites the coordinator
+        // sliced (no fractional rescaling).
+        "sites" => {
+            read_sites(payload.as_bytes()).map_err(|e| RequestError::Payload(e.to_string()))?
+        }
         other => return Err(RequestError::UnknownSelector("format", other.to_string())),
     };
     if alignments.is_empty() || alignments.iter().all(|a| a.n_sites() == 0) {
         return Err(RequestError::EmptyInput);
+    }
+    if shard.is_some() && alignments.len() != 1 {
+        return Err(RequestError::BadField(
+            "shard",
+            format!("shard requests carry exactly one replicate, got {}", alignments.len()),
+        ));
     }
 
     // Auto routing: price the job on every lane and take the predicted
@@ -306,6 +366,8 @@ pub fn parse_scan_request(body: &str) -> Result<ScanRequest, RequestError> {
         deadline,
         auto_routed,
         predicted_seconds,
+        shard,
+        cache_bypass,
     })
 }
 

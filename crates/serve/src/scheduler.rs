@@ -14,11 +14,10 @@
 //! group with the typed [`omega_accel::ReconfigureError`], never the
 //! lane.
 
-use std::convert::Infallible;
 use std::sync::Arc;
 use std::time::Instant;
 
-use omega_accel::{BatchDetector, BatchOutcome};
+use omega_accel::{shard::shard_grid_plan, BatchDetector, BatchOutcome, ShardSpec};
 use omega_core::{ScanParams, ScanStats};
 use omega_gpu_sim::OverlapMode;
 
@@ -30,11 +29,15 @@ use crate::store::key_digest;
 use crate::wal::Wal;
 
 /// Jobs that batch into one detector run share this configuration.
+/// Shard jobs group only with jobs of the *same* shard geometry — a
+/// shard evaluates a custom grid slice, so it can never coalesce with a
+/// whole-scan batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
 struct GroupKey {
     device: String,
     overlap_on: bool,
     params: ScanParams,
+    shard: Option<ShardSpec>,
 }
 
 /// Partitions a drained batch into runnable groups, preserving
@@ -46,6 +49,7 @@ fn group_submissions(batch: Vec<Submission>) -> Vec<(GroupKey, Vec<Submission>)>
             device: sub.request.device.clone(),
             overlap_on: sub.request.overlap == OverlapMode::DoubleBuffered,
             params: sub.request.params,
+            shard: sub.request.shard,
         };
         match groups.iter_mut().find(|(k, _)| *k == key) {
             Some((_, members)) => members.push(sub),
@@ -241,9 +245,26 @@ fn run_group(
             BackendKind::Gpu => omega_obs::span!("serve.lane.gpu"),
             BackendKind::Fpga => omega_obs::span!("serve.lane.fpga"),
         };
-        match lane.detector.run(alignments.into_iter().map(Ok::<_, Infallible>)) {
-            Ok(out) => out,
-            Err(infallible) => match infallible {},
+        match key.shard {
+            // Shard jobs evaluate a slice of a *global* grid: positions
+            // come from the ShardSpec geometry, not from the shipped
+            // (sliced) alignment, so a coordinator's merged report is
+            // bit-identical to a single-node scan.
+            Some(spec) => {
+                let det = lane.detector.detector();
+                let mut outcomes = Vec::with_capacity(alignments.len());
+                for alignment in &alignments {
+                    match shard_grid_plan(alignment, &spec, &key.params) {
+                        Some(plan) => outcomes.push(det.detect_with_plan(alignment, &plan)),
+                        None => {
+                            fail_group(ctx, kind, &live, "shard spec is not a valid grid slice");
+                            return;
+                        }
+                    }
+                }
+                BatchOutcome::from_replicates(det.backend().label(), outcomes)
+            }
+            None => lane.detector.run_parallel(&alignments),
         }
     };
 
@@ -293,6 +314,7 @@ fn run_group(
             sub.request.params,
             sub.request.backend_label.clone(),
             sub.request.overlap,
+            sub.request.shard,
         );
         let digest = key_digest(&cache_key);
         cache.insert(cache_key, Arc::clone(&result));

@@ -70,6 +70,10 @@ pub struct ServeConfig {
     pub retain_jobs: usize,
     /// Age bound on retained terminal job records.
     pub retain_job_secs: u64,
+    /// Stable worker identity surfaced in `/healthz` (`-worker-id`).
+    /// A cluster coordinator uses it to tell workers apart across
+    /// restarts and address changes; empty means standalone.
+    pub worker_id: String,
 }
 
 impl Default for ServeConfig {
@@ -86,6 +90,7 @@ impl Default for ServeConfig {
             data_dir: None,
             retain_jobs: DEFAULT_RETAIN_TERMINAL,
             retain_job_secs: DEFAULT_RETAIN_FOR.as_secs(),
+            worker_id: String::new(),
         }
     }
 }
@@ -250,6 +255,7 @@ fn healthz_json(shared: &Shared) -> String {
         .finish();
     JsonObject::new()
         .string("status", "ok")
+        .string("worker_id", &shared.config.worker_id)
         .u64("uptime_secs", shared.started.elapsed().as_secs())
         .raw("build", &build)
         .raw("queue_depths", &queues.finish())
@@ -347,9 +353,13 @@ fn handle_scan(shared: &Shared, http_request: &Request) -> Response {
         request.params,
         request.backend_label.clone(),
         request.overlap,
+        request.shard,
     );
     let lookup_started = Instant::now();
-    let cached = shared.cache.get(&key);
+    // `"cache":"bypass"` skips the lookup but not the insert: the fresh
+    // result still lands in the cache for later `"cache":"use"` callers.
+    // Benchmarks use it to measure compute, not cache hits.
+    let cached = if request.cache_bypass { None } else { shared.cache.get(&key) };
     let lookup_ns = lookup_started.elapsed().as_nanos() as u64;
     omega_obs::histogram!("serve.cache_lookup_ns").record(lookup_ns);
     if let Some(t) = &trace {

@@ -51,13 +51,24 @@ pub fn key_digest(key: &CacheKey) -> u64 {
     h.update(&(key.params.threads as u64).to_le_bytes());
     h.update(key.backend.as_bytes());
     h.update(&[u8::from(key.overlapped)]);
+    // Shard geometry appends only when present, so every pre-cluster
+    // key digests to exactly what it always did (no store-format break
+    // for whole-scan entries). The header key-equality check on read
+    // guards the (astronomically unlikely) extension collision.
+    if let Some(s) = &key.shard {
+        h.update(&s.first_bp.to_le_bytes());
+        h.update(&s.last_bp.to_le_bytes());
+        h.update(&(s.grid as u64).to_le_bytes());
+        h.update(&(s.lo as u64).to_le_bytes());
+        h.update(&(s.hi as u64).to_le_bytes());
+    }
     h.finish()
 }
 
 // 64-bit digests/checksums are hex *strings* in the header: the JSON
 // layer parses numbers as f64, which silently rounds above 2^53.
 fn header_json(key: &CacheKey, body: &str) -> String {
-    JsonObject::new()
+    let mut obj = JsonObject::new()
         .string("digest", &format!("{:016x}", key.payload_digest))
         .u64("grid", key.params.grid as u64)
         .u64("min_win", key.params.min_win)
@@ -65,8 +76,18 @@ fn header_json(key: &CacheKey, body: &str) -> String {
         .u64("min_snps", key.params.min_snps_per_side as u64)
         .u64("threads", key.params.threads as u64)
         .string("backend", &key.backend)
-        .raw("overlapped", if key.overlapped { "true" } else { "false" })
-        .u64("len", body.len() as u64)
+        .raw("overlapped", if key.overlapped { "true" } else { "false" });
+    if let Some(s) = &key.shard {
+        let shard = JsonObject::new()
+            .u64("first_bp", s.first_bp)
+            .u64("last_bp", s.last_bp)
+            .u64("grid", s.grid as u64)
+            .u64("lo", s.lo as u64)
+            .u64("hi", s.hi as u64)
+            .finish();
+        obj = obj.raw("shard", &shard);
+    }
+    obj.u64("len", body.len() as u64)
         .string("sum", &format!("{:016x}", fnv64(body.as_bytes())))
         .finish()
 }
@@ -76,6 +97,16 @@ fn hex_u64(v: &JsonValue, field: &str) -> Option<u64> {
 }
 
 fn key_from_header(v: &JsonValue) -> Option<CacheKey> {
+    let shard = match v.get("shard") {
+        None | Some(JsonValue::Null) => None,
+        Some(s) => Some(omega_accel::ShardSpec {
+            first_bp: s.get("first_bp")?.as_u64()?,
+            last_bp: s.get("last_bp")?.as_u64()?,
+            grid: s.get("grid")?.as_u64()? as usize,
+            lo: s.get("lo")?.as_u64()? as usize,
+            hi: s.get("hi")?.as_u64()? as usize,
+        }),
+    };
     Some(CacheKey {
         payload_digest: hex_u64(v, "digest")?,
         params: omega_core::ScanParams {
@@ -87,6 +118,7 @@ fn key_from_header(v: &JsonValue) -> Option<CacheKey> {
         },
         backend: v.get("backend")?.as_str()?.to_string(),
         overlapped: *v.get("overlapped")? == JsonValue::Bool(true),
+        shard,
     })
 }
 
@@ -287,6 +319,7 @@ mod tests {
             params: ScanParams { threads: 1, ..ScanParams::default() },
             backend: "CPU".to_string(),
             overlapped: false,
+            shard: None,
         }
     }
 
@@ -314,9 +347,33 @@ mod tests {
         let mut k = key(1);
         k.overlapped = true;
         facets.push(k);
+        let mut k = key(1);
+        k.shard =
+            Some(omega_accel::ShardSpec { first_bp: 1, last_bp: 999, grid: 16, lo: 0, hi: 8 });
+        facets.push(k.clone());
+        let mut k2 = k.clone();
+        if let Some(s) = &mut k2.shard {
+            s.hi = 16;
+        }
+        facets.push(k2);
         for other in facets {
             assert_ne!(key_digest(&base), key_digest(&other), "{other:?}");
         }
+    }
+
+    #[test]
+    fn sharded_key_roundtrips_through_store() {
+        let store = tmp_store("shard");
+        let mut k = key(11);
+        k.shard =
+            Some(omega_accel::ShardSpec { first_bp: 40, last_bp: 2000, grid: 32, lo: 8, hi: 20 });
+        store.write(&k, "shard-result");
+        let got = store.read(&k).expect("hit");
+        assert_eq!(got.as_str(), "shard-result");
+        // The unsharded twin misses.
+        assert!(store.read(&key(11)).is_none());
+        let (back, _) = store.read_by_digest(key_digest(&k)).expect("by digest");
+        assert_eq!(back, k);
     }
 
     #[test]

@@ -14,6 +14,7 @@ fn key(digest: u64, grid: usize) -> CacheKey {
         ScanParams { grid, ..ScanParams::default() },
         "CPU".to_string(),
         OverlapMode::Serialized,
+        None,
     )
 }
 

@@ -444,7 +444,86 @@ fn run(cli: &Cli) -> Result<(), String> {
 
 const SERVE_USAGE: &str = "usage: omegaplus serve [-addr HOST:PORT] [-queue N] \
 [-cache-mb N] [-max-body-mb N] [-retry-after SECS] [-trace-capacity N] [-trace-all] \
-[-data-dir PATH] [-no-persist] [-retain-jobs N] [-retain-secs SECS]";
+[-data-dir PATH] [-no-persist] [-retain-jobs N] [-retain-secs SECS] [-worker-id NAME]";
+
+const COORDINATE_USAGE: &str = "usage: omegaplus coordinate -workers HOST:PORT,HOST:PORT,... \
+[-addr HOST:PORT] [-max-body-mb N] [-shards N] [-shard-timeout-ms MS] [-health-ms MS] \
+[-io-timeout-ms MS]";
+
+/// Parses `omegaplus coordinate` flags into a coordinator configuration.
+fn parse_coordinate_args(args: &[String]) -> Result<Option<omega_cluster::ClusterConfig>, String> {
+    let mut config = omega_cluster::ClusterConfig::default();
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        i += 1;
+        let mut num = |name: &str| -> Result<String, String> {
+            let v = args.get(i).cloned().ok_or_else(|| format!("{name} expects a value"))?;
+            i += 1;
+            Ok(v)
+        };
+        match flag.as_str() {
+            "-addr" => config.addr = num("-addr")?,
+            "-workers" => {
+                config.workers = num("-workers")?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+            }
+            "-max-body-mb" => {
+                let mb: usize = num("-max-body-mb")?.parse().map_err(|_| "bad -max-body-mb")?;
+                config.max_body_bytes = mb << 20;
+            }
+            "-shards" => {
+                config.shards_per_scan = num("-shards")?.parse().map_err(|_| "bad -shards")?
+            }
+            "-shard-timeout-ms" => {
+                config.shard_timeout_ms =
+                    num("-shard-timeout-ms")?.parse().map_err(|_| "bad -shard-timeout-ms")?
+            }
+            "-health-ms" => {
+                config.health_interval_ms =
+                    num("-health-ms")?.parse().map_err(|_| "bad -health-ms")?
+            }
+            "-io-timeout-ms" => {
+                config.io_timeout_ms =
+                    num("-io-timeout-ms")?.parse().map_err(|_| "bad -io-timeout-ms")?
+            }
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown flag '{other}'\n{COORDINATE_USAGE}")),
+        }
+    }
+    if config.workers.is_empty() {
+        return Err(format!("-workers is required\n{COORDINATE_USAGE}"));
+    }
+    Ok(Some(config))
+}
+
+fn run_coordinate(args: &[String]) -> ExitCode {
+    match parse_coordinate_args(args) {
+        Ok(None) => {
+            println!("{COORDINATE_USAGE}");
+            ExitCode::SUCCESS
+        }
+        Ok(Some(config)) => match omega_cluster::start(config) {
+            Ok(handle) => {
+                eprintln!("omegaplus coordinate: listening on http://{}", handle.addr());
+                handle.wait();
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("omegaplus coordinate: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            eprintln!("omegaplus coordinate: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
 
 /// Parses `omegaplus serve` flags into a daemon configuration.
 fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>, String> {
@@ -487,6 +566,7 @@ fn parse_serve_args(args: &[String]) -> Result<Option<omega_serve::ServeConfig>,
                 config.retain_job_secs =
                     num("-retain-secs")?.parse().map_err(|_| "bad -retain-secs")?
             }
+            "-worker-id" => config.worker_id = num("-worker-id")?,
             "-h" | "--help" => return Ok(None),
             other => return Err(format!("unknown flag '{other}'\n{SERVE_USAGE}")),
         }
@@ -525,6 +605,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return run_serve(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("coordinate") {
+        return run_coordinate(&args[1..]);
     }
     match parse_args(&args) {
         Ok(None) => {
